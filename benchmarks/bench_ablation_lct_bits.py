@@ -1,0 +1,46 @@
+"""Ablation: LCT counter width (beyond the paper's 1- and 2-bit points).
+
+Wider counters are slower to enter (and leave) the constant state.
+Reports misprediction rate and constant coverage per width.
+"""
+
+from repro.analysis import TextTable, format_percent
+from repro.lvp import LVPConfig, LoadOutcome
+from repro.trace import annotate_trace
+
+from conftest import emit
+
+BITS = (1, 2, 3, 4)
+NAMES = ("compress", "sc", "gperf", "quick")
+
+
+def _sweep(session):
+    rows = {}
+    for name in NAMES:
+        trace = session.trace(name, "ppc")
+        for bits in BITS:
+            config = LVPConfig(name=f"lct{bits}", lct_bits=bits,
+                               cvu_entries=128)
+            stats = annotate_trace(trace, config).stats
+            incorrect = stats.outcomes[LoadOutcome.INCORRECT]
+            rows[(name, bits)] = (
+                incorrect / stats.loads if stats.loads else 0.0,
+                stats.constant_fraction,
+            )
+    return rows
+
+
+def test_ablation_lct_bits(benchmark, session, report_dir):
+    rows = benchmark.pedantic(lambda: _sweep(session),
+                              rounds=1, iterations=1)
+    table = TextTable(
+        ["benchmark", "bits", "mispredict rate", "constant fraction"],
+        title="Ablation: LCT counter width",
+    )
+    for (name, bits), (mispredicts, constants) in rows.items():
+        table.add_row([name, bits, format_percent(mispredicts, 2),
+                       format_percent(constants)])
+    emit(report_dir, "ablation_lct_bits", table.render())
+    for name in NAMES:
+        # Wider counters never increase the misprediction rate much.
+        assert rows[(name, 4)][0] <= rows[(name, 1)][0] + 0.02

@@ -1,0 +1,40 @@
+"""Ablation: LVPT size sweep (beyond the paper).
+
+Sweeps the prediction-table size from 256 to 8192 entries and reports
+prediction accuracy per benchmark.  Expected: accuracy grows with table
+size (less destructive interference) and saturates once the static-load
+working set fits.
+"""
+
+from repro.analysis import TextTable, format_percent
+from repro.lvp import LVPConfig
+from repro.trace import annotate_trace
+
+from conftest import emit
+
+SIZES = (256, 512, 1024, 2048, 4096, 8192)
+NAMES = ("ccl-271", "compress", "gawk", "perl", "xlisp")
+
+
+def _sweep(session):
+    rows = {}
+    for name in NAMES:
+        trace = session.trace(name, "ppc")
+        rows[name] = []
+        for size in SIZES:
+            config = LVPConfig(name=f"lvpt{size}", lvpt_entries=size)
+            stats = annotate_trace(trace, config).stats
+            rows[name].append(stats.prediction_accuracy)
+    return rows
+
+
+def test_ablation_lvpt_size(benchmark, session, report_dir):
+    rows = benchmark.pedantic(lambda: _sweep(session),
+                              rounds=1, iterations=1)
+    table = TextTable(["benchmark"] + [str(s) for s in SIZES],
+                      title="Ablation: prediction accuracy vs LVPT entries")
+    for name, accuracies in rows.items():
+        table.add_row([name] + [format_percent(a) for a in accuracies])
+    emit(report_dir, "ablation_lvpt_size", table.render())
+    for name, accuracies in rows.items():
+        assert accuracies[-1] >= accuracies[0] - 0.02, name

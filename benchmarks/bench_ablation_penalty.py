@@ -1,0 +1,49 @@
+"""Ablation: 21164 value-misprediction penalty sensitivity.
+
+The paper's reissue buffer holds the squash penalty to one cycle; this
+sweep shows how speedups erode as redispatch gets more expensive.
+"""
+
+import dataclasses
+
+from repro.analysis import TextTable, format_speedup, geometric_mean
+from repro.lvp import SIMPLE
+from repro.uarch import AXP21164Model
+from repro.uarch.axp21164.config import AXP21164
+
+from conftest import emit
+
+PENALTIES = (1, 2, 4, 8)
+NAMES = ("grep", "gawk", "compress", "eqntott", "quick")
+
+
+def _sweep(session):
+    rows = {}
+    for name in NAMES:
+        annotated = session.annotated(name, "alpha", SIMPLE)
+        base = AXP21164Model().run(annotated, use_lvp=False)
+        speedups = []
+        for penalty in PENALTIES:
+            config = dataclasses.replace(
+                AXP21164, name=f"pen{penalty}",
+                value_mispredict_penalty=penalty)
+            result = AXP21164Model(config).run(annotated, use_lvp=True)
+            speedups.append(base.cycles / result.cycles)
+        rows[name] = speedups
+    return rows
+
+
+def test_ablation_penalty(benchmark, session, report_dir):
+    rows = benchmark.pedantic(lambda: _sweep(session),
+                              rounds=1, iterations=1)
+    table = TextTable(
+        ["benchmark"] + [f"penalty={p}" for p in PENALTIES],
+        title="Ablation: 21164 speedup vs value-mispredict penalty",
+    )
+    for name, speedups in rows.items():
+        table.add_row([name] + [format_speedup(s) for s in speedups])
+    emit(report_dir, "ablation_penalty", table.render())
+    for name, speedups in rows.items():
+        # Higher penalty can only hurt.
+        assert speedups[0] >= speedups[-1] - 1e-9, name
+    assert geometric_mean(rows["grep"]) > 0.9

@@ -1,0 +1,60 @@
+"""Ablation: the cost of reservation-station retention (paper S4.1).
+
+The paper notes that even *correct* predictions cost something: since
+speculative values verify one cycle after the actual value returns,
+dependents "may end up occupying their reservation stations for one
+cycle longer".  This ablation idealizes release-at-issue and measures
+how much of LVP's potential that retention overhead eats.
+"""
+
+import dataclasses
+
+from repro.analysis import TextTable, format_speedup, geometric_mean
+from repro.lvp import LIMIT, SIMPLE
+from repro.uarch import PPC620, PPC620Model
+
+from conftest import emit
+
+NO_RETENTION = dataclasses.replace(PPC620, name="620-no-retention",
+                                   rs_retention=False)
+
+
+def _sweep(session):
+    rows = {}
+    for name in session.benchmark_names:
+        base = session.ppc_result(name, PPC620, None)
+        per = {}
+        for config in (SIMPLE, LIMIT):
+            annotated = session.annotated(name, "ppc", config)
+            held = PPC620Model(PPC620).run(annotated, use_lvp=True)
+            ideal = PPC620Model(NO_RETENTION).run(annotated, use_lvp=True)
+            per[config.name] = (base.cycles / held.cycles,
+                                base.cycles / ideal.cycles)
+        rows[name] = per
+    return rows
+
+
+def test_ablation_rs_retention(benchmark, session, report_dir):
+    rows = benchmark.pedantic(lambda: _sweep(session),
+                              rounds=1, iterations=1)
+    table = TextTable(
+        ["benchmark", "Simple", "Simple (ideal RS)",
+         "Limit", "Limit (ideal RS)"],
+        title="Ablation: reservation-station retention cost (620)",
+    )
+    for name, per in rows.items():
+        table.add_row([
+            name,
+            format_speedup(per["Simple"][0]), format_speedup(per["Simple"][1]),
+            format_speedup(per["Limit"][0]), format_speedup(per["Limit"][1]),
+        ])
+    gm = lambda key, idx: geometric_mean(  # noqa: E731
+        [per[key][idx] for per in rows.values()])
+    table.add_separator()
+    table.add_row(["GM", format_speedup(gm("Simple", 0)),
+                   format_speedup(gm("Simple", 1)),
+                   format_speedup(gm("Limit", 0)),
+                   format_speedup(gm("Limit", 1))])
+    emit(report_dir, "ablation_rs_retention", table.render())
+    # Releasing at issue can only help (the paper's overhead vanishes).
+    assert gm("Simple", 1) >= gm("Simple", 0) - 0.002

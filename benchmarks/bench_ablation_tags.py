@@ -1,0 +1,41 @@
+"""Ablation: tagged vs untagged LVPT (interference study).
+
+The paper's LVPT is untagged, accepting both constructive and
+destructive interference.  Tags eliminate cross-PC pollution at the
+cost of losing constructive hits; this quantifies the trade.
+"""
+
+from repro.analysis import TextTable, format_percent
+from repro.lvp import LVPConfig
+from repro.trace import annotate_trace
+
+from conftest import emit
+
+NAMES = ("ccl-271", "compress", "gawk", "sc", "xlisp")
+
+
+def _sweep(session):
+    rows = {}
+    for name in NAMES:
+        trace = session.trace(name, "ppc")
+        accuracies = []
+        for tagged in (False, True):
+            config = LVPConfig(name=f"tag{tagged}", lvpt_entries=256,
+                               lvpt_tagged=tagged)
+            stats = annotate_trace(trace, config).stats
+            accuracies.append(stats.prediction_accuracy)
+        rows[name] = accuracies
+    return rows
+
+
+def test_ablation_tags(benchmark, session, report_dir):
+    rows = benchmark.pedantic(lambda: _sweep(session),
+                              rounds=1, iterations=1)
+    table = TextTable(["benchmark", "untagged", "tagged"],
+                      title="Ablation: tagged vs untagged LVPT (256 entries)")
+    for name, (untagged, tagged) in rows.items():
+        table.add_row([name, format_percent(untagged),
+                       format_percent(tagged)])
+    emit(report_dir, "ablation_tags", table.render())
+    for name, (untagged, tagged) in rows.items():
+        assert 0.0 <= untagged <= 1.0 and 0.0 <= tagged <= 1.0

@@ -1,0 +1,46 @@
+"""Extension: general (all-instruction) value locality.
+
+The paper's final future-work item is "speculating on values generated
+by instructions other than loads" -- the direction the authors took
+next.  This bench measures register value locality for every
+result-producing instruction class.
+"""
+
+from repro.analysis import TextTable, format_percent
+from repro.isa import OpClass
+from repro.lvp import measure_general_value_locality
+
+from conftest import emit
+
+
+def _sweep(session):
+    rows = {}
+    for name in session.benchmark_names:
+        trace = session.trace(name, "ppc")
+        rows[name] = (
+            measure_general_value_locality(trace, depth=1),
+            measure_general_value_locality(trace, depth=16),
+        )
+    return rows
+
+
+def test_ext_general_locality(benchmark, session, report_dir):
+    rows = benchmark.pedantic(lambda: _sweep(session),
+                              rounds=1, iterations=1)
+    table = TextTable(
+        ["benchmark", "all d1", "all d16", "loads d1", "ALU d1", "FP d1"],
+        title="Extension: general value locality (all instructions)",
+    )
+    for name, (d1, d16) in rows.items():
+        table.add_row([
+            name,
+            format_percent(d1.overall.locality),
+            format_percent(d16.overall.locality),
+            format_percent(d1.by_class[OpClass.LOAD].locality),
+            format_percent(d1.by_class[OpClass.SIMPLE_INT].locality),
+            format_percent(d1.by_class[OpClass.FP_SIMPLE].locality)
+            if d1.by_class[OpClass.FP_SIMPLE].total_loads else "-",
+        ])
+    emit(report_dir, "ext_general_locality", table.render())
+    for name, (d1, d16) in rows.items():
+        assert d16.overall.locality >= d1.overall.locality, name

@@ -1,0 +1,69 @@
+"""Extension: future-work predictors vs the paper's Simple config.
+
+The paper's Section 7 proposes stride detection and branch-history
+indexing as refinements.  This bench compares both (sized identically
+to Simple) against Simple itself, per benchmark, on prediction
+coverage and 620 speedup.
+"""
+
+from repro.analysis import (
+    TextTable,
+    format_percent,
+    format_speedup,
+    geometric_mean,
+)
+from repro.lvp import GSHARE, LoadOutcome, SIMPLE, STRIDE
+from repro.uarch import PPC620, PPC620Model
+
+from conftest import emit
+
+CONFIGS = (SIMPLE, STRIDE, GSHARE)
+
+
+def _coverage(stats):
+    correct = (stats.outcomes[LoadOutcome.CORRECT]
+               + stats.outcomes[LoadOutcome.CONSTANT])
+    return correct / stats.loads if stats.loads else 0.0
+
+
+def _sweep(session):
+    rows = {}
+    for name in session.benchmark_names:
+        per_config = {}
+        base = session.ppc_result(name, PPC620, None)
+        for config in CONFIGS:
+            annotated = session.annotated(name, "ppc", config)
+            lvp = PPC620Model(PPC620).run(annotated, use_lvp=True)
+            per_config[config.name] = (
+                _coverage(annotated.stats),
+                base.cycles / lvp.cycles,
+            )
+        rows[name] = per_config
+    return rows
+
+
+def test_ext_predictors(benchmark, session, report_dir):
+    rows = benchmark.pedantic(lambda: _sweep(session),
+                              rounds=1, iterations=1)
+    table = TextTable(
+        ["benchmark"] + [f"{c.name} cov/speedup" for c in CONFIGS],
+        title="Extension: stride and gshare predictors vs Simple (620)",
+    )
+    for name, per_config in rows.items():
+        table.add_row([name] + [
+            f"{format_percent(per_config[c.name][0], 0)} / "
+            f"{format_speedup(per_config[c.name][1])}"
+            for c in CONFIGS
+        ])
+    gm_row = ["GM"]
+    for config in CONFIGS:
+        gm = geometric_mean([per[config.name][1] for per in rows.values()])
+        gm_row.append(format_speedup(gm))
+    table.add_separator()
+    table.add_row(gm_row)
+    emit(report_dir, "ext_predictors", table.render())
+    # Stride subsumes last-value on arithmetic sequences: its mean
+    # coverage should at least match Simple's.
+    mean_cov = lambda c: sum(  # noqa: E731
+        per[c.name][0] for per in rows.values()) / len(rows)
+    assert mean_cov(STRIDE) >= mean_cov(SIMPLE) - 0.01

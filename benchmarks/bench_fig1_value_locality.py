@@ -1,0 +1,23 @@
+"""Regenerate paper Figure 1: load value locality, depth 1 vs 16.
+
+Expected shape (paper): most integer benchmarks land near 50% at
+depth 1 and above 80% at depth 16; cjpeg, swm256, and tomcatv are poor.
+"""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_fig1_value_locality(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig1", session), rounds=1, iterations=1)
+    emit(report_dir, "fig1", result.text)
+    ppc = result.data["ppc"]
+    # Paper shape: the three poor benchmarks stay poor...
+    for name in ("cjpeg", "swm256", "tomcatv"):
+        assert ppc[name][0] < 45.0, name
+    # ...and depth 16 dominates depth 1 everywhere.
+    for target_data in result.data.values():
+        for name, (d1, d16) in target_data.items():
+            assert d16 >= d1, name

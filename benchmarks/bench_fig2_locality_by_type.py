@@ -1,0 +1,34 @@
+"""Regenerate paper Figure 2: PowerPC value locality by data type.
+
+Expected shape (paper): address loads beat data loads; instruction
+addresses hold a slight edge over data addresses; integer data beats
+floating-point data.
+"""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def _weighted_average(rows, depth_index):
+    total = sum(loads for _, _, loads in rows.values())
+    if not total:
+        return 0.0
+    return sum(row[depth_index] * row[2] for row in rows.values()) / total
+
+
+def test_fig2_locality_by_type(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig2", session), rounds=1, iterations=1)
+    emit(report_dir, "fig2", result.text)
+    data = result.data
+    # Paper shape at depth 16: addresses >= integer data >= FP data.
+    instr_addr = _weighted_average(data["INSTR_ADDR"], 1)
+    data_addr = _weighted_average(data["DATA_ADDR"], 1)
+    int_data = _weighted_average(data["INT_DATA"], 1)
+    fp_data = _weighted_average(data["FP_DATA"], 1)
+    assert instr_addr > int_data > fp_data
+    assert data_addr > fp_data
+    # At depth 1 data addresses (TOC/pointer tables) already shine.
+    assert _weighted_average(data["DATA_ADDR"], 0) > \
+        _weighted_average(data["FP_DATA"], 0)

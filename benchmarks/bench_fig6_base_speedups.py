@@ -1,0 +1,27 @@
+"""Regenerate paper Figure 6: base machine model speedups.
+
+Expected shape (paper): positive geometric-mean speedups on both
+machines for every configuration; grep and gawk stand out dramatically;
+Perfect bounds Simple on the 620.
+"""
+
+from repro.analysis import geometric_mean
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_fig6_base_speedups(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", session), rounds=1, iterations=1)
+    emit(report_dir, "fig6", result.text)
+    data = result.data
+    for machine in ("620", "21164"):
+        for config, rows in data[machine].items():
+            assert geometric_mean(rows.values()) > 0.97, (machine, config)
+    # grep is a standout on both machines.
+    simple_620 = data["620"]["Simple"]
+    assert simple_620["grep"] >= sorted(simple_620.values())[-3]
+    # Perfect's GM is at least Simple's on the 620.
+    assert geometric_mean(data["620"]["Perfect"].values()) >= \
+        geometric_mean(data["620"]["Simple"].values())

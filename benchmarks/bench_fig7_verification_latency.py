@@ -1,0 +1,32 @@
+"""Regenerate paper Figure 7: load verification latency distribution.
+
+Expected shape (paper): the distributions look nearly identical across
+the four LVP configurations, and the 620+ distribution is shifted right
+relative to the 620 (time dilation from its higher performance).
+"""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+_WEIGHT = {"<4": 3, "4": 4, "5": 5, "6": 6, "7": 7, ">7": 8}
+
+
+def _mean_bucket(histogram):
+    return sum(_WEIGHT[bucket] * share
+               for bucket, share in histogram.items())
+
+
+def test_fig7_verification_latency(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7", session), rounds=1, iterations=1)
+    emit(report_dir, "fig7", result.text)
+    data = result.data
+    # Configurations look alike within a machine...
+    for machine in ("620", "620+"):
+        means = [_mean_bucket(h) for h in data[machine].values()]
+        assert max(means) - min(means) < 2.0
+    # ...and the 620+ distribution is shifted right vs the 620.
+    mean_620 = _mean_bucket(data["620"]["Simple"])
+    mean_plus = _mean_bucket(data["620+"]["Simple"])
+    assert mean_plus >= mean_620 - 0.25

@@ -1,0 +1,20 @@
+"""Regenerate paper Figure 8: dependency resolution latencies.
+
+Expected shape (paper): LSU, FPU, and SCFX instructions see the largest
+reductions in reservation-station operand wait (their operands are the
+predicted ones); BRU/MCFX see the least.
+"""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_fig8_dependency_latency(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8", session), rounds=1, iterations=1)
+    emit(report_dir, "fig8", result.text)
+    for machine in ("620", "620+"):
+        normalized = result.data[machine]["Limit"]
+        assert normalized["LSU"] <= 1.0
+        assert normalized["SCFX"] <= 1.02

@@ -1,0 +1,22 @@
+"""Regenerate paper Figure 9: cycles with bank conflicts.
+
+Expected shape (paper): conflicts occur in a few percent of 620 cycles
+and more on the 620+ (three ports contending for two banks); the
+Constant configuration removes relatively more conflicts than Simple.
+"""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_fig9_bank_conflicts(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9", session), rounds=1, iterations=1)
+    emit(report_dir, "fig9", result.text)
+    data = result.data
+    base_620 = data["620"]["ALL"]["base"]
+    base_plus = data["620+"]["ALL"]["base"]
+    assert base_plus >= base_620  # wider machine aggravates banking
+    # LVP reduces (or at worst leaves unchanged) aggregate conflicts.
+    assert data["620"]["ALL"]["Constant"] <= base_620 * 1.05

@@ -1,0 +1,12 @@
+"""Regenerate paper Table 1: benchmark descriptions and trace sizes."""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_tab1_suite(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab1", session), rounds=1, iterations=1)
+    emit(report_dir, "tab1", result.text)
+    assert len(result.data) == len(session.benchmark_names)

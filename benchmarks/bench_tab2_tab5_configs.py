@@ -1,0 +1,24 @@
+"""Regenerate paper Tables 2 and 5 (configuration tables).
+
+Rendered from the live configuration objects, so the documented
+hardware can never drift from what the models simulate.
+"""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_tab2_configurations(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab2", session), rounds=1, iterations=1)
+    emit(report_dir, "tab2", result.text)
+    assert "Simple" in result.text
+    assert "16/Perf" in result.text  # the Limit row's oracle marker
+
+
+def test_tab5_latencies(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab5", session), rounds=1, iterations=1)
+    emit(report_dir, "tab5", result.text)
+    assert "Load/Store" in result.text

@@ -1,0 +1,20 @@
+"""Regenerate paper Table 3: LCT classification hit rates.
+
+Expected shape (paper): geometric means in the 70-90% band for both the
+unpredictable and predictable columns, on both machines.
+"""
+
+from repro.analysis import geometric_mean
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_tab3_lct_hit_rates(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab3", session), rounds=1, iterations=1)
+    emit(report_dir, "tab3", result.text)
+    for combo in ("ppc/Simple", "ppc/Limit", "alpha/Simple", "alpha/Limit"):
+        preds = [rows[combo][1] for rows in result.data.values()]
+        nonzero = [p for p in preds if p > 0]
+        assert geometric_mean(nonzero) > 0.5, combo

@@ -1,0 +1,20 @@
+"""Regenerate paper Table 4: constant identification rates.
+
+Expected shape (paper): constants are a modest fraction of dynamic
+loads overall; quick and tomcatv sit at (nearly) zero; compress, sc,
+and gperf are among the higher rows.
+"""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_tab4_constant_rates(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab4", session), rounds=1, iterations=1)
+    emit(report_dir, "tab4", result.text)
+    data = result.data
+    for name in ("quick", "tomcatv"):
+        assert data[name]["ppc/Simple"] < 0.10, name
+    assert data["compress"]["ppc/Constant"] > 0.05

@@ -1,0 +1,26 @@
+"""Regenerate paper Table 6: PowerPC 620+ speedups.
+
+Expected shape (paper): the 620+ alone gains ~6% GM over the 620; LVP
+adds further GM gains on the 620+ that are at least comparable to those
+on the base 620 (the paper finds them ~50% larger); grep and gawk
+benefit most.
+"""
+
+from repro.harness import run_experiment
+
+from conftest import emit
+
+
+def test_tab6_620plus_speedups(benchmark, session, report_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab6", session), rounds=1, iterations=1)
+    emit(report_dir, "tab6", result.text)
+    gm = result.data["GM"]
+    assert gm["620+"] > 1.0
+    assert gm["Simple"] > 1.0
+    assert gm["Perfect"] >= gm["Simple"] * 0.98
+    # grep/gawk among the biggest Simple gains.
+    simple = {name: row["Simple"] for name, row in result.data.items()
+              if name != "GM"}
+    top3 = sorted(simple, key=simple.get, reverse=True)[:3]
+    assert {"grep", "gawk"} & set(top3)

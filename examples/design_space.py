@@ -1,0 +1,77 @@
+"""Design-space exploration: beyond the paper's four LVP design points.
+
+The paper picks four configurations (Table 2) and leaves "an exhaustive
+investigation of LVP Unit design parameters" to future work.  This
+example is that exploration in miniature: it sweeps LVPT size, LCT
+geometry, and CVU capacity over a benchmark subset and reports, for
+every design point, the prediction coverage, misprediction rate,
+constant coverage, and the resulting 620 speedup.
+
+Usage::
+
+    python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LoadOutcome,
+    PPC620,
+    PPC620Model,
+    Session,
+)
+from repro.analysis import TextTable, format_percent, geometric_mean
+from repro.lvp import LVPConfig
+from repro.trace import annotate_trace
+from repro.uarch.ppc620.model import PPC620Model
+
+BENCHMARKS = ("compress", "gawk", "grep", "sc", "xlisp")
+
+DESIGN_POINTS = (
+    LVPConfig(name="tiny", lvpt_entries=256, lct_entries=64,
+              lct_bits=2, cvu_entries=16),
+    LVPConfig(name="Simple(paper)", lvpt_entries=1024, lct_entries=256,
+              lct_bits=2, cvu_entries=32),
+    LVPConfig(name="big-lvpt", lvpt_entries=8192, lct_entries=256,
+              lct_bits=2, cvu_entries=32),
+    LVPConfig(name="big-lct", lvpt_entries=1024, lct_entries=4096,
+              lct_bits=2, cvu_entries=32),
+    LVPConfig(name="big-cvu", lvpt_entries=1024, lct_entries=256,
+              lct_bits=2, cvu_entries=512),
+    LVPConfig(name="all-big", lvpt_entries=8192, lct_entries=4096,
+              lct_bits=2, cvu_entries=512),
+)
+
+
+def main() -> None:
+    session = Session(scale="small", benchmarks=BENCHMARKS)
+    table = TextTable(
+        ["design point", "coverage", "mispredict", "constant", "GM speedup"],
+        title="LVP design-space sweep (5-benchmark subset, PowerPC 620)",
+    )
+    for config in DESIGN_POINTS:
+        covered = incorrect = constant = loads = 0
+        speedups = []
+        for name in BENCHMARKS:
+            annotated = annotate_trace(session.trace(name, "ppc"), config)
+            stats = annotated.stats
+            covered += (stats.outcomes[LoadOutcome.CORRECT]
+                        + stats.outcomes[LoadOutcome.CONSTANT])
+            incorrect += stats.outcomes[LoadOutcome.INCORRECT]
+            constant += stats.outcomes[LoadOutcome.CONSTANT]
+            loads += stats.loads
+            base = session.ppc_result(name, PPC620, None)
+            lvp = PPC620Model(PPC620).run(annotated, use_lvp=True)
+            speedups.append(base.cycles / lvp.cycles)
+        table.add_row([
+            config.name,
+            format_percent(covered / loads),
+            format_percent(incorrect / loads, 2),
+            format_percent(constant / loads),
+            f"{geometric_mean(speedups):.3f}",
+        ])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

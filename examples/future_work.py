@@ -1,0 +1,74 @@
+"""The paper's Section-7 future work, exercised on one benchmark.
+
+The paper closes with five research directions; four are implemented
+in this repo.  This example runs them all on one benchmark:
+
+1. stride value prediction ("computed predictions"),
+2. branch-history-indexed prediction tables,
+3. profile-guided pollution control of the value table,
+4. general value locality ("instructions other than loads").
+
+Usage::
+
+    python examples/future_work.py [benchmark-name]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+
+from repro import SIMPLE, get_benchmark, run_program
+from repro.lvp import (
+    GSHARE,
+    LoadOutcome,
+    STRIDE,
+    build_table_filter,
+    measure_general_value_locality,
+)
+from repro.trace import annotate_trace
+
+
+def coverage(stats):
+    correct = (stats.outcomes[LoadOutcome.CORRECT]
+               + stats.outcomes[LoadOutcome.CONSTANT])
+    return correct / stats.loads if stats.loads else 0.0
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gawk"
+    bench = get_benchmark(name)
+    program = bench.build_program("ppc", "small")
+    result = run_program(program, name=name, target="ppc")
+    bench.verify(program, result, "small")
+    trace = result.trace
+    print(f"== {name}: {trace.num_loads:,} loads")
+
+    # 1 & 2: alternative predictors, sized identically to Simple.
+    for config in (SIMPLE, STRIDE, GSHARE):
+        stats = annotate_trace(trace, config).stats
+        print(f"   {config.name:7s}: coverage {coverage(stats):6.1%}, "
+              f"accuracy {stats.prediction_accuracy:6.1%}")
+
+    # 3: pollution control on a deliberately small table.
+    small = dataclasses.replace(SIMPLE, name="small", lvpt_entries=128,
+                                lct_entries=128)
+    filtered = dataclasses.replace(
+        small, name="small+filter",
+        profile_filter=build_table_filter(trace))
+    for config in (small, filtered):
+        stats = annotate_trace(trace, config).stats
+        print(f"   {config.name:12s} (128-entry): "
+              f"coverage {coverage(stats):6.1%}, "
+              f"accuracy {stats.prediction_accuracy:6.1%}")
+
+    # 4: value locality beyond loads.
+    for depth in (1, 16):
+        general = measure_general_value_locality(trace, depth=depth)
+        print(f"   general value locality (depth {depth:>2}): "
+              f"{100 * general.overall.locality:5.1f}% over "
+              f"{general.overall.total_loads:,} instructions")
+
+
+if __name__ == "__main__":
+    main()

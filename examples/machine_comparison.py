@@ -1,0 +1,58 @@
+"""Compare LVP across all three machine models, side by side.
+
+Reproduces the paper's central comparison — the same LVP hardware on a
+"brainiac" (620), a wider brainiac (620+), and a "speed demon" (21164)
+— on a chosen benchmark subset, printing base IPC and the speedup of
+each Table-2 configuration.
+
+Usage::
+
+    python examples/machine_comparison.py [bench1,bench2,...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PPC620, PPC620_PLUS, Session
+from repro.analysis import TextTable, format_speedup, geometric_mean
+from repro.lvp import CONSTANT, LIMIT, PERFECT, SIMPLE
+
+DEFAULT_BENCHMARKS = ("compress", "gawk", "grep", "sc", "xlisp", "tomcatv")
+CONFIGS = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+
+
+def main() -> None:
+    names = (tuple(sys.argv[1].split(",")) if len(sys.argv) > 1
+             else DEFAULT_BENCHMARKS)
+    session = Session(scale="small", benchmarks=names)
+
+    table = TextTable(
+        ["machine", "base IPC (GM)"] + [c.name for c in CONFIGS],
+        title=f"LVP across machine models ({', '.join(names)})",
+    )
+    for machine in (PPC620, PPC620_PLUS):
+        ipcs = [session.ppc_result(n, machine, None).ipc for n in names]
+        row = [machine.name, f"{geometric_mean(ipcs):.2f}"]
+        for config in CONFIGS:
+            gm = geometric_mean(
+                [session.ppc_speedup(n, machine, config) for n in names])
+            row.append(format_speedup(gm))
+        table.add_row(row)
+    # The 21164 (the paper omits its Constant column; we include it).
+    ipcs = [session.alpha_result(n, None).ipc for n in names]
+    row = ["21164", f"{geometric_mean(ipcs):.2f}"]
+    for config in CONFIGS:
+        gm = geometric_mean(
+            [session.alpha_speedup(n, config) for n in names])
+        row.append(format_speedup(gm))
+    table.add_row(row)
+    print(table.render())
+    print("\nThe paper's reading: the in-order 21164 leans on LVP for "
+          "latency it cannot\nschedule around, while the out-of-order "
+          "620 finds independent work itself and\nthe wider 620+ has "
+          "the machine parallelism to exploit what LVP exposes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Regenerate any of the paper's tables and figures from the command line.
+
+Usage::
+
+    python examples/paper_figures.py                 # list exhibits
+    python examples/paper_figures.py fig1            # one exhibit
+    python examples/paper_figures.py all             # everything
+    python examples/paper_figures.py fig6 --scale tiny --benchmarks grep,gawk
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import EXPERIMENTS, Session, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("exhibit", nargs="?",
+                        help="exhibit id (fig1, tab3, ...) or 'all'")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "reference"),
+                        help="workload input scale (default: small)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    args = parser.parse_args(argv)
+
+    if not args.exhibit:
+        print("Available exhibits:")
+        for exp_id, runner in EXPERIMENTS.items():
+            summary = (runner.__doc__ or "").strip().splitlines()[0]
+            print(f"  {exp_id:6s} {summary}")
+        return 0
+
+    names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    session = Session(scale=args.scale, benchmarks=names)
+    exhibits = list(EXPERIMENTS) if args.exhibit == "all" \
+        else [args.exhibit]
+    for exp_id in exhibits:
+        started = time.time()
+        result = run_experiment(exp_id, session)
+        print(result.text)
+        print(f"[{exp_id} reproduced in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Quickstart: trace a benchmark, measure value locality, predict loads.
+
+Runs the paper's core pipeline end to end on one benchmark:
+
+1. build and functionally execute the ``compress`` workload (verifying
+   its output against the Python reference),
+2. measure its load value locality at history depths 1 and 16 (Fig. 1),
+3. annotate every dynamic load with the Simple LVP unit's prediction
+   state (no prediction / incorrect / correct / constant),
+4. run the PowerPC 620 cycle model with and without LVP and report the
+   speedup.
+
+Usage::
+
+    python examples/quickstart.py [benchmark-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    LoadOutcome,
+    PPC620,
+    PPC620Model,
+    SIMPLE,
+    annotate_trace,
+    get_benchmark,
+    measure_value_locality,
+    run_program,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    bench = get_benchmark(name)
+    print(f"== {bench.name}: {bench.description}")
+
+    # 1. Build and execute (the tracing tool of paper Section 5).
+    program = bench.build_program(target="ppc", scale="small")
+    result = run_program(program, name=bench.name, target="ppc")
+    bench.verify(program, result, "small")
+    trace = result.trace
+    print(f"   executed {trace.num_instructions:,} instructions "
+          f"({trace.num_loads:,} loads) -- output verified")
+
+    # 2. Value locality (paper Figure 1).
+    for depth in (1, 16):
+        locality = measure_value_locality(trace, depth=depth)
+        print(f"   value locality, history depth {depth:>2}: "
+              f"{locality.percent:5.1f}%")
+
+    # 3. LVP annotation (paper Section 5's middle phase).
+    annotated = annotate_trace(trace, SIMPLE)
+    outcomes = annotated.stats.outcomes
+    for outcome in LoadOutcome:
+        share = outcomes[outcome] / max(1, annotated.stats.loads)
+        print(f"   {outcome.name.lower():>14}: {share:6.1%}")
+
+    # 4. Cycle-level speedup on the 620 (paper Figure 6).
+    model = PPC620Model(PPC620)
+    base = model.run(annotated, use_lvp=False)
+    lvp = PPC620Model(PPC620).run(annotated, use_lvp=True)
+    print(f"   620 base: {base.cycles:,} cycles (IPC {base.ipc:.2f})")
+    print(f"   620+LVP : {lvp.cycles:,} cycles (IPC {lvp.ipc:.2f})")
+    print(f"   speedup : {base.cycles / lvp.cycles:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

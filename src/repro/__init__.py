@@ -1,0 +1,67 @@
+"""repro: a reproduction of Lipasti, Wilkerson & Shen,
+"Value Locality and Load Value Prediction" (ASPLOS VII, 1996).
+
+The package builds the paper's entire experimental stack from scratch:
+
+* :mod:`repro.isa` -- the VRISC ISA and compiler-idiom code generator,
+* :mod:`repro.sim` -- the functional simulator / tracing tool,
+* :mod:`repro.trace` -- trace records, statistics, LVP annotation,
+* :mod:`repro.lvp` -- the LVPT + LCT + CVU load value prediction unit,
+* :mod:`repro.workloads` -- the 17-benchmark suite of Table 1,
+* :mod:`repro.uarch` -- PowerPC 620/620+ and Alpha 21164 timing models,
+* :mod:`repro.harness` -- the per-exhibit experiment registry,
+* :mod:`repro.analysis` -- rendering and summary statistics.
+
+Quick start::
+
+    from repro import Session, run_experiment
+    session = Session(scale="tiny", benchmarks=("grep", "compress"))
+    print(run_experiment("fig1", session).text)
+"""
+
+from repro.errors import (
+    AssemblyError,
+    ConfigError,
+    ExecutionError,
+    ExecutionLimitExceeded,
+    LinkError,
+    ReproError,
+    TraceError,
+)
+from repro.harness import EXPERIMENTS, ExperimentResult, Session, run_experiment
+from repro.lvp import (
+    CONSTANT,
+    LIMIT,
+    LVPConfig,
+    LVPUnit,
+    LoadOutcome,
+    PAPER_CONFIGS,
+    PERFECT,
+    SIMPLE,
+    measure_locality_by_kind,
+    measure_value_locality,
+)
+from repro.sim import run_program
+from repro.trace import annotate_trace
+from repro.uarch import (
+    AXP21164Model,
+    PPC620,
+    PPC620_PLUS,
+    PPC620Model,
+)
+from repro.workloads import BENCHMARKS, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyError", "ConfigError", "ExecutionError",
+    "ExecutionLimitExceeded", "LinkError", "ReproError", "TraceError",
+    "EXPERIMENTS", "ExperimentResult", "Session", "run_experiment",
+    "CONSTANT", "LIMIT", "LVPConfig", "LVPUnit", "LoadOutcome",
+    "PAPER_CONFIGS", "PERFECT", "SIMPLE",
+    "measure_locality_by_kind", "measure_value_locality",
+    "run_program", "annotate_trace",
+    "AXP21164Model", "PPC620", "PPC620_PLUS", "PPC620Model",
+    "BENCHMARKS", "get_benchmark",
+    "__version__",
+]

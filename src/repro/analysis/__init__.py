@@ -1,0 +1,24 @@
+"""Analysis and rendering helpers."""
+
+from repro.analysis.expectations import (
+    CheckResult,
+    EXPECTATIONS,
+    Expectation,
+    check_all,
+    render_check_report,
+)
+from repro.analysis.html import build_html_report
+from repro.analysis.reference import render_table2, render_table5
+from repro.analysis.report import (
+    TextTable,
+    format_percent,
+    format_speedup,
+    geometric_mean,
+    render_series,
+)
+
+__all__ = ["TextTable", "format_percent", "format_speedup",
+           "geometric_mean", "render_series",
+           "CheckResult", "EXPECTATIONS", "Expectation", "check_all",
+           "render_check_report", "render_table2", "render_table5",
+           "build_html_report"]

@@ -1,0 +1,194 @@
+"""The paper's qualitative claims, checked mechanically.
+
+Absolute numbers differ from the paper's (synthetic workloads, scaled
+caches -- see DESIGN.md), so "reproduced" means the *shape* holds.
+This module encodes each shape claim once, as data: every
+:class:`Expectation` names the paper exhibit it comes from, states the
+claim in prose, and provides a predicate over a
+:class:`~repro.harness.session.Session`.  ``check_all`` evaluates all
+of them and returns a report -- the single-command answer to "does
+this reproduction still reproduce?" (``python -m repro check``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.report import geometric_mean
+from repro.uarch.ppc620.config import PPC620, PPC620_PLUS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.session import Session
+
+
+def _run(exp_id: str, session: "Session") -> dict:
+    # Imported lazily: repro.harness imports repro.analysis for its
+    # table rendering, so the reverse import must wait until call time.
+    from repro.harness.experiments import run_experiment
+    return run_experiment(exp_id, session).data
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One qualitative claim from the paper."""
+
+    exhibit: str
+    claim: str
+    check: Callable[["Session", dict], bool]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of evaluating one expectation."""
+
+    expectation: Expectation
+    passed: bool
+    detail: str = ""
+
+
+def _fig1(session, cache):
+    if "fig1" not in cache:
+        cache["fig1"] = _run("fig1", session)
+    return cache["fig1"]
+
+
+def _fig6(session, cache):
+    if "fig6" not in cache:
+        cache["fig6"] = _run("fig6", session)
+    return cache["fig6"]
+
+
+def _tab4(session, cache):
+    if "tab4" not in cache:
+        cache["tab4"] = _run("tab4", session)
+    return cache["tab4"]
+
+
+def _tab6(session, cache):
+    if "tab6" not in cache:
+        cache["tab6"] = _run("tab6", session)
+    return cache["tab6"]
+
+
+# --- the claims --------------------------------------------------------------
+def _depth16_dominates(session, cache):
+    data = _fig1(session, cache)
+    return all(d16 >= d1 for target in data.values()
+               for d1, d16 in target.values())
+
+
+def _poor_three_are_poor(session, cache):
+    data = _fig1(session, cache)["ppc"]
+    names = [n for n in ("cjpeg", "swm256", "tomcatv") if n in data]
+    others = [n for n in data if n not in ("cjpeg", "swm256", "tomcatv")]
+    if not names or not others:
+        return True
+    worst_poor = max(data[n][1] for n in names)
+    median_rest = sorted(data[n][1] for n in others)[len(others) // 2]
+    return worst_poor < median_rest
+
+
+def _zero_constant_rows(session, cache):
+    data = _tab4(session, cache)
+    return all(data[n]["ppc/Simple"] < 0.10
+               for n in ("quick", "tomcatv") if n in data)
+
+
+def _all_gms_positive(session, cache):
+    data = _fig6(session, cache)
+    return all(geometric_mean(rows.values()) > 0.97
+               for machine in data.values() for rows in machine.values())
+
+
+def _grep_gawk_standouts(session, cache):
+    data = _fig6(session, cache)
+    simple = data["620"]["Simple"]
+    ranked = sorted(simple, key=simple.get, reverse=True)
+    return bool({"grep", "gawk"} & set(ranked[:3]))
+
+
+def _perfect_bounds_simple(session, cache):
+    data = _fig6(session, cache)["620"]
+    return geometric_mean(data["Perfect"].values()) >= \
+        geometric_mean(data["Simple"].values()) - 0.005
+
+
+def _620_plus_amplifies(session, cache):
+    tab6 = _tab6(session, cache)
+    fig6 = _fig6(session, cache)
+    gm_plus = tab6["GM"]["Limit"]
+    gm_base = geometric_mean(fig6["620"]["Limit"].values())
+    return gm_plus >= gm_base * 0.97
+
+
+def _lvp_reduces_bandwidth(session, cache):
+    from repro.lvp.config import CONSTANT
+    for name in session.benchmark_names:
+        base = session.ppc_result(name, PPC620, None)
+        lvp = session.ppc_result(name, PPC620, CONSTANT)
+        if lvp.l1_stats.accesses > base.l1_stats.accesses:
+            return False
+    return True
+
+
+def _banking_worse_on_620_plus(session, cache):
+    base = plus = 0.0
+    for name in session.benchmark_names:
+        base += session.ppc_result(name, PPC620, None).bank_conflict_cycles
+        plus += session.ppc_result(
+            name, PPC620_PLUS, None).bank_conflict_cycles
+    return plus >= base
+
+
+EXPECTATIONS: tuple[Expectation, ...] = (
+    Expectation("fig1", "deeper value history never hurts "
+                        "(depth-16 locality >= depth-1, everywhere)",
+                _depth16_dominates),
+    Expectation("fig1", "cjpeg, swm256, and tomcatv are the poor-locality "
+                        "benchmarks", _poor_three_are_poor),
+    Expectation("tab4", "quick and tomcatv show (near-)zero constant "
+                        "loads", _zero_constant_rows),
+    Expectation("fig6", "every LVP configuration is a net win on both "
+                        "machines (GM)", _all_gms_positive),
+    Expectation("fig6", "grep and gawk are the dramatic outliers",
+                _grep_gawk_standouts),
+    Expectation("fig6", "the Perfect oracle bounds Simple on the 620 (GM)",
+                _perfect_bounds_simple),
+    Expectation("tab6", "the wider 620+ amplifies (or at least matches) "
+                        "LVP's relative gains", _620_plus_amplifies),
+    Expectation("s3.3", "LVP reduces, never increases, L1 bandwidth",
+                _lvp_reduces_bandwidth),
+    Expectation("fig9", "the 620+'s extra load port aggravates bank "
+                        "conflicts", _banking_worse_on_620_plus),
+)
+
+
+def check_all(session: "Session") -> list[CheckResult]:
+    """Evaluate every expectation against *session*."""
+    cache: dict = {}
+    results = []
+    for expectation in EXPECTATIONS:
+        try:
+            passed = bool(expectation.check(session, cache))
+            detail = ""
+        except Exception as exc:  # pragma: no cover - defensive
+            passed = False
+            detail = f"error: {exc}"
+        results.append(CheckResult(expectation, passed, detail))
+    return results
+
+
+def render_check_report(results: list[CheckResult]) -> str:
+    """Human-readable pass/fail report."""
+    lines = ["Paper-shape check", "================="]
+    for result in results:
+        mark = "PASS" if result.passed else "FAIL"
+        lines.append(f"[{mark}] ({result.expectation.exhibit}) "
+                     f"{result.expectation.claim}"
+                     + (f" -- {result.detail}" if result.detail else ""))
+    passed = sum(1 for r in results if r.passed)
+    lines.append(f"{passed}/{len(results)} claims hold")
+    return "\n".join(lines)

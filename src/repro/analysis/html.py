@@ -1,0 +1,111 @@
+"""Single-file HTML report of every reproduced exhibit.
+
+``build_html_report(session)`` renders all registered experiments into
+one dependency-free HTML document: each table as an HTML table, each
+figure's headline series as inline CSS bar charts.  Exposed as
+``python -m repro report --output report.html``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.session import Session
+
+_STYLE = """
+body { font-family: Georgia, serif; max-width: 72rem; margin: 2rem auto;
+       color: #1a1a1a; padding: 0 1rem; }
+h1 { border-bottom: 3px double #888; padding-bottom: .4rem; }
+h2 { margin-top: 2.2rem; border-bottom: 1px solid #ccc; }
+pre { background: #f7f7f4; border: 1px solid #ddd; padding: .8rem;
+      overflow-x: auto; font-size: .82rem; line-height: 1.35; }
+.bar-row { display: flex; align-items: center; margin: 2px 0;
+           font: .78rem/1.3 monospace; }
+.bar-label { width: 8rem; text-align: right; padding-right: .6rem; }
+.bar-track { flex: 1; background: #eee; height: 14px; }
+.bar-fill { background: #3b6ea5; height: 14px; }
+.bar-fill.alt { background: #a55f3b; }
+.bar-value { padding-left: .5rem; width: 4.5rem; }
+.meta { color: #666; font-size: .85rem; }
+"""
+
+
+def _bar(label: str, fraction: float, text: str, alt: bool = False) -> str:
+    width = max(0.0, min(1.0, fraction)) * 100.0
+    css = "bar-fill alt" if alt else "bar-fill"
+    return (
+        '<div class="bar-row">'
+        f'<span class="bar-label">{_html.escape(label)}</span>'
+        f'<span class="bar-track"><span class="{css}" '
+        f'style="width:{width:.1f}%"></span></span>'
+        f'<span class="bar-value">{_html.escape(text)}</span>'
+        "</div>"
+    )
+
+
+def _bars_fig1(data: dict) -> str:
+    """Bar chart for Figure 1 (PowerPC, depth 1 and 16 per benchmark)."""
+    rows = []
+    for name, (d1, d16) in data.get("ppc", {}).items():
+        rows.append(_bar(name, d1 / 100.0, f"{d1:.1f}%"))
+        rows.append(_bar("depth 16", d16 / 100.0, f"{d16:.1f}%", alt=True))
+    return "\n".join(rows)
+
+
+def _bars_fig6(data: dict) -> str:
+    """Bar chart for Figure 6 (620 Simple and Perfect speedups)."""
+    rows = []
+    simple = data.get("620", {}).get("Simple", {})
+    perfect = data.get("620", {}).get("Perfect", {})
+    for name in simple:
+        # Scale: 1.0x at the origin, 1.5x at full width.
+        rows.append(_bar(name, (simple[name] - 1.0) / 0.5,
+                         f"{simple[name]:.3f}"))
+        if name in perfect:
+            rows.append(_bar("perfect", (perfect[name] - 1.0) / 0.5,
+                             f"{perfect[name]:.3f}", alt=True))
+    return "\n".join(rows)
+
+
+_CHART_BUILDERS = {"fig1": _bars_fig1, "fig6": _bars_fig6}
+
+
+def build_html_report(session: "Session",
+                      exhibits: Optional[Iterable[str]] = None) -> str:
+    """Render the selected exhibits (default: all) as one HTML page."""
+    from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+    exhibit_ids = list(exhibits) if exhibits else list(EXPERIMENTS)
+    sections = []
+    for exp_id in exhibit_ids:
+        result = run_experiment(exp_id, session)
+        chart = ""
+        builder = _CHART_BUILDERS.get(exp_id)
+        if builder:
+            chart = builder(result.data)
+        sections.append(
+            f"<h2 id='{exp_id}'>{_html.escape(result.title)} "
+            f"<span class='meta'>({exp_id})</span></h2>\n"
+            + (f"<div>{chart}</div>\n" if chart else "")
+            + f"<pre>{_html.escape(result.text)}</pre>"
+        )
+
+    toc = " · ".join(
+        f"<a href='#{exp_id}'>{exp_id}</a>" for exp_id in exhibit_ids
+    )
+    benchmarks = ", ".join(session.benchmark_names)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        "<title>Value Locality and Load Value Prediction — "
+        "reproduction report</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        "<h1>Value Locality and Load Value Prediction</h1>"
+        "<p class='meta'>Reproduction of Lipasti, Wilkerson &amp; Shen, "
+        f"ASPLOS 1996 — scale <b>{_html.escape(session.scale)}</b>, "
+        f"benchmarks: {_html.escape(benchmarks)}</p>"
+        f"<p class='meta'>{toc}</p>"
+        + "\n".join(sections)
+        + "</body></html>"
+    )

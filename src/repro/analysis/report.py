@@ -1,0 +1,92 @@
+"""Text rendering of tables and figure series.
+
+Every experiment renders to plain text that mirrors the corresponding
+paper exhibit: tables print the same rows/columns, figures print their
+data series (one row per benchmark/bucket).  Rendering is deliberately
+dependency-free ASCII so benchmark harness output is diffable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for speedups)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string."""
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def format_speedup(ratio: float) -> str:
+    """Render a speedup ratio the way the paper's Table 6 does."""
+    return f"{ratio:.3f}"
+
+
+class TextTable:
+    """A fixed-column ASCII table builder."""
+
+    def __init__(self, headers: Sequence[str],
+                 title: Optional[str] = None) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+        self._separators: set[int] = set()
+
+    def add_row(self, cells: Sequence) -> None:
+        """Append one row (cells are str()-ed)."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    def add_separator(self) -> None:
+        """Insert a horizontal rule before the next row."""
+        self._separators.add(len(self.rows))
+
+    def render(self) -> str:
+        """Render the table to a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(cells)
+            )
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt(self.headers))
+        lines.append(rule)
+        for index, row in enumerate(self.rows):
+            if index in self._separators:
+                lines.append(rule)
+            lines.append(fmt(row))
+        return "\n".join(lines)
+
+
+def render_series(title: str, labels: Sequence[str],
+                  series: dict[str, Sequence[float]],
+                  formatter=format_percent) -> str:
+    """Render a figure's data series as a labelled table."""
+    table = TextTable(["benchmark"] + list(series), title=title)
+    for i, label in enumerate(labels):
+        table.add_row([label] + [formatter(series[s][i]) for s in series])
+    return table.render()

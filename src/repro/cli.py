@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``suite``
+    List the 17 benchmarks with their Table-1 metadata.
+``run BENCH``
+    Build, execute, and verify one benchmark; print trace statistics.
+``locality BENCH``
+    Measure value locality (Figure 1 style) for one benchmark.
+``annotate BENCH``
+    Run an LVP configuration over a benchmark and print its outcome mix.
+``speedup BENCH``
+    Cycle-model speedups for one benchmark on the 620/620+/21164.
+``experiment ID``
+    Regenerate a paper exhibit (``fig1`` ... ``tab6``), or ``all``.
+``check``
+    Evaluate every paper-shape claim against a fresh session.
+``report``
+    Write a single-file HTML report of all exhibits.
+``disasm BENCH``
+    Disassemble a benchmark's program text.
+``trace BENCH``
+    Dump a window of a benchmark's dynamic trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.session import Session
+from repro.isa.disasm import disassemble
+from repro.lvp.config import (
+    EXTENSION_CONFIGS,
+    PAPER_CONFIGS,
+    config_by_name,
+)
+from repro.lvp.general import measure_general_value_locality
+from repro.lvp.locality import measure_value_locality
+from repro.lvp.unit import LoadOutcome
+from repro.sim.functional import run_program
+from repro.trace.annotate import annotate_trace
+from repro.trace.stats import compute_stats
+from repro.uarch.ppc620.config import PPC620, PPC620_PLUS
+from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser,
+                benchmark: bool = True) -> None:
+    if benchmark:
+        parser.add_argument("bench", help="benchmark name (see 'suite')")
+    parser.add_argument("--target", default="ppc",
+                        choices=("ppc", "alpha"),
+                        help="codegen target (default: ppc)")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "reference"),
+                        help="input scale (default: small)")
+
+
+def _traced(args):
+    bench = get_benchmark(args.bench)
+    program = bench.build_program(args.target, args.scale)
+    result = run_program(program, name=bench.name, target=args.target)
+    bench.verify(program, result, args.scale)
+    return bench, program, result
+
+
+def cmd_suite(args) -> int:
+    print(f"{'name':10s} {'cat':4s} {'description':52s} input")
+    for bench in BENCHMARKS:
+        print(f"{bench.name:10s} {bench.category:4s} "
+              f"{bench.description:52s} {bench.input_description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    bench, _, result = _traced(args)
+    stats = compute_stats(result.trace)
+    print(f"{bench.name} ({args.target}, {args.scale}): verified OK")
+    print(f"  instructions : {stats.instructions:,}")
+    print(f"  loads        : {stats.loads:,} "
+          f"({stats.load_fraction:.1%}; {stats.static_loads} static)")
+    print(f"  stores       : {stats.stores:,}")
+    print(f"  branches     : {stats.branches:,}")
+    return 0
+
+
+def cmd_locality(args) -> int:
+    _, _, result = _traced(args)
+    trace = result.trace
+    for depth in args.depths:
+        measured = measure_value_locality(trace, depth=depth)
+        print(f"  depth {depth:>2}: {measured.percent:5.1f}% "
+              f"({measured.hits:,}/{measured.total_loads:,} loads)")
+    if args.general:
+        general = measure_general_value_locality(trace, depth=1)
+        print(f"  general (all instructions, depth 1): "
+              f"{100 * general.overall.locality:5.1f}%")
+    return 0
+
+
+def cmd_annotate(args) -> int:
+    _, _, result = _traced(args)
+    config = config_by_name(args.config)
+    annotated = annotate_trace(result.trace, config)
+    stats = annotated.stats
+    print(f"LVP config {config.name}: {stats.loads:,} loads")
+    for outcome in LoadOutcome:
+        share = stats.outcomes[outcome] / max(1, stats.loads)
+        print(f"  {outcome.name.lower():>14}: "
+              f"{stats.outcomes[outcome]:8,}  ({share:6.1%})")
+    print(f"  prediction accuracy: {stats.prediction_accuracy:.1%}")
+    return 0
+
+
+def cmd_speedup(args) -> int:
+    session = Session(scale=args.scale, benchmarks=(args.bench,))
+    config = config_by_name(args.config)
+    for machine in (PPC620, PPC620_PLUS):
+        speedup = session.ppc_speedup(args.bench, machine, config)
+        base = session.ppc_result(args.bench, machine, None)
+        print(f"  {machine.name:6s}: {speedup:.3f}x "
+              f"(base {base.cycles:,} cycles, IPC {base.ipc:.2f})")
+    speedup = session.alpha_speedup(args.bench, config)
+    base = session.alpha_result(args.bench, None)
+    print(f"  21164 : {speedup:.3f}x "
+          f"(base {base.cycles:,} cycles, IPC {base.ipc:.2f})")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    session = Session(scale=args.scale, benchmarks=names)
+    exhibits = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    for exp_id in exhibits:
+        print(run_experiment(exp_id, session).text)
+        print()
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.analysis.expectations import check_all, render_check_report
+    names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    session = Session(scale=args.scale, benchmarks=names)
+    results = check_all(session)
+    print(render_check_report(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.html import build_html_report
+    names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    session = Session(scale=args.scale, benchmarks=names)
+    document = build_html_report(session)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"wrote {args.output} ({len(document):,} bytes)")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    bench = get_benchmark(args.bench)
+    program = bench.build_program(args.target, args.scale)
+    print(disassemble(program, start=args.start, count=args.count))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.trace.dump import dump_trace
+    _, _, result = _traced(args)
+    print(dump_trace(result.trace, start=args.start, count=args.count,
+                     loads_only=args.loads_only))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Value Locality and Load Value "
+                    "Prediction' (ASPLOS 1996)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("suite", help="list the benchmark suite") \
+        .set_defaults(func=cmd_suite)
+
+    run_parser = commands.add_parser("run", help="run and verify")
+    _add_common(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    locality_parser = commands.add_parser(
+        "locality", help="measure value locality")
+    _add_common(locality_parser)
+    locality_parser.add_argument("--depths", type=int, nargs="+",
+                                 default=[1, 16])
+    locality_parser.add_argument("--general", action="store_true",
+                                 help="also measure all-instruction "
+                                      "value locality")
+    locality_parser.set_defaults(func=cmd_locality)
+
+    annotate_parser = commands.add_parser(
+        "annotate", help="LVP outcome mix for one benchmark")
+    _add_common(annotate_parser)
+    annotate_parser.add_argument(
+        "--config", default="Simple",
+        help="LVP configuration name (%s)" % ", ".join(
+            c.name for c in PAPER_CONFIGS + EXTENSION_CONFIGS))
+    annotate_parser.set_defaults(func=cmd_annotate)
+
+    speedup_parser = commands.add_parser(
+        "speedup", help="cycle-model speedups on all three machines")
+    speedup_parser.add_argument("bench")
+    speedup_parser.add_argument("--scale", default="small",
+                                choices=("tiny", "small", "reference"))
+    speedup_parser.add_argument("--config", default="Simple")
+    speedup_parser.set_defaults(func=cmd_speedup)
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="regenerate a paper exhibit")
+    experiment_parser.add_argument(
+        "id", choices=sorted(EXPERIMENTS) + ["all"])
+    experiment_parser.add_argument("--scale", default="small",
+                                   choices=("tiny", "small", "reference"))
+    experiment_parser.add_argument("--benchmarks", default=None,
+                                   help="comma-separated subset")
+    experiment_parser.set_defaults(func=cmd_experiment)
+
+    check_parser = commands.add_parser(
+        "check", help="evaluate the paper-shape claims")
+    check_parser.add_argument("--scale", default="small",
+                              choices=("tiny", "small", "reference"))
+    check_parser.add_argument("--benchmarks", default=None,
+                              help="comma-separated subset")
+    check_parser.set_defaults(func=cmd_check)
+
+    report_parser = commands.add_parser(
+        "report", help="write an HTML report of all exhibits")
+    report_parser.add_argument("--output", default="report.html")
+    report_parser.add_argument("--scale", default="small",
+                               choices=("tiny", "small", "reference"))
+    report_parser.add_argument("--benchmarks", default=None,
+                               help="comma-separated subset")
+    report_parser.set_defaults(func=cmd_report)
+
+    disasm_parser = commands.add_parser(
+        "disasm", help="disassemble a benchmark program")
+    _add_common(disasm_parser)
+    disasm_parser.add_argument("--start", type=int, default=0)
+    disasm_parser.add_argument("--count", type=int, default=40)
+    disasm_parser.set_defaults(func=cmd_disasm)
+
+    trace_parser = commands.add_parser(
+        "trace", help="dump a window of a dynamic trace")
+    _add_common(trace_parser)
+    trace_parser.add_argument("--start", type=int, default=0)
+    trace_parser.add_argument("--count", type=int, default=40)
+    trace_parser.add_argument("--loads-only", action="store_true")
+    trace_parser.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad operand, unknown opcode...)."""
+
+
+class LinkError(ReproError):
+    """Symbol resolution failed while finalizing a program."""
+
+
+class ExecutionError(ReproError):
+    """The functional simulator hit an illegal state (bad address, ...)."""
+
+
+class ExecutionLimitExceeded(ExecutionError):
+    """The functional simulator exceeded its instruction budget.
+
+    Raised instead of looping forever when a workload fails to halt.
+    """
+
+
+class ConfigError(ReproError):
+    """An LVP-unit or machine configuration is invalid."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or inconsistent with what a consumer expects."""

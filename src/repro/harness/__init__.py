@@ -1,0 +1,12 @@
+"""Experiment harness: memoized sessions and the exhibit registry."""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.harness.cache import TraceCache
+from repro.harness.session import Session
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment",
+           "Session", "TraceCache"]

@@ -1,0 +1,65 @@
+"""On-disk trace cache.
+
+Trace generation (functional simulation) dominates harness start-up
+time.  A :class:`TraceCache` persists traces as ``.npz`` column bundles
+keyed by (benchmark, target, scale) and stamped with the library
+version: bump ``repro.__version__`` (or delete the directory) whenever
+workload definitions change and stale traces invalidate themselves.
+
+Enable it by passing ``cache_dir`` to :class:`repro.harness.Session`
+or by setting the ``REPRO_TRACE_CACHE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional
+
+import numpy as np
+
+from repro.trace.records import TRACE_COLUMNS, Trace
+
+
+class TraceCache:
+    """Load/store traces under a directory, versioned by the library."""
+
+    def __init__(self, directory) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        from repro import __version__
+        self.version = __version__
+
+    def _path(self, name: str, target: str, scale: str) -> pathlib.Path:
+        safe = name.replace("/", "_")
+        return self.directory / f"{safe}-{target}-{scale}.npz"
+
+    def load(self, name: str, target: str,
+             scale: str) -> Optional[Trace]:
+        """Return the cached trace, or None on miss/version mismatch."""
+        path = self._path(name, target, scale)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as bundle:
+                if str(bundle["version"]) != self.version:
+                    return None
+                columns = {key: bundle[key] for key, _ in TRACE_COLUMNS}
+        except (OSError, KeyError, ValueError):
+            return None
+        return Trace(columns, name=name, target=target)
+
+    def store(self, trace: Trace, scale: str) -> None:
+        """Persist *trace* (atomically: write then rename)."""
+        path = self._path(trace.name, trace.target, scale)
+        temporary = path.with_suffix(".tmp.npz")
+        arrays = {key: getattr(trace, key) for key, _ in TRACE_COLUMNS}
+        np.savez_compressed(temporary, version=self.version, **arrays)
+        temporary.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cached trace; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,463 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each ``run_*`` function reproduces one exhibit of the paper's
+evaluation and returns an :class:`ExperimentResult` whose ``data``
+holds the raw numbers and whose ``text`` prints the same rows/series
+the paper reports.  ``EXPERIMENTS`` maps exhibit ids (``fig1``,
+``tab3``, ...) to their runners; ``run_experiment`` dispatches by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa.opcodes import ValueKind
+from repro.lvp.config import CONSTANT, LIMIT, PERFECT, SIMPLE
+from repro.lvp.locality import measure_locality_by_kind, measure_value_locality
+from repro.analysis.reference import render_table2, render_table5
+from repro.analysis.report import (
+    TextTable,
+    format_percent,
+    format_speedup,
+    geometric_mean,
+)
+from repro.harness.session import Session
+from repro.trace.stats import compute_stats
+from repro.uarch.ppc620.config import PPC620, PPC620_PLUS
+from repro.uarch.ppc620.model import FU_NAMES, VERIFY_BUCKETS
+from repro.workloads.suite import get_benchmark
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced exhibit: id, title, raw data, rendered text."""
+
+    exp_id: str
+    title: str
+    data: dict
+    text: str
+
+
+# ---------------------------------------------------------------------------
+# Table 1: benchmark descriptions and dynamic instruction counts.
+# ---------------------------------------------------------------------------
+def run_tab1(session: Session) -> ExperimentResult:
+    """Reproduce Table 1 (benchmark suite summary)."""
+    table = TextTable(
+        ["benchmark", "description", "instrs (PPC)", "instrs (Alpha)",
+         "paper PPC", "paper Alpha"],
+        title="Table 1: Benchmark Descriptions",
+    )
+    data = {}
+    for name in session.benchmark_names:
+        bench = get_benchmark(name)
+        stats_p = compute_stats(session.trace(name, "ppc"))
+        stats_a = compute_stats(session.trace(name, "alpha"))
+        data[name] = {
+            "ppc_instructions": stats_p.instructions,
+            "alpha_instructions": stats_a.instructions,
+            "ppc_loads": stats_p.loads,
+            "alpha_loads": stats_a.loads,
+        }
+        table.add_row([
+            name, bench.description, stats_p.instructions,
+            stats_a.instructions,
+            bench.paper_instructions.get("ppc", "-"),
+            bench.paper_instructions.get("alpha", "-"),
+        ])
+    return ExperimentResult("tab1", "Benchmark Descriptions", data,
+                            table.render())
+
+
+# ---------------------------------------------------------------------------
+# Tables 2 and 5: configuration tables (no simulation; rendered from the
+# live configuration objects so they cannot drift from the code).
+# ---------------------------------------------------------------------------
+def run_tab2(session: Session) -> ExperimentResult:
+    """Reproduce Table 2 (LVP unit configurations)."""
+    text = render_table2()
+    return ExperimentResult("tab2", "LVP Unit Configurations",
+                            {"text": text}, text)
+
+
+def run_tab5(session: Session) -> ExperimentResult:
+    """Reproduce Table 5 (instruction latencies)."""
+    text = render_table5()
+    return ExperimentResult("tab5", "Instruction Latencies",
+                            {"text": text}, text)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: load value locality per benchmark, depth 1 and 16.
+# ---------------------------------------------------------------------------
+def run_fig1(session: Session) -> ExperimentResult:
+    """Reproduce Figure 1 (value locality, Alpha and PowerPC)."""
+    data: dict = {"alpha": {}, "ppc": {}}
+    for target in ("alpha", "ppc"):
+        for name in session.benchmark_names:
+            trace = session.trace(name, target)
+            data[target][name] = (
+                measure_value_locality(trace, depth=1).percent,
+                measure_value_locality(trace, depth=16).percent,
+            )
+    lines = []
+    for target, label in (("alpha", "Alpha AXP"), ("ppc", "PowerPC")):
+        table = TextTable(["benchmark", "depth 1", "depth 16"],
+                          title=f"Figure 1: Load Value Locality ({label})")
+        for name in session.benchmark_names:
+            d1, d16 = data[target][name]
+            table.add_row([name, f"{d1:.1f}%", f"{d16:.1f}%"])
+        lines.append(table.render())
+    return ExperimentResult("fig1", "Load Value Locality", data,
+                            "\n\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: PowerPC value locality by data type.
+# ---------------------------------------------------------------------------
+_KIND_LABELS = {
+    ValueKind.FP_DATA: "FP Data",
+    ValueKind.INT_DATA: "Integer Data",
+    ValueKind.INSTR_ADDR: "Instruction Addresses",
+    ValueKind.DATA_ADDR: "Data Addresses",
+}
+
+
+def run_fig2(session: Session) -> ExperimentResult:
+    """Reproduce Figure 2 (PowerPC value locality by data type)."""
+    data: dict = {kind.name: {} for kind in ValueKind}
+    for name in session.benchmark_names:
+        trace = session.trace(name, "ppc")
+        by_kind_1 = measure_locality_by_kind(trace, depth=1)
+        by_kind_16 = measure_locality_by_kind(trace, depth=16)
+        for kind in ValueKind:
+            r1, r16 = by_kind_1[kind], by_kind_16[kind]
+            data[kind.name][name] = (
+                r1.percent, r16.percent, r1.total_loads,
+            )
+    lines = []
+    for kind in (ValueKind.FP_DATA, ValueKind.INT_DATA,
+                 ValueKind.INSTR_ADDR, ValueKind.DATA_ADDR):
+        table = TextTable(
+            ["benchmark", "depth 1", "depth 16", "loads"],
+            title=f"Figure 2: PowerPC Value Locality - {_KIND_LABELS[kind]}",
+        )
+        for name in session.benchmark_names:
+            d1, d16, loads = data[kind.name][name]
+            table.add_row([
+                name,
+                f"{d1:.1f}%" if loads else "-",
+                f"{d16:.1f}%" if loads else "-",
+                loads,
+            ])
+        lines.append(table.render())
+    return ExperimentResult("fig2", "Value Locality by Data Type", data,
+                            "\n\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Table 3: LCT hit rates.
+# ---------------------------------------------------------------------------
+def run_tab3(session: Session) -> ExperimentResult:
+    """Reproduce Table 3 (LCT classification hit rates)."""
+    combos = (
+        ("ppc", SIMPLE), ("ppc", LIMIT), ("alpha", SIMPLE), ("alpha", LIMIT),
+    )
+    data: dict = {}
+    table = TextTable(
+        ["benchmark",
+         "PPC/S unpred", "PPC/S pred", "PPC/L unpred", "PPC/L pred",
+         "AXP/S unpred", "AXP/S pred", "AXP/L unpred", "AXP/L pred"],
+        title="Table 3: LCT Hit Rates",
+    )
+    per_column: dict = {combo: ([], []) for combo in combos}
+    for name in session.benchmark_names:
+        row = [name]
+        data[name] = {}
+        for target, config in combos:
+            stats = session.annotated(name, target, config).stats
+            unpred = stats.unpredictable_identified
+            pred = stats.predictable_identified
+            data[name][f"{target}/{config.name}"] = (unpred, pred)
+            per_column[(target, config)][0].append(unpred)
+            per_column[(target, config)][1].append(pred)
+            row.extend([format_percent(unpred, 0), format_percent(pred, 0)])
+        table.add_row(row)
+    table.add_separator()
+    gm_row = ["GM"]
+    for combo in combos:
+        unpreds, preds = per_column[combo]
+        gm_row.extend([
+            format_percent(geometric_mean(unpreds), 0),
+            format_percent(geometric_mean(preds), 0),
+        ])
+    table.add_row(gm_row)
+    return ExperimentResult("tab3", "LCT Hit Rates", data, table.render())
+
+
+# ---------------------------------------------------------------------------
+# Table 4: constant identification rates.
+# ---------------------------------------------------------------------------
+def run_tab4(session: Session) -> ExperimentResult:
+    """Reproduce Table 4 (constant loads as a share of dynamic loads)."""
+    combos = (
+        ("ppc", SIMPLE), ("ppc", CONSTANT),
+        ("alpha", SIMPLE), ("alpha", CONSTANT),
+    )
+    data: dict = {}
+    table = TextTable(
+        ["benchmark", "PPC Simple", "PPC Constant",
+         "AXP Simple", "AXP Constant"],
+        title="Table 4: Successful Constant Identification Rates",
+    )
+    for name in session.benchmark_names:
+        row = [name]
+        data[name] = {}
+        for target, config in combos:
+            stats = session.annotated(name, target, config).stats
+            fraction = stats.constant_fraction
+            data[name][f"{target}/{config.name}"] = fraction
+            row.append(format_percent(fraction, 0))
+        table.add_row(row)
+    return ExperimentResult("tab4", "Constant Identification Rates", data,
+                            table.render())
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: base machine model speedups.
+# ---------------------------------------------------------------------------
+def run_fig6(session: Session) -> ExperimentResult:
+    """Reproduce Figure 6 (speedups on the base 620 and 21164)."""
+    ppc_configs = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+    alpha_configs = (SIMPLE, LIMIT, PERFECT)
+    data: dict = {"620": {}, "21164": {}}
+    for config in ppc_configs:
+        data["620"][config.name] = {
+            name: session.ppc_speedup(name, PPC620, config)
+            for name in session.benchmark_names
+        }
+    for config in alpha_configs:
+        data["21164"][config.name] = {
+            name: session.alpha_speedup(name, config)
+            for name in session.benchmark_names
+        }
+    lines = []
+    for machine, configs in (("21164", alpha_configs),
+                             ("620", ppc_configs)):
+        label = ("Alpha AXP 21164" if machine == "21164"
+                 else "PowerPC 620")
+        table = TextTable(
+            ["benchmark"] + [c.name for c in configs],
+            title=f"Figure 6: Base Machine Model Speedups ({label})",
+        )
+        for name in session.benchmark_names:
+            table.add_row([name] + [
+                format_speedup(data[machine][c.name][name]) for c in configs
+            ])
+        table.add_separator()
+        table.add_row(["GM"] + [
+            format_speedup(geometric_mean(data[machine][c.name].values()))
+            for c in configs
+        ])
+        lines.append(table.render())
+    return ExperimentResult("fig6", "Base Machine Model Speedups", data,
+                            "\n\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Table 6: 620+ speedups.
+# ---------------------------------------------------------------------------
+def run_tab6(session: Session) -> ExperimentResult:
+    """Reproduce Table 6 (620+ and additional LVP speedups)."""
+    configs = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+    data: dict = {}
+    table = TextTable(
+        ["benchmark", "instructions", "620+",
+         "Simple", "Constant", "Limit", "Perfect"],
+        title="Table 6: PowerPC 620+ Speedups",
+    )
+    columns: dict = {key: [] for key in ("620+",) + tuple(
+        c.name for c in configs)}
+    for name in session.benchmark_names:
+        base_620 = session.ppc_result(name, PPC620, None)
+        base_plus = session.ppc_result(name, PPC620_PLUS, None)
+        plus_speedup = base_620.cycles / base_plus.cycles
+        data[name] = {"620+": plus_speedup,
+                      "instructions": base_620.instructions}
+        columns["620+"].append(plus_speedup)
+        row = [name, base_620.instructions, format_speedup(plus_speedup)]
+        for config in configs:
+            speedup = session.ppc_speedup(name, PPC620_PLUS, config)
+            data[name][config.name] = speedup
+            columns[config.name].append(speedup)
+            row.append(format_speedup(speedup))
+        table.add_row(row)
+    table.add_separator()
+    table.add_row(["GM", ""] + [
+        format_speedup(geometric_mean(columns[key]))
+        for key in ("620+", "Simple", "Constant", "Limit", "Perfect")
+    ])
+    data["GM"] = {key: geometric_mean(columns[key]) for key in columns}
+    return ExperimentResult("tab6", "PowerPC 620+ Speedups", data,
+                            table.render())
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: load verification latency distribution.
+# ---------------------------------------------------------------------------
+def run_fig7(session: Session) -> ExperimentResult:
+    """Reproduce Figure 7 (verification-latency distributions)."""
+    configs = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+    data: dict = {}
+    lines = []
+    for machine in (PPC620, PPC620_PLUS):
+        data[machine.name] = {}
+        table = TextTable(
+            ["latency"] + [c.name for c in configs],
+            title=f"Figure 7: Load Verification Latency ({machine.name})",
+        )
+        histograms = {}
+        for config in configs:
+            total_hist = {bucket: 0 for bucket in VERIFY_BUCKETS}
+            for name in session.benchmark_names:
+                result = session.ppc_result(name, machine, config)
+                for bucket, count in result.verify_histogram.items():
+                    total_hist[bucket] += count
+            total = sum(total_hist.values()) or 1
+            histograms[config.name] = {
+                bucket: count / total for bucket, count in total_hist.items()
+            }
+        data[machine.name] = histograms
+        for bucket in VERIFY_BUCKETS:
+            table.add_row([bucket] + [
+                format_percent(histograms[c.name][bucket])
+                for c in configs
+            ])
+        lines.append(table.render())
+    return ExperimentResult("fig7", "Load Verification Latency Distribution",
+                            data, "\n\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: data dependency resolution latencies.
+# ---------------------------------------------------------------------------
+def run_fig8(session: Session) -> ExperimentResult:
+    """Reproduce Figure 8 (average RS operand-wait time by FU type,
+    normalized to the no-LVP baseline)."""
+    configs = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+    data: dict = {}
+    lines = []
+    for machine in (PPC620, PPC620_PLUS):
+        per_fu_base = {fu: [0, 0] for fu in FU_NAMES}
+        for name in session.benchmark_names:
+            result = session.ppc_result(name, machine, None)
+            for fu in FU_NAMES:
+                total, count = result.fu_wait[fu]
+                per_fu_base[fu][0] += total
+                per_fu_base[fu][1] += count
+        baseline = {
+            fu: (sums[0] / sums[1] if sums[1] else 0.0)
+            for fu, sums in per_fu_base.items()
+        }
+        normalized: dict = {}
+        for config in configs:
+            per_fu = {fu: [0, 0] for fu in FU_NAMES}
+            for name in session.benchmark_names:
+                result = session.ppc_result(name, machine, config)
+                for fu in FU_NAMES:
+                    total, count = result.fu_wait[fu]
+                    per_fu[fu][0] += total
+                    per_fu[fu][1] += count
+            normalized[config.name] = {
+                fu: ((sums[0] / sums[1]) / baseline[fu]
+                     if sums[1] and baseline[fu] else 1.0)
+                for fu, sums in per_fu.items()
+            }
+        data[machine.name] = {"baseline": baseline, **normalized}
+        table = TextTable(
+            ["FU type", "base (cycles)"] + [c.name for c in configs],
+            title=("Figure 8: Normalized RS Operand Wait Time "
+                   f"({machine.name})"),
+        )
+        for fu in FU_NAMES:
+            table.add_row(
+                [fu, f"{baseline[fu]:.2f}"]
+                + [format_percent(normalized[c.name][fu], 0)
+                   for c in configs]
+            )
+        lines.append(table.render())
+    return ExperimentResult("fig8", "Data Dependency Resolution Latencies",
+                            data, "\n\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: bank conflicts.
+# ---------------------------------------------------------------------------
+def run_fig9(session: Session) -> ExperimentResult:
+    """Reproduce Figure 9 (fraction of cycles with bank conflicts)."""
+    variants = (("base", None), ("Simple", SIMPLE), ("Constant", CONSTANT))
+    data: dict = {}
+    lines = []
+    for machine in (PPC620, PPC620_PLUS):
+        data[machine.name] = {}
+        table = TextTable(
+            ["benchmark"] + [label for label, _ in variants],
+            title=f"Figure 9: Cycles with Bank Conflicts ({machine.name})",
+        )
+        fractions: dict = {label: {} for label, _ in variants}
+        for name in session.benchmark_names:
+            row = [name]
+            for label, config in variants:
+                result = session.ppc_result(name, machine, config)
+                fraction = result.bank_conflict_cycle_fraction
+                fractions[label][name] = fraction
+                row.append(format_percent(fraction, 2))
+            table.add_row(row)
+        data[machine.name] = fractions
+        # Aggregate (conflict cycles over all cycles, as the paper's
+        # "overall" numbers).
+        table.add_separator()
+        agg_row = ["ALL"]
+        for label, config in variants:
+            conflict = sum(
+                session.ppc_result(n, machine, config).bank_conflict_cycles
+                for n in session.benchmark_names)
+            cycles = sum(
+                session.ppc_result(n, machine, config).cycles
+                for n in session.benchmark_names)
+            data[machine.name].setdefault("ALL", {})[label] = \
+                conflict / cycles if cycles else 0.0
+            agg_row.append(format_percent(conflict / cycles, 2))
+        table.add_row(agg_row)
+        lines.append(table.render())
+    return ExperimentResult("fig9", "Bank Conflict Cycles", data,
+                            "\n\n".join(lines))
+
+
+#: Exhibit id -> runner.
+EXPERIMENTS: dict[str, Callable[[Session], ExperimentResult]] = {
+    "tab1": run_tab1,
+    "tab2": run_tab2,
+    "tab5": run_tab5,
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "tab3": run_tab3,
+    "tab4": run_tab4,
+    "fig6": run_fig6,
+    "tab6": run_tab6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+}
+
+
+def run_experiment(exp_id: str, session: Session) -> ExperimentResult:
+    """Run one exhibit by id (``fig1``, ``tab3``, ...)."""
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(session)

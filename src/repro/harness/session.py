@@ -1,0 +1,132 @@
+"""Experiment session: memoized traces, annotations, and model runs.
+
+Every paper exhibit draws on the same underlying runs (trace a
+benchmark, annotate it with an LVP configuration, schedule it on a
+machine model).  A :class:`Session` memoizes each stage so that, e.g.,
+Figure 7's verification-latency histograms reuse the exact runs that
+produced Figure 6's speedups -- just as the paper's numbers all come
+from one set of simulations.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.harness.cache import TraceCache
+from repro.lvp.config import LVPConfig, SIMPLE
+from repro.sim.functional import run_program
+from repro.trace.annotate import AnnotatedTrace, annotate_trace
+from repro.trace.records import Trace
+from repro.trace.validate import validate_trace
+from repro.uarch.axp21164.config import AXP21164Config
+from repro.uarch.axp21164.model import AXP21164Model, AXP21164Result
+from repro.uarch.ppc620.config import PPC620, PPC620Config
+from repro.uarch.ppc620.model import PPC620Model, PPC620Result
+from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+
+class Session:
+    """Memoizing runner for one input scale.
+
+    Parameters
+    ----------
+    scale:
+        Input scale preset (``tiny``/``small``/``reference``).
+    benchmarks:
+        Benchmark names to run (defaults to the full 17-name suite).
+    verify:
+        When True (default), every functional run is checked against
+        its Python reference computation before its trace is used.
+    cache_dir:
+        Optional directory for an on-disk trace cache (defaults to the
+        ``REPRO_TRACE_CACHE`` environment variable; unset = no cache).
+        Cached traces are validated structurally before use.
+    """
+
+    def __init__(self, scale: str = "small",
+                 benchmarks: Optional[tuple[str, ...]] = None,
+                 verify: bool = True,
+                 cache_dir: Optional[str] = None) -> None:
+        self.scale = scale
+        self.benchmark_names = tuple(
+            benchmarks if benchmarks is not None
+            else (b.name for b in BENCHMARKS)
+        )
+        self.verify = verify
+        cache_dir = cache_dir or os.environ.get("REPRO_TRACE_CACHE")
+        self.cache = TraceCache(cache_dir) if cache_dir else None
+        self._traces: dict = {}
+        self._annotated: dict = {}
+        self._ppc_runs: dict = {}
+        self._alpha_runs: dict = {}
+
+    # ------------------------------------------------------------------
+    def trace(self, name: str, target: str = "ppc") -> Trace:
+        """Functional trace of one benchmark on one codegen target."""
+        key = (name, target)
+        if key not in self._traces:
+            cached = (self.cache.load(name, target, self.scale)
+                      if self.cache else None)
+            if cached is not None and not validate_trace(cached):
+                self._traces[key] = cached
+                return cached
+            bench = get_benchmark(name)
+            program = bench.build_program(target, self.scale)
+            result = run_program(program, name=name, target=target)
+            if self.verify:
+                bench.verify(program, result, self.scale)
+            if self.cache is not None:
+                self.cache.store(result.trace, self.scale)
+            self._traces[key] = result.trace
+        return self._traces[key]
+
+    def annotated(self, name: str, target: str,
+                  config: LVPConfig) -> AnnotatedTrace:
+        """Trace annotated with one LVP configuration's outcomes."""
+        key = (name, target, config.name)
+        if key not in self._annotated:
+            self._annotated[key] = annotate_trace(
+                self.trace(name, target), config
+            )
+        return self._annotated[key]
+
+    # ------------------------------------------------------------------
+    def ppc_result(self, name: str, machine: PPC620Config = PPC620,
+                   lvp: Optional[LVPConfig] = None) -> PPC620Result:
+        """620/620+ run of one benchmark (``lvp=None`` = no LVP)."""
+        key = (name, machine.name, lvp.name if lvp else None)
+        if key not in self._ppc_runs:
+            annotated = self.annotated(name, "ppc", lvp or SIMPLE)
+            model = PPC620Model(machine)
+            self._ppc_runs[key] = model.run(annotated,
+                                            use_lvp=lvp is not None)
+        return self._ppc_runs[key]
+
+    def alpha_result(self, name: str,
+                     lvp: Optional[LVPConfig] = None,
+                     machine: Optional[AXP21164Config] = None,
+                     ) -> AXP21164Result:
+        """21164 run of one benchmark (``lvp=None`` = no LVP)."""
+        machine = machine or AXP21164Config()
+        key = (name, machine.name, lvp.name if lvp else None)
+        if key not in self._alpha_runs:
+            annotated = self.annotated(name, "alpha", lvp or SIMPLE)
+            model = AXP21164Model(machine)
+            self._alpha_runs[key] = model.run(annotated,
+                                              use_lvp=lvp is not None)
+        return self._alpha_runs[key]
+
+    # ------------------------------------------------------------------
+    def ppc_speedup(self, name: str, machine: PPC620Config,
+                    lvp: LVPConfig) -> float:
+        """Speedup of *lvp* over the no-LVP baseline on *machine*."""
+        base = self.ppc_result(name, machine, None)
+        with_lvp = self.ppc_result(name, machine, lvp)
+        return base.cycles / with_lvp.cycles
+
+    def alpha_speedup(self, name: str, lvp: LVPConfig) -> float:
+        """Speedup of *lvp* over the no-LVP baseline on the 21164."""
+        base = self.alpha_result(name, None)
+        with_lvp = self.alpha_result(name, lvp)
+        return base.cycles / with_lvp.cycles

@@ -1,0 +1,64 @@
+"""VRISC: the 64-bit load/store RISC ISA used by all workloads.
+
+Public surface:
+
+* :class:`~repro.isa.opcodes.Opcode`, :class:`~repro.isa.opcodes.OpClass`,
+  :class:`~repro.isa.opcodes.ValueKind` -- instruction and value taxonomy,
+* :class:`~repro.isa.instructions.Instruction` -- one instruction,
+* :class:`~repro.isa.program.Program` / ``DataSegment`` -- linked programs,
+* :class:`~repro.isa.builder.CodeBuilder` -- programmatic codegen DSL,
+* :func:`~repro.isa.assembler.assemble` -- text assembler.
+"""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.builder import CodeBuilder, TARGETS
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import (
+    Opcode,
+    OpClass,
+    ValueKind,
+    is_load,
+    is_store,
+    op_class,
+)
+from repro.isa.program import (
+    DATA_BASE,
+    HEAP_BASE,
+    INSTR_SIZE,
+    STACK_TOP,
+    TEXT_BASE,
+    WORD_SIZE,
+    DataSegment,
+    Program,
+    bits_to_float,
+    float_to_bits,
+)
+from repro.isa.registers import (
+    ARG_REGS,
+    CTR,
+    FPR_BASE,
+    LR,
+    NO_REG,
+    NUM_REGS,
+    SAVED_REGS,
+    SP,
+    TEMP_REGS,
+    TOC,
+    ZERO,
+    is_fpr,
+    is_gpr,
+    parse_reg,
+    reg_name,
+)
+
+__all__ = [
+    "Assembler", "assemble", "CodeBuilder", "TARGETS",
+    "Instruction", "Opcode", "OpClass", "ValueKind",
+    "is_load", "is_store", "op_class",
+    "DataSegment", "Program", "bits_to_float", "float_to_bits",
+    "DATA_BASE", "HEAP_BASE", "INSTR_SIZE", "STACK_TOP", "TEXT_BASE",
+    "WORD_SIZE",
+    "ARG_REGS", "CTR", "FPR_BASE", "LR", "NO_REG", "NUM_REGS",
+    "SAVED_REGS", "SP", "TEMP_REGS", "TOC", "ZERO",
+    "is_fpr", "is_gpr", "parse_reg", "reg_name",
+]

@@ -1,0 +1,243 @@
+"""A small text assembler for VRISC.
+
+The assembler exists so tests, examples, and users can write programs as
+plain text rather than through :class:`repro.isa.builder.CodeBuilder`.
+It supports the full instruction set plus a handful of directives::
+
+    .data                 ; switch to the data segment
+    .text                 ; switch to the text segment (default)
+    .word 1, 2, 3         ; emit 64-bit words
+    .double 3.14          ; emit IEEE doubles
+    .string "hello"       ; emit a NUL-terminated string
+    .space 16             ; reserve 16 zeroed words
+    .ptr some_label       ; emit a loader-relocated pointer
+
+    label:                ; define a label in the current segment
+    add r3, r4, r5        ; instructions: mnemonic dst, srcs / imm
+    ld  r3, 8(r4)         ; loads/stores use offset(base) syntax
+    beq r3, r0, done      ; branches name their target label
+
+Comments run from ``;`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode, OpClass, op_class
+from repro.isa.program import DataSegment, Program
+from repro.isa.registers import LR, NO_REG, parse_reg
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+# Opcodes whose single operand is an immediate/symbol rather than registers.
+_IMM_ONLY = {Opcode.LI, Opcode.LA}
+# dst <- src1 op imm
+_REG_REG_IMM = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.SLTI,
+}
+# dst <- src1 (single-source moves)
+_ONE_SOURCE = {
+    Opcode.MOV, Opcode.FNEG, Opcode.FABS, Opcode.FSQRT,
+    Opcode.FCVT, Opcode.FTRUNC,
+}
+_LOADS = {Opcode.LD, Opcode.LW, Opcode.LBU, Opcode.FLD}
+_STORES = {Opcode.ST, Opcode.STW, Opcode.SB, Opcode.FST}
+_COND_BRANCHES = {
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+    Opcode.BLTU, Opcode.BGEU,
+}
+_NO_OPERANDS = {Opcode.RET, Opcode.BCTR, Opcode.HALT, Opcode.NOP}
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"invalid integer: {text!r}") from exc
+
+
+class Assembler:
+    """Two-pass text assembler producing a linked :class:`Program`."""
+
+    def __init__(self, name: str = "asm") -> None:
+        self.name = name
+
+    def assemble(self, source: str, entry: str = "main") -> Program:
+        """Assemble *source* text into a linked program."""
+        instructions: list[Instruction] = []
+        labels: dict[str, int] = {}
+        data = DataSegment()
+        in_data = False
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+            if not line:
+                continue
+            try:
+                in_data = self._assemble_line(
+                    line, instructions, labels, data, in_data
+                )
+            except (AssemblyError, ValueError) as exc:
+                raise AssemblyError(f"line {lineno}: {exc}") from exc
+
+        program = Program(instructions, data, labels, entry=entry,
+                          name=self.name)
+        return program.link()
+
+    def _assemble_line(
+        self,
+        line: str,
+        instructions: list[Instruction],
+        labels: dict[str, int],
+        data: DataSegment,
+        in_data: bool,
+    ) -> bool:
+        """Assemble one logical line; returns the new in_data state."""
+        while True:
+            match = re.match(r"^([A-Za-z_]\w*):\s*(.*)$", line)
+            if not match:
+                break
+            name = match.group(1)
+            if in_data:
+                data.label(name)
+            else:
+                if name in labels:
+                    raise AssemblyError(f"duplicate label: {name!r}")
+                labels[name] = len(instructions)
+            line = match.group(2).strip()
+        if not line:
+            return in_data
+
+        if line.startswith("."):
+            return self._directive(line, data, in_data)
+        if in_data:
+            raise AssemblyError("instructions are not allowed in .data")
+        instructions.append(self._instruction(line))
+        return in_data
+
+    def _directive(self, line: str, data: DataSegment, in_data: bool) -> bool:
+        parts = line.split(None, 1)
+        name = parts[0]
+        arg = parts[1] if len(parts) > 1 else ""
+        if name == ".data":
+            return True
+        if name == ".text":
+            return False
+        if not in_data:
+            raise AssemblyError(f"{name} directive only allowed in .data")
+        if name == ".word":
+            data.words(_parse_int(v.strip()) for v in arg.split(","))
+        elif name == ".double":
+            data.doubles(float(v.strip()) for v in arg.split(","))
+        elif name == ".string":
+            match = re.match(r'^"(.*)"$', arg.strip())
+            if not match:
+                raise AssemblyError(".string needs a double-quoted literal")
+            data.string(match.group(1).encode("ascii").decode("unicode_escape"))
+        elif name == ".space":
+            data.space(_parse_int(arg.strip()))
+        elif name == ".ptr":
+            data.pointer(arg.strip())
+        else:
+            raise AssemblyError(f"unknown directive: {name}")
+        return in_data
+
+    def _instruction(self, line: str) -> Instruction:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = [o.strip() for o in operand_text.split(",")] \
+            if operand_text else []
+        try:
+            opcode = Opcode[mnemonic.upper().rstrip("_")]
+        except KeyError:
+            raise AssemblyError(f"unknown mnemonic: {mnemonic!r}") from None
+        return self._encode(opcode, operands)
+
+    def _encode(self, opcode: Opcode, ops: list[str]) -> Instruction:
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblyError(
+                    f"{opcode.name.lower()} expects {count} operands, "
+                    f"got {len(ops)}"
+                )
+
+        if opcode in _NO_OPERANDS:
+            need(0)
+            src = LR if opcode == Opcode.RET else NO_REG
+            return Instruction(opcode, src1=src)
+        if opcode in _IMM_ONLY:
+            need(2)
+            dst = parse_reg(ops[0])
+            symbol: Optional[str] = None
+            imm = 0
+            if re.match(r"^-?\d|^0x", ops[1]):
+                imm = _parse_int(ops[1])
+            else:
+                symbol = ops[1]
+            return Instruction(opcode, dst=dst, imm=imm, symbol=symbol)
+        if opcode in _LOADS:
+            need(2)
+            base, offset = self._mem_operand(ops[1])
+            return Instruction(opcode, dst=parse_reg(ops[0]), src1=base,
+                               imm=offset)
+        if opcode in _STORES:
+            need(2)
+            base, offset = self._mem_operand(ops[1])
+            return Instruction(opcode, src1=base, src2=parse_reg(ops[0]),
+                               imm=offset)
+        if opcode in _COND_BRANCHES:
+            need(3)
+            return Instruction(opcode, src1=parse_reg(ops[0]),
+                               src2=parse_reg(ops[1]), target=ops[2])
+        if opcode in (Opcode.J, Opcode.JAL):
+            need(1)
+            dst = LR if opcode == Opcode.JAL else NO_REG
+            return Instruction(opcode, dst=dst, target=ops[0])
+        if opcode in (Opcode.JALR, Opcode.JR):
+            need(1)
+            dst = LR if opcode == Opcode.JALR else NO_REG
+            return Instruction(opcode, dst=dst, src1=parse_reg(ops[0]))
+        if opcode in (Opcode.MTLR, Opcode.MTCTR):
+            need(1)
+            dst = LR if opcode == Opcode.MTLR else NO_REG
+            return Instruction(opcode, dst=dst, src1=parse_reg(ops[0]))
+        if opcode in (Opcode.MFLR, Opcode.MFCTR):
+            need(1)
+            src = LR if opcode == Opcode.MFLR else NO_REG
+            return Instruction(opcode, dst=parse_reg(ops[0]), src1=src)
+        if opcode in _REG_REG_IMM:
+            need(3)
+            return Instruction(opcode, dst=parse_reg(ops[0]),
+                               src1=parse_reg(ops[1]),
+                               imm=_parse_int(ops[2]))
+        if opcode in _ONE_SOURCE:
+            need(2)
+            return Instruction(opcode, dst=parse_reg(ops[0]),
+                               src1=parse_reg(ops[1]))
+        # Remaining opcodes are three-register ALU/FP forms.
+        if op_class(opcode) in (OpClass.SIMPLE_INT, OpClass.COMPLEX_INT,
+                                OpClass.FP_SIMPLE, OpClass.FP_COMPLEX):
+            need(3)
+            return Instruction(opcode, dst=parse_reg(ops[0]),
+                               src1=parse_reg(ops[1]),
+                               src2=parse_reg(ops[2]))
+        raise AssemblyError(f"cannot encode opcode: {opcode.name}")
+
+    @staticmethod
+    def _mem_operand(text: str) -> tuple[int, int]:
+        """Parse ``offset(base)`` into (base register, offset)."""
+        match = _MEM_OPERAND.match(text.replace(" ", ""))
+        if not match:
+            raise AssemblyError(f"invalid memory operand: {text!r}")
+        return parse_reg(match.group(2)), _parse_int(match.group(1))
+
+
+def assemble(source: str, name: str = "asm", entry: str = "main") -> Program:
+    """Convenience wrapper: assemble *source* into a linked program."""
+    return Assembler(name).assemble(source, entry=entry)

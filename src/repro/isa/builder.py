@@ -1,0 +1,534 @@
+"""Programmatic code generator for VRISC programs.
+
+:class:`CodeBuilder` plays the role of a 1990s optimizing RISC compiler
+back-end.  Beyond one method per opcode it provides the higher-level
+idioms whose loads the paper identifies as the *sources* of value
+locality (Section 2 of the paper):
+
+* **constant pools** -- large integer and all FP constants are loaded
+  from memory ("program constants"),
+* **TOC / literal-pool addressing** -- global addresses are loaded from a
+  loader-initialized table ("addressability", "glue code"),
+* **function prologue/epilogue** -- the link register and callee-saved
+  registers are saved to and restored from the stack frame
+  ("call-subgraph identities", "register spill code"),
+* **jump tables** -- computed branches load a code address from a table
+  ("computed branches"),
+* **function-pointer calls** -- indirect calls load an instruction
+  address from memory ("virtual function calls").
+
+The builder is parameterized by a code-generation *target*:
+
+* ``"ppc"`` models a TOC-centric compiler (IBM xlc-like): any constant
+  that does not fit in 16 bits, and **every** global address, comes from
+  a memory load through the TOC register.
+* ``"alpha"`` models a GP-relative compiler (DEC cc-like): integer
+  constants up to 32 bits are materialized inline and global addresses
+  are formed inline (``lda``-style), so fewer loads are emitted; FP and
+  64-bit literals still come from the literal pool.
+
+The two targets stand in for the paper's two ISAs; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction, Target
+from repro.isa.opcodes import Opcode, ValueKind
+from repro.isa.program import DATA_BASE, DataSegment, Program, float_to_bits
+from repro.isa.registers import CTR, LR, NO_REG, SP, TOC, is_fpr
+
+TARGETS = ("ppc", "alpha")
+
+#: Inline-immediate reach per target (signed).
+_IMM_BITS = {"ppc": 16, "alpha": 32}
+
+_WORD = 8
+
+
+class _Function:
+    """Book-keeping for the function currently being emitted."""
+
+    def __init__(self, name: str, save: tuple[int, ...], frame_words: int,
+                 leaf: bool) -> None:
+        self.name = name
+        self.save = save
+        self.frame_words = frame_words
+        self.leaf = leaf
+        self.epilogue_label = f"__{name}__epilogue"
+        # Frame layout: [0] saved LR (non-leaf), then saved regs, then locals.
+        self.lr_slot = 0
+        first = 1 if not leaf else 0
+        self.reg_slots = {r: (first + i) * _WORD for i, r in enumerate(save)}
+        self.locals_base = (first + len(save)) * _WORD
+
+    @property
+    def frame_size(self) -> int:
+        reserved = self.locals_base // _WORD
+        return (reserved + self.frame_words) * _WORD
+
+
+class CodeBuilder:
+    """Builds a linked :class:`Program` through compiler-like emission.
+
+    Typical use::
+
+        b = CodeBuilder("demo", target="ppc")
+        table = b.data.words([3, 1, 4, 1, 5])
+        with b.function("main"):
+            b.load_addr(4, "my_table")      # may become a TOC load
+            b.ld(5, 4, 0)
+            b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str, target: str = "ppc") -> None:
+        if target not in TARGETS:
+            raise AssemblyError(f"unknown codegen target: {target!r}")
+        self.name = name
+        self.target = target
+        self.data = DataSegment()
+        self.instructions: list[Instruction] = []
+        self.labels: dict[str, int] = {}
+        self._pool: dict[tuple[int, int], int] = {}  # (value, kind) -> addr
+        self._addr_pool: dict[str, int] = {}  # symbol -> pool slot addr
+        self._fresh = 0
+        self._function: Optional[_Function] = None
+        self._imm_max = (1 << (_IMM_BITS[target] - 1)) - 1
+        self._imm_min = -(1 << (_IMM_BITS[target] - 1))
+
+    # ------------------------------------------------------------------
+    # label and emission primitives
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> str:
+        """Define code label *name* at the current position."""
+        if name in self.labels:
+            raise AssemblyError(f"duplicate code label: {name!r}")
+        self.labels[name] = len(self.instructions)
+        return name
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Return a unique, not-yet-defined label name."""
+        self._fresh += 1
+        return f"__{hint}_{self._fresh}"
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append a raw instruction."""
+        self.instructions.append(instr)
+        return instr
+
+    def _op(self, opcode: Opcode, dst: int = NO_REG, src1: int = NO_REG,
+            src2: int = NO_REG, imm: int = 0,
+            target: Optional[Target] = None,
+            symbol: Optional[str] = None) -> Instruction:
+        return self.emit(Instruction(opcode, dst, src1, src2, imm,
+                                     target, symbol))
+
+    # ------------------------------------------------------------------
+    # simple integer ops
+    # ------------------------------------------------------------------
+    def add(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.ADD, dst, a, b)
+
+    def addi(self, dst: int, a: int, imm: int) -> None:
+        self._op(Opcode.ADDI, dst, a, imm=imm)
+
+    def sub(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.SUB, dst, a, b)
+
+    def and_(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.AND, dst, a, b)
+
+    def andi(self, dst: int, a: int, imm: int) -> None:
+        self._op(Opcode.ANDI, dst, a, imm=imm)
+
+    def or_(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.OR, dst, a, b)
+
+    def ori(self, dst: int, a: int, imm: int) -> None:
+        self._op(Opcode.ORI, dst, a, imm=imm)
+
+    def xor(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.XOR, dst, a, b)
+
+    def xori(self, dst: int, a: int, imm: int) -> None:
+        self._op(Opcode.XORI, dst, a, imm=imm)
+
+    def sll(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.SLL, dst, a, b)
+
+    def slli(self, dst: int, a: int, imm: int) -> None:
+        self._op(Opcode.SLLI, dst, a, imm=imm)
+
+    def srl(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.SRL, dst, a, b)
+
+    def srli(self, dst: int, a: int, imm: int) -> None:
+        self._op(Opcode.SRLI, dst, a, imm=imm)
+
+    def sra(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.SRA, dst, a, b)
+
+    def srai(self, dst: int, a: int, imm: int) -> None:
+        self._op(Opcode.SRAI, dst, a, imm=imm)
+
+    def slt(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.SLT, dst, a, b)
+
+    def slti(self, dst: int, a: int, imm: int) -> None:
+        self._op(Opcode.SLTI, dst, a, imm=imm)
+
+    def sltu(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.SLTU, dst, a, b)
+
+    def seq(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.SEQ, dst, a, b)
+
+    def li(self, dst: int, imm: int) -> None:
+        """Materialize an immediate directly (bypasses the constant pool)."""
+        self._op(Opcode.LI, dst, imm=imm)
+
+    def la(self, dst: int, symbol: str) -> None:
+        """Form the address of *symbol* inline (no memory access)."""
+        self._op(Opcode.LA, dst, symbol=symbol)
+
+    def mov(self, dst: int, src: int) -> None:
+        self._op(Opcode.MOV, dst, src)
+
+    def nop(self) -> None:
+        self._op(Opcode.NOP)
+
+    # ------------------------------------------------------------------
+    # complex integer ops
+    # ------------------------------------------------------------------
+    def mul(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.MUL, dst, a, b)
+
+    def div(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.DIV, dst, a, b)
+
+    def rem(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.REM, dst, a, b)
+
+    def mflr(self, dst: int) -> None:
+        self._op(Opcode.MFLR, dst, LR)
+
+    def mtlr(self, src: int) -> None:
+        self._op(Opcode.MTLR, LR, src)
+
+    def mfctr(self, dst: int) -> None:
+        self._op(Opcode.MFCTR, dst)
+
+    def mtctr(self, src: int) -> None:
+        self._op(Opcode.MTCTR, NO_REG, src)
+
+    # ------------------------------------------------------------------
+    # memory ops
+    # ------------------------------------------------------------------
+    def ld(self, dst: int, base: int, offset: int = 0) -> None:
+        self._op(Opcode.LD, dst, base, imm=offset)
+
+    def lw(self, dst: int, base: int, offset: int = 0) -> None:
+        self._op(Opcode.LW, dst, base, imm=offset)
+
+    def lbu(self, dst: int, base: int, offset: int = 0) -> None:
+        self._op(Opcode.LBU, dst, base, imm=offset)
+
+    def fld(self, dst: int, base: int, offset: int = 0) -> None:
+        if not is_fpr(dst):
+            raise AssemblyError("fld destination must be an FPR")
+        self._op(Opcode.FLD, dst, base, imm=offset)
+
+    def st(self, src: int, base: int, offset: int = 0) -> None:
+        self._op(Opcode.ST, NO_REG, base, src, imm=offset)
+
+    def stw(self, src: int, base: int, offset: int = 0) -> None:
+        self._op(Opcode.STW, NO_REG, base, src, imm=offset)
+
+    def sb(self, src: int, base: int, offset: int = 0) -> None:
+        self._op(Opcode.SB, NO_REG, base, src, imm=offset)
+
+    def fst(self, src: int, base: int, offset: int = 0) -> None:
+        if not is_fpr(src):
+            raise AssemblyError("fst source must be an FPR")
+        self._op(Opcode.FST, NO_REG, base, src, imm=offset)
+
+    # ------------------------------------------------------------------
+    # floating point
+    # ------------------------------------------------------------------
+    def fadd(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.FADD, dst, a, b)
+
+    def fsub(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.FSUB, dst, a, b)
+
+    def fmul(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.FMUL, dst, a, b)
+
+    def fdiv(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.FDIV, dst, a, b)
+
+    def fneg(self, dst: int, a: int) -> None:
+        self._op(Opcode.FNEG, dst, a)
+
+    def fabs_(self, dst: int, a: int) -> None:
+        self._op(Opcode.FABS, dst, a)
+
+    def fsqrt(self, dst: int, a: int) -> None:
+        self._op(Opcode.FSQRT, dst, a)
+
+    def fcvt(self, dst: int, a: int) -> None:
+        """dst(FPR) <- float(a GPR)."""
+        self._op(Opcode.FCVT, dst, a)
+
+    def ftrunc(self, dst: int, a: int) -> None:
+        """dst(GPR) <- trunc(a FPR)."""
+        self._op(Opcode.FTRUNC, dst, a)
+
+    def flt(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.FLT, dst, a, b)
+
+    def feq(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.FEQ, dst, a, b)
+
+    def fle(self, dst: int, a: int, b: int) -> None:
+        self._op(Opcode.FLE, dst, a, b)
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def beq(self, a: int, b: int, target: Target) -> None:
+        self._op(Opcode.BEQ, src1=a, src2=b, target=target)
+
+    def bne(self, a: int, b: int, target: Target) -> None:
+        self._op(Opcode.BNE, src1=a, src2=b, target=target)
+
+    def blt(self, a: int, b: int, target: Target) -> None:
+        self._op(Opcode.BLT, src1=a, src2=b, target=target)
+
+    def bge(self, a: int, b: int, target: Target) -> None:
+        self._op(Opcode.BGE, src1=a, src2=b, target=target)
+
+    def bltu(self, a: int, b: int, target: Target) -> None:
+        self._op(Opcode.BLTU, src1=a, src2=b, target=target)
+
+    def bgeu(self, a: int, b: int, target: Target) -> None:
+        self._op(Opcode.BGEU, src1=a, src2=b, target=target)
+
+    def beqz(self, a: int, target: Target) -> None:
+        self.beq(a, 0, target)
+
+    def bnez(self, a: int, target: Target) -> None:
+        self.bne(a, 0, target)
+
+    def j(self, target: Target) -> None:
+        self._op(Opcode.J, target=target)
+
+    def jal(self, target: Target) -> None:
+        self._op(Opcode.JAL, dst=LR, target=target)
+
+    def jalr(self, src: int) -> None:
+        self._op(Opcode.JALR, dst=LR, src1=src)
+
+    def jr(self, src: int) -> None:
+        self._op(Opcode.JR, src1=src)
+
+    def ret(self) -> None:
+        self._op(Opcode.RET, src1=LR)
+
+    def bctr(self) -> None:
+        self._op(Opcode.BCTR, src1=CTR)
+
+    def halt(self) -> None:
+        self._op(Opcode.HALT)
+
+    # ------------------------------------------------------------------
+    # compiler idioms (the paper's sources of value locality)
+    # ------------------------------------------------------------------
+    def _pool_slot(self, value: int, kind: ValueKind) -> int:
+        """Address of a deduplicated constant-pool word holding *value*."""
+        key = (value & ((1 << 64) - 1), int(kind))
+        addr = self._pool.get(key)
+        if addr is None:
+            addr = self.data.word(value, kind)
+            self._pool[key] = addr
+        return addr
+
+    def load_const(self, dst: int, value: int) -> None:
+        """Materialize integer constant *value* the way the target would.
+
+        Small constants become immediates; larger ones are loaded from
+        the constant pool through the TOC/GP register (a memory load --
+        the paper's "program constants" idiom).
+        """
+        if self._imm_min <= value <= self._imm_max:
+            self.li(dst, value)
+        else:
+            addr = self._pool_slot(value, ValueKind.INT_DATA)
+            self.ld(dst, TOC, addr - DATA_BASE)
+
+    def load_fconst(self, dst: int, value: float) -> None:
+        """Materialize FP constant *value* (always a constant-pool load)."""
+        if not is_fpr(dst):
+            raise AssemblyError("load_fconst destination must be an FPR")
+        addr = self._pool_slot(float_to_bits(value), ValueKind.FP_DATA)
+        self.fld(dst, TOC, addr - DATA_BASE)
+
+    def load_addr(self, dst: int, symbol: str) -> None:
+        """Form the address of global *symbol* the way the target would.
+
+        The ``ppc`` target loads it from a loader-initialized TOC slot
+        (the paper's "addressability" idiom); the ``alpha`` target forms
+        it inline, GP-relative.
+        """
+        if self.target == "ppc":
+            slot = self._addr_pool.get(symbol)
+            if slot is None:
+                slot = self.data.pointer(symbol, ValueKind.DATA_ADDR)
+                self._addr_pool[symbol] = slot
+            self.ld(dst, TOC, slot - DATA_BASE)
+        else:
+            self.la(dst, symbol)
+
+    def call(self, name: str) -> None:
+        """Direct call to function *name* within this compilation unit."""
+        self.jal(name)
+
+    def call_far(self, name: str, scratch: int = 12) -> None:
+        """Cross-module call through a function descriptor ("glue code").
+
+        Loads the callee's address from a loader-initialized pool slot
+        (an INSTR_ADDR load that is constant for the whole run) and
+        calls indirectly through it.
+        """
+        slot = self._addr_pool.get("__fd_" + name)
+        if slot is None:
+            slot = self.data.pointer(name, ValueKind.INSTR_ADDR)
+            self._addr_pool["__fd_" + name] = slot
+        self.ld(scratch, TOC, slot - DATA_BASE)
+        self.jalr(scratch)
+
+    def call_ptr(self, reg: int) -> None:
+        """Indirect call through a function pointer already in *reg*."""
+        self.jalr(reg)
+
+    def jump_table(self, index_reg: int, case_labels: Sequence[str],
+                   scratch: int = 12, scratch2: int = 11) -> None:
+        """Computed branch via a jump table (switch-statement idiom).
+
+        Emits the bounds-free dispatch sequence: load the table base (a
+        run-time constant -- the paper's "computed branches" idiom),
+        index it, load the code address, and branch through CTR.
+        The caller is responsible for *index_reg* being in range.
+        """
+        table = self.fresh_label("jt")
+        self.data.label(table)
+        for case in case_labels:
+            self.data.pointer(case, ValueKind.INSTR_ADDR)
+        self.load_addr(scratch, table)
+        self.slli(scratch2, index_reg, 3)
+        self.add(scratch, scratch, scratch2)
+        self.ld(scratch, scratch, 0)
+        self.mtctr(scratch)
+        self.bctr()
+
+    # ------------------------------------------------------------------
+    # functions: prologue / epilogue / stack frames
+    # ------------------------------------------------------------------
+    @contextmanager
+    def function(self, name: str, save: Sequence[int] = (),
+                 frame_words: int = 0, leaf: bool = False) -> Iterator[None]:
+        """Emit function *name* with a compiler-standard frame.
+
+        *save* lists callee-saved registers (GPR or FPR) to spill in the
+        prologue and reload in the epilogue; non-leaf functions also
+        save and restore the link register through memory (the paper's
+        "call-subgraph identities" idiom).  *frame_words* reserves local
+        stack slots addressable via :meth:`local_offset`.
+        """
+        if self._function is not None:
+            raise AssemblyError("nested function definitions are not allowed")
+        func = _Function(name, tuple(save), frame_words, leaf)
+        self._function = func
+        self.label(name)
+        self._emit_prologue(func)
+        try:
+            yield
+        finally:
+            self.label(func.epilogue_label)
+            self._emit_epilogue(func)
+            self._function = None
+
+    def _emit_prologue(self, func: _Function) -> None:
+        if func.frame_size:
+            self.addi(SP, SP, -func.frame_size)
+        if not func.leaf:
+            self.mflr(11)
+            self.st(11, SP, func.lr_slot * _WORD)
+        for reg, offset in func.reg_slots.items():
+            if is_fpr(reg):
+                self.fst(reg, SP, offset)
+            else:
+                self.st(reg, SP, offset)
+
+    def _emit_epilogue(self, func: _Function) -> None:
+        for reg, offset in func.reg_slots.items():
+            if is_fpr(reg):
+                self.fld(reg, SP, offset)
+            else:
+                self.ld(reg, SP, offset)
+        if not func.leaf:
+            self.ld(11, SP, func.lr_slot * _WORD)
+            self.mtlr(11)
+        if func.frame_size:
+            self.addi(SP, SP, func.frame_size)
+        self.ret()
+
+    def local_offset(self, slot: int) -> int:
+        """Stack offset (from SP) of local word *slot* in the open function."""
+        func = self._require_function()
+        if not 0 <= slot < func.frame_words:
+            raise AssemblyError(
+                f"local slot {slot} out of range 0..{func.frame_words - 1}"
+            )
+        return func.locals_base + slot * _WORD
+
+    def store_local(self, src: int, slot: int) -> None:
+        """Spill *src* to local *slot* ("register spill code" idiom)."""
+        offset = self.local_offset(slot)
+        if is_fpr(src):
+            self.fst(src, SP, offset)
+        else:
+            self.st(src, SP, offset)
+
+    def load_local(self, dst: int, slot: int) -> None:
+        """Reload local *slot* into *dst*."""
+        offset = self.local_offset(slot)
+        if is_fpr(dst):
+            self.fld(dst, SP, offset)
+        else:
+            self.ld(dst, SP, offset)
+
+    def return_from_function(self) -> None:
+        """Jump to the open function's epilogue (early return)."""
+        func = self._require_function()
+        self.j(func.epilogue_label)
+
+    def _require_function(self) -> _Function:
+        if self._function is None:
+            raise AssemblyError("no function is currently open")
+        return self._function
+
+    # ------------------------------------------------------------------
+    def build(self, entry: str = "main") -> Program:
+        """Finalize and link the program."""
+        if self._function is not None:
+            raise AssemblyError(
+                f"function {self._function.name!r} was never closed"
+            )
+        program = Program(self.instructions, self.data, self.labels,
+                          entry=entry, name=self.name)
+        return program.link()

@@ -1,0 +1,109 @@
+"""Disassembler: instructions and programs back to assembler text.
+
+Output uses exactly the syntax :mod:`repro.isa.assembler` accepts, so
+``assemble(disassemble(program))`` round-trips (for programs without a
+data segment; data is disassembled separately as a summary).  Used by
+the CLI's ``disasm`` command and by debugging workflows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import (
+    CONDITIONAL_BRANCHES,
+    Opcode,
+    OpClass,
+    op_class,
+)
+from repro.isa.program import INSTR_SIZE, Program, TEXT_BASE
+from repro.isa.registers import reg_name
+
+_NO_OPERANDS = {Opcode.RET, Opcode.BCTR, Opcode.HALT, Opcode.NOP}
+_IMM_ONLY = {Opcode.LI, Opcode.LA}
+_ONE_SOURCE = {
+    Opcode.MOV, Opcode.FNEG, Opcode.FABS, Opcode.FSQRT,
+    Opcode.FCVT, Opcode.FTRUNC,
+}
+_IMM_ALU = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.SLTI,
+}
+
+
+def disassemble_instruction(instr: Instruction,
+                            labels: Optional[dict] = None) -> str:
+    """Render one instruction as assembler text.
+
+    *labels* optionally maps absolute addresses to names, used for
+    branch targets (falling back to the raw address).
+    """
+    opcode = instr.opcode
+    mnemonic = opcode.name.lower()
+    if mnemonic in ("and", "or", "xor"):
+        pass  # mnemonics match the assembler's (it strips trailing _)
+
+    def target_text() -> str:
+        target = instr.target
+        if isinstance(target, str):
+            return target
+        if labels and target in labels:
+            return labels[target]
+        return f"0x{target:x}" if target is not None else "?"
+
+    if opcode in _NO_OPERANDS:
+        return mnemonic
+    if opcode in _IMM_ONLY:
+        operand = instr.symbol if instr.symbol else str(instr.imm)
+        return f"{mnemonic} {reg_name(instr.dst)}, {operand}"
+    if op_class(opcode) is OpClass.LOAD:
+        return (f"{mnemonic} {reg_name(instr.dst)}, "
+                f"{instr.imm}({reg_name(instr.src1)})")
+    if op_class(opcode) is OpClass.STORE:
+        return (f"{mnemonic} {reg_name(instr.src2)}, "
+                f"{instr.imm}({reg_name(instr.src1)})")
+    if opcode in CONDITIONAL_BRANCHES:
+        return (f"{mnemonic} {reg_name(instr.src1)}, "
+                f"{reg_name(instr.src2)}, {target_text()}")
+    if opcode in (Opcode.J, Opcode.JAL):
+        return f"{mnemonic} {target_text()}"
+    if opcode in (Opcode.JR, Opcode.JALR):
+        return f"{mnemonic} {reg_name(instr.src1)}"
+    if opcode in (Opcode.MTLR, Opcode.MTCTR):
+        return f"{mnemonic} {reg_name(instr.src1)}"
+    if opcode in (Opcode.MFLR, Opcode.MFCTR):
+        return f"{mnemonic} {reg_name(instr.dst)}"
+    if opcode in _IMM_ALU:
+        return (f"{mnemonic} {reg_name(instr.dst)}, "
+                f"{reg_name(instr.src1)}, {instr.imm}")
+    if opcode in _ONE_SOURCE:
+        return f"{mnemonic} {reg_name(instr.dst)}, {reg_name(instr.src1)}"
+    # three-register ALU/FP forms
+    return (f"{mnemonic} {reg_name(instr.dst)}, "
+            f"{reg_name(instr.src1)}, {reg_name(instr.src2)}")
+
+
+def disassemble(program: Program, start: int = 0,
+                count: Optional[int] = None) -> str:
+    """Render a (linked) program's text segment as assembler source.
+
+    Code labels are re-created at their defining positions; branch
+    targets print symbolically where a label exists.
+    """
+    by_address = {
+        address: name for name, address in program.symbols.items()
+        if TEXT_BASE <= address < TEXT_BASE
+        + len(program.instructions) * INSTR_SIZE
+    }
+    end = len(program.instructions) if count is None \
+        else min(len(program.instructions), start + count)
+    lines = []
+    for index in range(start, end):
+        pc = TEXT_BASE + index * INSTR_SIZE
+        if pc in by_address:
+            lines.append(f"{by_address[pc]}:")
+        text = disassemble_instruction(program.instructions[index],
+                                       by_address)
+        lines.append(f"    {text}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Instruction representation for the VRISC ISA.
+
+Instructions are small mutable records; targets of control-flow
+instructions may be symbolic (a label string) until the program is
+finalized, at which point they are resolved to absolute addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.isa.opcodes import (
+    CONDITIONAL_BRANCHES,
+    Opcode,
+    OpClass,
+    op_class,
+)
+from repro.isa.registers import NO_REG, reg_name
+
+#: A branch target: symbolic before linking, absolute address after.
+Target = Union[str, int]
+
+
+class Instruction:
+    """One VRISC instruction.
+
+    Operand field usage by group:
+
+    * ALU register ops: ``dst <- src1 OP src2``
+    * ALU immediate ops: ``dst <- src1 OP imm``
+    * ``LI``/``LA``: ``dst <- imm`` (for LA, ``imm`` is an address and may
+      originate from a symbol recorded in ``symbol``)
+    * loads: ``dst <- MEM[src1 + imm]``
+    * stores: ``MEM[src1 + imm] <- src2``
+    * conditional branches: compare ``src1`` with ``src2``, jump to ``target``
+    * ``JAL``/``J``: jump to ``target``
+    * ``JALR``/``JR``: jump to address in ``src1``
+    """
+
+    __slots__ = ("opcode", "dst", "src1", "src2", "imm", "target", "symbol")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dst: int = NO_REG,
+        src1: int = NO_REG,
+        src2: int = NO_REG,
+        imm: int = 0,
+        target: Optional[Target] = None,
+        symbol: Optional[str] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        self.imm = imm
+        self.target = target
+        self.symbol = symbol
+
+    @property
+    def op_class(self) -> OpClass:
+        """Functional-unit class of this instruction."""
+        return op_class(self.opcode)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for compare-and-branch opcodes (BEQ, BNE, ...)."""
+        return self.opcode in CONDITIONAL_BRANCHES
+
+    def source_registers(self) -> tuple[int, ...]:
+        """Register ids this instruction reads (excluding NO_REG slots)."""
+        return tuple(r for r in (self.src1, self.src2) if r != NO_REG)
+
+    def __repr__(self) -> str:
+        parts = [self.opcode.name.lower()]
+        if self.dst != NO_REG:
+            parts.append(reg_name(self.dst))
+        if self.src1 != NO_REG:
+            parts.append(reg_name(self.src1))
+        if self.src2 != NO_REG:
+            parts.append(reg_name(self.src2))
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"->{self.target}")
+        if self.symbol is not None:
+            parts.append(f"@{self.symbol}")
+        return f"<{' '.join(parts)}>"

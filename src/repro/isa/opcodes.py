@@ -1,0 +1,192 @@
+"""Opcode and operation-class definitions for the VRISC ISA.
+
+Every opcode belongs to exactly one :class:`OpClass`.  The op class decides
+which functional unit executes the instruction in the timing models and
+which row of the paper's Table 5 supplies its latency.  ``ValueKind``
+classifies the *values* flowing through registers and memory; it feeds the
+paper's Figure 2 (value locality broken down by data type).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Functional-unit class of an instruction (paper Table 5 rows)."""
+
+    SIMPLE_INT = 0  # single-cycle fixed point (SCFX)
+    COMPLEX_INT = 1  # multi-cycle fixed point (MCFX): mul/div/mfspr
+    LOAD = 2  # memory load (LSU)
+    STORE = 3  # memory store (LSU)
+    FP_SIMPLE = 4  # pipelined FP (FPU): add/sub/mul/convert
+    FP_COMPLEX = 5  # long-latency FP (FPU): divide
+    BRANCH = 6  # branch unit (BRU)
+
+
+class ValueKind(enum.IntEnum):
+    """Classification of a 64-bit value, for Figure 2 of the paper."""
+
+    INT_DATA = 0  # non-floating-point, non-address data
+    FP_DATA = 1  # floating-point data
+    INSTR_ADDR = 2  # instruction address (return address, function pointer)
+    DATA_ADDR = 3  # data address (pointer)
+
+
+class Opcode(enum.IntEnum):
+    """VRISC opcodes.
+
+    The operand fields each opcode uses are documented per group; see
+    :class:`repro.isa.instructions.Instruction` for field meanings.
+    """
+
+    # -- simple integer: dst <- src1 OP src2 (or imm) ----------------------
+    ADD = enum.auto()
+    ADDI = enum.auto()  # dst <- src1 + imm
+    SUB = enum.auto()
+    AND = enum.auto()
+    ANDI = enum.auto()
+    OR = enum.auto()
+    ORI = enum.auto()
+    XOR = enum.auto()
+    XORI = enum.auto()
+    SLL = enum.auto()  # shift left logical by src2
+    SLLI = enum.auto()
+    SRL = enum.auto()  # shift right logical
+    SRLI = enum.auto()
+    SRA = enum.auto()  # shift right arithmetic
+    SRAI = enum.auto()
+    SLT = enum.auto()  # dst <- 1 if src1 < src2 (signed) else 0
+    SLTI = enum.auto()
+    SLTU = enum.auto()  # unsigned compare
+    SEQ = enum.auto()  # dst <- 1 if src1 == src2 else 0
+    LI = enum.auto()  # dst <- imm (constant materialization)
+    LA = enum.auto()  # dst <- address of symbol (imm); kind = DATA_ADDR
+    MOV = enum.auto()  # dst <- src1
+
+    # -- complex integer (MCFX) --------------------------------------------
+    MUL = enum.auto()
+    DIV = enum.auto()  # signed divide; divide-by-zero yields 0
+    REM = enum.auto()  # signed remainder; modulo-by-zero yields 0
+    MFLR = enum.auto()  # dst <- LR       (move-from-special, like mfspr)
+    MTLR = enum.auto()  # LR <- src1
+    MFCTR = enum.auto()  # dst <- CTR
+    MTCTR = enum.auto()  # CTR <- src1
+
+    # -- loads: dst <- MEM[src1 + imm] --------------------------------------
+    LD = enum.auto()  # 64-bit load
+    LW = enum.auto()  # 32-bit load, sign-extended
+    LBU = enum.auto()  # 8-bit load, zero-extended
+    FLD = enum.auto()  # 64-bit FP load (dst is an FPR)
+
+    # -- stores: MEM[src1 + imm] <- src2 -------------------------------------
+    ST = enum.auto()  # 64-bit store
+    STW = enum.auto()  # 32-bit store
+    SB = enum.auto()  # 8-bit store
+    FST = enum.auto()  # 64-bit FP store (src2 is an FPR)
+
+    # -- floating point (operands are FPRs) ---------------------------------
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()  # FP_COMPLEX
+    FNEG = enum.auto()
+    FABS = enum.auto()
+    FSQRT = enum.auto()  # FP_COMPLEX
+    FCVT = enum.auto()  # dst(FPR) <- float(src1 GPR)
+    FTRUNC = enum.auto()  # dst(GPR) <- int(src1 FPR), truncating
+    FLT = enum.auto()  # dst(GPR) <- 1 if src1 < src2 (FP) else 0
+    FEQ = enum.auto()  # dst(GPR) <- 1 if src1 == src2 (FP) else 0
+    FLE = enum.auto()  # dst(GPR) <- 1 if src1 <= src2 (FP) else 0
+
+    # -- control flow --------------------------------------------------------
+    BEQ = enum.auto()  # if src1 == src2 goto target
+    BNE = enum.auto()
+    BLT = enum.auto()  # signed
+    BGE = enum.auto()
+    BLTU = enum.auto()  # unsigned
+    BGEU = enum.auto()
+    J = enum.auto()  # unconditional jump to target
+    JAL = enum.auto()  # call: LR <- return address; goto target
+    JALR = enum.auto()  # indirect call: LR <- return addr; goto src1
+    JR = enum.auto()  # indirect jump: goto src1 (jump tables)
+    RET = enum.auto()  # return: goto LR
+    BCTR = enum.auto()  # computed branch: goto CTR
+    HALT = enum.auto()  # stop execution
+
+    # -- no-op ----------------------------------------------------------------
+    NOP = enum.auto()
+
+
+#: Map from opcode to its operation class.
+OP_CLASS: dict[Opcode, OpClass] = {}
+
+_SIMPLE_INT_OPS = (
+    Opcode.ADD, Opcode.ADDI, Opcode.SUB, Opcode.AND, Opcode.ANDI,
+    Opcode.OR, Opcode.ORI, Opcode.XOR, Opcode.XORI,
+    Opcode.SLL, Opcode.SLLI, Opcode.SRL, Opcode.SRLI, Opcode.SRA,
+    Opcode.SRAI, Opcode.SLT, Opcode.SLTI, Opcode.SLTU, Opcode.SEQ,
+    Opcode.LI, Opcode.LA, Opcode.MOV, Opcode.NOP,
+)
+_COMPLEX_INT_OPS = (
+    Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.MFLR, Opcode.MTLR, Opcode.MFCTR, Opcode.MTCTR,
+)
+_LOAD_OPS = (Opcode.LD, Opcode.LW, Opcode.LBU, Opcode.FLD)
+_STORE_OPS = (Opcode.ST, Opcode.STW, Opcode.SB, Opcode.FST)
+_FP_SIMPLE_OPS = (
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FNEG, Opcode.FABS,
+    Opcode.FCVT, Opcode.FTRUNC, Opcode.FLT, Opcode.FEQ, Opcode.FLE,
+)
+_FP_COMPLEX_OPS = (Opcode.FDIV, Opcode.FSQRT)
+_BRANCH_OPS = (
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU,
+    Opcode.BGEU, Opcode.J, Opcode.JAL, Opcode.JALR, Opcode.JR,
+    Opcode.RET, Opcode.BCTR, Opcode.HALT,
+)
+
+for _op in _SIMPLE_INT_OPS:
+    OP_CLASS[_op] = OpClass.SIMPLE_INT
+for _op in _COMPLEX_INT_OPS:
+    OP_CLASS[_op] = OpClass.COMPLEX_INT
+for _op in _LOAD_OPS:
+    OP_CLASS[_op] = OpClass.LOAD
+for _op in _STORE_OPS:
+    OP_CLASS[_op] = OpClass.STORE
+for _op in _FP_SIMPLE_OPS:
+    OP_CLASS[_op] = OpClass.FP_SIMPLE
+for _op in _FP_COMPLEX_OPS:
+    OP_CLASS[_op] = OpClass.FP_COMPLEX
+for _op in _BRANCH_OPS:
+    OP_CLASS[_op] = OpClass.BRANCH
+
+assert len(OP_CLASS) == len(Opcode), "every opcode must have an op class"
+
+#: Loads that target a floating-point register.
+FP_LOADS = frozenset({Opcode.FLD})
+
+#: Conditional branches (have a taken/not-taken outcome to predict).
+CONDITIONAL_BRANCHES = frozenset({
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+    Opcode.BLTU, Opcode.BGEU,
+})
+
+#: Indirect control transfers (target comes from a register).
+INDIRECT_BRANCHES = frozenset({
+    Opcode.JALR, Opcode.JR, Opcode.RET, Opcode.BCTR,
+})
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Return the :class:`OpClass` of *op*."""
+    return OP_CLASS[op]
+
+
+def is_load(op: Opcode) -> bool:
+    """Return True if *op* is a memory load."""
+    return OP_CLASS[op] is OpClass.LOAD
+
+
+def is_store(op: Opcode) -> bool:
+    """Return True if *op* is a memory store."""
+    return OP_CLASS[op] is OpClass.STORE

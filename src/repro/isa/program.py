@@ -1,0 +1,247 @@
+"""Program container: text segment, data segment, symbols, linking.
+
+Memory layout (all addresses are byte addresses; memory is word-oriented
+with 8-byte words, and byte/word accesses extract from containing words):
+
+===============  ==========================================================
+``TEXT_BASE``    first instruction; each instruction occupies 4 bytes
+``DATA_BASE``    static data (constant pools, globals, tables, strings)
+``HEAP_BASE``    bump-allocated heap (``malloc`` in the runtime)
+``STACK_TOP``    initial stack pointer; the stack grows downward
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.errors import AssemblyError, LinkError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode, ValueKind
+
+TEXT_BASE = 0x0001_0000
+DATA_BASE = 0x0010_0000
+HEAP_BASE = 0x0040_0000
+STACK_TOP = 0x0080_0000
+
+WORD_SIZE = 8
+INSTR_SIZE = 4
+
+_U64_MASK = (1 << 64) - 1
+
+
+def float_to_bits(x: float) -> int:
+    """IEEE-754 double bit pattern of *x*, as an unsigned 64-bit int."""
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    return struct.unpack("<d", struct.pack("<Q", bits & _U64_MASK))[0]
+
+
+class DataSegment:
+    """Builder for a program's static data.
+
+    Data is appended sequentially starting at ``DATA_BASE``.  Each 8-byte
+    word carries a :class:`ValueKind` so the functional simulator can track
+    what kind of value a load returns (needed for the paper's Figure 2).
+    Words holding symbolic addresses are recorded as relocations and fixed
+    up at link time, which models the loader-initialized pointer tables
+    the paper's "addressability" discussion describes.
+    """
+
+    def __init__(self, base: int = DATA_BASE) -> None:
+        self._base = base
+        self._next = base
+        self._words: dict[int, int] = {}
+        self._kinds: dict[int, int] = {}
+        self._relocations: dict[int, str] = {}  # word addr -> symbol
+        self.labels: dict[str, int] = {}
+
+    @property
+    def end(self) -> int:
+        """First unused byte address after all emitted data."""
+        return self._next
+
+    def align(self, boundary: int = WORD_SIZE) -> int:
+        """Advance to the next multiple of *boundary*; return new address."""
+        rem = self._next % boundary
+        if rem:
+            self._next += boundary - rem
+        return self._next
+
+    def label(self, name: str) -> int:
+        """Define *name* at the current (word-aligned) address."""
+        self.align()
+        if name in self.labels:
+            raise AssemblyError(f"duplicate data label: {name!r}")
+        self.labels[name] = self._next
+        return self._next
+
+    def word(self, value: int, kind: ValueKind = ValueKind.INT_DATA) -> int:
+        """Emit one 8-byte word; return its address."""
+        self.align()
+        addr = self._next
+        self._words[addr] = value & _U64_MASK
+        self._kinds[addr] = int(kind)
+        self._next += WORD_SIZE
+        return addr
+
+    def double(self, value: float) -> int:
+        """Emit one IEEE double; return its address."""
+        return self.word(float_to_bits(value), ValueKind.FP_DATA)
+
+    def pointer(self, symbol: str, kind: ValueKind = ValueKind.DATA_ADDR) -> int:
+        """Emit a word that the linker fills with *symbol*'s address."""
+        self.align()
+        addr = self.word(0, kind)
+        self._relocations[addr] = symbol
+        return addr
+
+    def words(self, values: Iterable[int],
+              kind: ValueKind = ValueKind.INT_DATA) -> int:
+        """Emit a sequence of words; return the address of the first."""
+        self.align()
+        start = self._next
+        for v in values:
+            self.word(v, kind)
+        return start
+
+    def doubles(self, values: Iterable[float]) -> int:
+        """Emit a sequence of IEEE doubles; return the first address."""
+        self.align()
+        start = self._next
+        for v in values:
+            self.double(v)
+        return start
+
+    def bytes_(self, data: bytes, terminate: bool = False) -> int:
+        """Emit raw bytes (packed little-endian into words).
+
+        With ``terminate=True`` a NUL byte is appended (C-string style).
+        Returns the byte address of the first byte.
+        """
+        self.align()
+        start = self._next
+        payload = data + (b"\x00" if terminate else b"")
+        for offset in range(0, len(payload), WORD_SIZE):
+            chunk = payload[offset:offset + WORD_SIZE]
+            chunk = chunk.ljust(WORD_SIZE, b"\x00")
+            self.word(struct.unpack("<Q", chunk)[0], ValueKind.INT_DATA)
+        return start
+
+    def string(self, text: str) -> int:
+        """Emit a NUL-terminated ASCII string; return its address."""
+        return self.bytes_(text.encode("ascii"), terminate=True)
+
+    def space(self, num_words: int,
+              kind: ValueKind = ValueKind.INT_DATA) -> int:
+        """Reserve *num_words* zeroed words; return the first address."""
+        return self.words([0] * num_words, kind)
+
+    def initial_memory(
+        self, symbols: dict[str, int]
+    ) -> tuple[dict[int, int], dict[int, int]]:
+        """Resolve relocations; return (word values, word kinds) by address."""
+        words = dict(self._words)
+        for addr, symbol in self._relocations.items():
+            if symbol not in symbols:
+                raise LinkError(f"undefined symbol in data segment: {symbol!r}")
+            words[addr] = symbols[symbol] & _U64_MASK
+        return words, dict(self._kinds)
+
+
+class Program:
+    """A linked VRISC program, ready for functional simulation.
+
+    Use :class:`repro.isa.builder.CodeBuilder` to construct one; direct
+    construction is intended for tests and the text assembler.
+    """
+
+    def __init__(
+        self,
+        instructions: list[Instruction],
+        data: DataSegment,
+        labels: dict[str, int],
+        entry: str = "main",
+        name: str = "program",
+    ) -> None:
+        self.instructions = instructions
+        self.data = data
+        self.name = name
+        # Code labels hold instruction *indices* until linked.
+        self._code_labels = labels
+        self._entry = entry
+        self.symbols: dict[str, int] = {}
+        self._linked = False
+
+    # -- addressing helpers --------------------------------------------------
+    @staticmethod
+    def pc_of(index: int) -> int:
+        """Byte address of the instruction at position *index*."""
+        return TEXT_BASE + index * INSTR_SIZE
+
+    @staticmethod
+    def index_of(pc: int) -> int:
+        """Instruction position for byte address *pc*."""
+        return (pc - TEXT_BASE) // INSTR_SIZE
+
+    @property
+    def entry_pc(self) -> int:
+        """Byte address of the program entry point."""
+        self._require_linked()
+        return self.symbols[self._entry]
+
+    def link(self) -> "Program":
+        """Resolve all symbolic targets; idempotent.  Returns self."""
+        if self._linked:
+            return self
+        self.symbols = {
+            name: self.pc_of(index)
+            for name, index in self._code_labels.items()
+        }
+        for name, addr in self.data.labels.items():
+            if name in self.symbols:
+                raise LinkError(f"symbol defined in both text and data: {name!r}")
+            self.symbols[name] = addr
+
+        for pos, instr in enumerate(self.instructions):
+            if isinstance(instr.target, str):
+                if instr.target not in self.symbols:
+                    raise LinkError(
+                        f"undefined branch target {instr.target!r} "
+                        f"at instruction {pos}"
+                    )
+                instr.target = self.symbols[instr.target]
+            if instr.symbol is not None and instr.opcode in (
+                Opcode.LA, Opcode.LI,
+            ):
+                if instr.symbol not in self.symbols:
+                    raise LinkError(
+                        f"undefined symbol {instr.symbol!r} at instruction {pos}"
+                    )
+                instr.imm = self.symbols[instr.symbol]
+        if self._entry not in self.symbols:
+            raise LinkError(f"undefined entry point: {self._entry!r}")
+        self._linked = True
+        return self
+
+    def initial_memory(self) -> tuple[dict[int, int], dict[int, int]]:
+        """Loader view of the data segment (values and kinds by address)."""
+        self._require_linked()
+        return self.data.initial_memory(self.symbols)
+
+    def _require_linked(self) -> None:
+        if not self._linked:
+            raise LinkError("program is not linked; call link() first")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Program {self.name!r}: {len(self.instructions)} instructions, "
+            f"{self.data.end - DATA_BASE} data bytes>"
+        )

@@ -1,0 +1,95 @@
+"""Register model for the VRISC ISA.
+
+VRISC is the small 64-bit load/store RISC ISA all workloads in this
+reproduction are written in.  It has:
+
+* 32 general-purpose registers ``r0``-``r31`` (``r0`` is hardwired to zero),
+* 32 floating-point registers ``f0``-``f31``,
+* a link register ``LR`` (written by calls, read by returns), and
+* a count register ``CTR`` (used for computed branches, PowerPC-style).
+
+Registers are identified by small integers so that traces can store them
+compactly: GPRs are ``0..31``, FPRs are ``32..63``, then ``LR`` and ``CTR``.
+``NO_REG`` (-1) marks an absent operand slot.
+"""
+
+from __future__ import annotations
+
+NUM_GPRS = 32
+NUM_FPRS = 32
+
+#: Marker for "no register in this operand slot".
+NO_REG = -1
+
+#: First floating-point register id.
+FPR_BASE = NUM_GPRS
+
+#: Special-purpose register ids.
+LR = FPR_BASE + NUM_FPRS  # link register (64)
+CTR = LR + 1  # count register (65)
+
+#: Total number of architected register ids (for register-file sizing).
+NUM_REGS = CTR + 1
+
+# --- Software conventions used by the code generator -----------------------
+ZERO = 0  # hardwired zero
+SP = 1  # stack pointer
+TOC = 2  # table-of-contents / global pointer
+RV = 3  # integer return value
+ARG_REGS = (3, 4, 5, 6, 7, 8, 9, 10)  # integer argument registers
+SCRATCH = (11, 12)  # caller-saved scratch
+TEMP_REGS = tuple(range(13, 24))  # caller-saved temporaries
+SAVED_REGS = tuple(range(24, 32))  # callee-saved
+
+FRV = FPR_BASE + 0  # FP return value
+FARG_REGS = tuple(FPR_BASE + i for i in range(0, 8))
+FTEMP_REGS = tuple(FPR_BASE + i for i in range(8, 24))
+FSAVED_REGS = tuple(FPR_BASE + i for i in range(24, 32))
+
+
+def is_gpr(reg: int) -> bool:
+    """Return True if *reg* names a general-purpose register."""
+    return 0 <= reg < NUM_GPRS
+
+
+def is_fpr(reg: int) -> bool:
+    """Return True if *reg* names a floating-point register."""
+    return FPR_BASE <= reg < FPR_BASE + NUM_FPRS
+
+
+def is_special(reg: int) -> bool:
+    """Return True if *reg* is LR or CTR."""
+    return reg in (LR, CTR)
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name for a register id (``r5``, ``f2``, ``lr``...)."""
+    if reg == NO_REG:
+        return "-"
+    if is_gpr(reg):
+        return f"r{reg}"
+    if is_fpr(reg):
+        return f"f{reg - FPR_BASE}"
+    if reg == LR:
+        return "lr"
+    if reg == CTR:
+        return "ctr"
+    raise ValueError(f"invalid register id: {reg}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name (as produced by :func:`reg_name`) to its id."""
+    name = name.strip().lower()
+    if name == "lr":
+        return LR
+    if name == "ctr":
+        return CTR
+    if name.startswith("r") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < NUM_GPRS:
+            return idx
+    if name.startswith("f") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < NUM_FPRS:
+            return FPR_BASE + idx
+    raise ValueError(f"invalid register name: {name!r}")

@@ -1,0 +1,54 @@
+"""The Load Value Prediction unit and its components.
+
+* :class:`~repro.lvp.lvpt.LVPT` -- load value prediction table,
+* :class:`~repro.lvp.lct.LCT` -- load classification table,
+* :class:`~repro.lvp.cvu.CVU` -- constant verification unit,
+* :class:`~repro.lvp.unit.LVPUnit` -- the composed unit,
+* Table-2 configurations in :mod:`repro.lvp.config`,
+* value-locality measurement in :mod:`repro.lvp.locality`.
+"""
+
+from repro.lvp.config import (
+    CONSTANT,
+    EXTENSION_CONFIGS,
+    GSHARE,
+    LIMIT,
+    LVPConfig,
+    PAPER_CONFIGS,
+    PERFECT,
+    REALISTIC_CONFIGS,
+    SIMPLE,
+    STRIDE,
+    config_by_name,
+)
+from repro.lvp.context import ContextLVPT
+from repro.lvp.general import (
+    GeneralLocalityResult,
+    measure_general_value_locality,
+)
+from repro.lvp.profile import (
+    LoadProfile,
+    build_table_filter,
+    profile_loads,
+)
+from repro.lvp.stride import StridePredictor
+from repro.lvp.cvu import CVU
+from repro.lvp.lct import LCT, LoadClass
+from repro.lvp.locality import (
+    LocalityResult,
+    measure_locality_by_kind,
+    measure_value_locality,
+)
+from repro.lvp.lvpt import LVPT
+from repro.lvp.unit import LoadOutcome, LVPStats, LVPUnit
+
+__all__ = [
+    "CONSTANT", "EXTENSION_CONFIGS", "GSHARE", "LIMIT", "LVPConfig",
+    "PAPER_CONFIGS", "PERFECT", "REALISTIC_CONFIGS", "SIMPLE", "STRIDE",
+    "config_by_name", "ContextLVPT", "StridePredictor",
+    "GeneralLocalityResult", "measure_general_value_locality",
+    "LoadProfile", "build_table_filter", "profile_loads",
+    "CVU", "LCT", "LoadClass", "LVPT",
+    "LoadOutcome", "LVPStats", "LVPUnit",
+    "LocalityResult", "measure_locality_by_kind", "measure_value_locality",
+]

@@ -1,0 +1,152 @@
+"""LVP unit configurations (paper Table 2).
+
+The paper studies four configurations:
+
+==========  ============  =============  ===========  ========  ===========
+Config      LVPT entries  History depth  LCT entries  LCT bits  CVU entries
+==========  ============  =============  ===========  ========  ===========
+Simple      1024          1              256          2         32
+Constant    1024          1              256          1         128
+Limit       4096          16 (perfect)   1024         2         128
+Perfect     (oracle)      (oracle)       --           --        0
+==========  ============  =============  ===========  ========  ===========
+
+For history depth greater than one the paper assumes "a hypothetical
+perfect selection mechanism" for picking which of the stored values to
+predict; that oracle is the ``selection="perfect"`` policy here.  The
+Perfect configuration correctly predicts *all* load values but never
+classifies any load as constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LVPConfig:
+    """Parameters of one LVP unit instance.
+
+    ``selection`` chooses among an entry's history values: ``"mru"``
+    predicts the most-recently-seen value (the only realistic policy);
+    ``"perfect"`` is the paper's oracle that counts a prediction correct
+    if *any* stored value matches.
+    """
+
+    name: str
+    lvpt_entries: int = 1024
+    history_depth: int = 1
+    selection: str = "mru"
+    lct_entries: int = 256
+    lct_bits: int = 2
+    cvu_entries: int = 32
+    perfect: bool = False  # oracle: every load predicted correctly
+    lvpt_tagged: bool = False  # ablation: tag LVPT entries with full PC
+    #: Value predictor: "history" (the paper's LVPT) or "stride"
+    #: (the paper's future-work computed prediction).
+    predictor: str = "history"
+    #: LVPT index: "pc" (the paper) or "gshare" (future work: fold
+    #: global branch history into the lookup index).
+    index_mode: str = "pc"
+    ghr_bits: int = 8  # history bits for index_mode="gshare"
+    #: Optional pollution control (future work): only load PCs in this
+    #: set may enter the tables; build one with
+    #: :func:`repro.lvp.profile.build_table_filter`.
+    profile_filter: object = None  # Optional[frozenset[int]]
+
+    def __post_init__(self) -> None:
+        if not self.perfect:
+            if self.lvpt_entries <= 0 or \
+                    self.lvpt_entries & (self.lvpt_entries - 1):
+                raise ConfigError(
+                    f"{self.name}: lvpt_entries must be a power of two"
+                )
+            if self.lct_entries <= 0 or \
+                    self.lct_entries & (self.lct_entries - 1):
+                raise ConfigError(
+                    f"{self.name}: lct_entries must be a power of two"
+                )
+            if self.history_depth < 1:
+                raise ConfigError(f"{self.name}: history_depth must be >= 1")
+            if self.selection not in ("mru", "perfect"):
+                raise ConfigError(
+                    f"{self.name}: unknown selection policy "
+                    f"{self.selection!r}"
+                )
+            if self.lct_bits not in (1, 2, 3, 4):
+                raise ConfigError(f"{self.name}: lct_bits must be 1..4")
+            if self.cvu_entries < 0:
+                raise ConfigError(f"{self.name}: cvu_entries must be >= 0")
+            if self.predictor not in ("history", "stride"):
+                raise ConfigError(
+                    f"{self.name}: unknown predictor {self.predictor!r}"
+                )
+            if self.index_mode not in ("pc", "gshare"):
+                raise ConfigError(
+                    f"{self.name}: unknown index_mode {self.index_mode!r}"
+                )
+            if self.predictor == "stride" and self.history_depth != 1:
+                raise ConfigError(
+                    f"{self.name}: the stride predictor keeps one value"
+                )
+            if not 1 <= self.ghr_bits <= 20:
+                raise ConfigError(f"{self.name}: ghr_bits must be 1..20")
+            if self.profile_filter is not None and \
+                    not isinstance(self.profile_filter, frozenset):
+                raise ConfigError(
+                    f"{self.name}: profile_filter must be a frozenset"
+                )
+
+
+#: Paper Table 2, row "Simple": buildable within a processor generation.
+SIMPLE = LVPConfig(
+    name="Simple", lvpt_entries=1024, history_depth=1, selection="mru",
+    lct_entries=256, lct_bits=2, cvu_entries=32,
+)
+
+#: Paper Table 2, row "Constant": 1-bit LCT biased toward constant
+#: identification, with a larger CVU.
+CONSTANT = LVPConfig(
+    name="Constant", lvpt_entries=1024, history_depth=1, selection="mru",
+    lct_entries=256, lct_bits=1, cvu_entries=128,
+)
+
+#: Paper Table 2, row "Limit": large tables, 16-deep history with a
+#: perfect selection oracle.  Not buildable; a limit study.
+LIMIT = LVPConfig(
+    name="Limit", lvpt_entries=4096, history_depth=16, selection="perfect",
+    lct_entries=1024, lct_bits=2, cvu_entries=128,
+)
+
+#: Paper Table 2, row "Perfect": predicts every load correctly, never
+#: classifies a load as constant.
+PERFECT = LVPConfig(
+    name="Perfect", perfect=True, cvu_entries=0,
+)
+
+#: The four paper configurations, in Table 2 order.
+PAPER_CONFIGS = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+
+#: Future-work configurations (paper Section 7), sized like Simple.
+STRIDE = LVPConfig(
+    name="Stride", lvpt_entries=1024, predictor="stride",
+    lct_entries=256, lct_bits=2, cvu_entries=32,
+)
+GSHARE = LVPConfig(
+    name="Gshare", lvpt_entries=1024, index_mode="gshare", ghr_bits=8,
+    lct_entries=256, lct_bits=2, cvu_entries=32,
+)
+EXTENSION_CONFIGS = (STRIDE, GSHARE)
+
+#: The two configurations the paper calls "realistic".
+REALISTIC_CONFIGS = (SIMPLE, CONSTANT)
+
+
+def config_by_name(name: str) -> LVPConfig:
+    """Look up a configuration by (case-insensitive) name."""
+    for config in PAPER_CONFIGS + EXTENSION_CONFIGS:
+        if config.name.lower() == name.lower():
+            return config
+    raise ConfigError(f"unknown LVP configuration: {name!r}")

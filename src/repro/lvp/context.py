@@ -1,0 +1,44 @@
+"""Branch-history-indexed value prediction (paper future work).
+
+The paper proposes "allowing multiple values per static load in the
+prediction table by including branch history bits or other readily
+available processor state in the lookup index".  This module implements
+that refinement gshare-style: the LVPT index becomes
+``(pc >> 2) XOR global-branch-history``, so a load reached along
+different control paths trains different entries -- giving each static
+load multiple values without any selection oracle.
+"""
+
+from __future__ import annotations
+
+from repro.lvp.lvpt import LVPT
+
+
+class ContextLVPT(LVPT):
+    """An LVPT whose index folds in global branch history (gshare).
+
+    The owning LVP unit shifts branch outcomes in via
+    :meth:`record_branch`; lookups made between branches all see the
+    same history, exactly as a fetch-stage predictor would.
+    """
+
+    def __init__(self, entries: int, history_depth: int = 1,
+                 selection: str = "mru", tagged: bool = False,
+                 ghr_bits: int = 8) -> None:
+        super().__init__(entries, history_depth, selection, tagged)
+        self.ghr_bits = ghr_bits
+        self._ghr_mask = (1 << ghr_bits) - 1
+        self.ghr = 0
+
+    def index_of(self, pc: int) -> int:
+        """gshare index: pc bits XOR the global history register."""
+        return ((pc // 4) ^ self.ghr) & self._mask
+
+    def record_branch(self, taken: bool) -> None:
+        """Shift one conditional-branch outcome into the history."""
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._ghr_mask
+
+    def flush(self) -> None:
+        """Clear values and history."""
+        super().flush()
+        self.ghr = 0

@@ -1,0 +1,103 @@
+"""Constant Verification Unit (paper Section 3.3).
+
+The CVU is a small fully-associative table (a CAM in hardware).  When a
+load that the LCT classifies as *constant* executes, the pair
+``(data address, LVPT index)`` is placed in the CVU.  Any later store
+whose address matches invalidates the entry.  When the constant load
+executes again and finds a matching entry, the value in the LVPT is
+guaranteed coherent with memory -- no store can have intervened -- so
+the conventional memory hierarchy need not be accessed at all.  If no
+entry matches, the load is demoted from constant to merely predictable
+and verifies through the cache as usual.
+
+Replacement is LRU over the fixed number of entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class CVU:
+    """Fully-associative, store-invalidated constant verification unit."""
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        # (data_addr, lvpt_index) -> None, in LRU order (oldest first).
+        self._cam: OrderedDict[tuple[int, int], None] = OrderedDict()
+        # Secondary index: data_addr -> set of lvpt indices, so that the
+        # store-snoop path is O(1) rather than a scan.
+        self._by_addr: dict[int, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._cam)
+
+    def match(self, data_addr: int, lvpt_index: int) -> bool:
+        """CAM search: is (addr, index) present?  Refreshes LRU on hit.
+
+        Addresses are tracked at word (8-byte) granularity: the CVU must
+        be conservative, and snooping every store at word granularity is
+        the simplest correct choice for sub-word accesses.
+        """
+        key = (data_addr & ~7, lvpt_index)
+        if key in self._cam:
+            self._cam.move_to_end(key)
+            return True
+        return False
+
+    def insert(self, data_addr: int, lvpt_index: int) -> None:
+        """Place an entry, evicting the LRU entry if the CVU is full."""
+        if self.entries == 0:
+            return
+        data_addr &= ~7
+        key = (data_addr, lvpt_index)
+        if key in self._cam:
+            self._cam.move_to_end(key)
+            return
+        if len(self._cam) >= self.entries:
+            victim, _ = self._cam.popitem(last=False)
+            self._forget(victim)
+        self._cam[key] = None
+        self._by_addr.setdefault(data_addr, set()).add(lvpt_index)
+
+    def invalidate(self, key: tuple[int, int]) -> None:
+        """Remove one entry (used when a verified value turns out stale)."""
+        if key in self._cam:
+            del self._cam[key]
+            self._forget(key)
+
+    def snoop_store(self, data_addr: int, size: int = 8) -> int:
+        """Invalidate all entries overlapping a store; return the count.
+
+        Stores are snooped at word granularity: a store of *size* bytes
+        at *data_addr* invalidates entries for every word it touches
+        (sub-word stores invalidate the containing word's entries, since
+        CVU entries are recorded at the load's effective address).
+        """
+        removed = 0
+        first_word = data_addr & ~7
+        last_word = (data_addr + max(size, 1) - 1) & ~7
+        for word in range(first_word, last_word + 8, 8):
+            removed += self._invalidate_addr(word)
+        return removed
+
+    def _invalidate_addr(self, addr: int) -> int:
+        indices = self._by_addr.pop(addr, None)
+        if not indices:
+            return 0
+        for lvpt_index in indices:
+            self._cam.pop((addr, lvpt_index), None)
+        return len(indices)
+
+    def _forget(self, key: tuple[int, int]) -> None:
+        addr, lvpt_index = key
+        indices = self._by_addr.get(addr)
+        if indices is not None:
+            indices.discard(lvpt_index)
+            if not indices:
+                del self._by_addr[addr]
+
+    def flush(self) -> None:
+        """Empty the CVU."""
+        self._cam.clear()
+        self._by_addr.clear()

@@ -1,0 +1,73 @@
+"""Load Classification Table (paper Sections 3.2).
+
+A direct-mapped table of n-bit saturating counters indexed by the
+low-order bits of the load instruction address.  The counter state maps
+to a prediction class:
+
+* **2-bit counter** (states 0-3): ``0,1 = don't predict``, ``2 =
+  predict``, ``3 = constant`` -- exactly the paper's assignment.
+* **1-bit counter** (states 0-1): ``0 = don't predict``, ``1 =
+  constant`` (the paper's Constant configuration).
+
+Counters increment when the predicted value was correct and decrement
+otherwise, saturating at both ends.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.program import INSTR_SIZE
+
+
+class LoadClass(enum.IntEnum):
+    """Classification the LCT assigns to a load."""
+
+    DONT_PREDICT = 0
+    PREDICT = 1
+    CONSTANT = 2
+
+
+class LCT:
+    """Direct-mapped table of saturating classification counters."""
+
+    def __init__(self, entries: int, bits: int = 2) -> None:
+        self.entries = entries
+        self.bits = bits
+        self._mask = entries - 1
+        self._max = (1 << bits) - 1
+        self._counters = [0] * entries
+
+    def index_of(self, pc: int) -> int:
+        """Table index for a load at instruction address *pc*."""
+        return (pc // INSTR_SIZE) & self._mask
+
+    def counter(self, pc: int) -> int:
+        """Raw saturating-counter value for *pc*."""
+        return self._counters[self.index_of(pc)]
+
+    def classify(self, pc: int) -> LoadClass:
+        """Classification for the load at *pc*."""
+        value = self._counters[self.index_of(pc)]
+        if self.bits == 1:
+            return LoadClass.CONSTANT if value else LoadClass.DONT_PREDICT
+        if value == self._max:
+            return LoadClass.CONSTANT
+        if value == self._max - 1:
+            return LoadClass.PREDICT
+        return LoadClass.DONT_PREDICT
+
+    def update(self, pc: int, correct: bool) -> None:
+        """Step the counter for *pc* up (correct) or down (incorrect)."""
+        index = self.index_of(pc)
+        value = self._counters[index]
+        if correct:
+            if value < self._max:
+                self._counters[index] = value + 1
+        else:
+            if value > 0:
+                self._counters[index] = value - 1
+
+    def flush(self) -> None:
+        """Reset all counters to the don't-predict state."""
+        self._counters = [0] * self.entries

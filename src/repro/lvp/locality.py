@@ -1,0 +1,88 @@
+"""Value locality measurement (paper Section 2, Figures 1 and 2).
+
+Value locality of a benchmark is "the number of times each static load
+instruction retrieves a value from memory that matches a previously-seen
+value for that static load, divided by the total number of dynamic
+loads".  Per the paper's footnote 1, the previously-seen values are kept
+in a direct-mapped table of 1K entries indexed -- but not tagged -- by
+instruction address, with the ``depth`` values at each entry replaced
+LRU, so constructive and destructive interference both occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import ValueKind
+from repro.lvp.lvpt import LVPT
+from repro.trace.records import Trace
+
+
+@dataclass
+class LocalityResult:
+    """Value locality of one trace at one history depth."""
+
+    name: str
+    target: str
+    depth: int
+    total_loads: int
+    hits: int
+
+    @property
+    def locality(self) -> float:
+        """Fraction of dynamic loads whose value was previously seen."""
+        if not self.total_loads:
+            return 0.0
+        return self.hits / self.total_loads
+
+    @property
+    def percent(self) -> float:
+        """Locality as a percentage (as plotted in Figures 1 and 2)."""
+        return 100.0 * self.locality
+
+
+def measure_value_locality(trace: Trace, depth: int = 1,
+                           entries: int = 1024) -> LocalityResult:
+    """Measure load value locality of *trace* at *depth* (Figure 1)."""
+    table = LVPT(entries, history_depth=depth, selection="perfect")
+    loads = trace.loads()
+    pcs = loads.pc.tolist()
+    values = loads.value.tolist()
+    hits = 0
+    check = table.would_be_correct
+    update = table.update
+    for pc, value in zip(pcs, values):
+        if check(pc, value):
+            hits += 1
+        update(pc, value)
+    return LocalityResult(trace.name, trace.target, depth, len(pcs), hits)
+
+
+def measure_locality_by_kind(
+    trace: Trace, depth: int = 1, entries: int = 1024,
+) -> dict[ValueKind, LocalityResult]:
+    """Measure value locality per :class:`ValueKind` (Figure 2).
+
+    All loads share one history table (interference included); hits and
+    totals are then attributed to the kind of the loaded value.
+    """
+    table = LVPT(entries, history_depth=depth, selection="perfect")
+    loads = trace.loads()
+    pcs = loads.pc.tolist()
+    values = loads.value.tolist()
+    kinds = loads.kind.tolist()
+    totals = {kind: 0 for kind in ValueKind}
+    hits = {kind: 0 for kind in ValueKind}
+    check = table.would_be_correct
+    update = table.update
+    for pc, value, kind in zip(pcs, values, kinds):
+        kind = ValueKind(kind)
+        totals[kind] += 1
+        if check(pc, value):
+            hits[kind] += 1
+        update(pc, value)
+    return {
+        kind: LocalityResult(trace.name, trace.target, depth,
+                             totals[kind], hits[kind])
+        for kind in ValueKind
+    }

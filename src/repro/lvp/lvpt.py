@@ -1,0 +1,88 @@
+"""Load Value Prediction Table (paper Section 3.1).
+
+The LVPT associates a load instruction with the value(s) it previously
+loaded.  It is direct-mapped and indexed -- but **not tagged** -- by the
+low-order bits of the load instruction address, so both constructive and
+destructive interference can occur between loads that map to the same
+entry (the paper makes the same choice and notes the same consequence).
+
+Each entry stores up to ``history_depth`` distinct values in MRU order,
+replaced LRU.  Prediction policies:
+
+* ``"mru"`` -- predict the most recently seen value (depth-1 behaviour).
+* ``"perfect"`` -- the paper's limit-study oracle: the prediction is
+  deemed correct if *any* of the stored values matches the actual value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.program import INSTR_SIZE
+
+
+class LVPT:
+    """Direct-mapped, untagged load value prediction table."""
+
+    def __init__(self, entries: int, history_depth: int = 1,
+                 selection: str = "mru", tagged: bool = False) -> None:
+        self.entries = entries
+        self.history_depth = history_depth
+        self.selection = selection
+        self.tagged = tagged
+        self._mask = entries - 1
+        # Per entry: list of values in MRU-first order (possibly empty).
+        self._values: list[list[int]] = [[] for _ in range(entries)]
+        self._tags: list[int] = [-1] * entries
+
+    def index_of(self, pc: int) -> int:
+        """Table index for a load at instruction address *pc*."""
+        return (pc // INSTR_SIZE) & self._mask
+
+    def lookup(self, pc: int) -> list[int]:
+        """History values for *pc*, MRU first (empty if none/tag miss)."""
+        index = self.index_of(pc)
+        if self.tagged and self._tags[index] != pc:
+            return []
+        return self._values[index]
+
+    def predict(self, pc: int) -> Optional[int]:
+        """The value the table would forward for *pc* (None = no value).
+
+        Under perfect selection this returns the MRU value; use
+        :meth:`would_be_correct` to apply the oracle.
+        """
+        history = self.lookup(pc)
+        return history[0] if history else None
+
+    def would_be_correct(self, pc: int, actual: int) -> bool:
+        """Would a prediction for *pc* match *actual* under the policy?"""
+        history = self.lookup(pc)
+        if not history:
+            return False
+        if self.selection == "perfect":
+            return actual in history
+        return history[0] == actual
+
+    def update(self, pc: int, actual: int) -> None:
+        """Record that the load at *pc* retrieved *actual* (LRU update)."""
+        index = self.index_of(pc)
+        if self.tagged and self._tags[index] != pc:
+            self._tags[index] = pc
+            self._values[index] = [actual]
+            return
+        history = self._values[index]
+        if history and history[0] == actual:
+            return
+        try:
+            history.remove(actual)
+        except ValueError:
+            pass
+        history.insert(0, actual)
+        if len(history) > self.history_depth:
+            history.pop()
+
+    def flush(self) -> None:
+        """Clear all entries (used between benchmark runs)."""
+        self._values = [[] for _ in range(self.entries)]
+        self._tags = [-1] * self.entries

@@ -1,0 +1,75 @@
+"""Profile-guided value-table pollution control (paper future work).
+
+The paper proposes that the classification mechanism "could also be
+...extended to control pollution in the value table (e.g. removing
+loads that are not latency-critical from the table)".  This module
+implements the profiling side: a pass over a training trace computes,
+per static load, its dynamic weight and last-value predictability, and
+derives a *filter* -- the set of load PCs worth table space.  An
+:class:`~repro.lvp.unit.LVPUnit` configured with the filter excludes
+everything else from its tables entirely, so unpredictable loads can no
+longer evict useful entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.records import Trace
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Profile of one static load."""
+
+    pc: int
+    dynamic_count: int
+    hits: int  # last-value matches
+
+    @property
+    def predictability(self) -> float:
+        """Fraction of executions whose value repeated the previous one."""
+        if not self.dynamic_count:
+            return 0.0
+        return self.hits / self.dynamic_count
+
+
+def profile_loads(trace: Trace) -> dict[int, LoadProfile]:
+    """Per-static-load last-value predictability over *trace*.
+
+    Unlike the table-based locality measurement, profiling is exact
+    per PC (no interference): it is an offline feedback pass, not a
+    hardware model.
+    """
+    counts: dict[int, int] = {}
+    hits: dict[int, int] = {}
+    last: dict[int, int] = {}
+    loads = trace.loads()
+    pcs = loads.pc.tolist()
+    values = loads.value.tolist()
+    for pc, value in zip(pcs, values):
+        counts[pc] = counts.get(pc, 0) + 1
+        if last.get(pc) == value:
+            hits[pc] = hits.get(pc, 0) + 1
+        last[pc] = value
+    return {
+        pc: LoadProfile(pc, counts[pc], hits.get(pc, 0))
+        for pc in counts
+    }
+
+
+def build_table_filter(trace: Trace, min_predictability: float = 0.4,
+                       min_count: int = 4) -> frozenset:
+    """Derive the set of load PCs worth LVPT space.
+
+    Loads below *min_predictability* (or executed fewer than
+    *min_count* times in the training trace) are excluded: they would
+    mostly pollute the table.  Cold loads absent from the training
+    trace are excluded too -- the conservative choice.
+    """
+    profiles = profile_loads(trace)
+    return frozenset(
+        pc for pc, profile in profiles.items()
+        if profile.dynamic_count >= min_count
+        and profile.predictability >= min_predictability
+    )

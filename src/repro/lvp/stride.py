@@ -1,0 +1,80 @@
+"""Stride value prediction (the paper's first future-work item).
+
+The paper closes by proposing "moving beyond history-based prediction
+to computed predictions through techniques like value stride
+detection".  This module implements that follow-up: a direct-mapped,
+untagged table whose entries track the last value, the last observed
+stride, and a 2-bit stride-confidence counter.  When the same stride is
+seen twice in a row, the predictor computes ``last + stride`` instead
+of replaying ``last`` -- catching induction variables, sequential
+pointers, and loop-carried address arithmetic that pure history misses.
+
+The predictor is inherently hybrid: it backs off to plain last-value
+history whenever stride confidence is low, so it can only help on
+loads with genuine arithmetic progressions.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import INSTR_SIZE
+
+_U64 = (1 << 64) - 1
+
+
+class StridePredictor:
+    """Direct-mapped last-value + stride table.
+
+    Interface-compatible with :class:`repro.lvp.lvpt.LVPT` where the
+    LVP unit needs it (``predict`` / ``would_be_correct`` / ``update`` /
+    ``index_of`` / ``flush``).
+    """
+
+    #: Confidence value at and above which the stride is applied.
+    CONFIDENT = 2
+    _MAX_CONFIDENCE = 3
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._mask = entries - 1
+        self._last: list = [None] * entries
+        self._stride: list[int] = [0] * entries
+        self._confidence: list[int] = [0] * entries
+
+    def index_of(self, pc: int) -> int:
+        """Table index for a load at instruction address *pc*."""
+        return (pc // INSTR_SIZE) & self._mask
+
+    def predict(self, pc: int):
+        """Predicted value for *pc* (None if the entry is cold)."""
+        index = self.index_of(pc)
+        last = self._last[index]
+        if last is None:
+            return None
+        if self._confidence[index] >= self.CONFIDENT:
+            return (last + self._stride[index]) & _U64
+        return last
+
+    def would_be_correct(self, pc: int, actual: int) -> bool:
+        """Would the prediction for *pc* match *actual*?"""
+        return self.predict(pc) == actual
+
+    def update(self, pc: int, actual: int) -> None:
+        """Train on the observed value (stride detection + confidence)."""
+        index = self.index_of(pc)
+        last = self._last[index]
+        if last is not None:
+            stride = (actual - last) & _U64
+            if stride == self._stride[index]:
+                if self._confidence[index] < self._MAX_CONFIDENCE:
+                    self._confidence[index] += 1
+            else:
+                self._stride[index] = stride
+                self._confidence[index] = 1 if stride else 0
+        self._last[index] = actual
+
+    def flush(self) -> None:
+        """Clear all entries."""
+        self._last = [None] * self.entries
+        self._stride = [0] * self.entries
+        self._confidence = [0] * self.entries
+

@@ -1,0 +1,212 @@
+"""The Load Value Prediction Unit (paper Section 3.4).
+
+Composes the LVPT, LCT, and CVU and processes a program-order stream of
+loads and stores, assigning each dynamic load one of the paper's four
+value prediction states: *no prediction*, *incorrect prediction*,
+*correct prediction*, or *constant load* (Section 5).  These annotations
+are exactly what the paper's microarchitectural simulators consume.
+
+The unit also keeps the bookkeeping needed for the paper's Table 3
+(LCT classification accuracy versus ground truth) and Table 4
+(fraction of dynamic loads treated as constants).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lvp.config import LVPConfig
+from repro.lvp.context import ContextLVPT
+from repro.lvp.cvu import CVU
+from repro.lvp.lct import LCT, LoadClass
+from repro.lvp.lvpt import LVPT
+from repro.lvp.stride import StridePredictor
+
+
+class LoadOutcome(enum.IntEnum):
+    """Per-dynamic-load annotation (the paper's four prediction states)."""
+
+    NO_PREDICTION = 0
+    INCORRECT = 1
+    CORRECT = 2
+    CONSTANT = 3  # correct AND verified by the CVU (no cache access)
+
+
+@dataclass
+class LVPStats:
+    """Counters accumulated while a unit processes a trace."""
+
+    loads: int = 0
+    stores: int = 0
+    outcomes: dict[LoadOutcome, int] = field(
+        default_factory=lambda: {o: 0 for o in LoadOutcome})
+    # Ground truth vs LCT decision (for Table 3): a load is "predictable"
+    # if the LVPT's prediction would have matched the actual value.
+    predictable_predicted: int = 0  # predictable, LCT said predict/constant
+    predictable_not_predicted: int = 0  # predictable, LCT said don't
+    unpredictable_predicted: int = 0  # unpredictable, LCT said predict
+    unpredictable_not_predicted: int = 0  # unpredictable, LCT said don't
+    cvu_insertions: int = 0
+    cvu_store_invalidations: int = 0
+    cvu_demotions: int = 0  # constant-classified loads that missed the CVU
+    cvu_stale_hits: int = 0  # CVU hits whose LVPT value was wrong
+
+    @property
+    def constant_fraction(self) -> float:
+        """Fraction of dynamic loads treated as constants (Table 4)."""
+        if not self.loads:
+            return 0.0
+        return self.outcomes[LoadOutcome.CONSTANT] / self.loads
+
+    @property
+    def unpredictable_identified(self) -> float:
+        """Table 3: fraction of unpredictable loads the LCT caught."""
+        total = self.unpredictable_predicted + self.unpredictable_not_predicted
+        if not total:
+            return 1.0
+        return self.unpredictable_not_predicted / total
+
+    @property
+    def predictable_identified(self) -> float:
+        """Table 3: fraction of predictable loads the LCT caught."""
+        total = self.predictable_predicted + self.predictable_not_predicted
+        if not total:
+            return 1.0
+        return self.predictable_predicted / total
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Correct + constant outcomes over all attempted predictions."""
+        attempted = (self.outcomes[LoadOutcome.CORRECT]
+                     + self.outcomes[LoadOutcome.CONSTANT]
+                     + self.outcomes[LoadOutcome.INCORRECT])
+        if not attempted:
+            return 0.0
+        return (self.outcomes[LoadOutcome.CORRECT]
+                + self.outcomes[LoadOutcome.CONSTANT]) / attempted
+
+
+class LVPUnit:
+    """A complete LVP unit: LVPT + LCT + CVU, per one configuration."""
+
+    def __init__(self, config: LVPConfig) -> None:
+        self.config = config
+        self.stats = LVPStats()
+        if config.perfect:
+            self.lvpt = None
+            self.lct = None
+            self.cvu = None
+        elif config.predictor == "stride":
+            self.lvpt = StridePredictor(config.lvpt_entries)
+            self.lct = LCT(config.lct_entries, config.lct_bits)
+            self.cvu = CVU(config.cvu_entries)
+        elif config.index_mode == "gshare":
+            self.lvpt = ContextLVPT(
+                config.lvpt_entries, config.history_depth,
+                config.selection, tagged=config.lvpt_tagged,
+                ghr_bits=config.ghr_bits)
+            self.lct = LCT(config.lct_entries, config.lct_bits)
+            self.cvu = CVU(config.cvu_entries)
+        else:
+            self.lvpt = LVPT(config.lvpt_entries, config.history_depth,
+                             config.selection, tagged=config.lvpt_tagged)
+            self.lct = LCT(config.lct_entries, config.lct_bits)
+            self.cvu = CVU(config.cvu_entries)
+
+    def process_load(self, pc: int, addr: int, value: int) -> LoadOutcome:
+        """Process one dynamic load; returns its prediction state."""
+        stats = self.stats
+        stats.loads += 1
+
+        # Pollution control (future work): filtered-out loads never
+        # touch the tables, so they cannot evict useful entries.
+        profile_filter = self.config.profile_filter
+        if profile_filter is not None and pc not in profile_filter:
+            stats.outcomes[LoadOutcome.NO_PREDICTION] += 1
+            stats.unpredictable_not_predicted += 1
+            return LoadOutcome.NO_PREDICTION
+
+        if self.config.perfect:
+            outcome = LoadOutcome.CORRECT
+            stats.outcomes[outcome] += 1
+            stats.predictable_predicted += 1
+            return outcome
+
+        lvpt = self.lvpt
+        lct = self.lct
+        would_hit = lvpt.would_be_correct(pc, value)
+        classification = lct.classify(pc)
+
+        if classification is LoadClass.DONT_PREDICT:
+            outcome = LoadOutcome.NO_PREDICTION
+            if would_hit:
+                stats.predictable_not_predicted += 1
+            else:
+                stats.unpredictable_not_predicted += 1
+        elif classification is LoadClass.PREDICT:
+            outcome = LoadOutcome.CORRECT if would_hit \
+                else LoadOutcome.INCORRECT
+            if would_hit:
+                stats.predictable_predicted += 1
+            else:
+                stats.unpredictable_predicted += 1
+        else:  # LoadClass.CONSTANT
+            outcome = self._process_constant(pc, addr, value, would_hit)
+            if would_hit:
+                stats.predictable_predicted += 1
+            else:
+                stats.unpredictable_predicted += 1
+
+        # Tables are trained on every dynamic load (paper Section 3.2:
+        # "incremented when the predicted value is correct").
+        lct.update(pc, would_hit)
+        lvpt.update(pc, value)
+        stats.outcomes[outcome] += 1
+        return outcome
+
+    def _process_constant(self, pc: int, addr: int, value: int,
+                          would_hit: bool) -> LoadOutcome:
+        """Handle a load the LCT classified as constant."""
+        cvu = self.cvu
+        lvpt_index = self.lvpt.index_of(pc)
+        if cvu.match(addr, lvpt_index):
+            if would_hit:
+                return LoadOutcome.CONSTANT
+            # Destructive LVPT interference replaced the value while the
+            # CVU entry stayed valid; the forwarded value is wrong.  The
+            # value comparison catches it (modelled as a misprediction)
+            # and the stale entry is dropped.
+            self.stats.cvu_stale_hits += 1
+            cvu.invalidate((addr & ~7, lvpt_index))
+            return LoadOutcome.INCORRECT
+        # CVU miss: demote to ordinary predictable status (verify via the
+        # memory hierarchy) and install the pair for next time.
+        self.stats.cvu_demotions += 1
+        cvu.insert(addr, lvpt_index)
+        self.stats.cvu_insertions += 1
+        return LoadOutcome.CORRECT if would_hit else LoadOutcome.INCORRECT
+
+    @property
+    def needs_branch_stream(self) -> bool:
+        """True if the unit's tables consume branch outcomes."""
+        return isinstance(self.lvpt, ContextLVPT)
+
+    def process_branch(self, taken: bool) -> None:
+        """Feed one conditional-branch outcome (gshare indexing)."""
+        if isinstance(self.lvpt, ContextLVPT):
+            self.lvpt.record_branch(taken)
+
+    def process_store(self, addr: int, size: int = 8) -> None:
+        """Process one dynamic store (CVU snoop/invalidate)."""
+        self.stats.stores += 1
+        if self.cvu is not None:
+            self.stats.cvu_store_invalidations += \
+                self.cvu.snoop_store(addr, size)
+
+    def flush(self) -> None:
+        """Clear all table state (not the statistics)."""
+        if not self.config.perfect:
+            self.lvpt.flush()
+            self.lct.flush()
+            self.cvu.flush()

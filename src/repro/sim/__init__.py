@@ -1,0 +1,14 @@
+"""Functional simulation: flat memory model and VRISC interpreter."""
+
+from repro.sim.functional import (
+    EXIT_ADDRESS,
+    ExecutionResult,
+    FunctionalSimulator,
+    run_program,
+)
+from repro.sim.memory import Memory
+
+__all__ = [
+    "EXIT_ADDRESS", "ExecutionResult", "FunctionalSimulator",
+    "run_program", "Memory",
+]

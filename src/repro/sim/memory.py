@@ -1,0 +1,110 @@
+"""Flat memory model for functional simulation.
+
+Memory is a sparse map of 8-byte-aligned words to 64-bit values, with a
+parallel *shadow* map recording the :class:`~repro.isa.opcodes.ValueKind`
+of each word.  The shadow is what lets the reproduction classify loads by
+the type of the value loaded (paper Figure 2) without heuristics: every
+value knows whether it is integer data, FP data, an instruction address,
+or a data address, because the producer said so when it was created.
+
+Sub-word accesses (bytes, 32-bit words) read-modify-write the containing
+aligned word, little-endian.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.isa.opcodes import ValueKind
+
+_U64 = (1 << 64) - 1
+_WORD = 8
+
+
+class Memory:
+    """Sparse word-addressed memory with value-kind shadow metadata."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+        self._kinds: dict[int, int] = {}
+
+    @classmethod
+    def from_image(cls, words: dict[int, int],
+                   kinds: dict[int, int]) -> "Memory":
+        """Build a memory preloaded with a program's data segment."""
+        mem = cls()
+        mem._words.update(words)
+        mem._kinds.update(kinds)
+        return mem
+
+    # -- word (64-bit) access ------------------------------------------------
+    def read_word(self, addr: int) -> tuple[int, int]:
+        """Return (value, kind) of the aligned 64-bit word at *addr*."""
+        self._check_aligned(addr, _WORD)
+        return (
+            self._words.get(addr, 0),
+            self._kinds.get(addr, int(ValueKind.INT_DATA)),
+        )
+
+    def write_word(self, addr: int, value: int, kind: int) -> None:
+        """Write a 64-bit value (and its kind) at aligned *addr*."""
+        self._check_aligned(addr, _WORD)
+        self._words[addr] = value & _U64
+        self._kinds[addr] = kind
+
+    # -- 32-bit access ---------------------------------------------------------
+    def read_u32(self, addr: int) -> int:
+        """Read a 32-bit little-endian value at 4-byte-aligned *addr*."""
+        self._check_aligned(addr, 4)
+        base = addr & ~7
+        shift = (addr - base) * 8
+        return (self._words.get(base, 0) >> shift) & 0xFFFF_FFFF
+
+    def write_u32(self, addr: int, value: int) -> None:
+        """Write a 32-bit value; the containing word's kind becomes INT_DATA."""
+        self._check_aligned(addr, 4)
+        base = addr & ~7
+        shift = (addr - base) * 8
+        word = self._words.get(base, 0)
+        mask = 0xFFFF_FFFF << shift
+        self._words[base] = (word & ~mask) | ((value & 0xFFFF_FFFF) << shift)
+        self._kinds[base] = int(ValueKind.INT_DATA)
+
+    # -- byte access -------------------------------------------------------------
+    def read_u8(self, addr: int) -> int:
+        """Read one byte at *addr*."""
+        base = addr & ~7
+        shift = (addr - base) * 8
+        return (self._words.get(base, 0) >> shift) & 0xFF
+
+    def write_u8(self, addr: int, value: int) -> None:
+        """Write one byte; the containing word's kind becomes INT_DATA."""
+        base = addr & ~7
+        shift = (addr - base) * 8
+        word = self._words.get(base, 0)
+        mask = 0xFF << shift
+        self._words[base] = (word & ~mask) | ((value & 0xFF) << shift)
+        self._kinds[base] = int(ValueKind.INT_DATA)
+
+    # -- bulk helpers (used by tests and workload input setup) -----------------
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        """Read *length* raw bytes starting at *addr*."""
+        return bytes(self.read_u8(addr + i) for i in range(length))
+
+    def read_cstring(self, addr: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string starting at *addr*."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read_u8(addr + i)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise ExecutionError(f"unterminated string at {addr:#x}")
+
+    @staticmethod
+    def _check_aligned(addr: int, size: int) -> None:
+        if addr % size:
+            raise ExecutionError(
+                f"misaligned {size}-byte access at {addr:#x}"
+            )
+        if addr < 0:
+            raise ExecutionError(f"negative address {addr:#x}")

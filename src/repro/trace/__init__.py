@@ -1,0 +1,15 @@
+"""Trace infrastructure: records, statistics, and LVP annotation."""
+
+from repro.trace.annotate import NOT_A_LOAD, AnnotatedTrace, annotate_trace
+from repro.trace.dump import dump_trace, format_record
+from repro.trace.records import MemoryView, Trace, TraceColumns
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.validate import require_valid, validate_trace
+
+__all__ = [
+    "NOT_A_LOAD", "AnnotatedTrace", "annotate_trace",
+    "MemoryView", "Trace", "TraceColumns",
+    "TraceStats", "compute_stats",
+    "require_valid", "validate_trace",
+    "dump_trace", "format_record",
+]

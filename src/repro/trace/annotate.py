@@ -1,0 +1,91 @@
+"""LVP annotation of traces (paper Section 5).
+
+The paper's experimental framework feeds each trace through a model of
+the LVP unit "which annotates each load in the trace with one of four
+value prediction states: no prediction, incorrect prediction, correct
+prediction, or constant load", and hands the annotated trace to the
+cycle-accurate simulators.  This module is that middle phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.opcodes import OpClass
+from repro.lvp.config import LVPConfig
+from repro.lvp.unit import LoadOutcome, LVPStats, LVPUnit
+from repro.trace.records import Trace
+
+#: Sentinel in the per-instruction outcome column for "not a load".
+NOT_A_LOAD = 255
+
+# Event kinds for the program-order replay.
+_LOAD, _STORE, _BRANCH = 0, 1, 2
+
+
+class AnnotatedTrace:
+    """A trace plus per-load LVP prediction states.
+
+    ``outcomes`` is a uint8 array parallel to the trace: load positions
+    hold a :class:`LoadOutcome` value; everything else holds
+    :data:`NOT_A_LOAD`.
+    """
+
+    def __init__(self, trace: Trace, config: LVPConfig,
+                 outcomes: np.ndarray, stats: LVPStats) -> None:
+        self.trace = trace
+        self.config = config
+        self.outcomes = outcomes
+        self.stats = stats
+
+    def outcome_counts(self) -> dict[LoadOutcome, int]:
+        """Dynamic load counts per prediction state."""
+        return dict(self.stats.outcomes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AnnotatedTrace {self.trace.name!r} config={self.config.name} "
+            f"loads={self.stats.loads}>"
+        )
+
+
+def annotate_trace(trace: Trace, config: LVPConfig) -> AnnotatedTrace:
+    """Run an LVP unit over *trace* in program order; annotate each load.
+
+    Units whose lookup index folds in branch history additionally
+    consume the trace's conditional-branch outcomes, in program order
+    interleaved with the memory operations.
+    """
+    unit = LVPUnit(config)
+    outcomes = np.full(len(trace), NOT_A_LOAD, dtype=np.uint8)
+
+    is_load = trace.is_load
+    relevant = is_load | trace.is_store
+    kinds = np.where(is_load, _LOAD, _STORE)
+    if unit.needs_branch_stream:
+        is_branch = trace.opclass == int(OpClass.BRANCH)
+        relevant = relevant | is_branch
+        kinds = np.where(is_branch, _BRANCH, kinds)
+
+    positions = np.nonzero(relevant)[0]
+    kind_list = kinds[positions].tolist()
+    pcs = trace.pc[positions].tolist()
+    addrs = trace.addr[positions].tolist()
+    values = trace.value[positions].tolist()
+    sizes = trace.size[positions].tolist()
+    takens = trace.taken[positions].tolist()
+    position_list = positions.tolist()
+
+    process_load = unit.process_load
+    process_store = unit.process_store
+    process_branch = unit.process_branch
+    for i, pos in enumerate(position_list):
+        kind = kind_list[i]
+        if kind == _LOAD:
+            outcomes[pos] = int(process_load(pcs[i], addrs[i], values[i]))
+        elif kind == _STORE:
+            process_store(addrs[i], sizes[i])
+        else:
+            process_branch(bool(takens[i]))
+
+    return AnnotatedTrace(trace, config, outcomes, unit.stats)

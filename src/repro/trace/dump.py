@@ -1,0 +1,63 @@
+"""Human-readable rendering of dynamic trace records.
+
+``dump_trace`` prints a window of a trace the way hardware-bringup
+tools do: one line per dynamic instruction with its PC, disassembly-
+style operands, and — for memory operations — address, value, and
+value kind.  Exposed as ``python -m repro trace <bench>``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.opcodes import Opcode, OpClass, ValueKind
+from repro.isa.registers import NO_REG, reg_name
+from repro.trace.records import Trace
+
+_KIND_SHORT = {
+    int(ValueKind.INT_DATA): "int",
+    int(ValueKind.FP_DATA): "fp",
+    int(ValueKind.INSTR_ADDR): "iaddr",
+    int(ValueKind.DATA_ADDR): "daddr",
+}
+
+
+def format_record(trace: Trace, position: int) -> str:
+    """Render one dynamic record as a single line."""
+    opcode = Opcode(int(trace.opcode[position]))
+    opclass = OpClass(int(trace.opclass[position]))
+    pc = int(trace.pc[position])
+    dst = int(trace.dst[position])
+    sources = [int(trace.src1[position]), int(trace.src2[position])]
+    operands = []
+    if dst != NO_REG:
+        operands.append(reg_name(dst))
+    operands.extend(reg_name(s) for s in sources if s != NO_REG)
+    text = f"{pc:#010x}  {opcode.name.lower():8s} {', '.join(operands):14s}"
+
+    if opclass in (OpClass.LOAD, OpClass.STORE):
+        addr = int(trace.addr[position])
+        value = int(trace.value[position])
+        kind = _KIND_SHORT.get(int(trace.kind[position]), "?")
+        size = int(trace.size[position])
+        arrow = "<-" if opclass is OpClass.LOAD else "->"
+        text += (f" [{addr:#010x}]{arrow} {value:#x} "
+                 f"({kind}, {size}B)")
+    elif opclass is OpClass.BRANCH and opcode in (
+            Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+            Opcode.BLTU, Opcode.BGEU):
+        text += "  taken" if trace.taken[position] else "  not-taken"
+    return text.rstrip()
+
+
+def dump_trace(trace: Trace, start: int = 0,
+               count: Optional[int] = 40,
+               loads_only: bool = False) -> str:
+    """Render a window of *trace* (``count=None`` = to the end)."""
+    end = len(trace) if count is None else min(len(trace), start + count)
+    lines = []
+    for position in range(start, end):
+        if loads_only and not trace.is_load[position]:
+            continue
+        lines.append(f"{position:>8}  {format_record(trace, position)}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Trace-level statistics (instruction mix, static/dynamic load counts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.opcodes import OpClass
+from repro.trace.records import Trace
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of one trace (the analog of paper Table 1)."""
+
+    name: str
+    target: str
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    static_loads: int
+    opclass_mix: dict[OpClass, int]
+
+    @property
+    def load_fraction(self) -> float:
+        """Dynamic loads as a fraction of all instructions."""
+        return self.loads / self.instructions if self.instructions else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        """Dynamic stores as a fraction of all instructions."""
+        return self.stores / self.instructions if self.instructions else 0.0
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for *trace*."""
+    mix = trace.opclass_counts()
+    load_pcs = trace.pc[trace.is_load]
+    return TraceStats(
+        name=trace.name,
+        target=trace.target,
+        instructions=trace.num_instructions,
+        loads=trace.num_loads,
+        stores=trace.num_stores,
+        branches=mix.get(OpClass.BRANCH, 0),
+        static_loads=int(np.unique(load_pcs).size),
+        opclass_mix=mix,
+    )

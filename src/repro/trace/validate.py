@@ -1,0 +1,83 @@
+"""Trace well-formedness validation.
+
+:func:`validate_trace` checks the structural invariants every consumer
+of a trace relies on and returns a list of human-readable violations
+(empty = valid).  The harness validates traces loaded from the on-disk
+cache; tests validate freshly generated ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.isa.opcodes import CONDITIONAL_BRANCHES, OP_CLASS, Opcode, OpClass
+from repro.isa.registers import NUM_REGS
+from repro.trace.records import Trace
+
+
+def validate_trace(trace: Trace) -> list[str]:
+    """Return a list of invariant violations in *trace* (empty = OK)."""
+    problems: list[str] = []
+    if len(trace) == 0:
+        return problems
+
+    # Opcode values must be members of the enum...
+    min_op, max_op = int(trace.opcode.min()), int(trace.opcode.max())
+    if min_op < 1 or max_op > len(Opcode):
+        problems.append(f"opcode values outside 1..{len(Opcode)}")
+    else:
+        # ...and each opclass must agree with its opcode's class.
+        expected = np.array(
+            [0] + [int(OP_CLASS[Opcode(v)]) for v in range(1, len(Opcode) + 1)],
+            dtype=np.uint8,
+        )
+        if not (expected[trace.opcode] == trace.opclass).all():
+            problems.append("opclass column disagrees with opcode classes")
+
+    # Register ids in range (NO_REG = -1 allowed).
+    for column in ("dst", "src1", "src2"):
+        values = getattr(trace, column)
+        if int(values.min()) < -1 or int(values.max()) >= NUM_REGS:
+            problems.append(f"{column} register ids out of range")
+
+    is_mem = trace.is_load | trace.is_store
+    # Memory ops carry a plausible size; others carry zero.
+    mem_sizes = trace.size[is_mem]
+    if len(mem_sizes) and not np.isin(mem_sizes, (1, 4, 8)).all():
+        problems.append("memory access sizes must be 1, 4, or 8")
+    if (trace.size[~is_mem] != 0).any():
+        problems.append("non-memory instructions must have size 0")
+
+    # Memory addresses are size-aligned.
+    if len(mem_sizes):
+        addrs = trace.addr[is_mem]
+        if ((addrs % trace.size[is_mem]) != 0).any():
+            problems.append("misaligned memory access recorded")
+
+    # Taken flags only on conditional branches.
+    conditional = np.isin(
+        trace.opcode, [int(o) for o in CONDITIONAL_BRANCHES])
+    if (trace.taken[~conditional] != 0).any():
+        problems.append("taken flag set on a non-conditional instruction")
+
+    # PCs lie in the text segment and are instruction-aligned.
+    if (trace.pc % 4 != 0).any():
+        problems.append("unaligned instruction addresses")
+
+    # The trace ends at a halt or a return out of main.
+    final = Opcode(int(trace.opcode[-1]))
+    if OP_CLASS[final] is not OpClass.BRANCH:
+        problems.append(f"trace ends with {final.name}, not a control "
+                        "transfer")
+    return problems
+
+
+def require_valid(trace: Trace) -> Trace:
+    """Raise :class:`TraceError` if *trace* violates any invariant."""
+    problems = validate_trace(trace)
+    if problems:
+        raise TraceError(
+            f"invalid trace {trace.name!r}: " + "; ".join(problems)
+        )
+    return trace

@@ -1,0 +1,12 @@
+"""Microarchitectural timing models: PowerPC 620/620+ and Alpha 21164."""
+
+from repro.uarch.axp21164.config import AXP21164, AXP21164Config
+from repro.uarch.axp21164.model import AXP21164Model, AXP21164Result
+from repro.uarch.ppc620.config import PPC620, PPC620_PLUS, PPC620Config
+from repro.uarch.ppc620.model import FU_NAMES, PPC620Model, PPC620Result
+
+__all__ = [
+    "AXP21164", "AXP21164Config", "AXP21164Model", "AXP21164Result",
+    "PPC620", "PPC620_PLUS", "PPC620Config",
+    "FU_NAMES", "PPC620Model", "PPC620Result",
+]

@@ -1,0 +1,6 @@
+"""Alpha AXP 21164 in-order timing model."""
+
+from repro.uarch.axp21164.config import AXP21164, AXP21164Config
+from repro.uarch.axp21164.model import AXP21164Model, AXP21164Result
+
+__all__ = ["AXP21164", "AXP21164Config", "AXP21164Model", "AXP21164Result"]

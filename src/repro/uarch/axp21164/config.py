@@ -1,0 +1,51 @@
+"""Alpha AXP 21164 machine configuration (paper Section 4.2).
+
+The paper's three modifications to the real 21164 are reflected here:
+the MAF is omitted (L1 misses block), LVP configurations add a compare
+stage before writeback, and a reissue buffer allows whole-group squash
+and redispatch with a single-cycle penalty on a value misprediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AXP21164Config:
+    """Resource parameters of the 21164 pipeline model."""
+
+    name: str = "21164"
+    issue_width: int = 4
+    int_per_cycle: int = 2  # E0 + E1
+    fp_per_cycle: int = 2  # FA + FM
+    loads_per_cycle: int = 2  # true dual-ported L1
+    stores_per_cycle: int = 1
+    branches_per_cycle: int = 1
+    # Memory hierarchy: the real 21164 has an 8KB direct-mapped L1 and
+    # a 96KB on-chip L2; scaled down with the workload inputs (keeping
+    # the 620:21164 capacity ratio and the direct-mapped geometry) to
+    # preserve the paper's miss-rate regime.  See DESIGN.md.
+    l1_size: int = 1024
+    l1_assoc: int = 1
+    l1_line: int = 32
+    # Instruction cache (real 21164: 8KB direct-mapped, like the D-cache).
+    icache_size: int = 1024
+    icache_assoc: int = 1
+    l2_size: int = 8 * 1024
+    l2_assoc: int = 4
+    l2_latency: int = 8
+    memory_latency: int = 40
+    mispredict_penalty: int = 4
+    #: Extra cycles after the compared value returns before redispatch
+    #: (the single-cycle reissue-buffer penalty past the compare stage).
+    value_mispredict_penalty: int = 1
+    #: The real 21164 has a miss address file (MAF) that makes L1
+    #: misses non-blocking; the paper removes it "to accentuate the
+    #: in-order aspects".  Set True to restore it (an ablation): misses
+    #: then stall only their dependents, not the whole pipeline.
+    maf: bool = False
+
+
+#: The baseline (MAF-less) 21164.
+AXP21164 = AXP21164Config()

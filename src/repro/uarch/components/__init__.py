@@ -1,0 +1,19 @@
+"""Shared microarchitectural components: caches, banking, branch prediction."""
+
+from repro.uarch.components.branch import BranchPredictor, BranchStats
+from repro.uarch.components.cache import (
+    BankTracker,
+    Cache,
+    CacheStats,
+    MemoryHierarchy,
+)
+from repro.uarch.components.latencies import (
+    AXP21164_LATENCY,
+    Latency,
+    PPC620_LATENCY,
+)
+
+__all__ = [
+    "BranchPredictor", "BranchStats", "BankTracker", "Cache", "CacheStats",
+    "MemoryHierarchy", "AXP21164_LATENCY", "Latency", "PPC620_LATENCY",
+]

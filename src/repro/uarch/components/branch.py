@@ -1,0 +1,77 @@
+"""Branch prediction: a 2-bit-counter BHT plus a simple BTB.
+
+The 620 carries a branch history table and branch target buffer; the
+21164 a per-line history.  Both machine models share this predictor:
+
+* conditional branches predict taken/not-taken via 2-bit counters,
+* indirect branches (returns, jump tables, virtual calls) predict via a
+  last-target BTB,
+* unconditional direct branches always predict correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import CONDITIONAL_BRANCHES, INDIRECT_BRANCHES, Opcode
+from repro.isa.program import INSTR_SIZE
+
+
+@dataclass
+class BranchStats:
+    """Prediction accounting."""
+
+    conditional: int = 0
+    conditional_mispredicts: int = 0
+    indirect: int = 0
+    indirect_mispredicts: int = 0
+
+    @property
+    def mispredicts(self) -> int:
+        """Total mispredictions."""
+        return self.conditional_mispredicts + self.indirect_mispredicts
+
+
+class BranchPredictor:
+    """2-bit BHT + last-target BTB."""
+
+    def __init__(self, bht_entries: int = 2048,
+                 btb_entries: int = 256) -> None:
+        self._bht_mask = bht_entries - 1
+        self._btb_mask = btb_entries - 1
+        self._bht = [1] * bht_entries  # weakly not-taken
+        self._btb: dict[int, int] = {}
+        self.stats = BranchStats()
+
+    def predict_and_update(self, opcode: Opcode, pc: int, taken: bool,
+                           target: int) -> bool:
+        """Predict the branch at *pc*; train; return True if correct.
+
+        *taken* and *target* are the trace's actual outcome.
+        """
+        if opcode in CONDITIONAL_BRANCHES:
+            index = (pc // INSTR_SIZE) & self._bht_mask
+            counter = self._bht[index]
+            predicted_taken = counter >= 2
+            if taken:
+                if counter < 3:
+                    self._bht[index] = counter + 1
+            else:
+                if counter > 0:
+                    self._bht[index] = counter - 1
+            correct = predicted_taken == taken
+            self.stats.conditional += 1
+            if not correct:
+                self.stats.conditional_mispredicts += 1
+            return correct
+        if opcode in INDIRECT_BRANCHES:
+            index = (pc // INSTR_SIZE) & self._btb_mask
+            predicted = self._btb.get(index)
+            self._btb[index] = target
+            correct = predicted == target
+            self.stats.indirect += 1
+            if not correct:
+                self.stats.indirect_mispredicts += 1
+            return correct
+        # Direct unconditional (J, JAL) and HALT: always predicted.
+        return True

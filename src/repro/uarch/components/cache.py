@@ -1,0 +1,153 @@
+"""Data cache models: set-associative L1 with banking, and a unified L2.
+
+The 620 model uses a 32 KB 8-way dual-banked L1 (as the paper notes);
+the 21164 model uses an 8 KB direct-mapped dual-ported L1.  Both back
+onto a unified L2.  Replacement is LRU.  The cache is write-through,
+no-write-allocate (the 620's data cache policy for our purposes --
+stores probe the bank but do not allocate lines).
+
+The bank tracker records which banks are used in which cycle so the
+timing models can detect load/store bank conflicts (paper Section 6.5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache level."""
+
+    accesses: int = 0
+    misses: int = 0
+    store_accesses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per (load) access."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative, LRU cache level."""
+
+    def __init__(self, size: int, assoc: int, line_size: int = 32) -> None:
+        if size % (assoc * line_size):
+            raise ValueError("cache size must divide evenly into sets")
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = size // (assoc * line_size)
+        # Per set: list of tags in LRU order (most recent last).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_size
+        return line % self.num_sets, line
+
+    def access(self, addr: int, is_store: bool = False,
+               allocate: bool = True) -> bool:
+        """Access the cache; returns True on hit.
+
+        Loads allocate on miss; stores are write-through and (with
+        ``allocate=False`` semantics applied automatically) do not.
+        """
+        set_index, tag = self._locate(addr)
+        lru = self._sets[set_index]
+        if is_store:
+            self.stats.store_accesses += 1
+        else:
+            self.stats.accesses += 1
+        if tag in lru:
+            lru.remove(tag)
+            lru.append(tag)
+            return True
+        if not is_store:
+            self.stats.misses += 1
+            if allocate:
+                lru.append(tag)
+                if len(lru) > self.assoc:
+                    lru.pop(0)
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+        set_index, tag = self._locate(addr)
+        return tag in self._sets[set_index]
+
+
+class MemoryHierarchy:
+    """L1 + L2 with fixed service latencies.
+
+    ``load_latency(addr)`` returns the extra cycles beyond the pipelined
+    L1 access that a load needs (0 on an L1 hit).
+    """
+
+    def __init__(self, l1: Cache, l2: Cache, l2_latency: int = 8,
+                 memory_latency: int = 40) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.l2_latency = l2_latency
+        self.memory_latency = memory_latency
+
+    def load_penalty(self, addr: int) -> int:
+        """Extra cycles for a load at *addr*; updates cache state."""
+        if self.l1.access(addr):
+            return 0
+        if self.l2.access(addr):
+            return self.l2_latency
+        return self.l2_latency + self.memory_latency
+
+    def store_access(self, addr: int) -> None:
+        """Write-through store: update both levels' state."""
+        self.l1.access(addr, is_store=True)
+        self.l2.access(addr, is_store=True)
+
+
+class BankTracker:
+    """Per-cycle bank-usage ledger for conflict detection.
+
+    The 620's data cache is dual-banked: in any cycle a load and a store
+    to the same bank conflict and the store retries next cycle.  The
+    tracker counts both the number of conflicts and the number of
+    distinct cycles in which at least one conflict occurred (the paper's
+    Figure 9 metric).
+    """
+
+    def __init__(self, num_banks: int = 2, line_size: int = 32,
+                 ports_per_bank: int = 1) -> None:
+        self.num_banks = num_banks
+        self.line_size = line_size
+        self.ports_per_bank = ports_per_bank
+        self._usage: dict[tuple[int, int], int] = defaultdict(int)
+        self.conflicts = 0
+        self._conflict_cycles: set[int] = set()
+
+    def bank_of(self, addr: int) -> int:
+        """Bank servicing *addr* (line-interleaved)."""
+        return (addr // self.line_size) % self.num_banks
+
+    def access(self, cycle: int, addr: int, can_defer: bool) -> int:
+        """Record an access; returns the cycle it actually occurs.
+
+        Accesses that exceed a bank's ports conflict; deferrable
+        accesses (stores) retry in following cycles, others (loads,
+        which own a dedicated port in the 620) proceed regardless.
+        """
+        bank = self.bank_of(addr)
+        actual = cycle
+        if can_defer:
+            while self._usage[(actual, bank)] >= self.ports_per_bank:
+                self.conflicts += 1
+                self._conflict_cycles.add(actual)
+                actual += 1
+        self._usage[(actual, bank)] += 1
+        return actual
+
+    @property
+    def conflict_cycle_count(self) -> int:
+        """Number of distinct cycles with at least one bank conflict."""
+        return len(self._conflict_cycles)

@@ -1,0 +1,97 @@
+"""Instruction issue/result latencies (paper Table 5).
+
+The paper's Table 5 gives, for each instruction class, the issue and
+result latencies on the PowerPC 620 and the Alpha AXP 21164:
+
+==================  ===========  ============  =============  ==============
+Class               620 issue    620 result    21164 issue    21164 result
+==================  ===========  ============  =============  ==============
+Simple integer      1            1             1              1
+Complex integer     1-35         1-35          16             16
+Load/store          1            2             1              2
+Simple FP           1            3             1              4
+Complex FP          18           18            1              36-65
+Branch (pred/misp)  1            0/1+          1              0/4
+==================  ===========  ============  =============  ==============
+
+Ranges collapse to concrete per-opcode values here: complex-integer
+covers multiply (cheap end) through divide (expensive end), and
+complex-FP divide takes the middle of the 21164's iterative range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import OP_CLASS, Opcode, OpClass
+
+
+@dataclass(frozen=True)
+class Latency:
+    """Issue occupancy and result latency of one instruction.
+
+    ``issue`` is how many cycles the functional unit is busy (1 for
+    fully pipelined); ``result`` is operation start to value available.
+    """
+
+    issue: int
+    result: int
+
+
+def _table(simple_int, mul, div, spr, load, store, fp_simple, fp_div,
+           branch) -> dict[Opcode, Latency]:
+    """Expand per-class latencies into a per-opcode table."""
+    table: dict[Opcode, Latency] = {}
+    for op in Opcode:
+        op_class = OP_CLASS[op]
+        if op_class is OpClass.SIMPLE_INT:
+            table[op] = simple_int
+        elif op_class is OpClass.COMPLEX_INT:
+            if op is Opcode.MUL:
+                table[op] = mul
+            elif op in (Opcode.DIV, Opcode.REM):
+                table[op] = div
+            else:  # LR/CTR moves (mfspr-style)
+                table[op] = spr
+        elif op_class is OpClass.LOAD:
+            table[op] = load
+        elif op_class is OpClass.STORE:
+            table[op] = store
+        elif op_class is OpClass.FP_SIMPLE:
+            table[op] = fp_simple
+        elif op_class is OpClass.FP_COMPLEX:
+            table[op] = fp_div
+        else:
+            table[op] = branch
+    return table
+
+
+#: PowerPC 620 latencies (Table 5, columns 2-3).
+PPC620_LATENCY: dict[Opcode, Latency] = _table(
+    simple_int=Latency(1, 1),
+    mul=Latency(4, 4),  # low end of the 1-35 complex-integer range
+    div=Latency(35, 35),  # high end (non-pipelined divide)
+    spr=Latency(3, 3),  # mfspr/mtspr-style moves
+    load=Latency(1, 2),
+    store=Latency(1, 2),
+    fp_simple=Latency(1, 3),
+    fp_div=Latency(18, 18),  # non-pipelined
+    branch=Latency(1, 1),
+)
+
+#: Alpha AXP 21164 latencies (Table 5, columns 4-5).
+AXP21164_LATENCY: dict[Opcode, Latency] = _table(
+    simple_int=Latency(1, 1),
+    mul=Latency(16, 16),
+    div=Latency(16, 16),
+    spr=Latency(1, 1),
+    load=Latency(1, 2),
+    store=Latency(1, 2),
+    fp_simple=Latency(1, 4),
+    fp_div=Latency(1, 50),  # middle of the 36-65 iterative range
+    branch=Latency(1, 1),
+)
+
+#: Branch misprediction penalties (Table 5 "pred/mispr" row).
+PPC620_MISPREDICT_PENALTY = 1
+AXP21164_MISPREDICT_PENALTY = 4

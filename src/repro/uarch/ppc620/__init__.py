@@ -1,0 +1,7 @@
+"""PowerPC 620 / 620+ out-of-order timing model."""
+
+from repro.uarch.ppc620.config import PPC620, PPC620_PLUS, PPC620Config
+from repro.uarch.ppc620.model import FU_NAMES, PPC620Model, PPC620Result
+
+__all__ = ["PPC620", "PPC620_PLUS", "PPC620Config", "FU_NAMES",
+           "PPC620Model", "PPC620Result"]

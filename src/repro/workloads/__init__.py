@@ -1,0 +1,17 @@
+"""The 17-benchmark workload suite (the paper's Table 1)."""
+
+from repro.workloads.suite import (
+    BENCHMARKS,
+    BY_NAME,
+    Benchmark,
+    FP_NAMES,
+    INTEGER_NAMES,
+    NAMES,
+    get_benchmark,
+)
+from repro.workloads.support import SCALES, Lcg
+
+__all__ = [
+    "BENCHMARKS", "BY_NAME", "Benchmark", "FP_NAMES", "INTEGER_NAMES",
+    "NAMES", "get_benchmark", "SCALES", "Lcg",
+]

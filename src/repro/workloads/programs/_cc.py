@@ -1,0 +1,501 @@
+"""Shared implementation of the ``ccl`` / ``ccl-271`` compiler workloads.
+
+GCC dominates the paper's benchmark list twice (GCC 1.35 as ``ccl`` and
+GCC 2.7.1 as ``ccl-271``).  This module implements a miniature compiler
+front end with the phases that dominate a real one's profile:
+
+1. **Lexing** -- a byte-at-a-time scanner classifying characters through
+   a 128-entry kind table (constant loads), interning identifiers in a
+   linear symbol table (string compares).
+2. **Parsing** -- recursive-descent expression parser building an AST
+   in a bump arena (heap cells, recursion, spills).
+3. **Constant folding** (``ccl-271`` only) -- a recursive rewrite pass
+   over each AST, folding operator nodes whose children are literals.
+4. **Evaluation** ("codegen" stand-in) -- a recursive tree walk
+   computing each statement's value and updating the variable table.
+
+The input "source file" is synthesized assignment statements like
+``x3 = x1 + 12 * ( x2 - 7 ) ;``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import Lcg, if_cond, while_loop
+
+NUM_VARS = 6
+
+# Token types.
+TK_EOF = 0
+TK_NUM = 1
+TK_ID = 2
+TK_PLUS = 3
+TK_MINUS = 4
+TK_STAR = 5
+TK_LPAREN = 6
+TK_RPAREN = 7
+TK_ASSIGN = 8
+TK_SEMI = 9
+
+# AST node tags.
+N_NUM = 0
+N_VAR = 1
+N_ADD = 2
+N_SUB = 3
+N_MUL = 4
+
+_MASK = (1 << 64) - 1
+
+
+def generate_source(seed: int, statements: int) -> bytes:
+    """Synthesize the source file: assignment statements over x0..x5."""
+    rng = Lcg(seed)
+    lines = []
+    for _ in range(statements):
+        dest = f"x{rng.below(NUM_VARS)}"
+        terms = []
+        for t in range(1 + rng.below(3)):
+            if rng.below(2):
+                atom = f"x{rng.below(NUM_VARS)}"
+            else:
+                atom = str(rng.below(100))
+            if rng.below(3) == 0:
+                atom = f"( {atom} - {rng.below(10)} )"
+            if t:
+                terms.append(rng.choice(("+", "-", "*")))
+            terms.append(atom)
+        lines.append(f"{dest} = {' '.join(terms)} ;")
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+def reference_run(seed: int, statements: int) -> list[int]:
+    """Reference interpreter over the same source (for the test suite)."""
+    source = generate_source(seed, statements).decode("ascii")
+    variables = [0] * NUM_VARS
+
+    def tokenize(text: str) -> list:
+        out = []
+        for tok in text.split():
+            if tok == ";":
+                out.append((TK_SEMI, 0))
+            elif tok == "=":
+                out.append((TK_ASSIGN, 0))
+            elif tok == "+":
+                out.append((TK_PLUS, 0))
+            elif tok == "-":
+                out.append((TK_MINUS, 0))
+            elif tok == "*":
+                out.append((TK_STAR, 0))
+            elif tok == "(":
+                out.append((TK_LPAREN, 0))
+            elif tok == ")":
+                out.append((TK_RPAREN, 0))
+            elif tok.startswith("x"):
+                out.append((TK_ID, int(tok[1:])))
+            else:
+                out.append((TK_NUM, int(tok)))
+        out.append((TK_EOF, 0))
+        return out
+
+    tokens = tokenize(source)
+    pos = 0
+
+    def peek() -> tuple:
+        return tokens[pos]
+
+    def advance() -> tuple:
+        nonlocal pos
+        token = tokens[pos]
+        pos += 1
+        return token
+
+    def parse_factor():
+        kind, value = advance()
+        if kind == TK_NUM:
+            return ("num", value)
+        if kind == TK_ID:
+            return ("var", value)
+        node = parse_expr()  # TK_LPAREN
+        advance()  # TK_RPAREN
+        return node
+
+    def parse_term():
+        node = parse_factor()
+        while peek()[0] == TK_STAR:
+            advance()
+            node = ("mul", node, parse_factor())
+        return node
+
+    def parse_expr():
+        node = parse_term()
+        while peek()[0] in (TK_PLUS, TK_MINUS):
+            kind, _ = advance()
+            op = "add" if kind == TK_PLUS else "sub"
+            node = (op, node, parse_term())
+        return node
+
+    def evaluate(node) -> int:
+        if node[0] == "num":
+            return node[1]
+        if node[0] == "var":
+            return variables[node[1]]
+        left = evaluate(node[1])
+        right = evaluate(node[2])
+        if node[0] == "add":
+            return (left + right) & _MASK
+        if node[0] == "sub":
+            return (left - right) & _MASK
+        return (left * right) & _MASK
+
+    while peek()[0] != TK_EOF:
+        _, dest = advance()  # TK_ID
+        advance()  # TK_ASSIGN
+        node = parse_expr()
+        advance()  # TK_SEMI
+        variables[dest] = evaluate(node)
+    return variables
+
+
+def build_cc(name: str, target: str, seed: int, statements: int,
+             fold_pass: bool) -> Program:
+    """Build a compiler workload program."""
+    source = generate_source(seed, statements)
+
+    b = CodeBuilder(name, target=target)
+    data = b.data
+    data.label("source")
+    data.bytes_(source)
+    data.label("source_len")
+    data.word(len(source))
+    # Character-kind table: 0 other, 1 digit, 2 letter, 3 space.
+    kinds = [0] * 128
+    for c in range(ord("0"), ord("9") + 1):
+        kinds[c] = 1
+    for c in range(ord("a"), ord("z") + 1):
+        kinds[c] = 2
+    for c in (ord(" "), ord("\n"), ord("\t")):
+        kinds[c] = 3
+    data.label("char_kind")
+    data.words(kinds)
+    max_tokens = len(source) + 2
+    data.label("tok_type")
+    data.space(max_tokens)
+    data.label("tok_value")
+    data.space(max_tokens)
+    data.label("num_tokens")
+    data.word(0)
+    data.label("variables")
+    data.space(NUM_VARS)
+    # AST arena: 4 words per node [tag, value/left, right, spare].
+    data.label("arena")
+    data.space(4 * 512)
+    data.label("arena_next")
+    data.pointer("arena")
+    data.label("tok_pos")
+    data.word(0)
+    data.label("fold_count")
+    data.word(0)
+
+    # ------------------------------------------------------------------
+    # lex(): tokenize the whole source into tok_type/tok_value.
+    # r24 = cursor, r25 = end, r26 = token index.
+    # ------------------------------------------------------------------
+    with b.function("lex", save=(24, 25, 26)):
+        b.load_addr(24, "source")
+        b.load_addr(4, "source_len")
+        b.ld(5, 4, 0)
+        b.add(25, 24, 5)
+        b.li(26, 0)
+        outer = b.fresh_label("lex_loop")
+        outer_done = b.fresh_label("lex_done")
+        b.label(outer)
+        b.bgeu(24, 25, outer_done)
+        b.lbu(5, 24, 0)
+        b.load_addr(6, "char_kind")
+        b.slli(7, 5, 3)
+        b.add(7, 6, 7)
+        b.ld(8, 7, 0)  # kind -- loads from a constant table
+        # whitespace: skip
+        b.li(9, 3)
+        with if_cond(b, "eq", 8, 9):
+            b.addi(24, 24, 1)
+            b.j(outer)
+        b.li(9, 1)
+        with if_cond(b, "eq", 8, 9):  # number
+            b.li(10, 0)
+            with while_loop(b) as (_, done):
+                b.bgeu(24, 25, done)
+                b.lbu(5, 24, 0)
+                b.load_addr(6, "char_kind")
+                b.slli(7, 5, 3)
+                b.add(7, 6, 7)
+                b.ld(8, 7, 0)
+                b.li(9, 1)
+                b.bne(8, 9, done)
+                b.li(9, 10)
+                b.mul(10, 10, 9)
+                b.addi(5, 5, -ord("0"))
+                b.add(10, 10, 5)
+                b.addi(24, 24, 1)
+            b.li(3, TK_NUM)
+            b.mov(4, 10)
+            b.call("emit_token")
+            b.j(outer)
+        b.li(9, 2)
+        with if_cond(b, "eq", 8, 9):  # identifier: x<digit>
+            b.lbu(10, 24, 1)  # digit after 'x'
+            b.addi(10, 10, -ord("0"))
+            b.addi(24, 24, 2)
+            b.li(3, TK_ID)
+            b.mov(4, 10)
+            b.call("emit_token")
+            b.j(outer)
+        # punctuation: map via compare chain
+        b.addi(24, 24, 1)
+        for char, token in ((ord("+"), TK_PLUS), (ord("-"), TK_MINUS),
+                            (ord("*"), TK_STAR), (ord("("), TK_LPAREN),
+                            (ord(")"), TK_RPAREN), (ord("="), TK_ASSIGN),
+                            (ord(";"), TK_SEMI)):
+            b.li(9, char)
+            with if_cond(b, "eq", 5, 9):
+                b.li(3, token)
+                b.li(4, 0)
+                b.call("emit_token")
+                b.j(outer)
+        b.j(outer)  # unknown characters are skipped
+        b.label(outer_done)
+        b.li(3, TK_EOF)
+        b.li(4, 0)
+        b.call("emit_token")
+
+    # emit_token(r3 = type, r4 = value)  [leaf; uses r5-r8]
+    with b.function("emit_token", leaf=True):
+        b.load_addr(5, "num_tokens")
+        b.ld(6, 5, 0)
+        b.slli(7, 6, 3)
+        b.load_addr(8, "tok_type")
+        b.add(8, 8, 7)
+        b.st(3, 8, 0)
+        b.load_addr(8, "tok_value")
+        b.add(8, 8, 7)
+        b.st(4, 8, 0)
+        b.addi(6, 6, 1)
+        b.st(6, 5, 0)
+
+    # ------------------------------------------------------------------
+    # Token-stream accessors (leaf helpers).
+    # peek_type() -> r3; advance() -> r3=type, r4=value
+    # ------------------------------------------------------------------
+    with b.function("peek_type", leaf=True):
+        b.load_addr(5, "tok_pos")
+        b.ld(6, 5, 0)
+        b.slli(7, 6, 3)
+        b.load_addr(8, "tok_type")
+        b.add(8, 8, 7)
+        b.ld(3, 8, 0)
+
+    with b.function("advance", leaf=True):
+        b.load_addr(5, "tok_pos")
+        b.ld(6, 5, 0)
+        b.slli(7, 6, 3)
+        b.load_addr(8, "tok_type")
+        b.add(8, 8, 7)
+        b.ld(3, 8, 0)
+        b.load_addr(8, "tok_value")
+        b.add(8, 8, 7)
+        b.ld(4, 8, 0)
+        b.addi(6, 6, 1)
+        b.st(6, 5, 0)
+
+    # new_node(r3=tag, r4=a, r5=b) -> r3 = node ptr  [leaf]
+    with b.function("new_node", leaf=True):
+        b.load_addr(6, "arena_next")
+        b.ld(7, 6, 0)
+        b.st(3, 7, 0)
+        b.st(4, 7, 8)
+        b.st(5, 7, 16)
+        b.addi(8, 7, 32)
+        b.st(8, 6, 0)
+        b.mov(3, 7)
+
+    # ------------------------------------------------------------------
+    # parse_factor / parse_term / parse_expr: recursive descent.
+    # Each returns an AST node pointer in r3.
+    # ------------------------------------------------------------------
+    with b.function("parse_factor", save=(24,)):
+        b.call("advance")
+        b.li(5, TK_NUM)
+        with if_cond(b, "eq", 3, 5):
+            b.li(3, N_NUM)
+            b.li(5, 0)
+            b.call("new_node")
+            b.return_from_function()
+        b.li(5, TK_ID)
+        with if_cond(b, "eq", 3, 5):
+            b.li(3, N_VAR)
+            b.li(5, 0)
+            b.call("new_node")
+            b.return_from_function()
+        # '(' expr ')'
+        b.call("parse_expr")
+        b.mov(24, 3)
+        b.call("advance")  # consume ')'
+        b.mov(3, 24)
+
+    with b.function("parse_term", save=(24,)):
+        b.call("parse_factor")
+        b.mov(24, 3)
+        loop = b.fresh_label("term")
+        done = b.fresh_label("term_done")
+        b.label(loop)
+        b.call("peek_type")
+        b.li(5, TK_STAR)
+        b.bne(3, 5, done)
+        b.call("advance")
+        b.call("parse_factor")
+        b.mov(5, 3)
+        b.li(3, N_MUL)
+        b.mov(4, 24)
+        b.call("new_node")
+        b.mov(24, 3)
+        b.j(loop)
+        b.label(done)
+        b.mov(3, 24)
+
+    with b.function("parse_expr", save=(24, 25)):
+        b.call("parse_term")
+        b.mov(24, 3)
+        loop = b.fresh_label("expr")
+        done = b.fresh_label("expr_done")
+        b.label(loop)
+        b.call("peek_type")
+        b.li(5, TK_PLUS)
+        b.li(6, TK_MINUS)
+        b.seq(7, 3, 5)
+        b.seq(8, 3, 6)
+        b.or_(7, 7, 8)
+        b.beqz(7, done)
+        b.call("advance")
+        b.li(25, N_ADD)
+        b.li(5, TK_MINUS)
+        with if_cond(b, "eq", 3, 5):
+            b.li(25, N_SUB)
+        b.call("parse_term")
+        b.mov(5, 3)
+        b.mov(3, 25)
+        b.mov(4, 24)
+        b.call("new_node")
+        b.mov(24, 3)
+        b.j(loop)
+        b.label(done)
+        b.mov(3, 24)
+
+    # ------------------------------------------------------------------
+    # fold(r3 = node) -> r3 = node (children folded in place): if both
+    # children of an operator node are N_NUM, rewrite it as N_NUM.
+    # ------------------------------------------------------------------
+    with b.function("fold", save=(24, 25)):
+        b.mov(24, 3)
+        b.ld(5, 24, 0)  # tag
+        b.li(6, N_VAR)
+        with if_cond(b, "geu", 5, 6):
+            b.li(6, N_ADD)
+            with if_cond(b, "geu", 5, 6):
+                b.ld(3, 24, 8)
+                b.call("fold")
+                b.ld(3, 24, 16)
+                b.call("fold")
+                # both children literal?
+                b.ld(5, 24, 8)
+                b.ld(6, 5, 0)
+                b.bnez(6, "__fold_out")
+                b.ld(7, 24, 16)
+                b.ld(8, 7, 0)
+                b.bnez(8, "__fold_out")
+                b.ld(9, 5, 8)  # left literal
+                b.ld(10, 7, 8)  # right literal
+                b.ld(11, 24, 0)  # this node's tag
+                b.li(12, N_ADD)
+                with if_cond(b, "eq", 11, 12):
+                    b.add(9, 9, 10)
+                    b.j("__fold_store")
+                b.li(12, N_SUB)
+                with if_cond(b, "eq", 11, 12):
+                    b.sub(9, 9, 10)
+                    b.j("__fold_store")
+                b.mul(9, 9, 10)
+                b.label("__fold_store")
+                b.st(0, 24, 0)  # tag = N_NUM
+                b.st(9, 24, 8)
+                b.load_addr(5, "fold_count")
+                b.ld(6, 5, 0)
+                b.addi(6, 6, 1)
+                b.st(6, 5, 0)
+                b.label("__fold_out")
+        b.mov(3, 24)
+
+    # ------------------------------------------------------------------
+    # eval(r3 = node) -> r3 = value (recursive tree walk).
+    # ------------------------------------------------------------------
+    with b.function("eval", save=(24, 25)):
+        b.mov(24, 3)
+        b.ld(5, 24, 0)
+        c_num = b.fresh_label("e_num")
+        c_var = b.fresh_label("e_var")
+        c_add = b.fresh_label("e_add")
+        c_sub = b.fresh_label("e_sub")
+        c_mul = b.fresh_label("e_mul")
+        b.jump_table(5, [c_num, c_var, c_add, c_sub, c_mul])
+        b.label(c_num)
+        b.ld(3, 24, 8)
+        b.return_from_function()
+        b.label(c_var)
+        b.ld(5, 24, 8)
+        b.load_addr(6, "variables")
+        b.slli(5, 5, 3)
+        b.add(6, 6, 5)
+        b.ld(3, 6, 0)
+        b.return_from_function()
+        for label, op in ((c_add, "add"), (c_sub, "sub"), (c_mul, "mul")):
+            b.label(label)
+            b.ld(3, 24, 8)
+            b.call("eval")
+            b.mov(25, 3)
+            b.ld(3, 24, 16)
+            b.call("eval")
+            getattr(b, op)(3, 25, 3)
+            b.return_from_function()
+
+    # ------------------------------------------------------------------
+    # main: lex, then parse+fold+eval statement by statement.
+    # r24 = destination variable index.
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24,)):
+        b.call("lex")
+        loop = b.fresh_label("stmts")
+        done = b.fresh_label("stmts_done")
+        b.label(loop)
+        b.call("peek_type")
+        b.li(5, TK_EOF)
+        b.beq(3, 5, done)
+        b.call("advance")  # destination TK_ID
+        b.mov(24, 4)
+        b.call("advance")  # '='
+        b.call("parse_expr")
+        if fold_pass:
+            b.call("fold")
+        b.call("eval")
+        b.load_addr(5, "variables")
+        b.slli(6, 24, 3)
+        b.add(5, 5, 6)
+        b.st(3, 5, 0)
+        b.call("advance")  # ';'
+        # Release the statement's AST (compilers free per statement).
+        b.load_addr(5, "arena_next")
+        b.load_addr(6, "arena")
+        b.st(6, 5, 0)
+        b.j(loop)
+        b.label(done)
+
+    return b.build()

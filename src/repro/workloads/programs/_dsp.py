@@ -1,0 +1,89 @@
+"""Shared DSP helpers for the image workloads (cjpeg, mpeg).
+
+Provides the fixed-point 8x8 matrix multiply both codecs use, emitted
+into whichever program builder asks for it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.builder import CodeBuilder
+from repro.workloads.support import if_cond
+
+
+def dct_matrix() -> list[int]:
+    """8x8 DCT-II basis, fixed-point scaled by 256 (row-major)."""
+    rows = []
+    for i in range(8):
+        scale = math.sqrt(1.0 / 8) if i == 0 else math.sqrt(2.0 / 8)
+        for j in range(8):
+            value = scale * math.cos((2 * j + 1) * i * math.pi / 16)
+            rows.append(round(value * 256))
+    return rows
+
+
+def emit_matmul8(b: CodeBuilder) -> None:
+    """Emit ``matmul8(r3=A, r4=B, r5=dst, r6=transpose_b)``.
+
+    Computes ``dst = (A x B) >> 8`` over 8x8 word matrices; with
+    ``r6 != 0`` B is accessed transposed (``B[j][k]``).
+    """
+    with b.function("matmul8", leaf=True):
+        have_b = b.fresh_label("mm_have_b")
+        b.li(7, 0)  # i
+        i_loop = b.fresh_label("mi")
+        i_done = b.fresh_label("mi_done")
+        b.label(i_loop)
+        b.li(13, 8)
+        b.bge(7, 13, i_done)
+        b.li(8, 0)  # j
+        j_loop = b.fresh_label("mj")
+        j_done = b.fresh_label("mj_done")
+        b.label(j_loop)
+        b.li(13, 8)
+        b.bge(8, 13, j_done)
+        b.li(9, 0)  # acc
+        b.li(10, 0)  # k
+        k_loop = b.fresh_label("mk")
+        k_done = b.fresh_label("mk_done")
+        b.label(k_loop)
+        b.li(13, 8)
+        b.bge(10, 13, k_done)
+        # A[i][k]
+        b.slli(11, 7, 3)
+        b.add(11, 11, 10)
+        b.slli(11, 11, 3)
+        b.add(11, 3, 11)
+        b.ld(14, 11, 0)
+        # B[k][j], or B[j][k] when transposed
+        with if_cond(b, "ne", 6, 0):
+            b.slli(11, 8, 3)
+            b.add(11, 11, 10)
+            b.slli(11, 11, 3)
+            b.add(11, 4, 11)
+            b.ld(15, 11, 0)
+            b.j(have_b)
+        b.slli(11, 10, 3)
+        b.add(11, 11, 8)
+        b.slli(11, 11, 3)
+        b.add(11, 4, 11)
+        b.ld(15, 11, 0)
+        b.label(have_b)
+        b.mul(14, 14, 15)
+        b.add(9, 9, 14)
+        b.addi(10, 10, 1)
+        b.j(k_loop)
+        b.label(k_done)
+        b.srai(9, 9, 8)
+        b.slli(11, 7, 3)
+        b.add(11, 11, 8)
+        b.slli(11, 11, 3)
+        b.add(11, 5, 11)
+        b.st(9, 11, 0)
+        b.addi(8, 8, 1)
+        b.j(j_loop)
+        b.label(j_done)
+        b.addi(7, 7, 1)
+        b.j(i_loop)
+        b.label(i_done)

@@ -1,0 +1,36 @@
+"""``ccl`` workload: GCC 1.35 stand-in (lex + parse + evaluate).
+
+See :mod:`repro.workloads.programs._cc` for the implementation; ``ccl``
+runs the two-phase pipeline (no constant folding) on the smaller input,
+mirroring the older compiler on the SPEC '92 input.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.programs._cc import build_cc, reference_run
+from repro.workloads.support import scaled
+
+NAME = "ccl"
+DESCRIPTION = "compiler front end (GCC 1.35 stand-in)"
+INPUT_DESCRIPTION = "synthetic assignment-statement source"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "146M", "alpha": "n/a"}
+
+SEED = 0xCC1
+
+
+def statement_count(scale: str = "small") -> int:
+    """Number of source statements at *scale*."""
+    return scaled(scale, 60)
+
+
+def expected_variables(scale: str = "small") -> list[int]:
+    """Final variable values (used by the test suite)."""
+    return reference_run(SEED, statement_count(scale))
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the ccl program for *target* at *scale*."""
+    return build_cc(NAME, target, SEED, statement_count(scale),
+                    fold_pass=False)

@@ -1,0 +1,37 @@
+"""``ccl-271`` workload: GCC 2.7.1 stand-in (lex + parse + fold + evaluate).
+
+See :mod:`repro.workloads.programs._cc` for the implementation; relative
+to ``ccl`` this newer-compiler stand-in adds a constant-folding rewrite
+pass over every statement's AST and compiles a larger input, as the
+paper's ccl-271 row (GCC 2.7.1, SPEC '95 flags) is its biggest trace.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.programs._cc import build_cc, reference_run
+from repro.workloads.support import scaled
+
+NAME = "ccl-271"
+DESCRIPTION = "compiler front end with folding (GCC 2.7.1 stand-in)"
+INPUT_DESCRIPTION = "synthetic assignment-statement source (larger)"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "102M", "alpha": "117M"}
+
+SEED = 0xCC271
+
+
+def statement_count(scale: str = "small") -> int:
+    """Number of source statements at *scale*."""
+    return scaled(scale, 90)
+
+
+def expected_variables(scale: str = "small") -> list[int]:
+    """Final variable values (used by the test suite)."""
+    return reference_run(SEED, statement_count(scale))
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the ccl-271 program for *target* at *scale*."""
+    return build_cc(NAME, target, SEED, statement_count(scale),
+                    fold_pass=True)

@@ -1,0 +1,287 @@
+"""``cjpeg`` workload: JPEG-style encoder (DCT + quantize + RLE).
+
+The forward path of a JPEG encoder over a synthetic grayscale image:
+8x8 blocks are level-shifted, transformed with an integer DCT
+(fixed-point matrix multiplies), quantized, zigzag-scanned, and
+run-length encoded.  Pixel data is fresh on every load, which is why
+the paper finds cjpeg to be one of its three poor-locality benchmarks;
+only the quantization and zigzag tables load repeating values.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.programs._dsp import dct_matrix, emit_matmul8
+from repro.workloads.support import Lcg, if_cond
+
+NAME = "cjpeg"
+DESCRIPTION = "JPEG-style encoder (integer DCT, quantize, RLE)"
+INPUT_DESCRIPTION = "synthetic grayscale image"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "2.8M", "alpha": "10.7M"}
+
+IMAGE_SIZE = {"tiny": 8, "small": 16, "reference": 32}
+
+#: Standard JPEG luminance quantization table (ITU T.81 Annex K).
+QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+#: Zigzag scan order.
+ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+
+DCT = dct_matrix()
+
+
+def input_image(scale: str = "small") -> list[int]:
+    """Synthetic image: smooth gradient plus noise, row-major bytes."""
+    size = IMAGE_SIZE[scale]
+    rng = Lcg(seed=0x79E6)
+    pixels = []
+    for y in range(size):
+        for x in range(size):
+            value = (x * 5 + y * 3 + ((x * y) >> 2)) & 0xFF
+            value = (value + rng.below(32)) & 0xFF
+            pixels.append(value)
+    return pixels
+
+
+def _tdiv(a: int, b: int) -> int:
+    """Truncating division (matches the ISA's DIV)."""
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _s64(x: int) -> int:
+    return x - (1 << 64) if x >= (1 << 63) else x
+
+
+def expected_output(scale: str = "small") -> tuple[int, int]:
+    """Reference (rle_pair_count, checksum) -- mirrors the program."""
+    size = IMAGE_SIZE[scale]
+    pixels = input_image(scale)
+    pairs = 0
+    checksum = 0
+    for by in range(0, size, 8):
+        for bx in range(0, size, 8):
+            block = [
+                pixels[(by + i) * size + (bx + j)] - 128
+                for i in range(8) for j in range(8)
+            ]
+            # tmp = DCT x block
+            tmp = [0] * 64
+            for i in range(8):
+                for j in range(8):
+                    acc = sum(DCT[i * 8 + k] * block[k * 8 + j]
+                              for k in range(8))
+                    tmp[i * 8 + j] = acc >> 8
+            # out = tmp x DCT^T
+            out = [0] * 64
+            for i in range(8):
+                for j in range(8):
+                    acc = sum(tmp[i * 8 + k] * DCT[j * 8 + k]
+                              for k in range(8))
+                    out[i * 8 + j] = acc >> 8
+            quant = [_tdiv(out[i], QUANT[i]) for i in range(64)]
+            # zigzag + RLE
+            run = 0
+            for index in ZIGZAG:
+                value = quant[index]
+                if value == 0:
+                    run += 1
+                else:
+                    pairs += 1
+                    checksum = (checksum * 31 + run + value) & ((1 << 64) - 1)
+                    run = 0
+            pairs += 1
+            checksum = (checksum * 31 + run) & ((1 << 64) - 1)
+    return pairs, checksum
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the cjpeg program for *target* at *scale*."""
+    size = IMAGE_SIZE[scale]
+    pixels = input_image(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("image")
+    data.bytes_(bytes(pixels))
+    data.label("size")
+    data.word(size)
+    data.label("dct")
+    data.words([v & ((1 << 64) - 1) for v in DCT])
+    data.label("quant")
+    data.words(QUANT)
+    data.label("zigzag")
+    data.words(ZIGZAG)
+    data.label("block")
+    data.space(64)
+    data.label("tmp")
+    data.space(64)
+    data.label("out")
+    data.space(64)
+    data.label("pairs")
+    data.word(0)
+    data.label("checksum")
+    data.word(0)
+
+    emit_matmul8(b)
+
+    # ------------------------------------------------------------------
+    # encode_block(r3 = block x, r4 = block y): full per-block pipeline.
+    # r24 = bx, r25 = by.
+    # ------------------------------------------------------------------
+    with b.function("encode_block", save=(24, 25, 26)):
+        b.mov(24, 3)
+        b.mov(25, 4)
+        # load pixels, level shift
+        b.load_addr(5, "image")
+        b.load_addr(6, "size")
+        b.ld(6, 6, 0)
+        b.load_addr(7, "block")
+        b.li(8, 0)  # i
+        row_loop = b.fresh_label("px_i")
+        row_done = b.fresh_label("px_i_done")
+        b.label(row_loop)
+        b.li(13, 8)
+        b.bge(8, 13, row_done)
+        b.li(9, 0)  # j
+        col_loop = b.fresh_label("px_j")
+        col_done = b.fresh_label("px_j_done")
+        b.label(col_loop)
+        b.li(13, 8)
+        b.bge(9, 13, col_done)
+        b.add(10, 25, 8)  # y
+        b.mul(10, 10, 6)
+        b.add(10, 10, 24)
+        b.add(10, 10, 9)  # pixel index
+        b.add(10, 5, 10)
+        b.lbu(11, 10, 0)
+        b.addi(11, 11, -128)
+        b.slli(12, 8, 3)
+        b.add(12, 12, 9)
+        b.slli(12, 12, 3)
+        b.add(12, 7, 12)
+        b.st(11, 12, 0)
+        b.addi(9, 9, 1)
+        b.j(col_loop)
+        b.label(col_done)
+        b.addi(8, 8, 1)
+        b.j(row_loop)
+        b.label(row_done)
+        # tmp = DCT x block ; out = tmp x DCT^T
+        b.load_addr(3, "dct")
+        b.load_addr(4, "block")
+        b.load_addr(5, "tmp")
+        b.li(6, 0)
+        b.call("matmul8")
+        b.load_addr(3, "tmp")
+        b.load_addr(4, "dct")
+        b.load_addr(5, "out")
+        b.li(6, 1)
+        b.call("matmul8")
+        # quantize in place: out[i] /= quant[i]
+        b.load_addr(5, "out")
+        b.load_addr(6, "quant")
+        b.li(7, 0)
+        q_loop = b.fresh_label("q")
+        q_done = b.fresh_label("q_done")
+        b.label(q_loop)
+        b.li(13, 64)
+        b.bge(7, 13, q_done)
+        b.slli(8, 7, 3)
+        b.add(9, 5, 8)
+        b.ld(10, 9, 0)
+        b.add(11, 6, 8)
+        b.ld(12, 11, 0)  # quant entry -- constant table
+        b.div(10, 10, 12)
+        b.st(10, 9, 0)
+        b.addi(7, 7, 1)
+        b.j(q_loop)
+        b.label(q_done)
+        # zigzag + RLE
+        b.load_addr(5, "out")
+        b.load_addr(6, "zigzag")
+        b.load_addr(14, "checksum")
+        b.ld(15, 14, 0)
+        b.load_addr(16, "pairs")
+        b.ld(17, 16, 0)
+        b.li(18, 0)  # run length
+        b.li(7, 0)
+        z_loop = b.fresh_label("z")
+        z_done = b.fresh_label("z_done")
+        b.label(z_loop)
+        b.li(13, 64)
+        b.bge(7, 13, z_done)
+        b.slli(8, 7, 3)
+        b.add(9, 6, 8)
+        b.ld(10, 9, 0)  # zigzag index -- constant table
+        b.slli(10, 10, 3)
+        b.add(10, 5, 10)
+        b.ld(11, 10, 0)  # coefficient
+        with if_cond(b, "eq", 11, 0):
+            b.addi(18, 18, 1)
+            b.j("__rle_next")
+        b.addi(17, 17, 1)
+        b.li(13, 31)
+        b.mul(15, 15, 13)
+        b.add(15, 15, 18)
+        b.add(15, 15, 11)
+        b.li(18, 0)
+        b.label("__rle_next")
+        b.addi(7, 7, 1)
+        b.j(z_loop)
+        b.label(z_done)
+        # end-of-block marker
+        b.addi(17, 17, 1)
+        b.li(13, 31)
+        b.mul(15, 15, 13)
+        b.add(15, 15, 18)
+        b.st(15, 14, 0)
+        b.st(17, 16, 0)
+
+    # ------------------------------------------------------------------
+    # main: iterate blocks.
+    # r24 = bx, r25 = by, r26 = size.
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24, 25, 26)):
+        b.load_addr(4, "size")
+        b.ld(26, 4, 0)
+        b.li(25, 0)
+        by_loop = b.fresh_label("by")
+        by_done = b.fresh_label("by_done")
+        b.label(by_loop)
+        b.bge(25, 26, by_done)
+        b.li(24, 0)
+        bx_loop = b.fresh_label("bx")
+        bx_done = b.fresh_label("bx_done")
+        b.label(bx_loop)
+        b.bge(24, 26, bx_done)
+        b.mov(3, 24)
+        b.mov(4, 25)
+        b.call("encode_block")
+        b.addi(24, 24, 8)
+        b.j(bx_loop)
+        b.label(bx_done)
+        b.addi(25, 25, 8)
+        b.j(by_loop)
+        b.label(by_done)
+
+    return b.build()

@@ -1,0 +1,149 @@
+"""``compress`` workload: LZW dictionary compression (SPEC '92 129.compress).
+
+A faithful miniature of the SPEC benchmark's core: byte-at-a-time LZW
+with an open-addressing hash-table dictionary.  The input is synthetic
+whitespace-heavy English-like text (the paper's "data redundancy"
+observation: real inputs repeat), so dictionary probes hit the same
+chains over and over -- the source of compress's high value locality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import (
+    Lcg,
+    if_cond,
+    if_else,
+    make_text,
+    scaled,
+    while_loop,
+)
+
+NAME = "compress"
+DESCRIPTION = "LZW compression (SPEC '92 style)"
+INPUT_DESCRIPTION = "synthetic English-like text"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "38.8M", "alpha": "50.2M"}
+
+HASH_SIZE = 8192  # power of two
+MAX_CODE = 4096
+FIRST_CODE = 256
+_HASH_MULT = 2654435761
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the compress program for *target* at *scale*."""
+    rng = Lcg(seed=0xC0131)
+    text = make_text(rng, num_words=scaled(scale, 260))
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("input")
+    data.bytes_(text)
+    data.label("input_len")
+    data.word(len(text))
+    data.label("ht_key")  # key+1, 0 = empty slot
+    data.space(HASH_SIZE)
+    data.label("ht_val")
+    data.space(HASH_SIZE)
+    data.label("output")  # emitted codes
+    data.space(len(text) + 2)
+    data.label("out_count")
+    data.word(0)
+
+    # ------------------------------------------------------------------
+    # hash_find(key r3) -> r3 = code or -1, r4 = slot index
+    # Linear probing over ht_key (stored as key+1 so 0 means empty).
+    # ------------------------------------------------------------------
+    with b.function("hash_find", leaf=True):
+        b.load_const(11, _HASH_MULT)
+        b.mul(5, 3, 11)  # h = key * KNUTH
+        b.srli(5, 5, 16)
+        b.andi(5, 5, HASH_SIZE - 1)  # slot
+        b.load_addr(6, "ht_key")
+        b.addi(7, 3, 1)  # probe value = key+1
+        with while_loop(b) as (_, done):
+            b.slli(8, 5, 3)
+            b.add(8, 6, 8)
+            b.ld(9, 8, 0)  # stored key+1
+            with if_cond(b, "eq", 9, 0):  # empty slot: miss
+                b.mov(4, 5)
+                b.li(3, -1)
+                b.return_from_function()
+            with if_cond(b, "eq", 9, 7):  # hit
+                b.load_addr(10, "ht_val")
+                b.slli(8, 5, 3)
+                b.add(8, 10, 8)
+                b.ld(3, 8, 0)
+                b.mov(4, 5)
+                b.return_from_function()
+            b.addi(5, 5, 1)  # linear probe
+            b.andi(5, 5, HASH_SIZE - 1)
+
+    # ------------------------------------------------------------------
+    # hash_insert(key r3, slot r4, code r5): store into the found slot.
+    # ------------------------------------------------------------------
+    with b.function("hash_insert", leaf=True):
+        b.load_addr(6, "ht_key")
+        b.slli(7, 4, 3)
+        b.add(8, 6, 7)
+        b.addi(9, 3, 1)
+        b.st(9, 8, 0)
+        b.load_addr(6, "ht_val")
+        b.add(8, 6, 7)
+        b.st(5, 8, 0)
+
+    # ------------------------------------------------------------------
+    # emit_code(code r3): append to the output array.
+    # ------------------------------------------------------------------
+    with b.function("emit_code", leaf=True):
+        b.load_addr(4, "out_count")
+        b.ld(5, 4, 0)
+        b.load_addr(6, "output")
+        b.slli(7, 5, 3)
+        b.add(7, 6, 7)
+        b.st(3, 7, 0)
+        b.addi(5, 5, 1)
+        b.st(5, 4, 0)
+
+    # ------------------------------------------------------------------
+    # main: the LZW loop.
+    #   r24 = cursor, r25 = input end, r26 = w (current prefix code),
+    #   r27 = next free code, r28 = key scratch
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24, 25, 26, 27, 28)):
+        b.load_addr(24, "input")
+        b.load_addr(4, "input_len")
+        b.ld(25, 4, 0)
+        b.add(25, 24, 25)  # end pointer
+        b.lbu(26, 24, 0)  # w = first byte
+        b.addi(24, 24, 1)
+        b.li(27, FIRST_CODE)
+        with while_loop(b) as (_, done):
+            b.bgeu(24, 25, done)
+            b.lbu(28, 24, 0)  # c
+            b.addi(24, 24, 1)
+            b.slli(3, 26, 8)
+            b.or_(3, 3, 28)  # key = (w << 8) | c
+            b.call("hash_find")
+            with if_else(b, "ge", 3, 0) as otherwise:
+                b.mov(26, 3)  # found: w = code
+                otherwise()
+                # Miss: grow the dictionary (slot still live in r4 from
+                # hash_find), emit w, restart the prefix at c.
+                b.li(6, MAX_CODE)
+                with if_cond(b, "lt", 27, 6):
+                    b.slli(3, 26, 8)
+                    b.or_(3, 3, 28)  # recompute key
+                    b.mov(5, 27)
+                    b.call("hash_insert")
+                    b.addi(27, 27, 1)
+                b.mov(3, 26)
+                b.call("emit_code")
+                b.mov(26, 28)
+        # flush final prefix code
+        b.mov(3, 26)
+        b.call("emit_code")
+
+    return b.build()

@@ -1,0 +1,161 @@
+"""``doduc`` workload: Monte-Carlo-free reactor kinetics kernel.
+
+SPEC '92 doduc simulates a nuclear reactor's thermo-hydraulics.  This
+miniature advances a vector of channel states through explicit Euler
+steps; each channel classifies its state against threshold constants
+(loaded from memory every iteration, as Fortran COMMON reads compile
+to) and pulls a region-dependent rate coefficient from a small table.
+The thresholds and coefficients load with perfect value locality while
+the evolving state loads with almost none -- the mix behind doduc's
+mid-range paper locality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.isa.registers import FPR_BASE as F
+from repro.workloads.support import Lcg, scaled
+
+NAME = "doduc"
+DESCRIPTION = "reactor kinetics (explicit Euler over channels)"
+INPUT_DESCRIPTION = "synthetic channel states, tiny SPEC-style input"
+CATEGORY = "fp"
+PAPER_INSTRUCTIONS = {"ppc": "35.8M", "alpha": "38.5M"}
+
+THRESHOLDS = (0.35, 0.65, 0.9)
+COEFFS = (0.12, 0.45, 0.8, 1.1)
+DT = 0.01
+DECAY = 0.6
+KAPPA = 0.05  # nearest-neighbour channel coupling
+
+
+def initial_state(scale: str = "small") -> list[float]:
+    """Starting channel temperatures in (0, 1)."""
+    rng = Lcg(seed=0xD0D)
+    count = scaled(scale, 48)
+    return [rng.uniform(0.05, 1.2) for _ in range(count)]
+
+
+def steps(scale: str = "small") -> int:
+    """Number of Euler steps at *scale*."""
+    return scaled(scale, 40)
+
+
+def expected_state(scale: str = "small") -> tuple[list[float], float]:
+    """Reference (final states, energy sum) -- bit-exact mirror."""
+    state = initial_state(scale)
+    energy = 0.0
+    for _ in range(steps(scale)):
+        for i in range(1, len(state)):
+            x = state[i]
+            if x < THRESHOLDS[0]:
+                coeff = COEFFS[0]
+            elif x < THRESHOLDS[1]:
+                coeff = COEFFS[1]
+            elif x < THRESHOLDS[2]:
+                coeff = COEFFS[2]
+            else:
+                coeff = COEFFS[3]
+            x = x + DT * (coeff - x * DECAY)
+            x = x + KAPPA * (state[i - 1] - x)
+            state[i] = x
+            energy = energy + x
+    return state, energy
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the doduc program for *target* at *scale*."""
+    state = initial_state(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("state")
+    data.doubles(state)
+    data.label("count")
+    data.word(len(state))
+    data.label("nsteps")
+    data.word(steps(scale))
+    data.label("thresholds")
+    data.doubles(THRESHOLDS)
+    data.label("coeffs")
+    data.doubles(COEFFS)
+    data.label("dt")
+    data.double(DT)
+    data.label("decay")
+    data.double(DECAY)
+    data.label("kappa")
+    data.double(KAPPA)
+    data.label("energy")
+    data.double(0.0)
+
+    # FP register plan: f1=x, f2=threshold scratch, f3=coeff, f4=dt,
+    # f5=decay, f6=energy, f7=temp.
+    with b.function("main", save=(24, 25, 26, 27)):
+        b.load_addr(24, "state")
+        b.load_addr(4, "count")
+        b.ld(25, 4, 0)
+        b.load_addr(4, "nsteps")
+        b.ld(26, 4, 0)
+        b.load_addr(4, "energy")
+        b.fld(F + 6, 4, 0)
+        # dt/decay/kappa are loop-invariant; the compiler hoists them.
+        b.load_addr(4, "dt")
+        b.fld(F + 4, 4, 0)
+        b.load_addr(4, "decay")
+        b.fld(F + 5, 4, 0)
+        b.load_addr(4, "kappa")
+        b.fld(F + 8, 4, 0)
+        step_loop = b.fresh_label("step")
+        step_done = b.fresh_label("step_done")
+        b.label(step_loop)
+        b.beqz(26, step_done)
+        b.li(27, 1)  # channel index (0 is the inlet boundary)
+        ch_loop = b.fresh_label("chan")
+        ch_done = b.fresh_label("chan_done")
+        b.label(ch_loop)
+        b.bge(27, 25, ch_done)
+        b.slli(5, 27, 3)
+        b.add(5, 24, 5)
+        b.fld(F + 1, 5, 0)  # x -- evolving state
+        # classify against thresholds (reloaded from memory: Fortran
+        # COMMON block reads).
+        b.load_addr(6, "thresholds")
+        b.load_addr(7, "coeffs")
+        labels = [b.fresh_label(f"r{k}") for k in range(4)]
+        done_cls = b.fresh_label("classified")
+        for region in range(3):
+            b.fld(F + 2, 6, region * 8)  # threshold -- constant
+            b.flt(8, F + 1, F + 2)
+            b.bnez(8, labels[region])
+        b.label(labels[3])
+        b.fld(F + 3, 7, 24)
+        b.j(done_cls)
+        for region in range(3):
+            b.label(labels[region])
+            b.fld(F + 3, 7, region * 8)  # coefficient -- small table
+            if region != 2:
+                b.j(done_cls)
+        b.label(done_cls)
+        # x = x + dt * (coeff - x*decay)
+        b.fmul(F + 7, F + 1, F + 5)
+        b.fsub(F + 7, F + 3, F + 7)
+        b.fmul(F + 7, F + 4, F + 7)
+        b.fadd(F + 1, F + 1, F + 7)
+        # x = x + kappa * (x[i-1] - x)   (neighbour coupling)
+        b.fld(F + 7, 5, -8)
+        b.fsub(F + 7, F + 7, F + 1)
+        b.fmul(F + 7, F + 8, F + 7)
+        b.fadd(F + 1, F + 1, F + 7)
+        b.fst(F + 1, 5, 0)
+        b.fadd(F + 6, F + 6, F + 1)
+        b.addi(27, 27, 1)
+        b.j(ch_loop)
+        b.label(ch_done)
+        b.addi(26, 26, -1)
+        b.j(step_loop)
+        b.label(step_done)
+        b.load_addr(4, "energy")
+        b.fst(F + 6, 4, 0)
+
+    return b.build()

@@ -1,0 +1,217 @@
+"""``eqntott`` workload: boolean equation to truth table conversion.
+
+SPEC '92 eqntott converts boolean equations into truth tables.  This
+miniature evaluates a postfix boolean expression over every input
+assignment, collecting the minterms (assignments where the expression
+is true), then sorts them with the quadratic insertion sort that
+dominates real eqntott profiles (its famous ``cmppt`` routine).  The
+postfix program array is re-read for every assignment -- run-time
+constant loads -- while the evaluation stack churns.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import Lcg, if_cond, scaled, while_loop
+
+NAME = "eqntott"
+DESCRIPTION = "boolean equation to sorted truth table"
+INPUT_DESCRIPTION = "synthetic postfix boolean equation"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "25.5M", "alpha": "44.0M"}
+
+# Postfix opcodes.
+OP_VAR = 0  # push variable (operand = index)
+OP_AND = 1
+OP_OR = 2
+OP_NOT = 3
+OP_XOR = 4
+
+
+def input_equation(scale: str = "small") -> tuple[int, list[tuple[int, int]]]:
+    """Return (num_variables, postfix program) for the equation."""
+    rng = Lcg(seed=0xE9)
+    num_vars = 6 if scale == "tiny" else (7 if scale == "small" else 9)
+    program = [(OP_VAR, 0), (OP_VAR, 1), (OP_AND, 0)]
+    depth = 1
+    # Grow a random expression keeping every variable involved.
+    for var in range(2, num_vars):
+        program.append((OP_VAR, var))
+        depth += 1
+        if rng.below(3) == 0:
+            program.append((OP_NOT, 0))
+        program.append((rng.choice((OP_AND, OP_OR, OP_XOR)), 0))
+        depth -= 1
+    for _ in range(scaled(scale, 3)):
+        program.append((OP_VAR, rng.below(num_vars)))
+        program.append((OP_VAR, rng.below(num_vars)))
+        program.append((rng.choice((OP_AND, OP_OR, OP_XOR)), 0))
+        program.append((rng.choice((OP_AND, OP_OR)), 0))
+    return num_vars, program
+
+
+def evaluate(program: list[tuple[int, int]], assignment: int) -> int:
+    """Reference postfix evaluator (used by the test suite)."""
+    stack: list[int] = []
+    for op, operand in program:
+        if op == OP_VAR:
+            stack.append((assignment >> operand) & 1)
+        elif op == OP_NOT:
+            stack.append(stack.pop() ^ 1)
+        else:
+            b_val, a_val = stack.pop(), stack.pop()
+            if op == OP_AND:
+                stack.append(a_val & b_val)
+            elif op == OP_OR:
+                stack.append(a_val | b_val)
+            else:
+                stack.append(a_val ^ b_val)
+    return stack.pop()
+
+
+def expected_minterms(scale: str = "small") -> list[int]:
+    """Reference sorted minterm list (used by the test suite)."""
+    num_vars, program = input_equation(scale)
+    return sorted(
+        a for a in range(1 << num_vars) if evaluate(program, a)
+    )
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the eqntott program for *target* at *scale*."""
+    num_vars, program = input_equation(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("pt_ops")
+    data.words([op for op, _ in program])
+    data.label("pt_args")
+    data.words([arg for _, arg in program])
+    data.label("pt_len")
+    data.word(len(program))
+    data.label("num_vars")
+    data.word(num_vars)
+    data.label("minterms")
+    data.space(1 << num_vars)
+    data.label("num_minterms")
+    data.word(0)
+    data.label("stack")
+    data.space(64)
+
+    # ------------------------------------------------------------------
+    # eval_pt(r3 = assignment bitmask) -> r3 = 0/1.
+    # r4 = pc, r5 = stack top index, r6/r7 = table bases.
+    # ------------------------------------------------------------------
+    with b.function("eval_pt", leaf=True):
+        b.load_addr(6, "pt_ops")
+        b.load_addr(7, "pt_args")
+        b.load_addr(8, "stack")
+        b.load_addr(9, "pt_len")
+        b.ld(9, 9, 0)
+        b.li(4, 0)  # pc
+        b.li(5, 0)  # stack height
+        with while_loop(b) as (_, done):
+            b.bge(4, 9, done)
+            b.slli(10, 4, 3)
+            b.add(11, 6, 10)
+            b.ld(12, 11, 0)  # op -- constant per pc
+            b.add(11, 7, 10)
+            b.ld(13, 11, 0)  # arg -- constant per pc
+            b.addi(4, 4, 1)
+            with if_cond(b, "eq", 12, 0):  # OP_VAR: push bit
+                b.srl(14, 3, 13)
+                b.andi(14, 14, 1)
+                b.slli(15, 5, 3)
+                b.add(15, 8, 15)
+                b.st(14, 15, 0)
+                b.addi(5, 5, 1)
+                b.j("__eval_next")
+            b.li(14, OP_NOT)
+            with if_cond(b, "eq", 12, 14):  # OP_NOT: flip top
+                b.addi(15, 5, -1)
+                b.slli(15, 15, 3)
+                b.add(15, 8, 15)
+                b.ld(16, 15, 0)
+                b.xori(16, 16, 1)
+                b.st(16, 15, 0)
+                b.j("__eval_next")
+            # binary op: pop two, push result
+            b.addi(5, 5, -2)
+            b.slli(15, 5, 3)
+            b.add(15, 8, 15)
+            b.ld(16, 15, 0)  # a
+            b.ld(17, 15, 8)  # b
+            b.li(14, OP_AND)
+            with if_cond(b, "eq", 12, 14):
+                b.and_(16, 16, 17)
+                b.j("__eval_push")
+            b.li(14, OP_OR)
+            with if_cond(b, "eq", 12, 14):
+                b.or_(16, 16, 17)
+                b.j("__eval_push")
+            b.xor(16, 16, 17)
+            b.label("__eval_push")
+            b.slli(15, 5, 3)
+            b.add(15, 8, 15)
+            b.st(16, 15, 0)
+            b.addi(5, 5, 1)
+            b.label("__eval_next")
+        # result = stack[0]
+        b.ld(3, 8, 0)
+
+    # ------------------------------------------------------------------
+    # insert_minterm(r3 = value): insertion sort into the minterm list
+    # (eqntott's cmppt-style quadratic behaviour).
+    # ------------------------------------------------------------------
+    with b.function("insert_minterm", leaf=True):
+        b.load_addr(4, "num_minterms")
+        b.ld(5, 4, 0)
+        b.load_addr(6, "minterms")
+        # scan from the end, shifting larger elements right
+        b.mov(7, 5)
+        with while_loop(b) as (_, done):
+            b.beqz(7, done)
+            b.addi(8, 7, -1)
+            b.slli(9, 8, 3)
+            b.add(9, 6, 9)
+            b.ld(10, 9, 0)
+            b.bge(3, 10, done)  # found insertion point
+            b.st(10, 9, 8)  # shift right
+            b.mov(7, 8)
+        b.slli(9, 7, 3)
+        b.add(9, 6, 9)
+        b.st(3, 9, 0)
+        b.addi(5, 5, 1)
+        b.st(5, 4, 0)
+
+    # ------------------------------------------------------------------
+    # main: enumerate assignments in a bit-reversed-ish order so the
+    # insertion sort actually shuffles (matching eqntott's workload).
+    # r24 = assignment counter, r25 = limit, r26 = permuted value.
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24, 25, 26)):
+        b.load_addr(4, "num_vars")
+        b.ld(5, 4, 0)
+        b.li(25, 1)
+        b.sll(25, 25, 5)  # 1 << num_vars
+        b.li(24, 0)
+        loop = b.fresh_label("assign")
+        done = b.fresh_label("assign_done")
+        b.label(loop)
+        b.bge(24, 25, done)
+        # permuted = (a * 037) mod 2^n  -- visits every assignment once
+        b.li(6, 31)
+        b.mul(26, 24, 6)
+        b.addi(7, 25, -1)
+        b.and_(26, 26, 7)
+        b.mov(3, 26)
+        b.call("eval_pt")
+        with if_cond(b, "ne", 3, 0):
+            b.mov(3, 26)
+            b.call("insert_minterm")
+        b.addi(24, 24, 1)
+        b.j(loop)
+        b.label(done)
+
+    return b.build()

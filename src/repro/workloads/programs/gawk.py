@@ -1,0 +1,226 @@
+"""``gawk`` workload: parsing a simulator result file.
+
+The paper runs GNU awk over "1.7M simulator result parser output file".
+This miniature does what such an awk script does: for every line of a
+``tag value value value`` report, it tokenizes the fields, converts the
+numeric fields with an ``atoi`` loop, accumulates per-column totals, and
+counts occurrences of each tag in a small hash table.  Field values are
+skewed toward zero (sparse counters dominate real simulator output --
+the paper's "data redundancy" source of value locality).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import Lcg, if_cond, scaled, while_loop
+
+NAME = "gawk"
+DESCRIPTION = "field parsing and per-column accumulation"
+INPUT_DESCRIPTION = "synthetic simulator-result report"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "25.0M", "alpha": "53.0M"}
+
+TAGS = (b"cycles", b"loads", b"stores", b"hits", b"misses", b"stalls")
+NUM_COLUMNS = 3
+TAG_TABLE_SIZE = 64
+
+
+def input_lines(scale: str = "small") -> list[tuple[bytes, list[int]]]:
+    """The report lines: (tag, numeric column values)."""
+    rng = Lcg(seed=0x6A3B)
+    lines = []
+    for _ in range(scaled(scale, 220)):
+        tag = rng.choice(TAGS)
+        values = []
+        for _ in range(NUM_COLUMNS):
+            # Heavily zero-skewed, like idle counters in real reports.
+            if rng.below(3):
+                values.append(0)
+            else:
+                values.append(rng.below(100000))
+        lines.append((tag, values))
+    return lines
+
+
+def render_input(scale: str = "small") -> bytes:
+    """The raw text fed to the program."""
+    rows = []
+    for tag, values in input_lines(scale):
+        rows.append(tag + b" " + b" ".join(
+            str(v).encode("ascii") for v in values))
+    return b"\n".join(rows) + b"\n"
+
+
+def expected_column_sums(scale: str = "small") -> list[int]:
+    """Reference per-column totals (used by the test suite)."""
+    sums = [0] * NUM_COLUMNS
+    for _, values in input_lines(scale):
+        for column, value in enumerate(values):
+            sums[column] += value
+    return sums
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the gawk program for *target* at *scale*."""
+    text = render_input(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("input")
+    data.bytes_(text)
+    data.label("input_len")
+    data.word(len(text))
+    data.label("col_sums")
+    data.space(NUM_COLUMNS)
+    data.label("tag_hash")  # open addressing: hash of first 4 chars
+    data.space(TAG_TABLE_SIZE)
+    data.label("tag_counts")
+    data.space(TAG_TABLE_SIZE)
+    data.label("line_count")
+    data.word(0)
+    # awk's runtime state lives in globals that inner loops reload: the
+    # field separator (FS) and the expected field count (NF).  Both are
+    # run-time constants -- classic value-locality sources.
+    data.label("fs_char")
+    data.word(ord(" "))
+    data.label("num_fields")
+    data.word(NUM_COLUMNS)
+
+    # ------------------------------------------------------------------
+    # skip_spaces(r3=cursor, r4=end) -> r3 advanced past blanks.
+    # Reloads FS from its global every character, as the awk inner loop
+    # does (it can change between records in principle).
+    # ------------------------------------------------------------------
+    with b.function("skip_spaces", leaf=True):
+        with while_loop(b) as (_, done):
+            b.bgeu(3, 4, done)
+            b.load_addr(7, "fs_char")
+            b.ld(5, 7, 0)
+            b.lbu(6, 3, 0)
+            b.bne(6, 5, done)
+            b.addi(3, 3, 1)
+
+    # ------------------------------------------------------------------
+    # atoi(r3=cursor, r4=end) -> r3 = value, r4 = new cursor.
+    # Stops at the first non-digit.
+    # ------------------------------------------------------------------
+    with b.function("atoi", leaf=True):
+        b.li(5, 0)  # accumulator
+        b.li(6, ord("0"))
+        b.li(7, ord("9") + 1)
+        b.li(8, 10)
+        with while_loop(b) as (_, done):
+            b.bgeu(3, 4, done)
+            b.lbu(9, 3, 0)
+            b.blt(9, 6, done)
+            b.bge(9, 7, done)
+            b.mul(5, 5, 8)
+            b.sub(9, 9, 6)
+            b.add(5, 5, 9)
+            b.addi(3, 3, 1)
+        b.mov(4, 3)
+        b.mov(3, 5)
+
+    # ------------------------------------------------------------------
+    # tag_count(r3 = tag ptr): hash the first 4 bytes, bump a counter.
+    # ------------------------------------------------------------------
+    with b.function("tag_count", leaf=True):
+        b.li(5, 0)
+        b.li(7, 4)
+        b.li(6, 0)
+        probe = b.fresh_label("hash4")
+        done4 = b.fresh_label("hash4_done")
+        b.label(probe)
+        b.bge(6, 7, done4)
+        b.lbu(8, 3, 0)
+        b.addi(3, 3, 1)
+        b.slli(5, 5, 5)
+        b.add(5, 5, 8)
+        b.addi(6, 6, 1)
+        b.j(probe)
+        b.label(done4)
+        b.andi(5, 5, TAG_TABLE_SIZE - 1)
+        b.load_addr(6, "tag_hash")
+        b.load_addr(7, "tag_counts")
+        with while_loop(b) as (_, done):
+            b.slli(8, 5, 3)
+            b.add(9, 6, 8)
+            b.ld(10, 9, 0)  # stored hash key + 1
+            b.addi(11, 5, 1)
+            with if_cond(b, "eq", 10, 0):  # empty: claim the slot
+                b.st(11, 9, 0)
+                b.add(9, 7, 8)
+                b.li(12, 1)
+                b.st(12, 9, 0)
+                b.return_from_function()
+            with if_cond(b, "eq", 10, 11):  # ours: increment
+                b.add(9, 7, 8)
+                b.ld(12, 9, 0)
+                b.addi(12, 12, 1)
+                b.st(12, 9, 0)
+                b.return_from_function()
+            b.addi(5, 5, 1)
+            b.andi(5, 5, TAG_TABLE_SIZE - 1)
+
+    # ------------------------------------------------------------------
+    # main: line loop.
+    # r24 = cursor, r25 = end, r26 = column index, r27 = lines.
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24, 25, 26, 27)):
+        b.load_addr(24, "input")
+        b.load_addr(4, "input_len")
+        b.ld(5, 4, 0)
+        b.add(25, 24, 5)
+        b.li(27, 0)
+        outer_done = b.fresh_label("eof")
+        outer = b.fresh_label("line")
+        b.label(outer)
+        b.bgeu(24, 25, outer_done)
+        # Tag field: count it, then skip to the first blank.
+        b.mov(3, 24)
+        b.call("tag_count")
+        b.li(6, ord(" "))
+        with while_loop(b) as (_, done):
+            b.bgeu(24, 25, done)
+            b.lbu(7, 24, 0)
+            b.beq(7, 6, done)
+            b.addi(24, 24, 1)
+        # Numeric columns; NF is reloaded from its global per field.
+        b.li(26, 0)
+        cols = b.fresh_label("cols")
+        cols_done = b.fresh_label("cols_done")
+        b.label(cols)
+        b.load_addr(13, "num_fields")
+        b.ld(13, 13, 0)
+        b.bge(26, 13, cols_done)
+        b.mov(3, 24)
+        b.mov(4, 25)
+        b.call("skip_spaces")
+        b.mov(24, 3)
+        b.mov(4, 25)
+        b.call("atoi")
+        b.mov(24, 4)  # cursor past the number
+        b.load_addr(5, "col_sums")
+        b.slli(6, 26, 3)
+        b.add(5, 5, 6)
+        b.ld(7, 5, 0)
+        b.add(7, 7, 3)
+        b.st(7, 5, 0)
+        b.addi(26, 26, 1)
+        b.j(cols)
+        b.label(cols_done)
+        # Skip to just past the newline.
+        b.li(6, ord("\n"))
+        with while_loop(b) as (_, done):
+            b.bgeu(24, 25, done)
+            b.lbu(7, 24, 0)
+            b.addi(24, 24, 1)
+            b.beq(7, 6, done)
+        b.addi(27, 27, 1)
+        b.j(outer)
+        b.label(outer_done)
+        b.load_addr(4, "line_count")
+        b.st(27, 4, 0)
+
+    return b.build()

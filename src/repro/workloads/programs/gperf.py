@@ -1,0 +1,221 @@
+"""``gperf`` workload: perfect hash function search.
+
+GNU gperf searches for character weights that hash a keyword set with
+no collisions.  This miniature does the same: candidate weight tables
+are derived from a trial counter, every keyword is hashed (reloading
+the weight table per character -- run-time constants within a trial),
+and a collision bitmap decides whether the trial succeeds.  Keyword
+bytes are re-read on every trial, so a 16-deep history captures them
+almost perfectly -- matching gperf's high paper locality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import (
+    Lcg,
+    for_range,
+    if_cond,
+    make_word_list,
+    while_loop,
+)
+
+NAME = "gperf"
+DESCRIPTION = "perfect hash weight search"
+INPUT_DESCRIPTION = "keyword list (gperf -k style)"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "7.8M", "alpha": "10.8M"}
+
+TABLE_BITS = 10  # hash range 0..1023
+MAX_TRIALS = 64
+WEIGHT_STEP = 17  # added to a colliding weight between trials
+
+
+#: Keyword count per scale, chosen so the search converges quickly
+#: but not instantly (checked by ``expected_solution``).
+KEYWORD_COUNT = {"tiny": 48, "small": 80, "reference": 96}
+
+
+def input_keywords(scale: str = "small") -> list[bytes]:
+    """Keyword set to perfect-hash (deduplicated)."""
+    rng = Lcg(seed=0x69E4F)
+    words = make_word_list(rng, count=KEYWORD_COUNT[scale], min_len=4,
+                           max_len=10)
+    seen = set()
+    unique = []
+    for word in words:
+        if word not in seen:
+            seen.add(word)
+            unique.append(word)
+    return unique
+
+
+def initial_weights() -> list[int]:
+    """Starting per-letter weights (mutated between trials)."""
+    return [(c * 13 + 5) & 0xFF for c in range(26)]
+
+
+def _hash(word: bytes, weights: list[int]) -> int:
+    h = len(word)
+    for char in word:
+        h = (h * 17 + weights[char - ord("a")]) & ((1 << TABLE_BITS) - 1)
+    return h
+
+
+def expected_solution(scale: str = "small") -> int:
+    """First collision-free trial index, or MAX_TRIALS if none.
+
+    Mirrors the program exactly: on a collision, the weight of the
+    colliding word's first letter is bumped and the search retries --
+    gperf's actual incremental strategy.
+    """
+    keywords = input_keywords(scale)
+    weights = initial_weights()
+    for trial in range(MAX_TRIALS):
+        seen = set()
+        collider = None
+        for word in keywords:
+            h = _hash(word, weights)
+            if h in seen:
+                collider = word
+                break
+            seen.add(h)
+        if collider is None:
+            return trial
+        index = collider[0] - ord("a")
+        weights[index] = (weights[index] + WEIGHT_STEP) & 0xFF
+    return MAX_TRIALS
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the gperf program for *target* at *scale*."""
+    keywords = input_keywords(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    blob = b"".join(keywords)
+    data.label("blob")
+    data.bytes_(blob)
+    data.label("word_off")
+    offsets, cursor = [], 0
+    for word in keywords:
+        offsets.append(cursor)
+        cursor += len(word)
+    data.words(offsets)
+    data.label("word_len")
+    data.words([len(w) for w in keywords])
+    data.label("num_words")
+    data.word(len(keywords))
+    data.label("weights")
+    data.words(initial_weights())
+    data.label("bitmap")  # one byte per hash slot
+    data.space((1 << TABLE_BITS) // 8)
+    data.label("solution")
+    data.word(MAX_TRIALS)
+
+    # ------------------------------------------------------------------
+    # hash_word(r3 = word ptr, r4 = length) -> r3 = hash value.
+    # Weight table entries are reloaded per character.
+    # ------------------------------------------------------------------
+    with b.function("hash_word", leaf=True):
+        b.mov(5, 4)  # h = len
+        b.add(4, 3, 4)  # end
+        b.load_addr(6, "weights")
+        b.li(7, 17)
+        with while_loop(b) as (_, done):
+            b.bgeu(3, 4, done)
+            b.lbu(8, 3, 0)
+            b.addi(3, 3, 1)
+            b.addi(8, 8, -ord("a"))
+            b.slli(8, 8, 3)
+            b.add(8, 6, 8)
+            b.ld(9, 8, 0)  # weight -- constant within a trial
+            b.mul(5, 5, 7)
+            b.add(5, 5, 9)
+            b.andi(5, 5, (1 << TABLE_BITS) - 1)
+        b.mov(3, 5)
+
+    # ------------------------------------------------------------------
+    # try_trial() -> r3 = -1 if collision-free, else the index of the
+    # first colliding keyword.
+    # r25 = word index, r26 = word count.
+    # ------------------------------------------------------------------
+    with b.function("try_trial", save=(25, 26)):
+        # clear the bitmap (word stores over the byte flags)
+        b.load_addr(5, "bitmap")
+        b.li(7, (1 << TABLE_BITS) // 8)
+        with for_range(b, 6, 7):
+            b.slli(8, 6, 3)
+            b.add(8, 5, 8)
+            b.st(0, 8, 0)
+        # hash every keyword
+        b.load_addr(4, "num_words")
+        b.ld(26, 4, 0)
+        b.li(25, 0)
+        loop = b.fresh_label("keys")
+        done = b.fresh_label("keys_done")
+        b.label(loop)
+        b.bge(25, 26, done)
+        b.load_addr(5, "word_off")
+        b.slli(6, 25, 3)
+        b.add(5, 5, 6)
+        b.ld(3, 5, 0)
+        b.load_addr(7, "blob")
+        b.add(3, 7, 3)
+        b.load_addr(5, "word_len")
+        b.add(5, 5, 6)
+        b.ld(4, 5, 0)
+        b.call("hash_word")
+        b.load_addr(5, "bitmap")
+        b.add(5, 5, 3)
+        b.lbu(7, 5, 0)
+        with if_cond(b, "ne", 7, 0):  # collision: report the word
+            b.mov(3, 25)
+            b.return_from_function()
+        b.li(7, 1)
+        b.sb(7, 5, 0)
+        b.addi(25, 25, 1)
+        b.j(loop)
+        b.label(done)
+        b.li(3, -1)
+
+    # ------------------------------------------------------------------
+    # main: retry until a trial is perfect, bumping the weight of the
+    # colliding word's first letter between trials (gperf's strategy).
+    # r24 = trial index.
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24,)):
+        b.li(24, 0)
+        loop = b.fresh_label("trials")
+        done = b.fresh_label("trials_done")
+        b.label(loop)
+        b.li(5, MAX_TRIALS)
+        b.bge(24, 5, done)
+        b.call("try_trial")
+        b.li(5, -1)
+        with if_cond(b, "eq", 3, 5):
+            b.load_addr(4, "solution")
+            b.st(24, 4, 0)
+            b.return_from_function()
+        # bump weights[first letter of colliding word]
+        b.load_addr(5, "word_off")
+        b.slli(6, 3, 3)
+        b.add(5, 5, 6)
+        b.ld(5, 5, 0)
+        b.load_addr(6, "blob")
+        b.add(5, 6, 5)
+        b.lbu(7, 5, 0)  # first character
+        b.addi(7, 7, -ord("a"))
+        b.load_addr(8, "weights")
+        b.slli(7, 7, 3)
+        b.add(8, 8, 7)
+        b.ld(9, 8, 0)
+        b.addi(9, 9, WEIGHT_STEP)
+        b.andi(9, 9, 0xFF)
+        b.st(9, 8, 0)
+        b.addi(24, 24, 1)
+        b.j(loop)
+        b.label(done)
+
+    return b.build()

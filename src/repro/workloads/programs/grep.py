@@ -1,0 +1,142 @@
+"""``grep`` workload: count lines matching a pattern (gnu-grep -c "st*mo").
+
+Scans the same synthetic text input as ``compress`` (as the paper does)
+line by line, counting lines that contain ``st`` followed -- anywhere
+later on the line -- by ``mo``.  The scanner is Boyer-Moore-Horspool,
+as in GNU grep: the inner loop is ``cursor += skip[text[cursor]]`` -- a
+serial load-to-address recurrence whose loaded skip values are almost
+always the pattern length.  That chain is why grep is "data-dependence
+bound" and why the paper sees its most dramatic LVP speedups here:
+predicting the (nearly constant) skip-table loads collapses the
+recurrence entirely.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import Lcg, if_cond, make_text, scaled, while_loop
+
+NAME = "grep"
+DESCRIPTION = "pattern scan, counting matching lines"
+INPUT_DESCRIPTION = 'same text as compress; pattern "st*mo"'
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "2.3M", "alpha": "2.9M"}
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the grep program for *target* at *scale*."""
+    rng = Lcg(seed=0xC0131)  # same seed as compress: same input
+    text = make_text(rng, num_words=scaled(scale, 260))
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("input")
+    data.bytes_(text)
+    data.label("input_len")
+    data.word(len(text))
+    data.label("match_count")
+    data.word(0)
+    # Boyer-Moore-Horspool skip tables, one per 2-byte literal.  For a
+    # pattern "xy": skip[y at pattern end position] handled by explicit
+    # last-byte check; skip[x] = 1; everything else = 2.  The table
+    # loads are almost always 2 -- run-time near-constants.
+    for label, pattern in (("skip_st", b"st"), ("skip_mo", b"mo")):
+        skip = [2] * 256
+        skip[pattern[0]] = 1
+        data.label(label)
+        data.words(skip)
+    data.label("pat_st")
+    data.bytes_(b"st", terminate=True)
+    data.label("pat_mo")
+    data.bytes_(b"mo", terminate=True)
+
+    # ------------------------------------------------------------------
+    # find2(r3=line start, r4=line end, r5=skip table, r6=pattern ptr)
+    # -> r3 = position just past the first occurrence of the 2-byte
+    # pattern, or 0 if not found.  Boyer-Moore-Horspool: align the
+    # window on its LAST byte and advance by the loaded skip distance
+    # (the load-to-address recurrence at grep's heart).
+    # ------------------------------------------------------------------
+    with b.function("find2", leaf=True):
+        b.addi(3, 3, 1)  # cursor = index of the window's last byte
+        with while_loop(b) as (_, done):
+            b.bgeu(3, 4, done)
+            b.lbu(8, 3, 0)  # text byte under the window end
+            b.lbu(10, 6, 1)  # pattern's last byte -- constant
+            with if_cond(b, "eq", 8, 10):
+                b.lbu(9, 3, -1)
+                b.lbu(10, 6, 0)  # pattern's first byte -- constant
+                with if_cond(b, "eq", 9, 10):
+                    b.addi(3, 3, 1)
+                    b.return_from_function()
+            # cursor += skip[text byte]  (near-constant loaded value)
+            b.slli(8, 8, 3)
+            b.add(8, 5, 8)
+            b.ld(8, 8, 0)
+            b.add(3, 3, 8)
+        b.li(3, 0)
+
+    # ------------------------------------------------------------------
+    # match_line(r3=start, r4=end) -> r3 = 1 if line matches "st*mo".
+    # r24/r25 hold the line bounds across the nested find2 calls.
+    # ------------------------------------------------------------------
+    with b.function("match_line", save=(24, 25)):
+        b.mov(24, 3)
+        b.mov(25, 4)
+        b.load_addr(5, "skip_st")
+        b.load_addr(6, "pat_st")
+        b.call("find2")
+        with if_cond(b, "eq", 3, 0):
+            b.li(3, 0)
+            b.return_from_function()
+        b.mov(4, 25)
+        b.load_addr(5, "skip_mo")
+        b.load_addr(6, "pat_mo")
+        b.call("find2")
+        b.sltu(3, 0, 3)  # 1 if found (r3 != 0)
+
+    # ------------------------------------------------------------------
+    # main: split input into lines, count matches.
+    # r24 = cursor, r25 = input end, r26 = line start, r27 = matches
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24, 25, 26, 27)):
+        b.load_addr(24, "input")
+        b.load_addr(4, "input_len")
+        b.ld(5, 4, 0)
+        b.add(25, 24, 5)
+        b.mov(26, 24)
+        b.li(27, 0)
+        with while_loop(b) as (_, done):
+            b.bgeu(24, 25, done)
+            b.lbu(6, 24, 0)
+            b.addi(24, 24, 1)
+            b.li(7, ord("\n"))
+            with if_cond(b, "eq", 6, 7):
+                b.mov(3, 26)
+                b.addi(4, 24, -1)  # exclude the newline
+                b.call("match_line")
+                b.add(27, 27, 3)
+                b.mov(26, 24)
+        # handle a final unterminated line
+        with if_cond(b, "ltu", 26, 25):
+            b.mov(3, 26)
+            b.mov(4, 25)
+            b.call("match_line")
+            b.add(27, 27, 3)
+        b.load_addr(4, "match_count")
+        b.st(27, 4, 0)
+
+    return b.build()
+
+
+def expected_matches(scale: str = "small") -> int:
+    """Reference answer computed in Python (used by the test suite)."""
+    rng = Lcg(seed=0xC0131)
+    text = make_text(rng, num_words=scaled(scale, 260))
+    count = 0
+    for line in text.split(b"\n"):
+        st = line.find(b"st")
+        if st >= 0 and line.find(b"mo", st + 2) >= 0:
+            count += 1
+    return count

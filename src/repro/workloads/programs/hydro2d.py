@@ -1,0 +1,137 @@
+"""``hydro2d`` workload: 2-D hydrodynamics (Lax-scheme stencil sweeps).
+
+SPEC '92 hydro2d solves hydrodynamical Navier-Stokes equations to
+compute galactic jets.  This miniature runs Lax-averaged stencil sweeps
+over a density grid whose interior is largely uniform ambient medium
+with a jet inflow region -- as in the real problem, most neighbour
+loads keep returning the same ambient value, giving hydro2d the high
+value locality the paper reports for it.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.isa.registers import FPR_BASE as F
+from repro.workloads.support import Lcg
+
+NAME = "hydro2d"
+DESCRIPTION = "Lax stencil sweeps over a mostly-uniform density grid"
+INPUT_DESCRIPTION = "uniform medium with a jet inflow region"
+CATEGORY = "fp"
+PAPER_INSTRUCTIONS = {"ppc": "4.3M", "alpha": "5.3M"}
+
+AMBIENT = 1.0
+SWEEPS = 4
+
+
+def grid_size(scale: str = "small") -> int:
+    """Grid edge length at *scale*."""
+    return {"tiny": 12, "small": 20, "reference": 36}[scale]
+
+
+def initial_grid(scale: str = "small") -> list[float]:
+    """Row-major density grid: ambient everywhere, a hot jet corner."""
+    size = grid_size(scale)
+    rng = Lcg(seed=0x42D0)
+    grid = [AMBIENT] * (size * size)
+    for i in range(2, size // 3):
+        for j in range(2, size // 3):
+            grid[i * size + j] = 2.0 + rng.uniform(0.0, 1.0)
+    return grid
+
+
+def expected_grid(scale: str = "small") -> list[float]:
+    """Reference final grid -- bit-exact mirror of the program."""
+    size = grid_size(scale)
+    src = initial_grid(scale)
+    dst = list(src)
+    for _ in range(SWEEPS):
+        for i in range(1, size - 1):
+            for j in range(1, size - 1):
+                north = src[(i - 1) * size + j]
+                south = src[(i + 1) * size + j]
+                west = src[i * size + (j - 1)]
+                east = src[i * size + (j + 1)]
+                dst[i * size + j] = ((north + south) + (west + east)) * 0.25
+        src, dst = dst, src
+    return src
+
+
+def result_label() -> str:
+    """Data label of the buffer holding the final grid after all sweeps."""
+    return "grid_a" if SWEEPS % 2 == 0 else "grid_b"
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the hydro2d program for *target* at *scale*."""
+    size = grid_size(scale)
+    grid = initial_grid(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("grid_a")
+    data.doubles(grid)
+    data.label("grid_b")
+    data.doubles(grid)
+    data.label("size")
+    data.word(size)
+
+    # r24 = src, r25 = dst, r26 = i, r27 = j, r28 = size, r29 = sweeps
+    # f1..f4 = neighbours, f5 = 0.25
+    with b.function("main", save=(24, 25, 26, 27, 28, 29)):
+        b.load_addr(24, "grid_a")
+        b.load_addr(25, "grid_b")
+        b.load_addr(4, "size")
+        b.ld(28, 4, 0)
+        b.load_fconst(F + 5, 0.25)
+        b.li(29, SWEEPS)
+        sweep_loop = b.fresh_label("sweep")
+        sweep_done = b.fresh_label("sweep_done")
+        b.label(sweep_loop)
+        b.beqz(29, sweep_done)
+        b.li(26, 1)
+        i_loop = b.fresh_label("i")
+        i_done = b.fresh_label("i_done")
+        b.label(i_loop)
+        b.addi(5, 28, -1)
+        b.bge(26, 5, i_done)
+        b.li(27, 1)
+        j_loop = b.fresh_label("j")
+        j_done = b.fresh_label("j_done")
+        b.label(j_loop)
+        b.addi(5, 28, -1)
+        b.bge(27, 5, j_done)
+        # element byte offset = (i*size + j) * 8
+        b.mul(6, 26, 28)
+        b.add(6, 6, 27)
+        b.slli(6, 6, 3)
+        b.add(7, 24, 6)  # &src[i][j]
+        b.slli(8, 28, 3)  # row stride in bytes
+        b.sub(9, 7, 8)
+        b.fld(F + 1, 9, 0)  # north
+        b.add(9, 7, 8)
+        b.fld(F + 2, 9, 0)  # south
+        b.fld(F + 3, 7, -8)  # west
+        b.fld(F + 4, 7, 8)  # east
+        b.fadd(F + 1, F + 1, F + 2)
+        b.fadd(F + 3, F + 3, F + 4)
+        b.fadd(F + 1, F + 1, F + 3)
+        b.fmul(F + 1, F + 1, F + 5)
+        b.add(9, 25, 6)
+        b.fst(F + 1, 9, 0)
+        b.addi(27, 27, 1)
+        b.j(j_loop)
+        b.label(j_done)
+        b.addi(26, 26, 1)
+        b.j(i_loop)
+        b.label(i_done)
+        # swap buffers
+        b.mov(5, 24)
+        b.mov(24, 25)
+        b.mov(25, 5)
+        b.addi(29, 29, -1)
+        b.j(sweep_loop)
+        b.label(sweep_done)
+
+    return b.build()

@@ -1,0 +1,284 @@
+"""``mpeg`` workload: MPEG-style block decoder (dequant + IDCT + dither).
+
+The Berkeley MPEG decoder's per-block work: dequantize sparse
+coefficient blocks, inverse-transform them (fixed-point matrix
+multiplies with zero-row skipping, as real decoders do), clamp through
+a saturation table, and apply ordered dithering.  Sparse coefficients
+mean most dequant loads return zero and the clamp/dither tables repeat
+-- the redundancy that gives mpeg its decent paper value locality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.programs._dsp import emit_matmul8
+from repro.workloads.support import Lcg, if_cond, scaled
+
+NAME = "mpeg"
+DESCRIPTION = "MPEG-style block decoder (dequant, IDCT, dither)"
+INPUT_DESCRIPTION = "sparse synthetic coefficient blocks (4 frames)"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "8.8M", "alpha": "15.1M"}
+
+from repro.workloads.programs._dsp import dct_matrix
+from repro.workloads.programs.cjpeg import QUANT
+
+DCT = dct_matrix()
+
+DITHER = [0, 8, 2, 10, 12, 4, 14, 6, 3, 11, 1, 9, 15, 7, 13, 5]
+
+
+def input_blocks(scale: str = "small") -> list[list[int]]:
+    """Sparse 8x8 coefficient blocks (about 7 nonzero each)."""
+    rng = Lcg(seed=0x3BE6)
+    blocks = []
+    for _ in range(scaled(scale, 4)):
+        block = [0] * 64
+        block[0] = 400 + rng.below(400)  # DC
+        for _ in range(6):
+            position = rng.below(20)  # low-frequency corner
+            block[position] = rng.below(60) - 30
+        blocks.append(block)
+    return blocks
+
+
+def _s_wrap(x: int) -> int:
+    return x & ((1 << 64) - 1)
+
+
+def expected_checksum(scale: str = "small") -> int:
+    """Reference pixel checksum -- mirrors the program exactly."""
+    blocks = input_blocks(scale)
+    checksum = 0
+    for block in blocks:
+        dequant = [0] * 64
+        row_nonzero = [0] * 8
+        for i in range(64):
+            value = (block[i] * QUANT[i]) >> 3
+            dequant[i] = value
+            if value != 0:
+                row_nonzero[i // 8] = 1
+        # tmp = DCT^T x dequant, skipping all-zero rows of dequant
+        tmp = [0] * 64
+        for i in range(8):
+            for j in range(8):
+                acc = 0
+                for k in range(8):
+                    if row_nonzero[k]:
+                        acc += DCT[k * 8 + i] * dequant[k * 8 + j]
+                tmp[i * 8 + j] = acc >> 8
+        out = [0] * 64
+        for i in range(8):
+            for j in range(8):
+                acc = sum(tmp[i * 8 + k] * DCT[k * 8 + j] for k in range(8))
+                out[i * 8 + j] = acc >> 8
+        for i in range(8):
+            for j in range(8):
+                value = out[i * 8 + j] + 128
+                assert -2048 <= value < 2048, "clamp table range exceeded"
+                value = 0 if value < 0 else (255 if value > 255 else value)
+                pixel = value + DITHER[(i & 3) * 4 + (j & 3)]
+                checksum = _s_wrap(checksum * 31 + pixel)
+    return checksum
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the mpeg program for *target* at *scale*."""
+    blocks = input_blocks(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    flat = [v & ((1 << 64) - 1) for block in blocks for v in block]
+    data.label("coeffs")
+    data.words(flat)
+    data.label("num_blocks")
+    data.word(len(blocks))
+    data.label("dct")
+    data.words([v & ((1 << 64) - 1) for v in DCT])
+    data.label("quant")
+    data.words(QUANT)
+    data.label("dither")
+    data.words(DITHER)
+    # Saturation table: clamp(v) for v in -2048..2047, biased by +2048.
+    clamp = [0 if v < 0 else (255 if v > 255 else v)
+             for v in range(-2048, 2048)]
+    data.label("clamp")
+    data.words(clamp)
+    data.label("dequant_buf")
+    data.space(64)
+    data.label("row_flags")
+    data.space(8)
+    data.label("tmp")
+    data.space(64)
+    data.label("out")
+    data.space(64)
+    data.label("checksum")
+    data.word(0)
+
+    # ------------------------------------------------------------------
+    # decode_block(r3 = block base ptr).
+    # r24 = block ptr.
+    # ------------------------------------------------------------------
+    with b.function("decode_block", save=(24,)):
+        b.mov(24, 3)
+        # dequant + row flags
+        b.load_addr(5, "quant")
+        b.load_addr(6, "dequant_buf")
+        b.load_addr(7, "row_flags")
+        b.li(8, 0)
+        flag_loop = b.fresh_label("fl")
+        flag_done = b.fresh_label("fl_done")
+        b.label(flag_loop)
+        b.li(13, 8)
+        b.bge(8, 13, flag_done)
+        b.slli(9, 8, 3)
+        b.add(9, 7, 9)
+        b.st(0, 9, 0)
+        b.addi(8, 8, 1)
+        b.j(flag_loop)
+        b.label(flag_done)
+        b.li(8, 0)
+        dq_loop = b.fresh_label("dq")
+        dq_done = b.fresh_label("dq_done")
+        b.label(dq_loop)
+        b.li(13, 64)
+        b.bge(8, 13, dq_done)
+        b.slli(9, 8, 3)
+        b.add(10, 24, 9)
+        b.ld(11, 10, 0)  # coefficient -- mostly zero
+        b.add(10, 5, 9)
+        b.ld(12, 10, 0)  # quant entry -- constant
+        b.mul(11, 11, 12)
+        b.srai(11, 11, 3)
+        b.add(10, 6, 9)
+        b.st(11, 10, 0)
+        with if_cond(b, "ne", 11, 0):
+            b.srli(12, 8, 3)  # row index
+            b.slli(12, 12, 3)
+            b.add(12, 7, 12)
+            b.li(14, 1)
+            b.st(14, 12, 0)
+        b.addi(8, 8, 1)
+        b.j(dq_loop)
+        b.label(dq_done)
+        # tmp[i][j] = sum_k DCT[k][i] * dequant[k][j]  (skip zero rows)
+        b.load_addr(3, "dct")
+        b.load_addr(4, "dequant_buf")
+        b.load_addr(5, "tmp")
+        b.li(7, 0)  # i
+        i_loop = b.fresh_label("ii")
+        i_done = b.fresh_label("ii_done")
+        b.label(i_loop)
+        b.li(13, 8)
+        b.bge(7, 13, i_done)
+        b.li(8, 0)  # j
+        j_loop = b.fresh_label("jj")
+        j_done = b.fresh_label("jj_done")
+        b.label(j_loop)
+        b.li(13, 8)
+        b.bge(8, 13, j_done)
+        b.li(9, 0)  # acc
+        b.li(10, 0)  # k
+        k_loop = b.fresh_label("kk")
+        k_done = b.fresh_label("kk_done")
+        b.label(k_loop)
+        b.li(13, 8)
+        b.bge(10, 13, k_done)
+        b.load_addr(14, "row_flags")
+        b.slli(15, 10, 3)
+        b.add(14, 14, 15)
+        b.ld(14, 14, 0)  # row flag -- mostly zero/one pattern
+        with if_cond(b, "ne", 14, 0):
+            b.slli(11, 10, 3)
+            b.add(11, 11, 7)
+            b.slli(11, 11, 3)
+            b.add(11, 3, 11)
+            b.ld(14, 11, 0)  # DCT[k][i]
+            b.slli(11, 10, 3)
+            b.add(11, 11, 8)
+            b.slli(11, 11, 3)
+            b.add(11, 4, 11)
+            b.ld(15, 11, 0)  # dequant[k][j]
+            b.mul(14, 14, 15)
+            b.add(9, 9, 14)
+        b.addi(10, 10, 1)
+        b.j(k_loop)
+        b.label(k_done)
+        b.srai(9, 9, 8)
+        b.slli(11, 7, 3)
+        b.add(11, 11, 8)
+        b.slli(11, 11, 3)
+        b.add(11, 5, 11)
+        b.st(9, 11, 0)
+        b.addi(8, 8, 1)
+        b.j(j_loop)
+        b.label(j_done)
+        b.addi(7, 7, 1)
+        b.j(i_loop)
+        b.label(i_done)
+        # out = tmp x DCT (second pass, dense) -- reuse cjpeg's matmul
+        b.load_addr(3, "tmp")
+        b.load_addr(4, "dct")
+        b.load_addr(5, "out")
+        b.li(6, 0)
+        b.call_far("matmul8")
+        # clamp + dither + checksum
+        b.load_addr(5, "out")
+        b.load_addr(6, "clamp")
+        b.load_addr(7, "dither")
+        b.load_addr(14, "checksum")
+        b.ld(15, 14, 0)
+        b.li(8, 0)  # i
+        p_loop = b.fresh_label("pp")
+        p_done = b.fresh_label("pp_done")
+        b.label(p_loop)
+        b.li(13, 64)
+        b.bge(8, 13, p_done)
+        b.slli(9, 8, 3)
+        b.add(9, 5, 9)
+        b.ld(10, 9, 0)
+        b.addi(10, 10, 128 + 2048)  # bias into clamp-table range
+        b.slli(10, 10, 3)
+        b.add(10, 6, 10)
+        b.ld(10, 10, 0)  # clamped value -- saturation table
+        # dither index: (i>>3 & 3)*4 + (i & 3)
+        b.srli(11, 8, 3)
+        b.andi(11, 11, 3)
+        b.slli(11, 11, 2)
+        b.andi(12, 8, 3)
+        b.add(11, 11, 12)
+        b.slli(11, 11, 3)
+        b.add(11, 7, 11)
+        b.ld(11, 11, 0)  # dither entry -- small repeating table
+        b.add(10, 10, 11)
+        b.li(13, 31)
+        b.mul(15, 15, 13)
+        b.add(15, 15, 10)
+        b.addi(8, 8, 1)
+        b.j(p_loop)
+        b.label(p_done)
+        b.st(15, 14, 0)
+
+    emit_matmul8(b)
+
+    # ------------------------------------------------------------------
+    # main: iterate blocks.
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24, 25, 26)):
+        b.load_addr(24, "coeffs")
+        b.load_addr(4, "num_blocks")
+        b.ld(25, 4, 0)
+        b.li(26, 0)
+        loop = b.fresh_label("blocks")
+        done = b.fresh_label("blocks_done")
+        b.label(loop)
+        b.bge(26, 25, done)
+        b.mov(3, 24)
+        b.call("decode_block")
+        b.addi(24, 24, 64 * 8)
+        b.addi(26, 26, 1)
+        b.j(loop)
+        b.label(done)
+
+    return b.build()

@@ -1,0 +1,166 @@
+"""``perl`` workload: anagram search (SPEC '95 134.perl's famous input).
+
+The paper runs perl on an anagram search ("find 'admits' in 1/8 of
+input").  This miniature performs the same computation the perl script
+does: for every word in a dictionary, build a letter-count signature and
+compare it against the target word's signature, counting anagrams.
+Signature construction repeatedly loads the same 26 counters and the
+loop restores saved registers around a helper call -- both high-locality
+idioms.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import (
+    Lcg,
+    for_range,
+    if_cond,
+    make_word_list,
+    scaled,
+    while_loop,
+)
+
+NAME = "perl"
+DESCRIPTION = "anagram search over a word list"
+INPUT_DESCRIPTION = 'synthetic dictionary; target word "admits"'
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "105M", "alpha": "114M"}
+
+TARGET_WORD = b"admits"
+
+
+def input_words(scale: str = "small") -> list[bytes]:
+    """The dictionary searched for anagrams (includes planted hits)."""
+    rng = Lcg(seed=0xAA6)
+    words = make_word_list(rng, count=scaled(scale, 350))
+    # Plant a few true anagrams so the match path executes.
+    for position, anagram in ((7, b"midsat"), (101, b"tsadim"),
+                              (211, b"admits")):
+        if position < len(words):
+            words[position] = anagram
+    return words
+
+
+def expected_matches(scale: str = "small") -> int:
+    """Reference answer computed in Python (used by the test suite)."""
+    target = sorted(TARGET_WORD)
+    return sum(1 for w in input_words(scale) if sorted(w) == target)
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the perl (anagram) program for *target* at *scale*."""
+    words = input_words(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    # Words are stored as a packed blob plus an offset/length table --
+    # the pointer table is loader-fixed ("addressability" idiom).
+    blob = b"".join(words)
+    data.label("blob")
+    data.bytes_(blob)
+    data.label("word_off")
+    offsets = []
+    cursor = 0
+    for word in words:
+        offsets.append(cursor)
+        cursor += len(word)
+    data.words(offsets)
+    data.label("word_len")
+    data.words([len(w) for w in words])
+    data.label("num_words")
+    data.word(len(words))
+    data.label("target_word")
+    data.bytes_(TARGET_WORD)
+    data.label("target_len")
+    data.word(len(TARGET_WORD))
+    data.label("target_sig")
+    data.space(26)
+    data.label("word_sig")
+    data.space(26)
+    data.label("match_count")
+    data.word(0)
+
+    # ------------------------------------------------------------------
+    # build_sig(r3 = word ptr, r4 = length, r5 = signature base):
+    # zero the 26 counters then count letters.
+    # ------------------------------------------------------------------
+    with b.function("build_sig", leaf=True):
+        b.li(7, 26)
+        with for_range(b, 6, 7):
+            b.slli(8, 6, 3)
+            b.add(8, 5, 8)
+            b.st(0, 8, 0)
+        b.add(4, 3, 4)  # end pointer
+        with while_loop(b) as (_, done):
+            b.bgeu(3, 4, done)
+            b.lbu(8, 3, 0)
+            b.addi(3, 3, 1)
+            b.addi(8, 8, -ord("a"))
+            b.slli(8, 8, 3)
+            b.add(8, 5, 8)
+            b.ld(9, 8, 0)
+            b.addi(9, 9, 1)
+            b.st(9, 8, 0)
+
+    # ------------------------------------------------------------------
+    # sig_equal(r3 = sig a, r4 = sig b) -> r3 = 1 if all 26 match.
+    # ------------------------------------------------------------------
+    with b.function("sig_equal", leaf=True):
+        b.li(7, 26)
+        with for_range(b, 6, 7):
+            b.slli(8, 6, 3)
+            b.add(9, 3, 8)
+            b.ld(10, 9, 0)
+            b.add(9, 4, 8)
+            b.ld(11, 9, 0)
+            with if_cond(b, "ne", 10, 11):
+                b.li(3, 0)
+                b.return_from_function()
+        b.li(3, 1)
+
+    # ------------------------------------------------------------------
+    # main: precompute the target signature, then scan the dictionary.
+    # r24 = word index, r25 = num words, r26 = match count.
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24, 25, 26)):
+        b.load_addr(3, "target_word")
+        b.load_addr(4, "target_len")
+        b.ld(4, 4, 0)
+        b.load_addr(5, "target_sig")
+        b.call("build_sig")
+        b.load_addr(4, "num_words")
+        b.ld(25, 4, 0)
+        b.li(26, 0)
+        b.li(24, 0)
+        loop = b.fresh_label("words")
+        done = b.fresh_label("words_done")
+        b.label(loop)
+        b.bge(24, 25, done)
+        # Length filter first (cheap reject), like the perl script's grep.
+        b.load_addr(5, "word_len")
+        b.slli(6, 24, 3)
+        b.add(5, 5, 6)
+        b.ld(4, 5, 0)
+        b.load_addr(7, "target_len")
+        b.ld(7, 7, 0)
+        with if_cond(b, "eq", 4, 7):
+            b.load_addr(5, "word_off")
+            b.add(5, 5, 6)
+            b.ld(3, 5, 0)
+            b.load_addr(8, "blob")
+            b.add(3, 8, 3)
+            b.load_addr(5, "word_sig")
+            b.call("build_sig")
+            b.load_addr(3, "word_sig")
+            b.load_addr(4, "target_sig")
+            b.call("sig_equal")
+            b.add(26, 26, 3)
+        b.addi(24, 24, 1)
+        b.j(loop)
+        b.label(done)
+        b.load_addr(4, "match_count")
+        b.st(26, 4, 0)
+
+    return b.build()

@@ -1,0 +1,96 @@
+"""``quick`` workload: recursive quicksort of random elements.
+
+A direct miniature of the paper's "Quick sort: 5,000 random elements"
+benchmark.  Deep recursion exercises the prologue/epilogue link-register
+and callee-saved-register loads ("call-subgraph identities"), while the
+random data itself offers almost no value locality -- the paper's
+Table 4 shows quick with 0% constant loads, which this reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import Lcg, if_cond, scaled, while_loop
+
+NAME = "quick"
+DESCRIPTION = "recursive quicksort"
+INPUT_DESCRIPTION = "uniform random 64-bit integers"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "688K", "alpha": "1.1M"}
+
+
+def input_values(scale: str = "small") -> list[int]:
+    """The array the benchmark sorts (bounded so values stay signed-safe)."""
+    rng = Lcg(seed=0x9019)
+    count = scaled(scale, 600)
+    return [rng.below(1 << 32) for _ in range(count)]
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the quicksort program for *target* at *scale*."""
+    values = input_values(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("array")
+    data.words(values)
+    data.label("count")
+    data.word(len(values))
+
+    # ------------------------------------------------------------------
+    # qsort(r3 = lo index, r4 = hi index): Lomuto partition, recursive.
+    # r24 = lo, r25 = hi, r26 = base pointer, r27 = store index,
+    # r28 = pivot value, r29 = scan index.
+    # ------------------------------------------------------------------
+    with b.function("qsort", save=(24, 25, 26, 27, 28, 29)):
+        with if_cond(b, "ge", 3, 4):
+            b.return_from_function()
+        b.mov(24, 3)
+        b.mov(25, 4)
+        b.load_addr(26, "array")
+        # pivot = array[hi]
+        b.slli(5, 25, 3)
+        b.add(5, 26, 5)
+        b.ld(28, 5, 0)
+        b.mov(27, 24)  # store index i
+        b.mov(29, 24)  # scan index j
+        with while_loop(b) as (_, done):
+            b.bge(29, 25, done)
+            b.slli(5, 29, 3)
+            b.add(5, 26, 5)
+            b.ld(6, 5, 0)  # array[j]
+            with if_cond(b, "lt", 6, 28):
+                # swap array[i], array[j]
+                b.slli(7, 27, 3)
+                b.add(7, 26, 7)
+                b.ld(8, 7, 0)
+                b.st(6, 7, 0)
+                b.st(8, 5, 0)
+                b.addi(27, 27, 1)
+            b.addi(29, 29, 1)
+        # swap array[i], array[hi] (pivot into place)
+        b.slli(5, 27, 3)
+        b.add(5, 26, 5)
+        b.ld(6, 5, 0)
+        b.slli(7, 25, 3)
+        b.add(7, 26, 7)
+        b.st(6, 7, 0)
+        b.st(28, 5, 0)
+        # recurse left: qsort(lo, i-1)
+        b.mov(3, 24)
+        b.addi(4, 27, -1)
+        b.call("qsort")
+        # recurse right: qsort(i+1, hi)
+        b.addi(3, 27, 1)
+        b.mov(4, 25)
+        b.call("qsort")
+
+    with b.function("main"):
+        b.li(3, 0)
+        b.load_addr(4, "count")
+        b.ld(4, 4, 0)
+        b.addi(4, 4, -1)
+        b.call("qsort")
+
+    return b.build()

@@ -1,0 +1,195 @@
+"""``sc`` workload: spreadsheet recalculation.
+
+The curses spreadsheet ``sc`` spends its time walking the cell grid and
+re-evaluating formulas.  This miniature models a grid of tagged cell
+records -- mostly empty, as in real sheets (the paper's "data
+redundancy": empty cells) -- and performs full recalculation passes.
+Cell dispatch uses a jump table on the cell type (the paper's "computed
+branches" idiom), and the repeated passes re-load largely unchanged
+cell records, giving sc its high value locality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.workloads.support import Lcg, for_range, scaled
+
+NAME = "sc"
+DESCRIPTION = "spreadsheet recalculation over a sparse grid"
+INPUT_DESCRIPTION = "sparse synthetic sheet (70% empty cells)"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "78.5M", "alpha": "107M"}
+
+# Cell types (jump-table cases).
+T_EMPTY = 0
+T_CONST = 1
+T_SUM_LEFT = 2  # sum of all cells to the left in this row
+T_REF = 3  # value of another cell plus a delta
+
+#: Words per cell record: [type, value, arg1, arg2].
+CELL_WORDS = 4
+RECALC_PASSES = 3
+
+
+def input_grid(scale: str = "small") -> tuple[int, int, list[tuple]]:
+    """Return (rows, cols, cells); cells are (type, value, a1, a2)."""
+    rng = Lcg(seed0 := 0x5C)
+    rows = scaled(scale, 18)
+    cols = 14
+    cells = []
+    for r in range(rows):
+        for c in range(cols):
+            roll = rng.below(10)
+            if roll < 7:
+                cells.append((T_EMPTY, 0, 0, 0))
+            elif roll < 9 or c == 0:
+                cells.append((T_CONST, rng.below(1000), 0, 0))
+            elif roll == 9 and r > 0:
+                # reference the cell directly above, plus a delta
+                cells.append((T_REF, 0, (r - 1) * cols + c, rng.below(50)))
+            else:
+                cells.append((T_SUM_LEFT, 0, 0, 0))
+    # Sprinkle a SUM_LEFT at the end of some rows.
+    for r in range(0, rows, 3):
+        index = r * cols + (cols - 1)
+        cells[index] = (T_SUM_LEFT, 0, 0, 0)
+    return rows, cols, cells
+
+
+def expected_values(scale: str = "small") -> list[int]:
+    """Reference cell values after RECALC_PASSES full passes."""
+    rows, cols, cells = input_grid(scale)
+    values = [c[1] for c in cells]
+    for _ in range(RECALC_PASSES):
+        for r in range(rows):
+            for c in range(cols):
+                i = r * cols + c
+                kind, _, a1, a2 = cells[i]
+                if kind == T_SUM_LEFT:
+                    values[i] = sum(values[r * cols:i])
+                elif kind == T_REF:
+                    values[i] = values[a1] + a2
+    return values
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the sc program for *target* at *scale*."""
+    rows, cols, cells = input_grid(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("grid")
+    flat = []
+    for kind, value, a1, a2 in cells:
+        flat.extend((kind, value, a1, a2))
+    data.words(flat)
+    data.label("rows")
+    data.word(rows)
+    data.label("cols")
+    data.word(cols)
+    data.label("checksum")
+    data.word(0)
+
+    stride = CELL_WORDS * 8
+
+    # ------------------------------------------------------------------
+    # eval_cell(r3 = cell index, r4 = row base index): dispatch on the
+    # cell type through a jump table; updates the cell's value word.
+    # ------------------------------------------------------------------
+    with b.function("eval_cell", leaf=True):
+        b.load_addr(5, "grid")
+        b.li(6, stride)
+        b.mul(7, 3, 6)
+        b.add(7, 5, 7)  # cell record ptr
+        b.ld(8, 7, 0)  # type tag
+        case_empty = b.fresh_label("c_empty")
+        case_const = b.fresh_label("c_const")
+        case_sum = b.fresh_label("c_sum")
+        case_ref = b.fresh_label("c_ref")
+        end = b.fresh_label("c_end")
+        b.jump_table(8, [case_empty, case_const, case_sum, case_ref],
+                     scratch=12, scratch2=11)
+        b.label(case_empty)
+        b.j(end)
+        b.label(case_const)
+        b.j(end)  # constants keep their value
+        b.label(case_sum)
+        # value = sum of values from row base up to this cell
+        b.li(9, 0)  # accumulator
+        b.mov(10, 4)  # scan index
+        scan = b.fresh_label("scan")
+        scan_done = b.fresh_label("scan_done")
+        b.label(scan)
+        b.bge(10, 3, scan_done)
+        b.mul(11, 10, 6)
+        b.add(11, 5, 11)
+        b.ld(12, 11, 8)  # neighbour value
+        b.add(9, 9, 12)
+        b.addi(10, 10, 1)
+        b.j(scan)
+        b.label(scan_done)
+        b.st(9, 7, 8)
+        b.j(end)
+        b.label(case_ref)
+        b.ld(9, 7, 16)  # arg1: referenced index
+        b.mul(9, 9, 6)
+        b.add(9, 5, 9)
+        b.ld(10, 9, 8)  # referenced value
+        b.ld(11, 7, 24)  # arg2: delta
+        b.add(10, 10, 11)
+        b.st(10, 7, 8)
+        b.label(end)
+
+    # ------------------------------------------------------------------
+    # main: RECALC_PASSES full passes, then checksum the sheet.
+    # r24 = pass, r25 = row, r26 = col, r27 = rows, r28 = cols.
+    # ------------------------------------------------------------------
+    with b.function("main", save=(24, 25, 26, 27, 28)):
+        b.load_addr(4, "rows")
+        b.ld(27, 4, 0)
+        b.load_addr(4, "cols")
+        b.ld(28, 4, 0)
+        b.li(24, 0)
+        passes = b.fresh_label("passes")
+        passes_done = b.fresh_label("passes_done")
+        b.label(passes)
+        b.li(5, RECALC_PASSES)
+        b.bge(24, 5, passes_done)
+        b.li(25, 0)
+        rows_loop = b.fresh_label("rows")
+        rows_done = b.fresh_label("rows_done")
+        b.label(rows_loop)
+        b.bge(25, 27, rows_done)
+        b.li(26, 0)
+        cols_loop = b.fresh_label("cols")
+        cols_done = b.fresh_label("cols_done")
+        b.label(cols_loop)
+        b.bge(26, 28, cols_done)
+        b.mul(3, 25, 28)
+        b.mov(4, 3)  # row base index
+        b.add(3, 3, 26)  # cell index
+        b.call("eval_cell")
+        b.addi(26, 26, 1)
+        b.j(cols_loop)
+        b.label(cols_done)
+        b.addi(25, 25, 1)
+        b.j(rows_loop)
+        b.label(rows_done)
+        b.addi(24, 24, 1)
+        b.j(passes)
+        b.label(passes_done)
+        # checksum = sum of all cell values
+        b.load_addr(5, "grid")
+        b.mul(6, 27, 28)
+        b.li(7, stride)
+        b.li(8, 0)  # sum
+        with for_range(b, 9, 6):
+            b.mul(10, 9, 7)
+            b.add(10, 5, 10)
+            b.ld(11, 10, 8)
+            b.add(8, 8, 11)
+        b.load_addr(4, "checksum")
+        b.st(8, 4, 0)
+
+    return b.build()

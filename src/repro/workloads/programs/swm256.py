@@ -1,0 +1,163 @@
+"""``swm256`` workload: shallow water model (5 iterations, as the paper).
+
+SPEC '92 swm256 integrates the shallow-water equations.  This miniature
+advances staggered u/v/p fields with the same structure of neighbour
+differences; every field value varies smoothly in space and changes
+every timestep, so loads essentially never repeat -- swm256 is one of
+the paper's three poor-locality benchmarks, and this reproduces that.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.isa.registers import FPR_BASE as F
+
+NAME = "swm256"
+DESCRIPTION = "shallow water model (u/v/p field updates)"
+INPUT_DESCRIPTION = "smoothly-varying initial fields, 5 iterations"
+CATEGORY = "fp"
+PAPER_INSTRUCTIONS = {"ppc": "43.7M", "alpha": "54.8M"}
+
+ITERATIONS = 5  # the paper runs "5 iterations (vs. 1,200)"
+C_U = 0.12
+C_V = 0.09
+C_P = 0.07
+
+
+def grid_size(scale: str = "small") -> int:
+    """Grid edge length at *scale*."""
+    return {"tiny": 8, "small": 14, "reference": 26}[scale]
+
+
+def initial_fields(scale: str = "small") -> tuple[list[float], ...]:
+    """(u, v, p) row-major fields; smooth, everywhere-distinct values."""
+    size = grid_size(scale)
+    u, v, p = [], [], []
+    for i in range(size):
+        for j in range(size):
+            u.append(0.1 * i + 0.07 * j + 0.003 * i * j)
+            v.append(0.08 * i - 0.05 * j + 0.002 * j * j)
+            p.append(10.0 + 0.2 * i + 0.15 * j + 0.001 * i * i)
+    return u, v, p
+
+
+def expected_fields(scale: str = "small") -> tuple[list[float], ...]:
+    """Reference final fields -- bit-exact mirror of the program."""
+    size = grid_size(scale)
+    u, v, p = (list(f) for f in initial_fields(scale))
+    for _ in range(ITERATIONS):
+        for i in range(1, size - 1):
+            for j in range(1, size - 1):
+                at = i * size + j
+                u[at] = u[at] + C_U * (p[at] - p[at + 1])
+                v[at] = v[at] + C_V * (p[at] - p[at + size])
+                p[at] = p[at] - C_P * ((u[at] - u[at - 1])
+                                       + (v[at] - v[at - size]))
+    return u, v, p
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the swm256 program for *target* at *scale*."""
+    size = grid_size(scale)
+    u, v, p = initial_fields(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("u")
+    data.doubles(u)
+    data.label("v")
+    data.doubles(v)
+    data.label("p")
+    data.doubles(p)
+    data.label("size")
+    data.word(size)
+    data.label("c_u")
+    data.double(C_U)
+    data.label("c_v")
+    data.double(C_V)
+    data.label("c_p")
+    data.double(C_P)
+
+    # r24 = &u, r25 = &v, r26 = &p, r27 = i, r28 = j, r29 = size,
+    # r23 = iteration counter (saved), f1..f7 scratch,
+    # f10 = C_U, f11 = C_V, f12 = C_P (reloaded per point -- spilled).
+    with b.function("main", save=(23, 24, 25, 26, 27, 28, 29)):
+        b.load_addr(24, "u")
+        b.load_addr(25, "v")
+        b.load_addr(26, "p")
+        b.load_addr(4, "size")
+        b.ld(29, 4, 0)
+        b.li(23, ITERATIONS)
+        it_loop = b.fresh_label("iter")
+        it_done = b.fresh_label("iter_done")
+        b.label(it_loop)
+        b.beqz(23, it_done)
+        b.li(27, 1)
+        i_loop = b.fresh_label("i")
+        i_done = b.fresh_label("i_done")
+        b.label(i_loop)
+        b.addi(5, 29, -1)
+        b.bge(27, 5, i_done)
+        b.li(28, 1)
+        j_loop = b.fresh_label("j")
+        j_done = b.fresh_label("j_done")
+        b.label(j_loop)
+        b.addi(5, 29, -1)
+        b.bge(28, 5, j_done)
+        b.mul(6, 27, 29)
+        b.add(6, 6, 28)
+        b.slli(6, 6, 3)  # byte offset of [i][j]
+        b.slli(7, 29, 3)  # row stride
+        b.add(8, 24, 6)  # &u[at]
+        b.add(9, 25, 6)  # &v[at]
+        b.add(10, 26, 6)  # &p[at]
+        # The physics constants live in COMMON; with every FP register
+        # carrying field values they are reloaded per point (spills).
+        b.load_addr(12, "c_u")
+        b.fld(F + 10, 12, 0)
+        b.load_addr(12, "c_v")
+        b.fld(F + 11, 12, 0)
+        b.load_addr(12, "c_p")
+        b.fld(F + 12, 12, 0)
+        # u[at] += C_U * (p[at] - p[at+1])
+        b.fld(F + 1, 10, 0)
+        b.fld(F + 2, 10, 8)
+        b.fsub(F + 1, F + 1, F + 2)
+        b.fmul(F + 1, F + 10, F + 1)
+        b.fld(F + 2, 8, 0)
+        b.fadd(F + 2, F + 2, F + 1)
+        b.fst(F + 2, 8, 0)
+        # v[at] += C_V * (p[at] - p[at+size])
+        b.fld(F + 1, 10, 0)
+        b.add(11, 10, 7)
+        b.fld(F + 3, 11, 0)
+        b.fsub(F + 1, F + 1, F + 3)
+        b.fmul(F + 1, F + 11, F + 1)
+        b.fld(F + 3, 9, 0)
+        b.fadd(F + 3, F + 3, F + 1)
+        b.fst(F + 3, 9, 0)
+        # p[at] -= C_P * ((u[at] - u[at-1]) + (v[at] - v[at-size]))
+        b.fld(F + 4, 8, 0)
+        b.fld(F + 5, 8, -8)
+        b.fsub(F + 4, F + 4, F + 5)
+        b.fld(F + 5, 9, 0)
+        b.sub(11, 9, 7)
+        b.fld(F + 6, 11, 0)
+        b.fsub(F + 5, F + 5, F + 6)
+        b.fadd(F + 4, F + 4, F + 5)
+        b.fmul(F + 4, F + 12, F + 4)
+        b.fld(F + 7, 10, 0)
+        b.fsub(F + 7, F + 7, F + 4)
+        b.fst(F + 7, 10, 0)
+        b.addi(28, 28, 1)
+        b.j(j_loop)
+        b.label(j_done)
+        b.addi(27, 27, 1)
+        b.j(i_loop)
+        b.label(i_done)
+        b.addi(23, 23, -1)
+        b.j(it_loop)
+        b.label(it_done)
+
+    return b.build()

@@ -1,0 +1,170 @@
+"""``tomcatv`` workload: vectorized mesh generation (Jacobi smoothing).
+
+SPEC '92 tomcatv generates a 2-D mesh by iterative relaxation.  This
+miniature smooths distorted x/y coordinate arrays with Jacobi sweeps
+(paper input: "4 iterations (vs. 100)"), accumulating absolute
+residuals as the real program does for its convergence test.  Every
+coordinate is unique and moves every sweep, so load values essentially
+never recur -- tomcatv is a paper poor-locality benchmark (0% constant
+loads in Table 4), which this reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.isa.registers import FPR_BASE as F
+from repro.workloads.support import Lcg
+
+NAME = "tomcatv"
+DESCRIPTION = "mesh relaxation (Jacobi sweeps with residuals)"
+INPUT_DESCRIPTION = "distorted structured mesh, 4 iterations"
+CATEGORY = "fp"
+PAPER_INSTRUCTIONS = {"ppc": "30.0M", "alpha": "36.9M"}
+
+ITERATIONS = 4  # the paper runs "4 iterations (vs. 100)"
+
+
+def grid_size(scale: str = "small") -> int:
+    """Mesh edge length at *scale*."""
+    return {"tiny": 8, "small": 14, "reference": 26}[scale]
+
+
+def initial_mesh(scale: str = "small") -> tuple[list[float], list[float]]:
+    """(x, y) coordinates of a distorted structured mesh."""
+    size = grid_size(scale)
+    rng = Lcg(seed=0x70CA)
+    xs, ys = [], []
+    for i in range(size):
+        for j in range(size):
+            xs.append(j * 1.0 + rng.uniform(-0.3, 0.3))
+            ys.append(i * 1.0 + rng.uniform(-0.3, 0.3))
+    return xs, ys
+
+
+def expected_mesh(scale: str = "small") -> tuple[list[float], list[float],
+                                                 float]:
+    """Reference (x, y, residual sum) -- bit-exact mirror."""
+    size = grid_size(scale)
+    xs, ys = initial_mesh(scale)
+    new_x = list(xs)
+    new_y = list(ys)
+    residual = 0.0
+    for _ in range(ITERATIONS):
+        for i in range(1, size - 1):
+            for j in range(1, size - 1):
+                at = i * size + j
+                rx = ((xs[at - 1] + xs[at + 1])
+                      + (xs[at - size] + xs[at + size])) * 0.25
+                ry = ((ys[at - 1] + ys[at + 1])
+                      + (ys[at - size] + ys[at + size])) * 0.25
+                residual = residual + abs(rx - xs[at])
+                residual = residual + abs(ry - ys[at])
+                new_x[at] = rx
+                new_y[at] = ry
+        xs, new_x = new_x, xs
+        ys, new_y = new_y, ys
+    return xs, ys, residual
+
+
+def result_labels() -> tuple[str, str]:
+    """Data labels of the buffers holding the final mesh."""
+    if ITERATIONS % 2 == 0:
+        return "mesh_x", "mesh_y"
+    return "new_x", "new_y"
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the tomcatv program for *target* at *scale*."""
+    size = grid_size(scale)
+    xs, ys = initial_mesh(scale)
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+    data.label("mesh_x")
+    data.doubles(xs)
+    data.label("mesh_y")
+    data.doubles(ys)
+    data.label("new_x")
+    data.doubles(xs)
+    data.label("new_y")
+    data.doubles(ys)
+    data.label("size")
+    data.word(size)
+    data.label("residual")
+    data.double(0.0)
+    data.label("quarter")
+    data.double(0.25)
+
+    # r22 = iters, r23 = &newy, r24 = &x, r25 = &y, r26 = &newx,
+    # r27 = i, r28 = j, r29 = size; f8 = 0.25, f9 = residual.
+    with b.function("main", save=(22, 23, 24, 25, 26, 27, 28, 29)):
+        b.load_addr(24, "mesh_x")
+        b.load_addr(25, "mesh_y")
+        b.load_addr(26, "new_x")
+        b.load_addr(23, "new_y")
+        b.load_addr(4, "size")
+        b.ld(29, 4, 0)
+        b.load_addr(4, "residual")
+        b.fld(F + 9, 4, 0)
+        b.load_addr(4, "quarter")
+        b.fld(F + 8, 4, 0)  # hoisted: tomcatv keeps it in a register
+        b.li(22, ITERATIONS)
+        it_loop = b.fresh_label("iter")
+        it_done = b.fresh_label("iter_done")
+        b.label(it_loop)
+        b.beqz(22, it_done)
+        b.li(27, 1)
+        i_loop = b.fresh_label("i")
+        i_done = b.fresh_label("i_done")
+        b.label(i_loop)
+        b.addi(5, 29, -1)
+        b.bge(27, 5, i_done)
+        b.li(28, 1)
+        j_loop = b.fresh_label("j")
+        j_done = b.fresh_label("j_done")
+        b.label(j_loop)
+        b.addi(5, 29, -1)
+        b.bge(28, 5, j_done)
+        b.mul(6, 27, 29)
+        b.add(6, 6, 28)
+        b.slli(6, 6, 3)
+        b.slli(7, 29, 3)  # row stride (bytes)
+        for src_reg, dst_reg in ((24, 26), (25, 23)):
+            b.add(8, src_reg, 6)  # &field[at]
+            b.fld(F + 1, 8, -8)  # west
+            b.fld(F + 2, 8, 8)  # east
+            b.sub(9, 8, 7)
+            b.fld(F + 3, 9, 0)  # north
+            b.add(9, 8, 7)
+            b.fld(F + 4, 9, 0)  # south
+            b.fadd(F + 1, F + 1, F + 2)
+            b.fadd(F + 3, F + 3, F + 4)
+            b.fadd(F + 1, F + 1, F + 3)
+            b.fmul(F + 1, F + 1, F + 8)  # relaxed value
+            b.fld(F + 5, 8, 0)  # old value
+            b.fsub(F + 5, F + 1, F + 5)
+            b.fabs_(F + 5, F + 5)
+            b.fadd(F + 9, F + 9, F + 5)
+            b.add(9, dst_reg, 6)
+            b.fst(F + 1, 9, 0)
+        b.addi(28, 28, 1)
+        b.j(j_loop)
+        b.label(j_done)
+        b.addi(27, 27, 1)
+        b.j(i_loop)
+        b.label(i_done)
+        # swap x<->newx, y<->newy
+        b.mov(5, 24)
+        b.mov(24, 26)
+        b.mov(26, 5)
+        b.mov(5, 25)
+        b.mov(25, 23)
+        b.mov(23, 5)
+        b.addi(22, 22, -1)
+        b.j(it_loop)
+        b.label(it_done)
+        b.load_addr(4, "residual")
+        b.fst(F + 9, 4, 0)
+
+    return b.build()

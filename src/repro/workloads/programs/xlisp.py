@@ -1,0 +1,201 @@
+"""``xlisp`` workload: a small Lisp-style tree-walking interpreter.
+
+SPEC '92 xlisp interprets Lisp (the paper runs 6-queens).  This
+miniature captures the same execution character: a recursive ``eval``
+over tagged heap cells, dispatching on node tags through a jump table
+(the "computed branches" idiom), binding arguments in a linked-list
+environment allocated from a bump arena, and recursing heavily (the
+"call-subgraph identities" idiom).  The interpreted program is the
+classic doubly-recursive Fibonacci.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.opcodes import ValueKind
+from repro.isa.program import Program
+from repro.workloads.support import if_cond
+
+NAME = "xlisp"
+DESCRIPTION = "tree-walking interpreter (recursive fib)"
+INPUT_DESCRIPTION = "fib(N) expression tree"
+CATEGORY = "int"
+PAPER_INSTRUCTIONS = {"ppc": "52.1M", "alpha": "60.0M"}
+
+# Node tags.
+T_NUM = 0  # a = literal value
+T_VAR = 1  # a = de Bruijn-ish variable index (0 = innermost binding)
+T_ADD = 2  # a, b = operand node addresses
+T_SUB = 3
+T_LT = 4
+T_IF = 5  # a = condition, b = address of [then, else] pair cell
+T_CALL = 6  # a = argument expression (the single global function)
+
+FIB_ARG = {"tiny": 8, "small": 10, "reference": 13}
+
+
+def expected_result(scale: str = "small") -> int:
+    """fib(N) for the scale's argument."""
+    n = FIB_ARG[scale]
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def build(target: str = "ppc", scale: str = "small") -> Program:
+    """Build the xlisp program for *target* at *scale*."""
+    n = FIB_ARG[scale]
+
+    b = CodeBuilder(NAME, target=target)
+    data = b.data
+
+    def node(tag: int, a: int = 0, b_val: int = 0) -> int:
+        """Emit a 3-word heap cell; returns its address."""
+        kind_a = ValueKind.DATA_ADDR if tag >= T_ADD else ValueKind.INT_DATA
+        addr = data.word(tag)
+        data.word(a, kind_a)
+        data.word(
+            b_val,
+            ValueKind.DATA_ADDR if tag in (T_ADD, T_SUB, T_LT, T_IF)
+            else ValueKind.INT_DATA,
+        )
+        return addr
+
+    # fib body: (if (< x 2) x (+ (fib (- x 1)) (fib (- x 2))))
+    var_x = node(T_VAR, 0)
+    two = node(T_NUM, 2)
+    one = node(T_NUM, 1)
+    cond = node(T_LT, var_x, two)
+    sub1 = node(T_SUB, var_x, one)
+    sub2 = node(T_SUB, var_x, two)
+    call1 = node(T_CALL, sub1)
+    call2 = node(T_CALL, sub2)
+    plus = node(T_ADD, call1, call2)
+    # [then, else] pair cell
+    pair = data.word(var_x, ValueKind.DATA_ADDR)
+    data.word(plus, ValueKind.DATA_ADDR)
+    body = node(T_IF, cond, pair)
+    # top-level expression: (fib N)
+    arg = node(T_NUM, n)
+    top = node(T_CALL, arg)
+
+    data.label("fib_body")
+    data.word(body, ValueKind.DATA_ADDR)
+    data.label("top_expr")
+    data.word(top, ValueKind.DATA_ADDR)
+    data.label("result")
+    data.word(0)
+    data.label("env_arena")  # bump arena for environment cells
+    data.space(4096)
+    data.label("env_next")
+    data.pointer("env_arena")
+
+    # ------------------------------------------------------------------
+    # eval(r3 = node ptr, r4 = env ptr) -> r3 = value.
+    # Environment cells are [value, next] pairs; T_VAR index 0 reads the
+    # innermost binding, deeper indices walk the chain.
+    # r24 = node, r25 = env, r26 = partial result.
+    # ------------------------------------------------------------------
+    with b.function("eval", save=(24, 25, 26)):
+        b.mov(24, 3)
+        b.mov(25, 4)
+        b.ld(5, 24, 0)  # tag
+        c_num = b.fresh_label("num")
+        c_var = b.fresh_label("var")
+        c_add = b.fresh_label("add")
+        c_sub = b.fresh_label("sub")
+        c_lt = b.fresh_label("lt")
+        c_if = b.fresh_label("if")
+        c_call = b.fresh_label("call")
+        b.jump_table(5, [c_num, c_var, c_add, c_sub, c_lt, c_if, c_call])
+
+        b.label(c_num)
+        b.ld(3, 24, 8)
+        b.return_from_function()
+
+        b.label(c_var)
+        b.ld(6, 24, 8)  # index
+        b.mov(7, 25)
+        walk = b.fresh_label("walk")
+        found = b.fresh_label("found")
+        b.label(walk)
+        b.beqz(6, found)
+        b.ld(7, 7, 8)  # next env cell
+        b.addi(6, 6, -1)
+        b.j(walk)
+        b.label(found)
+        b.ld(3, 7, 0)
+        b.return_from_function()
+
+        for label, is_sub in ((c_add, False), (c_sub, True)):
+            b.label(label)
+            b.ld(3, 24, 8)
+            b.mov(4, 25)
+            b.call("eval")
+            b.mov(26, 3)
+            b.ld(3, 24, 16)
+            b.mov(4, 25)
+            b.call("eval")
+            if is_sub:
+                b.sub(3, 26, 3)
+            else:
+                b.add(3, 26, 3)
+            b.return_from_function()
+
+        b.label(c_lt)
+        b.ld(3, 24, 8)
+        b.mov(4, 25)
+        b.call("eval")
+        b.mov(26, 3)
+        b.ld(3, 24, 16)
+        b.mov(4, 25)
+        b.call("eval")
+        b.slt(3, 26, 3)
+        b.return_from_function()
+
+        b.label(c_if)
+        b.ld(3, 24, 8)
+        b.mov(4, 25)
+        b.call("eval")
+        b.ld(5, 24, 16)  # pair cell
+        with if_cond(b, "ne", 3, 0):
+            b.ld(3, 5, 0)  # then branch
+            b.mov(4, 25)
+            b.call("eval")
+            b.return_from_function()
+        b.ld(3, 5, 8)  # else branch
+        b.mov(4, 25)
+        b.call("eval")
+        b.return_from_function()
+
+        b.label(c_call)
+        b.ld(3, 24, 8)  # argument expression
+        b.mov(4, 25)
+        b.call("eval")
+        # bind: new env cell [argval, old env] from the bump arena
+        b.load_addr(5, "env_next")
+        b.ld(6, 5, 0)
+        b.st(3, 6, 0)
+        b.st(25, 6, 8)
+        b.addi(7, 6, 16)
+        b.st(7, 5, 0)
+        b.load_addr(3, "fib_body")
+        b.ld(3, 3, 0)
+        b.mov(4, 6)
+        b.call("eval")
+        # unbind: roll the arena pointer back (environments are LIFO)
+        b.load_addr(5, "env_next")
+        b.ld(6, 5, 0)
+        b.addi(6, 6, -16)
+        b.st(6, 5, 0)
+
+    with b.function("main"):
+        b.load_addr(3, "top_expr")
+        b.ld(3, 3, 0)
+        b.li(4, 0)  # empty environment
+        b.call("eval")
+        b.load_addr(4, "result")
+        b.st(3, 4, 0)
+
+    return b.build()

@@ -1,0 +1,260 @@
+"""Benchmark suite registry (the paper's Table 1).
+
+All seventeen benchmarks the paper traces are registered here, in the
+paper's order.  Each :class:`Benchmark` knows how to build its program
+for a codegen target and input scale, and how to *verify* a finished
+run against a Python reference computation -- every workload computes
+something checkable, not just instruction noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.isa.program import Program, bits_to_float
+from repro.sim.functional import ExecutionResult
+from repro.workloads.programs import (
+    _cc,
+    ccl,
+    ccl_271,
+    cjpeg,
+    compress,
+    doduc,
+    eqntott,
+    gawk,
+    gperf,
+    grep,
+    hydro2d,
+    mpeg,
+    perl,
+    quick,
+    sc,
+    swm256,
+    tomcatv,
+    xlisp,
+)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One row of the paper's Table 1."""
+
+    name: str
+    description: str
+    input_description: str
+    category: str  # "int" or "fp"
+    paper_instructions: dict
+    build: Callable[..., Program]  # build(target, scale) -> Program
+    verify: Callable[[Program, ExecutionResult, str], None]
+
+    def build_program(self, target: str = "ppc",
+                      scale: str = "small") -> Program:
+        """Build this benchmark's program."""
+        return self.build(target, scale)
+
+
+def _read_words(result: ExecutionResult, program: Program, label: str,
+                count: int) -> list:
+    base = program.symbols[label]
+    return [result.memory.read_word(base + 8 * i)[0] for i in range(count)]
+
+
+def _read_doubles(result: ExecutionResult, program: Program, label: str,
+                  count: int) -> list:
+    return [bits_to_float(v)
+            for v in _read_words(result, program, label, count)]
+
+
+def _expect(condition: bool, name: str, detail: str) -> None:
+    if not condition:
+        raise AssertionError(f"{name}: verification failed ({detail})")
+
+
+# --- per-benchmark verifiers -------------------------------------------------
+def _verify_ccl(program, result, scale):
+    got = _read_words(result, program, "variables", _cc.NUM_VARS)
+    _expect(got == ccl.expected_variables(scale), "ccl", "variable values")
+
+
+def _verify_ccl_271(program, result, scale):
+    got = _read_words(result, program, "variables", _cc.NUM_VARS)
+    _expect(got == ccl_271.expected_variables(scale), "ccl-271",
+            "variable values")
+
+
+def _verify_cjpeg(program, result, scale):
+    pairs = _read_words(result, program, "pairs", 1)[0]
+    checksum = _read_words(result, program, "checksum", 1)[0]
+    _expect((pairs, checksum) == cjpeg.expected_output(scale), "cjpeg",
+            "RLE output")
+
+
+def _verify_compress(program, result, scale):
+    # Decode the emitted LZW codes and compare with the input text.
+    count = _read_words(result, program, "out_count", 1)[0]
+    codes = _read_words(result, program, "output", count)
+    length = _read_words(result, program, "input_len", 1)[0]
+    text = result.memory.read_bytes(program.symbols["input"], length)
+    table = {i: bytes([i]) for i in range(256)}
+    next_code = compress.FIRST_CODE
+    w = table[codes[0]]
+    out = bytearray(w)
+    for code in codes[1:]:
+        if code in table:
+            entry = table[code]
+        elif code == next_code:
+            entry = w + w[:1]
+        else:
+            raise AssertionError(f"compress: invalid LZW code {code}")
+        out += entry
+        if next_code < compress.MAX_CODE:
+            table[next_code] = w + entry[:1]
+            next_code += 1
+        w = entry
+    _expect(bytes(out) == text, "compress", "LZW round trip")
+
+
+def _verify_doduc(program, result, scale):
+    state = _read_doubles(result, program, "state",
+                          len(doduc.initial_state(scale)))
+    energy = _read_doubles(result, program, "energy", 1)[0]
+    exp_state, exp_energy = doduc.expected_state(scale)
+    _expect(state == exp_state and energy == exp_energy, "doduc",
+            "final state")
+
+
+def _verify_eqntott(program, result, scale):
+    count = _read_words(result, program, "num_minterms", 1)[0]
+    got = _read_words(result, program, "minterms", count)
+    _expect(got == eqntott.expected_minterms(scale), "eqntott",
+            "sorted minterms")
+
+
+def _verify_gawk(program, result, scale):
+    sums = _read_words(result, program, "col_sums", gawk.NUM_COLUMNS)
+    _expect(sums == gawk.expected_column_sums(scale), "gawk", "column sums")
+    lines = _read_words(result, program, "line_count", 1)[0]
+    _expect(lines == len(gawk.input_lines(scale)), "gawk", "line count")
+
+
+def _verify_gperf(program, result, scale):
+    got = _read_words(result, program, "solution", 1)[0]
+    expected = gperf.expected_solution(scale)
+    _expect(got == expected and expected < gperf.MAX_TRIALS, "gperf",
+            "solution trial")
+
+
+def _verify_grep(program, result, scale):
+    got = _read_words(result, program, "match_count", 1)[0]
+    _expect(got == grep.expected_matches(scale), "grep", "match count")
+
+
+def _verify_hydro2d(program, result, scale):
+    count = hydro2d.grid_size(scale) ** 2
+    got = _read_doubles(result, program, hydro2d.result_label(), count)
+    _expect(got == hydro2d.expected_grid(scale), "hydro2d", "final grid")
+
+
+def _verify_mpeg(program, result, scale):
+    got = _read_words(result, program, "checksum", 1)[0]
+    _expect(got == mpeg.expected_checksum(scale), "mpeg", "pixel checksum")
+
+
+def _verify_perl(program, result, scale):
+    got = _read_words(result, program, "match_count", 1)[0]
+    _expect(got == perl.expected_matches(scale), "perl", "anagram count")
+
+
+def _verify_quick(program, result, scale):
+    values = quick.input_values(scale)
+    got = _read_words(result, program, "array", len(values))
+    _expect(got == sorted(values), "quick", "sorted array")
+
+
+def _verify_sc(program, result, scale):
+    rows, cols, _ = sc.input_grid(scale)
+    base = program.symbols["grid"]
+    got = [result.memory.read_word(base + 32 * i + 8)[0]
+           for i in range(rows * cols)]
+    _expect(got == sc.expected_values(scale), "sc", "cell values")
+
+
+def _verify_swm256(program, result, scale):
+    count = swm256.grid_size(scale) ** 2
+    expected = swm256.expected_fields(scale)
+    for label, field in zip(("u", "v", "p"), expected):
+        got = _read_doubles(result, program, label, count)
+        _expect(got == field, "swm256", f"{label} field")
+
+
+def _verify_tomcatv(program, result, scale):
+    count = tomcatv.grid_size(scale) ** 2
+    label_x, label_y = tomcatv.result_labels()
+    exp_x, exp_y, exp_residual = tomcatv.expected_mesh(scale)
+    _expect(_read_doubles(result, program, label_x, count) == exp_x,
+            "tomcatv", "x mesh")
+    _expect(_read_doubles(result, program, label_y, count) == exp_y,
+            "tomcatv", "y mesh")
+    residual = _read_doubles(result, program, "residual", 1)[0]
+    _expect(residual == exp_residual, "tomcatv", "residual")
+
+
+def _verify_xlisp(program, result, scale):
+    got = _read_words(result, program, "result", 1)[0]
+    _expect(got == xlisp.expected_result(scale), "xlisp", "fib result")
+
+
+def _register(module, verify) -> Benchmark:
+    return Benchmark(
+        name=module.NAME,
+        description=module.DESCRIPTION,
+        input_description=module.INPUT_DESCRIPTION,
+        category=module.CATEGORY,
+        paper_instructions=module.PAPER_INSTRUCTIONS,
+        build=module.build,
+        verify=verify,
+    )
+
+
+#: All benchmarks, in the paper's Table 1 order.
+BENCHMARKS: tuple[Benchmark, ...] = (
+    _register(ccl_271, _verify_ccl_271),
+    _register(ccl, _verify_ccl),
+    _register(cjpeg, _verify_cjpeg),
+    _register(compress, _verify_compress),
+    _register(eqntott, _verify_eqntott),
+    _register(gawk, _verify_gawk),
+    _register(gperf, _verify_gperf),
+    _register(grep, _verify_grep),
+    _register(mpeg, _verify_mpeg),
+    _register(perl, _verify_perl),
+    _register(quick, _verify_quick),
+    _register(sc, _verify_sc),
+    _register(xlisp, _verify_xlisp),
+    _register(doduc, _verify_doduc),
+    _register(hydro2d, _verify_hydro2d),
+    _register(swm256, _verify_swm256),
+    _register(tomcatv, _verify_tomcatv),
+)
+
+#: Benchmark lookup by name.
+BY_NAME: dict[str, Benchmark] = {b.name: b for b in BENCHMARKS}
+
+#: Names in suite order.
+NAMES: tuple[str, ...] = tuple(b.name for b in BENCHMARKS)
+
+#: The integer and floating-point subsets.
+INTEGER_NAMES = tuple(b.name for b in BENCHMARKS if b.category == "int")
+FP_NAMES = tuple(b.name for b in BENCHMARKS if b.category == "fp")
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by name."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown benchmark {name!r}; expected one of {NAMES}"
+        ) from None

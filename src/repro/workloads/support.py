@@ -1,0 +1,191 @@
+"""Shared helpers for workload program construction.
+
+Two kinds of support live here:
+
+* **Structured control flow** for the :class:`CodeBuilder` DSL
+  (:func:`for_range`, :func:`if_cond`, :func:`while_loop`) so workloads
+  read like the C programs they stand in for instead of label soup.
+* **Deterministic input synthesis** (:class:`Lcg`, text/word helpers).
+  Inputs are generated with a self-contained linear congruential
+  generator so results never depend on Python or numpy RNG versions.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.isa.builder import CodeBuilder
+
+#: Branch condition names -> (builder emitter picking the *inverse* branch).
+_INVERSE = {
+    "eq": "bne", "ne": "beq", "lt": "bge", "ge": "blt",
+    "ltu": "bgeu", "geu": "bltu",
+}
+
+
+@contextmanager
+def for_range(b: CodeBuilder, i: int, bound: int, *, start: int = 0,
+              step: int = 1) -> Iterator[str]:
+    """Emit ``for (i = start; i < bound; i += step) { body }``.
+
+    *i* and *bound* are register ids; *bound* must already hold the loop
+    limit.  Yields the label of the loop exit (usable as a break target).
+    """
+    loop = b.fresh_label("for")
+    done = b.fresh_label("endfor")
+    b.li(i, start)
+    b.label(loop)
+    b.bge(i, bound, done)
+    yield done
+    b.addi(i, i, step)
+    b.j(loop)
+    b.label(done)
+
+
+@contextmanager
+def count_down(b: CodeBuilder, counter: int) -> Iterator[None]:
+    """Emit ``do { body } while (--counter != 0)``.
+
+    *counter* must hold a positive trip count on entry.
+    """
+    loop = b.fresh_label("cdown")
+    b.label(loop)
+    yield
+    b.addi(counter, counter, -1)
+    b.bnez(counter, loop)
+
+
+@contextmanager
+def while_loop(b: CodeBuilder) -> Iterator[tuple[str, str]]:
+    """Emit an open loop; yields ``(continue_label, break_label)``.
+
+    The body is responsible for branching to the break label; falling
+    off the end of the body loops back to the top.
+    """
+    top = b.fresh_label("while")
+    done = b.fresh_label("endwhile")
+    b.label(top)
+    yield top, done
+    b.j(top)
+    b.label(done)
+
+
+@contextmanager
+def if_cond(b: CodeBuilder, cond: str, a: int, b_reg: int) -> Iterator[None]:
+    """Emit ``if (a <cond> b) { body }`` using the inverse-branch idiom."""
+    skip = b.fresh_label("endif")
+    getattr(b, _INVERSE[cond])(a, b_reg, skip)
+    yield
+    b.label(skip)
+
+
+@contextmanager
+def if_else(b: CodeBuilder, cond: str, a: int,
+            b_reg: int) -> Iterator[callable]:
+    """Emit ``if (a <cond> b) { then } else { else }``.
+
+    Yields a zero-argument callable; invoke it between the then-body and
+    the else-body::
+
+        with if_else(b, "eq", r4, r5) as otherwise:
+            ...then...
+            otherwise()
+            ...else...
+    """
+    else_label = b.fresh_label("else")
+    end_label = b.fresh_label("endif")
+    getattr(b, _INVERSE[cond])(a, b_reg, else_label)
+    state = {"taken": False}
+
+    def otherwise() -> None:
+        state["taken"] = True
+        b.j(end_label)
+        b.label(else_label)
+
+    yield otherwise
+    if not state["taken"]:
+        b.label(else_label)
+    b.label(end_label)
+
+
+class Lcg:
+    """Deterministic 64-bit LCG (MMIX constants) for input synthesis."""
+
+    MULTIPLIER = 6364136223846793005
+    INCREMENT = 1442695040888963407
+    MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed * 2862933555777941757 + 3037000493) & self.MASK
+
+    def next_u64(self) -> int:
+        """Next raw 64-bit value."""
+        self.state = (self.state * self.MULTIPLIER + self.INCREMENT) \
+            & self.MASK
+        return self.state
+
+    def below(self, bound: int) -> int:
+        """Uniform-ish integer in ``[0, bound)``."""
+        return (self.next_u64() >> 16) % bound
+
+    def choice(self, items: Sequence):
+        """Pick one element of *items*."""
+        return items[self.below(len(items))]
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform-ish float in ``[low, high)``."""
+        fraction = (self.next_u64() >> 11) / float(1 << 53)
+        return low + (high - low) * fraction
+
+
+#: Small vocabulary used to synthesize "real-world" text inputs (word
+#: frequency is deliberately skewed; real text has heavy repetition --
+#: the paper's "data redundancy" observation).
+VOCABULARY = (
+    "the", "of", "and", "a", "to", "in", "is", "it", "that", "was",
+    "store", "most", "state", "moment", "stream", "memory", "storm",
+    "system", "cache", "value", "load", "predict", "branch", "almost",
+    "history", "table", "result", "static", "dynamic", "register",
+)
+
+
+def make_text(rng: Lcg, num_words: int, line_words: int = 8) -> bytes:
+    """Synthesize whitespace-separated ASCII text, *num_words* long."""
+    out = []
+    for i in range(num_words):
+        # Zipf-ish skew: half the draws come from the first few words.
+        if rng.below(2):
+            word = VOCABULARY[rng.below(6)]
+        else:
+            word = rng.choice(VOCABULARY)
+        out.append(word)
+        out.append("\n" if (i + 1) % line_words == 0 else " ")
+    return "".join(out).encode("ascii")
+
+
+def make_word_list(rng: Lcg, count: int, min_len: int = 3,
+                   max_len: int = 9) -> list[bytes]:
+    """Synthesize a lowercase dictionary word list."""
+    words = []
+    for _ in range(count):
+        length = min_len + rng.below(max_len - min_len + 1)
+        # Skewed letter distribution (English-ish) aids anagram matches.
+        letters = "etaoinshrdlucmf"
+        words.append(bytes(
+            ord(letters[rng.below(len(letters))]) for _ in range(length)
+        ))
+    return words
+
+
+#: Scale presets: every workload sizes its input from these factors.
+SCALES = {"tiny": 0.25, "small": 1.0, "reference": 4.0}
+
+
+def scaled(scale: str, base: int, minimum: int = 1) -> int:
+    """Scale an input-size parameter by the named preset."""
+    if scale not in SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        )
+    return max(minimum, int(base * SCALES[scale]))

@@ -1,0 +1,31 @@
+"""Tests for the paper-shape expectation checker."""
+
+from repro.analysis import (
+    EXPECTATIONS,
+    check_all,
+    render_check_report,
+)
+
+
+class TestExpectations:
+    def test_registry_well_formed(self):
+        assert len(EXPECTATIONS) >= 8
+        for expectation in EXPECTATIONS:
+            assert expectation.exhibit
+            assert expectation.claim
+            assert callable(expectation.check)
+
+    def test_all_hold_on_fixture_subset(self, tiny_session):
+        results = check_all(tiny_session)
+        failing = [r.expectation.claim for r in results if not r.passed]
+        # The grep/gawk standout claim needs gawk, absent from the tiny
+        # fixture; everything else must hold.
+        allowed_failures = {"grep and gawk are the dramatic outliers"}
+        assert set(failing) <= allowed_failures, failing
+
+    def test_report_rendering(self, tiny_session):
+        results = check_all(tiny_session)
+        text = render_check_report(results)
+        assert "Paper-shape check" in text
+        assert "claims hold" in text
+        assert text.count("[") == len(EXPECTATIONS)

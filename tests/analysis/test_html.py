@@ -1,0 +1,30 @@
+"""Tests for the HTML report generator."""
+
+from repro.analysis import build_html_report
+
+
+class TestHtmlReport:
+    def test_full_document(self, tiny_session):
+        document = build_html_report(tiny_session,
+                                     exhibits=("tab2", "fig1"))
+        assert document.startswith("<!DOCTYPE html>")
+        assert document.rstrip().endswith("</html>")
+        assert "Load Value Locality" in document
+        assert "LVP Unit Configurations" in document
+
+    def test_bar_charts_for_figures(self, tiny_session):
+        document = build_html_report(tiny_session, exhibits=("fig1",))
+        assert "bar-fill" in document
+        assert 'id=\'fig1\'' in document or 'id="fig1"' in document
+
+    def test_escaping(self, tiny_session):
+        document = build_html_report(tiny_session, exhibits=("tab2",))
+        # The rendered ASCII table's '<' placeholders must be escaped.
+        assert "<pre>" in document
+        assert "<script" not in document
+
+    def test_toc_links_every_exhibit(self, tiny_session):
+        exhibits = ("tab2", "tab5", "fig1")
+        document = build_html_report(tiny_session, exhibits=exhibits)
+        for exp_id in exhibits:
+            assert f"#{exp_id}" in document

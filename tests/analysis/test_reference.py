@@ -1,0 +1,43 @@
+"""Tests for the Table 2 / Table 5 reference renders."""
+
+from repro.analysis import render_table2, render_table5
+
+
+class TestTable2:
+    def test_all_four_configs(self):
+        text = render_table2()
+        for name in ("Simple", "Constant", "Limit", "Perfect"):
+            assert name in text
+
+    def test_paper_values_present(self):
+        text = render_table2()
+        assert "1024" in text  # Simple/Constant LVPT
+        assert "4096" in text  # Limit LVPT
+        assert "16/Perf" in text  # Limit's oracle-selected history
+        assert "oracle" in text  # Perfect row
+
+    def test_tracks_live_configs(self):
+        """The render reads the real config objects, so it must agree
+        with them field by field."""
+        from repro.lvp import SIMPLE
+        text = render_table2()
+        simple_line = next(line for line in text.splitlines()
+                           if line.startswith("Simple"))
+        assert str(SIMPLE.lvpt_entries) in simple_line
+        assert str(SIMPLE.cvu_entries) in simple_line
+
+
+class TestTable5:
+    def test_all_classes(self):
+        text = render_table5()
+        for label in ("Simple Integer", "Load/Store", "Simple FP",
+                      "Complex FP", "Branch"):
+            assert label in text
+
+    def test_tracks_live_latencies(self):
+        from repro.isa import Opcode
+        from repro.uarch.components import PPC620_LATENCY
+        text = render_table5()
+        load_line = next(line for line in text.splitlines()
+                         if line.startswith("Load/Store"))
+        assert str(PPC620_LATENCY[Opcode.LD].result) in load_line

@@ -1,0 +1,78 @@
+"""Unit tests for report rendering and summary statistics."""
+
+import pytest
+
+from repro.analysis import (
+    TextTable,
+    format_percent,
+    format_speedup,
+    geometric_mean,
+    render_series,
+)
+
+
+class TestGeometricMean:
+    def test_identity(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_order_invariant(self):
+        assert geometric_mean([1.2, 0.9, 3.0]) == \
+            pytest.approx(geometric_mean([3.0, 1.2, 0.9]))
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert format_percent(0.5) == "50.0%"
+        assert format_percent(0.123, 0) == "12%"
+
+    def test_speedup(self):
+        assert format_speedup(1.0567) == "1.057"
+
+
+class TestTextTable:
+    def test_renders_headers_and_rows(self):
+        table = TextTable(["name", "value"], title="T")
+        table.add_row(["a", 1])
+        table.add_row(["bb", 22])
+        text = table.render()
+        assert "T" in text
+        assert "name" in text
+        assert "bb" in text
+
+    def test_alignment(self):
+        table = TextTable(["name", "v"])
+        table.add_row(["x", 123456])
+        lines = table.render().splitlines()
+        assert lines[-1].endswith("123456")
+
+    def test_row_width_mismatch(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_separator(self):
+        table = TextTable(["abcd"])
+        table.add_row(["1"])
+        table.add_separator()
+        table.add_row(["GM"])
+        lines = table.render().splitlines()
+        rule = lines[1]
+        assert set(rule) == {"-"}
+        assert lines.count(rule) == 2  # header rule + separator
+
+    def test_render_series(self):
+        text = render_series(
+            "Fig", ["x", "y"], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]}
+        )
+        assert "10.0%" in text
+        assert "40.0%" in text

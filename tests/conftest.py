@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Trace generation dominates test time, so traces and annotations are
+produced once per session via cached fixtures; workload-verification
+tests request the same cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import Session
+from repro.isa import CodeBuilder
+from repro.sim import run_program
+
+
+@pytest.fixture(scope="session")
+def tiny_session() -> Session:
+    """A verifying session over a fast subset at tiny scale."""
+    return Session(
+        scale="tiny",
+        benchmarks=("grep", "compress", "quick", "xlisp", "tomcatv"),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_session() -> Session:
+    """A verifying session over the full suite at small scale."""
+    return Session(scale="small")
+
+
+@pytest.fixture(scope="session")
+def grep_trace(tiny_session):
+    """The grep trace at tiny scale (ppc target)."""
+    return tiny_session.trace("grep", "ppc")
+
+
+@pytest.fixture(scope="session")
+def compress_trace(tiny_session):
+    """The compress trace at tiny scale (ppc target)."""
+    return tiny_session.trace("compress", "ppc")
+
+
+def build_and_run(body, *, target: str = "ppc", data=None, name: str = "t",
+                  save=(), frame_words: int = 0):
+    """Assemble a one-function program around *body* and run it.
+
+    *body* receives the :class:`CodeBuilder`; *data* (if given) receives
+    it first to populate the data segment.  Returns the ExecutionResult.
+    """
+    builder = CodeBuilder(name, target=target)
+    if data is not None:
+        data(builder)
+    with builder.function("main", save=tuple(save),
+                          frame_words=frame_words):
+        body(builder)
+    program = builder.build()
+    return run_program(program, name=name, target=target)

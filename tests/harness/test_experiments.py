@@ -1,0 +1,172 @@
+"""Tests for the per-exhibit experiment runners.
+
+Run against the tiny fixture session's benchmark subset; the assertions
+check structural integrity plus the paper's qualitative claims that are
+robust at tiny scale.
+"""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, run_experiment
+from repro.isa import ValueKind
+
+
+@pytest.fixture(scope="module")
+def results(tiny_session):
+    return {exp_id: run_experiment(exp_id, tiny_session)
+            for exp_id in EXPERIMENTS}
+
+
+class TestRegistry:
+    def test_all_paper_exhibits_present(self):
+        assert set(EXPERIMENTS) == {
+            "tab1", "tab2", "tab5", "fig1", "fig2", "tab3", "tab4",
+            "fig6", "tab6", "fig7", "fig8", "fig9",
+        }
+
+    def test_unknown_id_raises(self, tiny_session):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", tiny_session)
+
+    def test_results_render_text(self, results):
+        for exp_id, result in results.items():
+            assert result.exp_id == exp_id
+            assert result.text.strip()
+            assert result.data
+
+
+class TestTab1(object):
+    def test_counts_per_benchmark(self, results, tiny_session):
+        data = results["tab1"].data
+        assert set(data) == set(tiny_session.benchmark_names)
+        for row in data.values():
+            assert row["ppc_instructions"] > 0
+            assert row["ppc_loads"] > 0
+
+
+class TestFig1:
+    def test_depth16_dominates_depth1(self, results):
+        for target in ("ppc", "alpha"):
+            for name, (d1, d16) in results["fig1"].data[target].items():
+                assert d16 >= d1, name
+
+    def test_percent_bounds(self, results):
+        for target_data in results["fig1"].data.values():
+            for d1, d16 in target_data.values():
+                assert 0.0 <= d1 <= 100.0
+                assert 0.0 <= d16 <= 100.0
+
+    def test_tomcatv_is_poor(self, results):
+        d1, _ = results["fig1"].data["ppc"]["tomcatv"]
+        assert d1 < 50.0
+
+    def test_compress_has_locality(self, results):
+        d1, d16 = results["fig1"].data["ppc"]["compress"]
+        assert d1 > 30.0
+        assert d16 > 60.0
+
+
+class TestFig2:
+    def test_kind_loads_partition(self, results, tiny_session):
+        data = results["fig2"].data
+        for name in tiny_session.benchmark_names:
+            total = sum(data[kind.name][name][2] for kind in ValueKind)
+            trace = tiny_session.trace(name, "ppc")
+            assert total == trace.num_loads
+
+    def test_address_loads_high_locality(self, results):
+        """Paper: address loads beat data loads in locality."""
+        data = results["fig2"].data
+        instr = [v[1] for v in data["INSTR_ADDR"].values() if v[2] > 50]
+        ints = [v[1] for v in data["INT_DATA"].values() if v[2] > 50]
+        if instr and ints:
+            avg = lambda xs: sum(xs) / len(xs)  # noqa: E731
+            assert avg(instr) >= avg(ints) - 5.0
+
+
+class TestTab3:
+    def test_rates_bounded(self, results):
+        for rows in results["tab3"].data.values():
+            for unpred, pred in rows.values():
+                assert 0.0 <= unpred <= 1.0
+                assert 0.0 <= pred <= 1.0
+
+    def test_lct_identifies_majority(self, results):
+        """Paper Table 3: GM of both columns lands well above half."""
+        values = [v for rows in results["tab3"].data.values()
+                  for v in rows.values()]
+        predictable_rates = [pred for _, pred in values]
+        assert sum(predictable_rates) / len(predictable_rates) > 0.5
+
+
+class TestTab4:
+    def test_fractions_bounded(self, results):
+        for rows in results["tab4"].data.values():
+            for fraction in rows.values():
+                assert 0.0 <= fraction <= 1.0
+
+    def test_quick_and_tomcatv_near_zero(self, results):
+        """Paper Table 4 shows 0% constants for quick and tomcatv."""
+        for name in ("quick", "tomcatv"):
+            assert results["tab4"].data[name]["ppc/Simple"] < 0.10
+
+    def test_compress_finds_constants(self, results):
+        assert results["tab4"].data["compress"]["ppc/Constant"] > 0.05
+
+
+class TestFig6:
+    def test_speedups_positive(self, results):
+        for machine in ("620", "21164"):
+            for config_rows in results["fig6"].data[machine].values():
+                for speedup in config_rows.values():
+                    assert speedup > 0.5
+
+    def test_grep_among_best_620(self, results):
+        simple = results["fig6"].data["620"]["Simple"]
+        assert simple["grep"] == max(simple.values())
+
+    def test_perfect_beats_simple_on_average(self, results):
+        from repro.analysis import geometric_mean
+        data = results["fig6"].data["620"]
+        assert geometric_mean(data["Perfect"].values()) >= \
+            geometric_mean(data["Simple"].values())
+
+
+class TestTab6:
+    def test_620_plus_always_helps(self, results):
+        for name, row in results["tab6"].data.items():
+            if name == "GM":
+                continue
+            assert row["620+"] >= 1.0, name
+
+    def test_gm_row_present(self, results):
+        gm = results["tab6"].data["GM"]
+        assert set(gm) == {"620+", "Simple", "Constant", "Limit", "Perfect"}
+
+
+class TestFig7:
+    def test_distributions_normalized(self, results):
+        for machine_data in results["fig7"].data.values():
+            for histogram in machine_data.values():
+                total = sum(histogram.values())
+                assert total == pytest.approx(1.0, abs=1e-9) or total == 0.0
+
+
+class TestFig8:
+    def test_baseline_and_normalized_present(self, results):
+        for machine_data in results["fig8"].data.values():
+            assert "baseline" in machine_data
+            assert "Simple" in machine_data
+
+    def test_lsu_wait_reduced(self, results):
+        """Paper Figure 8: LSU waits roughly halve under Simple."""
+        normalized = results["fig8"].data["620"]["Limit"]
+        assert normalized["LSU"] <= 1.0
+
+
+class TestFig9:
+    def test_fractions_bounded(self, results):
+        for machine_data in results["fig9"].data.values():
+            for label, rows in machine_data.items():
+                for value in rows.values():
+                    assert 0.0 <= value <= 1.0

@@ -1,0 +1,51 @@
+"""Unit tests for the memoizing experiment session."""
+
+from repro.lvp import SIMPLE
+from repro.uarch import PPC620, PPC620_PLUS
+
+
+class TestMemoization:
+    def test_traces_cached(self, tiny_session):
+        a = tiny_session.trace("grep", "ppc")
+        b = tiny_session.trace("grep", "ppc")
+        assert a is b
+
+    def test_targets_distinct(self, tiny_session):
+        ppc = tiny_session.trace("grep", "ppc")
+        alpha = tiny_session.trace("grep", "alpha")
+        assert ppc is not alpha
+        assert ppc.target == "ppc"
+        assert alpha.target == "alpha"
+
+    def test_annotations_cached(self, tiny_session):
+        a = tiny_session.annotated("grep", "ppc", SIMPLE)
+        b = tiny_session.annotated("grep", "ppc", SIMPLE)
+        assert a is b
+
+    def test_model_runs_cached(self, tiny_session):
+        a = tiny_session.ppc_result("grep", PPC620, SIMPLE)
+        b = tiny_session.ppc_result("grep", PPC620, SIMPLE)
+        assert a is b
+
+    def test_baseline_and_lvp_distinct(self, tiny_session):
+        base = tiny_session.ppc_result("grep", PPC620, None)
+        lvp = tiny_session.ppc_result("grep", PPC620, SIMPLE)
+        assert base is not lvp
+        assert base.lvp_name == "none"
+
+    def test_machines_distinct(self, tiny_session):
+        base = tiny_session.ppc_result("grep", PPC620, None)
+        plus = tiny_session.ppc_result("grep", PPC620_PLUS, None)
+        assert base.config_name == "620"
+        assert plus.config_name == "620+"
+
+
+class TestSpeedups:
+    def test_ppc_speedup_consistent(self, tiny_session):
+        speedup = tiny_session.ppc_speedup("grep", PPC620, SIMPLE)
+        base = tiny_session.ppc_result("grep", PPC620, None)
+        lvp = tiny_session.ppc_result("grep", PPC620, SIMPLE)
+        assert speedup == base.cycles / lvp.cycles
+
+    def test_alpha_speedup_positive(self, tiny_session):
+        assert tiny_session.alpha_speedup("grep", SIMPLE) > 0

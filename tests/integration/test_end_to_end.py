@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the full pipeline on real workloads."""
+
+import pytest
+
+from repro import (
+    LoadOutcome,
+    PPC620,
+    PPC620Model,
+    SIMPLE,
+    Session,
+    annotate_trace,
+    measure_value_locality,
+    run_experiment,
+    run_program,
+)
+from repro.lvp import LIMIT, PERFECT
+from repro.uarch import AXP21164Model
+from repro.workloads import get_benchmark
+
+
+class TestFullPipeline:
+    """Trace -> locality -> annotate -> cycle model, one flow."""
+
+    def test_compress_pipeline(self):
+        bench = get_benchmark("compress")
+        program = bench.build_program("ppc", "tiny")
+        result = run_program(program, name="compress", target="ppc")
+        bench.verify(program, result, "tiny")
+
+        trace = result.trace
+        locality = measure_value_locality(trace, depth=1)
+        assert locality.total_loads == trace.num_loads
+
+        annotated = annotate_trace(trace, SIMPLE)
+        correct = (annotated.stats.outcomes[LoadOutcome.CORRECT]
+                   + annotated.stats.outcomes[LoadOutcome.CONSTANT])
+        # Prediction success is bounded by value locality plus warmup.
+        assert correct <= locality.hits + trace.num_loads * 0.05 + 16
+
+        base = PPC620Model(PPC620).run(annotated, use_lvp=False)
+        lvp = PPC620Model(PPC620).run(annotated, use_lvp=True)
+        assert 0 < lvp.cycles <= base.cycles * 1.10
+
+    def test_locality_upper_bounds_prediction(self, tiny_session):
+        """No realistic config can beat the Limit oracle's accuracy."""
+        for name in tiny_session.benchmark_names:
+            trace = tiny_session.trace(name, "ppc")
+            simple = annotate_trace(trace, SIMPLE).stats
+            limit = annotate_trace(trace, LIMIT).stats
+            d16 = measure_value_locality(trace, 16, entries=4096)
+            assert limit.prediction_accuracy <= 1.0
+            correct = (limit.outcomes[LoadOutcome.CORRECT]
+                       + limit.outcomes[LoadOutcome.CONSTANT])
+            assert correct <= d16.hits + 32
+
+
+class TestPaperHeadlines:
+    """The paper's headline claims, checked mechanically."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        return Session(
+            scale="tiny",
+            benchmarks=("grep", "gawk", "compress", "sc", "tomcatv",
+                        "swm256"),
+        )
+
+    def test_integer_benchmarks_have_more_locality_than_fp_poor(
+            self, session):
+        fig1 = run_experiment("fig1", session).data["ppc"]
+        assert fig1["compress"][1] > fig1["swm256"][1]
+        assert fig1["sc"][1] > fig1["tomcatv"][1]
+
+    def test_grep_and_gawk_dramatic(self, session):
+        """Paper: grep and gawk stand out on both machines."""
+        fig6 = run_experiment("fig6", session).data
+        for machine in ("620", "21164"):
+            simple = fig6[machine]["Simple"]
+            best_two = sorted(simple, key=simple.get, reverse=True)[:3]
+            assert {"grep", "gawk"} & set(best_two)
+
+    def test_lvp_reduces_bandwidth(self, session):
+        """LVP reduces, not increases, memory traffic (paper S3.3)."""
+        from repro.lvp import CONSTANT
+        base = session.ppc_result("compress", PPC620, None)
+        lvp = session.ppc_result("compress", PPC620, CONSTANT)
+        assert lvp.l1_stats.accesses <= base.l1_stats.accesses
+
+    def test_620_plus_gains_more_from_lvp(self, session):
+        """Paper S6.2: wider machine parallelism matches LVP better."""
+        from repro.analysis import geometric_mean
+        from repro.uarch import PPC620_PLUS
+        names = session.benchmark_names
+        gm_620 = geometric_mean(
+            [session.ppc_speedup(n, PPC620, LIMIT) for n in names])
+        gm_plus = geometric_mean(
+            [session.ppc_speedup(n, PPC620_PLUS, LIMIT) for n in names])
+        assert gm_plus >= gm_620 * 0.97  # at least comparable
+
+    def test_alpha_perfect_gains(self, session):
+        for name in ("grep", "gawk"):
+            ann = session.annotated(name, "alpha", PERFECT)
+            base = AXP21164Model().run(ann, use_lvp=False)
+            perfect = AXP21164Model().run(ann, use_lvp=True)
+            assert perfect.cycles < base.cycles

@@ -1,0 +1,203 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Opcode, assemble
+from repro.sim import run_program
+
+
+def run_asm(source: str):
+    return run_program(assemble(source))
+
+
+class TestDirectives:
+    def test_word_data(self):
+        result = run_asm("""
+        .data
+        x: .word 42
+        .text
+        main:
+            la r4, x
+            ld r3, 0(r4)
+            halt
+        """)
+        assert result.registers[3] == 42
+
+    def test_multiple_words(self):
+        result = run_asm("""
+        .data
+        xs: .word 1, 2, 3
+        .text
+        main:
+            la r4, xs
+            ld r3, 16(r4)
+            halt
+        """)
+        assert result.registers[3] == 3
+
+    def test_double_data(self):
+        result = run_asm("""
+        .data
+        pi: .double 2.0
+        .text
+        main:
+            la r4, pi
+            fld f1, 0(r4)
+            fadd f2, f1, f1
+            ftrunc r3, f2
+            halt
+        """)
+        assert result.registers[3] == 4
+
+    def test_string_data(self):
+        result = run_asm("""
+        .data
+        s: .string "AB"
+        .text
+        main:
+            la r4, s
+            lbu r3, 1(r4)
+            halt
+        """)
+        assert result.registers[3] == ord("B")
+
+    def test_space_directive(self):
+        result = run_asm("""
+        .data
+        buf: .space 2
+        .text
+        main:
+            la r4, buf
+            li r5, 9
+            st r5, 8(r4)
+            ld r3, 8(r4)
+            halt
+        """)
+        assert result.registers[3] == 9
+
+    def test_ptr_directive(self):
+        result = run_asm("""
+        .data
+        p: .ptr v
+        v: .word 31
+        .text
+        main:
+            la r4, p
+            ld r5, 0(r4)
+            ld r3, 0(r5)
+            halt
+        """)
+        assert result.registers[3] == 31
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\n.bogus 1\n.text\nmain: halt")
+
+    def test_data_directive_in_text_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("main:\n.word 1\nhalt")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nadd r3, r4, r5\n.text\nmain: halt")
+
+
+class TestInstructionForms:
+    def test_three_register_alu(self):
+        result = run_asm("main:\n li r4, 6\n li r5, 7\n mul r3, r4, r5\n halt")
+        assert result.registers[3] == 42
+
+    def test_immediate_alu(self):
+        result = run_asm("main:\n li r4, 5\n addi r3, r4, -3\n halt")
+        assert result.registers[3] == 2
+
+    def test_memory_offset_syntax(self):
+        program = assemble("main:\n ld r3, -8(r4)\n halt")
+        instr = program.instructions[0]
+        assert instr.opcode is Opcode.LD
+        assert instr.imm == -8
+        assert instr.src1 == 4
+
+    def test_store_operand_order(self):
+        program = assemble("main:\n st r7, 16(r2)\n halt")
+        instr = program.instructions[0]
+        assert instr.src2 == 7  # value
+        assert instr.src1 == 2  # base
+
+    def test_branch(self):
+        result = run_asm("""
+        main:
+            li r4, 1
+            beq r4, r0, wrong
+            li r3, 5
+            halt
+        wrong:
+            li r3, 6
+            halt
+        """)
+        assert result.registers[3] == 5
+
+    def test_jal_and_ret(self):
+        result = run_asm("""
+        main:
+            jal f
+            halt
+        f:
+            li r3, 9
+            ret
+        """)
+        assert result.registers[3] == 9
+
+    def test_mtctr_bctr(self):
+        result = run_asm("""
+        main:
+            la r4, dest
+            mtctr r4
+            bctr
+            li r3, 1
+            halt
+        dest:
+            li r3, 2
+            halt
+        """)
+        assert result.registers[3] == 2
+
+    def test_single_source_forms(self):
+        result = run_asm("main:\n li r4, 3\n mov r3, r4\n halt")
+        assert result.registers[3] == 3
+
+    def test_comments_stripped(self):
+        result = run_asm("main: ; comment\n li r3, 4 # other\n halt")
+        assert result.registers[3] == 4
+
+    def test_hex_immediates(self):
+        result = run_asm("main:\n li r3, 0x10\n halt")
+        assert result.registers[3] == 16
+
+    def test_label_on_same_line(self):
+        result = run_asm("main: li r3, 8\n halt")
+        assert result.registers[3] == 8
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("main:\n frobnicate r1, r2\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("main:\n add r3, r4\n halt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("main:\n ld r3, r4\n halt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("main: halt\nmain: halt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("main:\n add r3, r99, r4\n halt")

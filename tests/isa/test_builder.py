@@ -1,0 +1,276 @@
+"""Unit tests for the CodeBuilder codegen DSL."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import CodeBuilder, Opcode, OpClass, TOC, ValueKind
+from repro.sim import run_program
+
+
+def _run(builder):
+    return run_program(builder.build())
+
+
+class TestBasics:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(AssemblyError):
+            CodeBuilder("x", target="mips")
+
+    def test_duplicate_label_rejected(self):
+        b = CodeBuilder("x")
+        b.label("here")
+        with pytest.raises(AssemblyError):
+            b.label("here")
+
+    def test_fresh_labels_unique(self):
+        b = CodeBuilder("x")
+        names = {b.fresh_label() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_emit_counts(self):
+        b = CodeBuilder("x")
+        b.label("main")
+        b.li(3, 1)
+        b.halt()
+        assert len(b.build().instructions) == 2
+
+
+class TestConstantMaterialization:
+    def test_small_constant_is_immediate_ppc(self):
+        b = CodeBuilder("x", target="ppc")
+        b.label("main")
+        b.load_const(3, 100)
+        b.halt()
+        assert b.instructions[0].opcode is Opcode.LI
+
+    def test_large_constant_is_load_ppc(self):
+        b = CodeBuilder("x", target="ppc")
+        b.label("main")
+        b.load_const(3, 1 << 20)  # beyond 16-bit immediates
+        b.halt()
+        assert b.instructions[0].opcode is Opcode.LD
+        assert b.instructions[0].src1 == TOC
+
+    def test_large_constant_is_immediate_alpha(self):
+        b = CodeBuilder("x", target="alpha")
+        b.label("main")
+        b.load_const(3, 1 << 20)  # within 32-bit immediates
+        b.halt()
+        assert b.instructions[0].opcode is Opcode.LI
+
+    def test_huge_constant_is_load_alpha(self):
+        b = CodeBuilder("x", target="alpha")
+        b.label("main")
+        b.load_const(3, 1 << 40)
+        b.halt()
+        assert b.instructions[0].opcode is Opcode.LD
+
+    def test_pool_deduplicates(self):
+        b = CodeBuilder("x", target="ppc")
+        b.label("main")
+        start = b.data.end
+        b.load_const(3, 1 << 20)
+        b.load_const(4, 1 << 20)
+        b.halt()
+        assert b.data.end == start + 8  # one pool slot
+
+    def test_constant_value_correct(self):
+        b = CodeBuilder("x", target="ppc")
+        b.label("main")
+        b.load_const(3, 123456789)
+        b.halt()
+        assert _run(b).registers[3] == 123456789
+
+    def test_fp_constant_always_pool(self):
+        for target in ("ppc", "alpha"):
+            b = CodeBuilder("x", target=target)
+            b.label("main")
+            b.load_fconst(32, 2.5)
+            b.halt()
+            assert b.instructions[0].opcode is Opcode.FLD
+
+    def test_fconst_requires_fpr(self):
+        b = CodeBuilder("x")
+        with pytest.raises(AssemblyError):
+            b.load_fconst(3, 1.0)
+
+
+class TestAddressMaterialization:
+    def test_ppc_uses_toc_load(self):
+        b = CodeBuilder("x", target="ppc")
+        b.data.label("g")
+        b.data.word(5)
+        b.label("main")
+        b.load_addr(3, "g")
+        b.halt()
+        assert b.instructions[0].opcode is Opcode.LD
+
+    def test_alpha_uses_inline_la(self):
+        b = CodeBuilder("x", target="alpha")
+        b.data.label("g")
+        b.data.word(5)
+        b.label("main")
+        b.load_addr(3, "g")
+        b.halt()
+        assert b.instructions[0].opcode is Opcode.LA
+
+    def test_both_targets_same_address(self):
+        values = {}
+        for target in ("ppc", "alpha"):
+            b = CodeBuilder("x", target=target)
+            b.data.label("g")
+            b.data.word(5)
+            b.label("main")
+            b.load_addr(3, "g")
+            b.ld(4, 3, 0)
+            b.halt()
+            values[target] = _run(b).registers[4]
+        assert values["ppc"] == values["alpha"] == 5
+
+
+class TestFunctions:
+    def test_leaf_has_no_lr_save(self):
+        b = CodeBuilder("x")
+        with b.function("leafy", leaf=True):
+            b.li(3, 1)
+        opcodes = [i.opcode for i in b.instructions]
+        assert Opcode.MFLR not in opcodes
+        assert Opcode.MTLR not in opcodes
+
+    def test_non_leaf_saves_and_restores_lr(self):
+        b = CodeBuilder("x")
+        with b.function("caller"):
+            b.li(3, 1)
+        opcodes = [i.opcode for i in b.instructions]
+        assert Opcode.MFLR in opcodes
+        assert Opcode.MTLR in opcodes
+
+    def test_nested_function_rejected(self):
+        b = CodeBuilder("x")
+        with pytest.raises(AssemblyError):
+            with b.function("outer"):
+                with b.function("inner"):
+                    pass
+
+    def test_unclosed_function_rejected(self):
+        b = CodeBuilder("x")
+        ctx = b.function("f")
+        ctx.__enter__()
+        with pytest.raises(AssemblyError):
+            b.build()
+
+    def test_call_and_return_value(self):
+        b = CodeBuilder("x")
+        with b.function("double", leaf=True):
+            b.add(3, 3, 3)
+        with b.function("main"):
+            b.li(3, 21)
+            b.call("double")
+        result = _run(b)
+        assert result.registers[3] == 42
+
+    def test_callee_saved_registers_preserved(self):
+        b = CodeBuilder("x")
+        with b.function("clobber", save=(24,)):
+            b.li(24, 999)
+        with b.function("main", save=(24,)):
+            b.li(24, 7)
+            b.call("clobber")
+            b.mov(3, 24)
+        assert _run(b).registers[3] == 7
+
+    def test_locals_roundtrip(self):
+        b = CodeBuilder("x")
+        with b.function("main", frame_words=2):
+            b.li(4, 11)
+            b.store_local(4, 0)
+            b.li(4, 22)
+            b.store_local(4, 1)
+            b.load_local(3, 0)
+            b.load_local(5, 1)
+            b.add(3, 3, 5)
+        assert _run(b).registers[3] == 33
+
+    def test_local_slot_out_of_range(self):
+        b = CodeBuilder("x")
+        with pytest.raises(AssemblyError):
+            with b.function("main", frame_words=1):
+                b.store_local(3, 1)
+
+    def test_early_return(self):
+        b = CodeBuilder("x")
+        with b.function("main"):
+            b.li(3, 1)
+            b.return_from_function()
+            b.li(3, 2)  # skipped
+        assert _run(b).registers[3] == 1
+
+    def test_recursion_depth(self):
+        # sum(1..n) via recursion exercises the stack discipline
+        b = CodeBuilder("x")
+        with b.function("sumto", save=(24,)):
+            b.mov(24, 3)
+            b.bnez(3, "__rec")
+            b.li(3, 0)
+            b.return_from_function()
+            b.label("__rec")
+            b.addi(3, 24, -1)
+            b.call("sumto")
+            b.add(3, 3, 24)
+        with b.function("main"):
+            b.li(3, 100)
+            b.call("sumto")
+        assert _run(b).registers[3] == 5050
+
+    def test_sp_restored_after_call(self):
+        b = CodeBuilder("x")
+        with b.function("noop", frame_words=4):
+            b.nop()
+        with b.function("main"):
+            b.mov(20, 1)  # save SP
+            b.call("noop")
+            b.seq(3, 1, 20)
+        assert _run(b).registers[3] == 1
+
+
+class TestIndirection:
+    def test_jump_table_dispatch(self):
+        b = CodeBuilder("x")
+        with b.function("main"):
+            cases = [b.fresh_label(f"case{i}") for i in range(3)]
+            done = b.fresh_label("done")
+            b.li(4, 1)  # select case 1
+            b.jump_table(4, cases)
+            for i, case in enumerate(cases):
+                b.label(case)
+                b.li(3, 10 + i)
+                b.j(done)
+            b.label(done)
+        assert _run(b).registers[3] == 11
+
+    def test_call_far_runs_callee(self):
+        b = CodeBuilder("x")
+        with b.function("callee", leaf=True):
+            b.li(3, 77)
+        with b.function("main"):
+            b.call_far("callee")
+        assert _run(b).registers[3] == 77
+
+    def test_call_ptr(self):
+        b = CodeBuilder("x")
+        with b.function("callee", leaf=True):
+            b.li(3, 88)
+        with b.function("main"):
+            b.la(5, "callee")
+            b.call_ptr(5)
+        assert _run(b).registers[3] == 88
+
+    def test_jump_table_emits_load(self):
+        b = CodeBuilder("x", target="ppc")
+        with b.function("main"):
+            case = b.fresh_label("c")
+            b.li(4, 0)
+            b.jump_table(4, [case])
+            b.label(case)
+        classes = [i.op_class for i in b.instructions]
+        assert OpClass.LOAD in classes

@@ -1,0 +1,108 @@
+"""Tests for the disassembler (including assemble round-trips)."""
+
+import pytest
+
+from repro.isa import Instruction, NO_REG, Opcode, assemble
+from repro.isa.disasm import disassemble, disassemble_instruction
+from repro.sim import run_program
+
+
+class TestInstructionForms:
+    @pytest.mark.parametrize("instr,expected", [
+        (Instruction(Opcode.ADD, 3, 4, 5), "add r3, r4, r5"),
+        (Instruction(Opcode.ADDI, 3, 4, imm=-2), "addi r3, r4, -2"),
+        (Instruction(Opcode.LI, 3, imm=42), "li r3, 42"),
+        (Instruction(Opcode.LD, 3, 4, imm=8), "ld r3, 8(r4)"),
+        (Instruction(Opcode.ST, NO_REG, 4, 7, imm=-8), "st r7, -8(r4)"),
+        (Instruction(Opcode.FLD, 33, 4, imm=0), "fld f1, 0(r4)"),
+        (Instruction(Opcode.MOV, 3, 4), "mov r3, r4"),
+        (Instruction(Opcode.RET, src1=64), "ret"),
+        (Instruction(Opcode.HALT), "halt"),
+        (Instruction(Opcode.JR, src1=5), "jr r5"),
+        (Instruction(Opcode.MTLR, 64, 5), "mtlr r5"),
+        (Instruction(Opcode.MFLR, 5, 64), "mflr r5"),
+        (Instruction(Opcode.FADD, 33, 34, 35), "fadd f1, f2, f3"),
+    ])
+    def test_rendering(self, instr, expected):
+        assert disassemble_instruction(instr) == expected
+
+    def test_branch_with_symbolic_target(self):
+        instr = Instruction(Opcode.BEQ, src1=3, src2=4, target="loop")
+        assert disassemble_instruction(instr) == "beq r3, r4, loop"
+
+    def test_branch_with_resolved_target_and_labels(self):
+        instr = Instruction(Opcode.J, target=0x10010)
+        assert disassemble_instruction(instr, {0x10010: "done"}) == "j done"
+        assert disassemble_instruction(instr) == "j 0x10010"
+
+    def test_la_with_symbol(self):
+        instr = Instruction(Opcode.LA, 3, symbol="table")
+        assert disassemble_instruction(instr) == "la r3, table"
+
+
+class TestProgramRoundTrip:
+    SOURCE = """
+    main:
+        li r4, 10
+        li r3, 0
+    loop:
+        add r3, r3, r4
+        addi r4, r4, -1
+        bne r4, r0, loop
+        jal helper
+        halt
+    helper:
+        addi r3, r3, 100
+        ret
+    """
+
+    def test_disassemble_emits_labels(self):
+        program = assemble(self.SOURCE)
+        text = disassemble(program)
+        assert "main:" in text
+        assert "loop:" in text
+        assert "bne r4, r0, loop" in text
+
+    def test_round_trip_execution(self):
+        """Disassembled text reassembles to an equivalent program."""
+        original = assemble(self.SOURCE)
+        rebuilt = assemble(disassemble(original))
+        result_a = run_program(original)
+        result_b = run_program(rebuilt)
+        assert result_a.registers[3] == result_b.registers[3] == 155
+        assert result_a.instruction_count == result_b.instruction_count
+
+    def test_windowed_disassembly(self):
+        program = assemble(self.SOURCE)
+        text = disassemble(program, start=0, count=2)
+        assert len([line for line in text.splitlines()
+                    if not line.endswith(":")]) == 2
+
+    def test_every_workload_disassembles(self):
+        """Smoke: all suite programs render without error."""
+        from repro.workloads import BENCHMARKS
+        for bench in BENCHMARKS[:4]:
+            program = bench.build_program("ppc", "tiny")
+            text = disassemble(program, count=200)
+            assert text
+
+
+class TestRoundTripAllOpcodes:
+    def test_alu_round_trip(self):
+        source = "\n".join(["main:"] + [
+            f"    {line}" for line in (
+                "li r4, 7", "li r5, 3",
+                "add r3, r4, r5", "sub r3, r3, r5", "mul r3, r3, r4",
+                "div r3, r3, r5", "rem r6, r3, r5",
+                "and r7, r4, r5", "or r7, r7, r4", "xor r7, r7, r5",
+                "slli r8, r4, 2", "srai r8, r8, 1",
+                "slt r9, r5, r4", "seq r10, r4, r4",
+                "halt",
+            )
+        ])
+        original = assemble(source)
+        rebuilt = assemble(disassemble(original))
+        result_a = run_program(original)
+        result_b = run_program(rebuilt)
+        for reg in range(3, 11):
+            assert result_a.registers[reg] == result_b.registers[reg]

@@ -1,0 +1,69 @@
+"""Unit tests for the opcode taxonomy."""
+
+from repro.isa.opcodes import (
+    CONDITIONAL_BRANCHES,
+    FP_LOADS,
+    INDIRECT_BRANCHES,
+    OP_CLASS,
+    Opcode,
+    OpClass,
+    is_load,
+    is_store,
+    op_class,
+)
+
+
+class TestOpClassTable:
+    def test_every_opcode_classified(self):
+        for opcode in Opcode:
+            assert opcode in OP_CLASS
+
+    def test_loads(self):
+        for opcode in (Opcode.LD, Opcode.LW, Opcode.LBU, Opcode.FLD):
+            assert is_load(opcode)
+            assert op_class(opcode) is OpClass.LOAD
+
+    def test_stores(self):
+        for opcode in (Opcode.ST, Opcode.STW, Opcode.SB, Opcode.FST):
+            assert is_store(opcode)
+            assert op_class(opcode) is OpClass.STORE
+
+    def test_loads_and_stores_disjoint(self):
+        for opcode in Opcode:
+            assert not (is_load(opcode) and is_store(opcode))
+
+    def test_complex_integer_members(self):
+        for opcode in (Opcode.MUL, Opcode.DIV, Opcode.REM, Opcode.MFLR,
+                       Opcode.MTLR, Opcode.MFCTR, Opcode.MTCTR):
+            assert op_class(opcode) is OpClass.COMPLEX_INT
+
+    def test_fp_complex_is_divide_and_sqrt(self):
+        complex_fp = [o for o in Opcode
+                      if op_class(o) is OpClass.FP_COMPLEX]
+        assert set(complex_fp) == {Opcode.FDIV, Opcode.FSQRT}
+
+    def test_branch_class_members(self):
+        for opcode in (Opcode.BEQ, Opcode.J, Opcode.JAL, Opcode.RET,
+                       Opcode.BCTR, Opcode.HALT):
+            assert op_class(opcode) is OpClass.BRANCH
+
+    def test_simple_int_includes_li_la_mov(self):
+        for opcode in (Opcode.LI, Opcode.LA, Opcode.MOV, Opcode.NOP):
+            assert op_class(opcode) is OpClass.SIMPLE_INT
+
+
+class TestBranchSets:
+    def test_conditional_branches_are_branches(self):
+        for opcode in CONDITIONAL_BRANCHES:
+            assert op_class(opcode) is OpClass.BRANCH
+
+    def test_indirect_branches_are_branches(self):
+        for opcode in INDIRECT_BRANCHES:
+            assert op_class(opcode) is OpClass.BRANCH
+
+    def test_conditional_and_indirect_disjoint(self):
+        assert not (CONDITIONAL_BRANCHES & INDIRECT_BRANCHES)
+
+    def test_fp_loads_subset_of_loads(self):
+        for opcode in FP_LOADS:
+            assert is_load(opcode)

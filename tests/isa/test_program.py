@@ -1,0 +1,166 @@
+"""Unit tests for Program / DataSegment / linking."""
+
+import pytest
+
+from repro.errors import AssemblyError, LinkError
+from repro.isa import (
+    DATA_BASE,
+    DataSegment,
+    Instruction,
+    Opcode,
+    Program,
+    TEXT_BASE,
+    ValueKind,
+    bits_to_float,
+    float_to_bits,
+)
+
+
+class TestFloatBits:
+    def test_roundtrip(self):
+        for value in (0.0, 1.0, -2.5, 3.141592653589793, 1e300, -1e-300):
+            assert bits_to_float(float_to_bits(value)) == value
+
+    def test_known_pattern(self):
+        assert float_to_bits(1.0) == 0x3FF0000000000000
+
+    def test_negative_zero(self):
+        assert float_to_bits(-0.0) == 1 << 63
+
+
+class TestDataSegment:
+    def test_sequential_words(self):
+        data = DataSegment()
+        a = data.word(1)
+        b = data.word(2)
+        assert b == a + 8
+
+    def test_label_addresses(self):
+        data = DataSegment()
+        data.word(0)
+        addr = data.label("x")
+        assert data.labels["x"] == addr
+
+    def test_duplicate_label_rejected(self):
+        data = DataSegment()
+        data.label("x")
+        with pytest.raises(AssemblyError):
+            data.label("x")
+
+    def test_double_emits_fp_kind(self):
+        data = DataSegment()
+        addr = data.double(2.5)
+        words, kinds = data.initial_memory({})
+        assert bits_to_float(words[addr]) == 2.5
+        assert kinds[addr] == int(ValueKind.FP_DATA)
+
+    def test_string_packing(self):
+        data = DataSegment()
+        addr = data.string("hello")
+        words, _ = data.initial_memory({})
+        raw = words[addr].to_bytes(8, "little")
+        assert raw[:6] == b"hello\x00"
+
+    def test_bytes_span_words(self):
+        data = DataSegment()
+        payload = bytes(range(20))
+        addr = data.bytes_(payload)
+        words, _ = data.initial_memory({})
+        got = b"".join(
+            words[addr + 8 * i].to_bytes(8, "little") for i in range(3)
+        )
+        assert got[:20] == payload
+
+    def test_space_reserves_zeroed_words(self):
+        data = DataSegment()
+        addr = data.space(4)
+        words, _ = data.initial_memory({})
+        assert all(words[addr + 8 * i] == 0 for i in range(4))
+
+    def test_pointer_relocation(self):
+        data = DataSegment()
+        slot = data.pointer("target")
+        words, kinds = data.initial_memory({"target": 0x1234})
+        assert words[slot] == 0x1234
+        assert kinds[slot] == int(ValueKind.DATA_ADDR)
+
+    def test_pointer_undefined_symbol(self):
+        data = DataSegment()
+        data.pointer("missing")
+        with pytest.raises(LinkError):
+            data.initial_memory({})
+
+    def test_align(self):
+        data = DataSegment()
+        data.bytes_(b"abc")
+        data.align()
+        assert data.end % 8 == 0
+
+    def test_starts_at_data_base(self):
+        data = DataSegment()
+        assert data.word(7) == DATA_BASE
+
+
+class TestProgramLinking:
+    def _simple_program(self):
+        instrs = [
+            Instruction(Opcode.LI, dst=3, imm=1),
+            Instruction(Opcode.J, target="end"),
+            Instruction(Opcode.LI, dst=3, imm=2),
+            Instruction(Opcode.HALT),
+        ]
+        labels = {"main": 0, "end": 3}
+        return Program(instrs, DataSegment(), labels)
+
+    def test_link_resolves_targets(self):
+        program = self._simple_program().link()
+        assert program.instructions[1].target == TEXT_BASE + 3 * 4
+
+    def test_link_idempotent(self):
+        program = self._simple_program()
+        program.link()
+        program.link()
+        assert program.entry_pc == TEXT_BASE
+
+    def test_pc_index_roundtrip(self):
+        for index in (0, 1, 100):
+            assert Program.index_of(Program.pc_of(index)) == index
+
+    def test_undefined_target_raises(self):
+        instrs = [Instruction(Opcode.J, target="nowhere")]
+        program = Program(instrs, DataSegment(), {"main": 0})
+        with pytest.raises(LinkError):
+            program.link()
+
+    def test_undefined_entry_raises(self):
+        program = Program([Instruction(Opcode.HALT)], DataSegment(), {})
+        with pytest.raises(LinkError):
+            program.link()
+
+    def test_symbol_clash_raises(self):
+        data = DataSegment()
+        data.label("main")
+        program = Program([Instruction(Opcode.HALT)], data, {"main": 0})
+        with pytest.raises(LinkError):
+            program.link()
+
+    def test_unlinked_access_raises(self):
+        program = self._simple_program()
+        with pytest.raises(LinkError):
+            _ = program.entry_pc
+
+    def test_la_symbol_resolution(self):
+        data = DataSegment()
+        data.label("blob")
+        data.word(9)
+        instrs = [
+            Instruction(Opcode.LA, dst=4, symbol="blob"),
+            Instruction(Opcode.HALT),
+        ]
+        program = Program(instrs, data, {"main": 0}).link()
+        assert program.instructions[0].imm == data.labels["blob"]
+
+    def test_len_and_repr(self):
+        program = self._simple_program().link()
+        assert len(program) == 4
+        assert "4 instructions" in repr(program)

@@ -1,0 +1,89 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+class TestRegisterClassification:
+    def test_gpr_range(self):
+        assert regs.is_gpr(0)
+        assert regs.is_gpr(31)
+        assert not regs.is_gpr(32)
+        assert not regs.is_gpr(-1)
+
+    def test_fpr_range(self):
+        assert regs.is_fpr(regs.FPR_BASE)
+        assert regs.is_fpr(regs.FPR_BASE + 31)
+        assert not regs.is_fpr(31)
+        assert not regs.is_fpr(regs.LR)
+
+    def test_special_registers(self):
+        assert regs.is_special(regs.LR)
+        assert regs.is_special(regs.CTR)
+        assert not regs.is_special(0)
+        assert not regs.is_special(regs.FPR_BASE)
+
+    def test_register_spaces_disjoint(self):
+        for reg in range(regs.NUM_REGS):
+            kinds = [regs.is_gpr(reg), regs.is_fpr(reg),
+                     regs.is_special(reg)]
+            assert sum(kinds) == 1
+
+    def test_num_regs_covers_all(self):
+        assert regs.NUM_REGS == 66  # 32 GPR + 32 FPR + LR + CTR
+
+
+class TestRegisterNames:
+    def test_gpr_names(self):
+        assert regs.reg_name(0) == "r0"
+        assert regs.reg_name(31) == "r31"
+
+    def test_fpr_names(self):
+        assert regs.reg_name(regs.FPR_BASE) == "f0"
+        assert regs.reg_name(regs.FPR_BASE + 5) == "f5"
+
+    def test_special_names(self):
+        assert regs.reg_name(regs.LR) == "lr"
+        assert regs.reg_name(regs.CTR) == "ctr"
+
+    def test_no_reg_name(self):
+        assert regs.reg_name(regs.NO_REG) == "-"
+
+    def test_invalid_id_raises(self):
+        with pytest.raises(ValueError):
+            regs.reg_name(regs.NUM_REGS)
+
+    def test_roundtrip_all_registers(self):
+        for reg in range(regs.NUM_REGS):
+            assert regs.parse_reg(regs.reg_name(reg)) == reg
+
+    def test_parse_case_insensitive(self):
+        assert regs.parse_reg("R5") == 5
+        assert regs.parse_reg("LR") == regs.LR
+
+    @pytest.mark.parametrize("bad", ["r32", "f32", "x1", "", "r-1", "rr1"])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(ValueError):
+            regs.parse_reg(bad)
+
+
+class TestConventions:
+    def test_zero_is_r0(self):
+        assert regs.ZERO == 0
+
+    def test_arg_regs_are_gprs(self):
+        assert all(regs.is_gpr(r) for r in regs.ARG_REGS)
+
+    def test_saved_regs_are_gprs(self):
+        assert all(regs.is_gpr(r) for r in regs.SAVED_REGS)
+
+    def test_fp_conventions_are_fprs(self):
+        assert all(regs.is_fpr(r) for r in regs.FARG_REGS)
+        assert all(regs.is_fpr(r) for r in regs.FSAVED_REGS)
+
+    def test_conventions_do_not_overlap_reserved(self):
+        reserved = {regs.ZERO, regs.SP, regs.TOC}
+        assert not (set(regs.ARG_REGS) & reserved)
+        assert not (set(regs.TEMP_REGS) & reserved)
+        assert not (set(regs.SAVED_REGS) & reserved)

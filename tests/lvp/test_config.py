@@ -1,0 +1,86 @@
+"""Unit tests for LVP configurations (paper Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lvp import (
+    CONSTANT,
+    LIMIT,
+    LVPConfig,
+    PAPER_CONFIGS,
+    PERFECT,
+    REALISTIC_CONFIGS,
+    SIMPLE,
+    config_by_name,
+)
+
+
+class TestPaperTable2:
+    def test_simple_row(self):
+        assert SIMPLE.lvpt_entries == 1024
+        assert SIMPLE.history_depth == 1
+        assert SIMPLE.lct_entries == 256
+        assert SIMPLE.lct_bits == 2
+        assert SIMPLE.cvu_entries == 32
+
+    def test_constant_row(self):
+        assert CONSTANT.lvpt_entries == 1024
+        assert CONSTANT.lct_bits == 1
+        assert CONSTANT.cvu_entries == 128
+
+    def test_limit_row(self):
+        assert LIMIT.lvpt_entries == 4096
+        assert LIMIT.history_depth == 16
+        assert LIMIT.selection == "perfect"
+        assert LIMIT.lct_entries == 1024
+        assert LIMIT.cvu_entries == 128
+
+    def test_perfect_row(self):
+        assert PERFECT.perfect
+        assert PERFECT.cvu_entries == 0
+
+    def test_four_configs_in_order(self):
+        assert [c.name for c in PAPER_CONFIGS] == \
+            ["Simple", "Constant", "Limit", "Perfect"]
+
+    def test_realistic_subset(self):
+        assert REALISTIC_CONFIGS == (SIMPLE, CONSTANT)
+
+
+class TestValidation:
+    def test_non_power_of_two_lvpt(self):
+        with pytest.raises(ConfigError):
+            LVPConfig(name="bad", lvpt_entries=100)
+
+    def test_non_power_of_two_lct(self):
+        with pytest.raises(ConfigError):
+            LVPConfig(name="bad", lct_entries=100)
+
+    def test_zero_history_depth(self):
+        with pytest.raises(ConfigError):
+            LVPConfig(name="bad", history_depth=0)
+
+    def test_bad_selection(self):
+        with pytest.raises(ConfigError):
+            LVPConfig(name="bad", selection="oracle")
+
+    def test_bad_lct_bits(self):
+        with pytest.raises(ConfigError):
+            LVPConfig(name="bad", lct_bits=9)
+
+    def test_negative_cvu(self):
+        with pytest.raises(ConfigError):
+            LVPConfig(name="bad", cvu_entries=-1)
+
+    def test_perfect_skips_table_validation(self):
+        LVPConfig(name="oracle", perfect=True, lvpt_entries=0)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert config_by_name("simple") is SIMPLE
+        assert config_by_name("LIMIT") is LIMIT
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            config_by_name("huge")

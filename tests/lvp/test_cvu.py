@@ -1,0 +1,109 @@
+"""Unit tests for the Constant Verification Unit."""
+
+from repro.lvp import CVU
+
+
+class TestMatchInsert:
+    def test_empty_no_match(self):
+        cvu = CVU(8)
+        assert not cvu.match(0x2000, 5)
+
+    def test_insert_then_match(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        assert cvu.match(0x2000, 5)
+
+    def test_match_requires_both_fields(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        assert not cvu.match(0x2000, 6)
+        assert not cvu.match(0x2008, 5)
+
+    def test_word_granularity(self):
+        cvu = CVU(8)
+        cvu.insert(0x2003, 5)  # sub-word address normalizes
+        assert cvu.match(0x2000, 5)
+        assert cvu.match(0x2007, 5)
+
+    def test_duplicate_insert_no_growth(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        cvu.insert(0x2000, 5)
+        assert len(cvu) == 1
+
+    def test_zero_capacity_never_stores(self):
+        cvu = CVU(0)
+        cvu.insert(0x2000, 5)
+        assert not cvu.match(0x2000, 5)
+        assert len(cvu) == 0
+
+
+class TestStoreInvalidation:
+    def test_store_invalidates_matching_word(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        removed = cvu.snoop_store(0x2000, 8)
+        assert removed == 1
+        assert not cvu.match(0x2000, 5)
+
+    def test_store_elsewhere_keeps_entry(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        assert cvu.snoop_store(0x3000, 8) == 0
+        assert cvu.match(0x2000, 5)
+
+    def test_subword_store_invalidates_containing_word(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        assert cvu.snoop_store(0x2005, 1) == 1
+        assert not cvu.match(0x2000, 5)
+
+    def test_store_invalidates_all_indices_at_address(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        cvu.insert(0x2000, 6)
+        assert cvu.snoop_store(0x2000, 8) == 2
+        assert len(cvu) == 0
+
+    def test_unaligned_store_spans_two_words(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        cvu.insert(0x2008, 6)
+        # 8-byte store at 0x2004 touches both words
+        assert cvu.snoop_store(0x2004, 8) == 2
+
+
+class TestCapacityLru:
+    def test_eviction_at_capacity(self):
+        cvu = CVU(2)
+        cvu.insert(0x2000, 1)
+        cvu.insert(0x2008, 2)
+        cvu.insert(0x2010, 3)  # evicts 0x2000 (LRU)
+        assert not cvu.match(0x2000, 1)
+        assert cvu.match(0x2008, 2)
+        assert cvu.match(0x2010, 3)
+        assert len(cvu) == 2
+
+    def test_match_refreshes_lru(self):
+        cvu = CVU(2)
+        cvu.insert(0x2000, 1)
+        cvu.insert(0x2008, 2)
+        cvu.match(0x2000, 1)  # refresh
+        cvu.insert(0x2010, 3)  # evicts 0x2008 now
+        assert cvu.match(0x2000, 1)
+        assert not cvu.match(0x2008, 2)
+
+    def test_explicit_invalidate(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        cvu.invalidate((0x2000, 5))
+        assert not cvu.match(0x2000, 5)
+        # idempotent
+        cvu.invalidate((0x2000, 5))
+
+    def test_flush(self):
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        cvu.flush()
+        assert len(cvu) == 0
+        assert not cvu.match(0x2000, 5)

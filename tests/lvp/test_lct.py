@@ -1,0 +1,83 @@
+"""Unit tests for the Load Classification Table."""
+
+from repro.lvp import LCT, LoadClass
+
+
+class TestTwoBitCounter:
+    """Paper: states 0,1 = don't predict; 2 = predict; 3 = constant."""
+
+    def test_initial_state_dont_predict(self):
+        lct = LCT(16, bits=2)
+        assert lct.classify(0x100) is LoadClass.DONT_PREDICT
+
+    def test_state_progression(self):
+        lct = LCT(16, bits=2)
+        lct.update(0x100, True)
+        assert lct.classify(0x100) is LoadClass.DONT_PREDICT  # state 1
+        lct.update(0x100, True)
+        assert lct.classify(0x100) is LoadClass.PREDICT  # state 2
+        lct.update(0x100, True)
+        assert lct.classify(0x100) is LoadClass.CONSTANT  # state 3
+
+    def test_saturation_high(self):
+        lct = LCT(16, bits=2)
+        for _ in range(10):
+            lct.update(0x100, True)
+        assert lct.counter(0x100) == 3
+        lct.update(0x100, False)
+        assert lct.classify(0x100) is LoadClass.PREDICT
+
+    def test_saturation_low(self):
+        lct = LCT(16, bits=2)
+        lct.update(0x100, False)
+        assert lct.counter(0x100) == 0
+
+    def test_oscillation_stays_unpredicted(self):
+        lct = LCT(16, bits=2)
+        for i in range(20):
+            lct.update(0x100, i % 2 == 0)
+        assert lct.classify(0x100) in (LoadClass.DONT_PREDICT,
+                                       LoadClass.PREDICT)
+
+
+class TestOneBitCounter:
+    """Paper: states are "don't predict" and "constant" only."""
+
+    def test_states(self):
+        lct = LCT(16, bits=1)
+        assert lct.classify(0x100) is LoadClass.DONT_PREDICT
+        lct.update(0x100, True)
+        assert lct.classify(0x100) is LoadClass.CONSTANT
+        lct.update(0x100, False)
+        assert lct.classify(0x100) is LoadClass.DONT_PREDICT
+
+    def test_never_plain_predict(self):
+        lct = LCT(16, bits=1)
+        seen = set()
+        for i in range(8):
+            lct.update(0x100, i % 3 != 0)
+            seen.add(lct.classify(0x100))
+        assert LoadClass.PREDICT not in seen
+
+
+class TestIndexing:
+    def test_aliasing(self):
+        lct = LCT(16, bits=2)
+        pc_a, pc_b = 0x100, 0x100 + 16 * 4
+        for _ in range(3):
+            lct.update(pc_a, True)
+        # pc_b aliases to the same counter.
+        assert lct.classify(pc_b) is LoadClass.CONSTANT
+
+    def test_distinct_entries_independent(self):
+        lct = LCT(16, bits=2)
+        for _ in range(3):
+            lct.update(0x100, True)
+        assert lct.classify(0x104) is LoadClass.DONT_PREDICT
+
+    def test_flush(self):
+        lct = LCT(16, bits=2)
+        for _ in range(3):
+            lct.update(0x100, True)
+        lct.flush()
+        assert lct.classify(0x100) is LoadClass.DONT_PREDICT

@@ -1,0 +1,103 @@
+"""Unit tests for the Load Value Prediction Table."""
+
+from repro.lvp import LVPT
+
+
+class TestBasicPrediction:
+    def test_empty_table_no_prediction(self):
+        table = LVPT(16)
+        assert table.predict(0x100) is None
+        assert not table.would_be_correct(0x100, 5)
+
+    def test_predicts_last_value(self):
+        table = LVPT(16)
+        table.update(0x100, 42)
+        assert table.predict(0x100) == 42
+        assert table.would_be_correct(0x100, 42)
+        assert not table.would_be_correct(0x100, 43)
+
+    def test_update_replaces_mru(self):
+        table = LVPT(16, history_depth=1)
+        table.update(0x100, 1)
+        table.update(0x100, 2)
+        assert table.predict(0x100) == 2
+        assert not table.would_be_correct(0x100, 1)
+
+    def test_index_uses_low_pc_bits(self):
+        table = LVPT(16)
+        assert table.index_of(0x100) == table.index_of(0x100 + 16 * 4)
+
+    def test_flush(self):
+        table = LVPT(16)
+        table.update(0x100, 42)
+        table.flush()
+        assert table.predict(0x100) is None
+
+
+class TestInterference:
+    def test_untagged_aliasing(self):
+        """Two PCs mapping to one entry interfere (paper footnote 1)."""
+        table = LVPT(16)
+        pc_a, pc_b = 0x100, 0x100 + 16 * 4
+        table.update(pc_a, 1)
+        table.update(pc_b, 2)
+        # Destructive: pc_a's value was displaced by pc_b's.
+        assert table.predict(pc_a) == 2
+        # Constructive: pc_b benefits from whatever is there.
+        assert table.would_be_correct(pc_b, 2)
+
+    def test_tagged_table_isolates(self):
+        table = LVPT(16, tagged=True)
+        pc_a, pc_b = 0x100, 0x100 + 16 * 4
+        table.update(pc_a, 1)
+        table.update(pc_b, 2)
+        # pc_a's entry was evicted by the tag mismatch, not shared.
+        assert table.lookup(pc_a) == []
+        assert table.predict(pc_b) == 2
+
+
+class TestHistoryDepth:
+    def test_depth_keeps_distinct_values(self):
+        table = LVPT(16, history_depth=4, selection="perfect")
+        for value in (1, 2, 3, 4):
+            table.update(0x100, value)
+        for value in (1, 2, 3, 4):
+            assert table.would_be_correct(0x100, value)
+        assert not table.would_be_correct(0x100, 5)
+
+    def test_lru_eviction(self):
+        table = LVPT(16, history_depth=2, selection="perfect")
+        table.update(0x100, 1)
+        table.update(0x100, 2)
+        table.update(0x100, 3)  # evicts 1
+        assert not table.would_be_correct(0x100, 1)
+        assert table.would_be_correct(0x100, 2)
+        assert table.would_be_correct(0x100, 3)
+
+    def test_rereference_refreshes_lru(self):
+        table = LVPT(16, history_depth=2, selection="perfect")
+        table.update(0x100, 1)
+        table.update(0x100, 2)
+        table.update(0x100, 1)  # 1 back to MRU
+        table.update(0x100, 3)  # evicts 2
+        assert table.would_be_correct(0x100, 1)
+        assert not table.would_be_correct(0x100, 2)
+
+    def test_duplicate_update_no_growth(self):
+        table = LVPT(16, history_depth=4)
+        for _ in range(10):
+            table.update(0x100, 7)
+        assert table.lookup(0x100) == [7]
+
+    def test_mru_selection_uses_front_only(self):
+        table = LVPT(16, history_depth=4, selection="mru")
+        table.update(0x100, 1)
+        table.update(0x100, 2)
+        assert not table.would_be_correct(0x100, 1)
+        assert table.would_be_correct(0x100, 2)
+
+    def test_history_never_exceeds_depth(self):
+        table = LVPT(16, history_depth=3)
+        for value in range(10):
+            table.update(0x100, value)
+        assert len(table.lookup(0x100)) == 3

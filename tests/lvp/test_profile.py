@@ -1,0 +1,129 @@
+"""Tests for profile-guided value-table pollution control."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import OpClass
+from repro.lvp import (
+    LVPConfig,
+    LVPUnit,
+    LoadOutcome,
+    SIMPLE,
+    build_table_filter,
+    profile_loads,
+)
+from repro.trace import annotate_trace
+
+from tests.trace.test_records import make_trace
+
+
+def loads_trace(pc_value_pairs):
+    return make_trace([
+        (pc, OpClass.LOAD, 0x2000, value) for pc, value in pc_value_pairs
+    ])
+
+
+class TestProfiling:
+    def test_counts_and_hits(self):
+        trace = loads_trace([(0x100, 7)] * 5 + [(0x104, 1), (0x104, 2)])
+        profiles = profile_loads(trace)
+        assert profiles[0x100].dynamic_count == 5
+        assert profiles[0x100].hits == 4
+        assert profiles[0x100].predictability == pytest.approx(0.8)
+        assert profiles[0x104].hits == 0
+
+    def test_no_cross_pc_interference(self):
+        """Profiling is exact per PC, unlike the hardware table."""
+        stride = 1024 * 4  # would alias in a 1K-entry table
+        trace = loads_trace([(0x100, 1), (0x100 + stride, 2)] * 6)
+        profiles = profile_loads(trace)
+        assert profiles[0x100].predictability > 0.8
+        assert profiles[0x100 + stride].predictability > 0.8
+
+    def test_empty_trace(self):
+        assert profile_loads(loads_trace([])) == {}
+
+
+class TestFilterConstruction:
+    def test_keeps_predictable_drops_noisy(self):
+        rows = [(0x100, 7)] * 20  # predictable
+        rows += [(0x104, i) for i in range(20)]  # noise
+        chosen = build_table_filter(loads_trace(rows))
+        assert 0x100 in chosen
+        assert 0x104 not in chosen
+
+    def test_min_count_threshold(self):
+        rows = [(0x100, 7)] * 2  # predictable but rare
+        chosen = build_table_filter(loads_trace(rows), min_count=4)
+        assert 0x100 not in chosen
+
+    def test_thresholds_configurable(self):
+        rows = [(0x100, i % 2) for i in range(20)]  # 0% last-value
+        permissive = build_table_filter(loads_trace(rows),
+                                        min_predictability=0.0)
+        assert 0x100 in permissive
+
+
+class TestFilteredUnit:
+    def test_filtered_loads_never_predict(self):
+        config = dataclasses.replace(
+            SIMPLE, name="filtered", profile_filter=frozenset({0x100}))
+        unit = LVPUnit(config)
+        for _ in range(10):
+            outcome = unit.process_load(0x104, 0x2000, 7)
+            assert outcome is LoadOutcome.NO_PREDICTION
+
+    def test_allowed_loads_predict_normally(self):
+        config = dataclasses.replace(
+            SIMPLE, name="filtered", profile_filter=frozenset({0x100}))
+        unit = LVPUnit(config)
+        outcomes = [unit.process_load(0x100, 0x2000, 7) for _ in range(10)]
+        assert LoadOutcome.CONSTANT in outcomes
+
+    def test_filter_prevents_pollution(self):
+        """With a 1-entry LVPT, filtering the noisy alias preserves the
+        predictable load's accuracy."""
+        tiny = LVPConfig(name="tiny", lvpt_entries=1, lct_entries=1,
+                         cvu_entries=8)
+        filtered = dataclasses.replace(
+            tiny, name="tiny-filtered", profile_filter=frozenset({0x100}))
+        streams = []
+        for config in (tiny, filtered):
+            unit = LVPUnit(config)
+            correct = 0
+            for i in range(60):
+                # Noisy aliasing load pollutes the shared entry.
+                unit.process_load(0x104, 0x3000, i)
+                if unit.process_load(0x100, 0x2000, 7) in (
+                        LoadOutcome.CORRECT, LoadOutcome.CONSTANT):
+                    correct += 1
+            streams.append(correct)
+        unfiltered_correct, filtered_correct = streams
+        assert filtered_correct > unfiltered_correct
+
+    def test_stats_quadrants_still_sum(self):
+        config = dataclasses.replace(
+            SIMPLE, name="filtered", profile_filter=frozenset({0x100}))
+        unit = LVPUnit(config)
+        for i in range(20):
+            unit.process_load(0x100 + 4 * (i % 3), 0x2000, 7)
+        stats = unit.stats
+        quadrants = (stats.predictable_predicted
+                     + stats.predictable_not_predicted
+                     + stats.unpredictable_predicted
+                     + stats.unpredictable_not_predicted)
+        assert quadrants == stats.loads == 20
+
+    def test_annotation_with_filter(self, compress_trace):
+        chosen = build_table_filter(compress_trace)
+        config = dataclasses.replace(SIMPLE, name="filtered",
+                                     profile_filter=chosen)
+        annotated = annotate_trace(compress_trace, config)
+        assert annotated.stats.loads == compress_trace.num_loads
+
+    def test_bad_filter_type_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(SIMPLE, name="bad",
+                                profile_filter={0x100})  # set, not frozenset

@@ -1,0 +1,186 @@
+"""Unit tests for the composed LVP unit and its outcome states."""
+
+import pytest
+
+from repro.lvp import (
+    CONSTANT,
+    LIMIT,
+    LVPConfig,
+    LVPUnit,
+    LoadOutcome,
+    PERFECT,
+    SIMPLE,
+)
+
+
+def drive(unit, pc, value, times, addr=0x2000):
+    """Feed the same (pc, addr, value) load *times* times."""
+    outcome = None
+    for _ in range(times):
+        outcome = unit.process_load(pc, addr, value)
+    return outcome
+
+
+class TestOutcomeProgression:
+    def test_cold_load_not_predicted(self):
+        unit = LVPUnit(SIMPLE)
+        assert unit.process_load(0x100, 0x2000, 5) is \
+            LoadOutcome.NO_PREDICTION
+
+    def test_warm_load_becomes_correct(self):
+        # Cold miss leaves the counter at 0; two correct comparisons
+        # bring it to the "predict" state for the fourth access.
+        unit = LVPUnit(SIMPLE)
+        drive(unit, 0x100, 5, 3)
+        assert drive(unit, 0x100, 5, 1) is LoadOutcome.CORRECT
+
+    def test_stable_load_becomes_constant(self):
+        unit = LVPUnit(SIMPLE)
+        outcomes = [unit.process_load(0x100, 0x2000, 5) for _ in range(8)]
+        assert outcomes[-1] is LoadOutcome.CONSTANT
+        # First CONSTANT classification misses the CVU (demotion), then hits.
+        assert LoadOutcome.CORRECT in outcomes
+
+    def test_changing_value_mispredicts(self):
+        unit = LVPUnit(SIMPLE)
+        drive(unit, 0x100, 5, 3)
+        assert unit.process_load(0x100, 0x2000, 6) in (
+            LoadOutcome.INCORRECT,)
+
+    def test_alternating_values_suppressed(self):
+        unit = LVPUnit(SIMPLE)
+        outcomes = [unit.process_load(0x100, 0x2000, i % 2)
+                    for i in range(40)]
+        # After warmup the LCT should mostly say "don't predict".
+        tail = outcomes[8:]
+        assert tail.count(LoadOutcome.INCORRECT) < len(tail) / 2
+
+
+class TestConstantVerification:
+    def test_store_breaks_constant(self):
+        unit = LVPUnit(SIMPLE)
+        assert drive(unit, 0x100, 5, 8) is LoadOutcome.CONSTANT
+        unit.process_store(0x2000)
+        # CVU entry invalidated: next access demotes to predictable.
+        assert unit.process_load(0x100, 0x2000, 5) is LoadOutcome.CORRECT
+        # ...and the one after is constant again.
+        assert unit.process_load(0x100, 0x2000, 5) is LoadOutcome.CONSTANT
+
+    def test_unrelated_store_keeps_constant(self):
+        unit = LVPUnit(SIMPLE)
+        drive(unit, 0x100, 5, 8)
+        unit.process_store(0x9000)
+        assert unit.process_load(0x100, 0x2000, 5) is LoadOutcome.CONSTANT
+
+    def test_constant_never_wrong_value(self):
+        """CONSTANT outcomes must always carry the correct value."""
+        unit = LVPUnit(SIMPLE)
+        value = 5
+        for step in range(100):
+            if step % 17 == 16:
+                value += 1  # a store would accompany this in real code
+                unit.process_store(0x2000)
+            outcome = unit.process_load(0x100, 0x2000, value)
+            if outcome is LoadOutcome.CONSTANT:
+                assert unit.lvpt.predict(0x100) == value
+
+    def test_stale_cvu_hit_detected(self):
+        """LVPT interference while a CVU entry lives = misprediction."""
+        config = LVPConfig(name="tiny", lvpt_entries=1, lct_entries=1,
+                           history_depth=1, lct_bits=1, cvu_entries=8)
+        unit = LVPUnit(config)
+        # Train pc A to constant at addr 0x2000.
+        for _ in range(4):
+            unit.process_load(0x100, 0x2000, 5)
+        # Aliasing pc B overwrites the single LVPT entry with value 9
+        # (same LCT counter too, stays constant-classified).
+        unit.process_load(0x104, 0x3000, 9)
+        outcome = unit.process_load(0x100, 0x2000, 5)
+        assert outcome is not LoadOutcome.CONSTANT
+        assert unit.stats.cvu_stale_hits >= 0  # accounting exists
+
+
+class TestPerfectConfig:
+    def test_everything_correct(self):
+        unit = LVPUnit(PERFECT)
+        import random
+        rng = random.Random(1)
+        for _ in range(50):
+            outcome = unit.process_load(rng.randrange(1 << 20) * 4,
+                                        0x2000, rng.randrange(1 << 30))
+            assert outcome is LoadOutcome.CORRECT
+
+    def test_no_constants(self):
+        unit = LVPUnit(PERFECT)
+        for _ in range(50):
+            assert unit.process_load(0x100, 0x2000, 5) is \
+                LoadOutcome.CORRECT
+
+
+class TestStats:
+    def test_outcome_counts_sum_to_loads(self):
+        unit = LVPUnit(SIMPLE)
+        import random
+        rng = random.Random(7)
+        for _ in range(500):
+            unit.process_load(rng.randrange(64) * 4, 0x2000,
+                              rng.randrange(4))
+        assert sum(unit.stats.outcomes.values()) == unit.stats.loads == 500
+
+    def test_table3_quadrants_sum_to_loads(self):
+        unit = LVPUnit(SIMPLE)
+        import random
+        rng = random.Random(7)
+        for _ in range(300):
+            unit.process_load(rng.randrange(64) * 4, 0x2000,
+                              rng.randrange(4))
+        stats = unit.stats
+        quadrants = (stats.predictable_predicted
+                     + stats.predictable_not_predicted
+                     + stats.unpredictable_predicted
+                     + stats.unpredictable_not_predicted)
+        assert quadrants == stats.loads
+
+    def test_constant_fraction(self):
+        unit = LVPUnit(SIMPLE)
+        drive(unit, 0x100, 5, 10)
+        assert 0.0 < unit.stats.constant_fraction < 1.0
+
+    def test_accuracy_perfect_for_stable_stream(self):
+        unit = LVPUnit(SIMPLE)
+        drive(unit, 0x100, 5, 50)
+        assert unit.stats.prediction_accuracy == 1.0
+
+    def test_store_counting(self):
+        unit = LVPUnit(SIMPLE)
+        unit.process_store(0x2000)
+        unit.process_store(0x2008)
+        assert unit.stats.stores == 2
+
+    def test_flush_preserves_stats(self):
+        unit = LVPUnit(SIMPLE)
+        drive(unit, 0x100, 5, 5)
+        unit.flush()
+        assert unit.stats.loads == 5
+        assert unit.process_load(0x100, 0x2000, 5) is \
+            LoadOutcome.NO_PREDICTION
+
+
+class TestLimitOracle:
+    def test_limit_catches_alternation(self):
+        """16-deep history with perfect selection predicts any recurring
+        value (the paper's limit-study premise)."""
+        unit = LVPUnit(LIMIT)
+        values = [1, 2, 3, 4] * 20
+        outcomes = [unit.process_load(0x100, 0x2000, v) for v in values]
+        tail = outcomes[16:]
+        correct = [o for o in tail if o in (LoadOutcome.CORRECT,
+                                            LoadOutcome.CONSTANT)]
+        assert len(correct) > 0.8 * len(tail)
+
+    def test_simple_cannot_catch_alternation(self):
+        unit = LVPUnit(SIMPLE)
+        values = [1, 2, 3, 4] * 20
+        outcomes = [unit.process_load(0x100, 0x2000, v) for v in values]
+        correct = [o for o in outcomes if o is LoadOutcome.CORRECT]
+        assert len(correct) < len(outcomes) * 0.2

@@ -1,0 +1,150 @@
+"""Property-based tests for the LVP structures (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lvp import CVU, LCT, LVPT, LVPUnit, LoadClass, LoadOutcome, SIMPLE
+
+pcs = st.integers(min_value=0, max_value=1 << 20).map(lambda x: x * 4)
+values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+addrs = st.integers(min_value=0, max_value=1 << 24).map(lambda x: x * 8)
+
+
+class TestLvptProperties:
+    @given(st.lists(st.tuples(pcs, values), max_size=200))
+    def test_history_bounded_and_unique(self, updates):
+        table = LVPT(64, history_depth=4)
+        for pc, value in updates:
+            table.update(pc, value)
+            history = table.lookup(pc)
+            assert len(history) <= 4
+            assert len(set(history)) == len(history)
+
+    @given(st.lists(st.tuples(pcs, values), max_size=200))
+    def test_mru_is_last_update(self, updates):
+        table = LVPT(64, history_depth=4)
+        for pc, value in updates:
+            table.update(pc, value)
+            assert table.predict(pc) == value
+
+    @given(st.lists(values, min_size=1, max_size=50), pcs)
+    def test_perfect_selection_remembers_recent(self, stream, pc):
+        """Any of the last `depth` distinct values must hit."""
+        depth = 8
+        table = LVPT(64, history_depth=depth, selection="perfect")
+        for value in stream:
+            table.update(pc, value)
+        distinct_recent = []
+        for value in reversed(stream):
+            if value not in distinct_recent:
+                distinct_recent.append(value)
+            if len(distinct_recent) == depth:
+                break
+        for value in distinct_recent:
+            assert table.would_be_correct(pc, value)
+
+    @given(st.lists(st.tuples(pcs, values), max_size=100))
+    def test_tagged_never_crosses_pcs(self, updates):
+        table = LVPT(16, history_depth=2, tagged=True)
+        last_by_pc = {}
+        for pc, value in updates:
+            table.update(pc, value)
+            last_by_pc[pc] = value
+            # A tagged entry either misses or belongs to this pc.
+            prediction = table.predict(pc)
+            assert prediction == value
+
+
+class TestLctProperties:
+    @given(st.lists(st.tuples(pcs, st.booleans()), max_size=300),
+           st.sampled_from([1, 2, 3]))
+    def test_counter_always_in_range(self, updates, bits):
+        lct = LCT(32, bits=bits)
+        top = (1 << bits) - 1
+        for pc, correct in updates:
+            lct.update(pc, correct)
+            assert 0 <= lct.counter(pc) <= top
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_classification_consistent_with_counter(self, outcomes):
+        lct = LCT(16, bits=2)
+        for correct in outcomes:
+            lct.update(0x100, correct)
+            counter = lct.counter(0x100)
+            classification = lct.classify(0x100)
+            if counter == 3:
+                assert classification is LoadClass.CONSTANT
+            elif counter == 2:
+                assert classification is LoadClass.PREDICT
+            else:
+                assert classification is LoadClass.DONT_PREDICT
+
+
+class TestCvuProperties:
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("insert"), addrs, st.integers(0, 1023)),
+        st.tuples(st.just("store"), addrs, st.integers(1, 8)),
+    ), max_size=300))
+    def test_capacity_never_exceeded(self, ops):
+        cvu = CVU(16)
+        for op, addr, arg in ops:
+            if op == "insert":
+                cvu.insert(addr, arg)
+            else:
+                cvu.snoop_store(addr, arg)
+            assert len(cvu) <= 16
+
+    @given(st.lists(st.tuples(addrs, st.integers(0, 63)), max_size=100),
+           addrs)
+    def test_store_kills_every_overlapping_entry(self, inserts, store_addr):
+        """The CVU coherence invariant: after a store, no entry for the
+        stored word can match."""
+        cvu = CVU(64)
+        for addr, index in inserts:
+            cvu.insert(addr, index)
+        cvu.snoop_store(store_addr, 8)
+        for addr, index in inserts:
+            if addr & ~7 == store_addr & ~7:
+                assert not cvu.match(addr, index)
+
+
+class TestUnitProperties:
+    @given(st.lists(st.one_of(
+        st.tuples(st.just("load"), st.integers(0, 31),
+                  st.integers(0, 7), st.integers(0, 3)),
+        st.tuples(st.just("store"), st.integers(0, 7),
+                  st.integers(0, 3), st.just(0)),
+    ), max_size=400))
+    @settings(deadline=None)
+    def test_constant_outcomes_always_coherent(self, ops):
+        """The paper's CVU guarantee: a CONSTANT load's forwarded value
+        equals what memory holds, under any load/store interleaving."""
+        unit = LVPUnit(SIMPLE)
+        memory = {}
+        for op in ops:
+            if op[0] == "load":
+                _, pc_index, word, _ = op
+                pc = pc_index * 4
+                addr = 0x2000 + word * 8
+                value = memory.get(addr, 0)
+                outcome = unit.process_load(pc, addr, value)
+                if outcome is LoadOutcome.CONSTANT:
+                    assert unit.lvpt.predict(pc) == value
+            else:
+                _, word, value, _ = op
+                addr = 0x2000 + word * 8
+                memory[addr] = value
+                unit.process_store(addr, 8)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 3)),
+                    max_size=300))
+    @settings(deadline=None)
+    def test_outcome_totals_invariant(self, loads):
+        unit = LVPUnit(SIMPLE)
+        for pc_index, value in loads:
+            unit.process_load(pc_index * 4, 0x1000 + pc_index * 8, value)
+        assert sum(unit.stats.outcomes.values()) == len(loads)
+        quadrants = (unit.stats.predictable_predicted
+                     + unit.stats.predictable_not_predicted
+                     + unit.stats.unpredictable_predicted
+                     + unit.stats.unpredictable_not_predicted)
+        assert quadrants == len(loads)

@@ -1,0 +1,99 @@
+"""Property-based tests for the memory model and caches."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Memory
+from repro.uarch.components import Cache
+
+word_addrs = st.integers(0, 255).map(lambda x: 0x1000 + x * 8)
+byte_addrs = st.integers(0, 2047).map(lambda x: 0x1000 + x)
+u64 = st.integers(0, (1 << 64) - 1)
+
+
+class TestMemoryProperties:
+    @given(st.dictionaries(word_addrs, u64, max_size=50))
+    def test_last_write_wins(self, writes):
+        mem = Memory()
+        for addr, value in writes.items():
+            mem.write_word(addr, value, 0)
+        for addr, value in writes.items():
+            assert mem.read_word(addr)[0] == value
+
+    @given(word_addrs, u64)
+    def test_word_equals_byte_composition(self, addr, value):
+        """A word read must equal its eight byte reads, little-endian."""
+        mem = Memory()
+        mem.write_word(addr, value, 0)
+        composed = sum(mem.read_u8(addr + i) << (8 * i) for i in range(8))
+        assert composed == value
+
+    @given(word_addrs, u64, st.integers(0, 7), st.integers(0, 255))
+    def test_byte_write_affects_only_its_byte(self, addr, value, offset,
+                                              byte):
+        mem = Memory()
+        mem.write_word(addr, value, 0)
+        mem.write_u8(addr + offset, byte)
+        for i in range(8):
+            expected = byte if i == offset else (value >> (8 * i)) & 0xFF
+            assert mem.read_u8(addr + i) == expected
+
+    @given(word_addrs, u64, st.sampled_from([0, 4]),
+           st.integers(0, (1 << 32) - 1))
+    def test_u32_write_affects_only_its_half(self, addr, value, offset,
+                                             half):
+        mem = Memory()
+        mem.write_word(addr, value, 0)
+        mem.write_u32(addr + offset, half)
+        other = 4 - offset
+        assert mem.read_u32(addr + offset) == half
+        assert mem.read_u32(addr + other) == (value >> (8 * other)) \
+            & 0xFFFF_FFFF
+
+    @given(byte_addrs, st.binary(min_size=1, max_size=64))
+    def test_bulk_roundtrip(self, addr, payload):
+        mem = Memory()
+        for i, byte in enumerate(payload):
+            mem.write_u8(addr + i, byte)
+        assert mem.read_bytes(addr, len(payload)) == payload
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    @settings(deadline=None)
+    def test_immediate_rereference_always_hits(self, addresses):
+        cache = Cache(1024, assoc=2, line_size=32)
+        for addr in addresses:
+            cache.access(addr)
+            assert cache.probe(addr)
+            assert cache.access(addr)
+
+    @given(st.lists(st.integers(0, 1 << 16), max_size=300))
+    @settings(deadline=None)
+    def test_occupancy_bounded(self, addresses):
+        cache = Cache(512, assoc=2, line_size=32)
+        for addr in addresses:
+            cache.access(addr)
+        total_lines = sum(len(s) for s in cache._sets)
+        assert total_lines <= 512 // 32
+        assert all(len(s) <= 2 for s in cache._sets)
+
+    @given(st.lists(st.integers(0, 1 << 16), max_size=300))
+    @settings(deadline=None)
+    def test_misses_never_exceed_accesses(self, addresses):
+        cache = Cache(1024, assoc=4, line_size=32)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.stats.misses <= cache.stats.accesses
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=100))
+    @settings(deadline=None)
+    def test_small_working_set_all_hits_after_warmup(self, indices):
+        """A working set within one set's capacity never misses twice."""
+        cache = Cache(4096, assoc=8, line_size=32)
+        lines = sorted(set(indices))[:8]
+        for line in lines:
+            cache.access(line * 32)
+        start_misses = cache.stats.misses
+        for line in lines * 3:
+            cache.access(line * 32)
+        assert cache.stats.misses == start_misses

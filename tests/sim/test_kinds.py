@@ -1,0 +1,155 @@
+"""Value-kind propagation tests (the shadow behind Figure 2)."""
+
+from repro.isa import CodeBuilder, FPR_BASE, Opcode, ValueKind, assemble
+from repro.sim import run_program
+
+F = FPR_BASE
+
+
+def load_kinds(source: str) -> list[int]:
+    """Run assembly and return the kind column of its load records."""
+    trace = run_program(assemble(source)).trace
+    return trace.kind[trace.is_load].tolist()
+
+
+class TestMemoryKinds:
+    def test_int_data_load(self):
+        kinds = load_kinds("""
+        .data
+        x: .word 5
+        .text
+        main:
+            la r4, x
+            ld r3, 0(r4)
+            halt
+        """)
+        assert kinds == [int(ValueKind.INT_DATA)]
+
+    def test_fp_data_load(self):
+        kinds = load_kinds("""
+        .data
+        x: .double 2.0
+        .text
+        main:
+            la r4, x
+            fld f1, 0(r4)
+            halt
+        """)
+        assert kinds == [int(ValueKind.FP_DATA)]
+
+    def test_pointer_load_is_data_addr(self):
+        kinds = load_kinds("""
+        .data
+        p: .ptr v
+        v: .word 0
+        .text
+        main:
+            la r4, p
+            ld r3, 0(r4)
+            halt
+        """)
+        assert kinds == [int(ValueKind.DATA_ADDR)]
+
+    def test_stored_address_keeps_kind(self):
+        kinds = load_kinds("""
+        .data
+        v: .word 1
+        slot: .word 0
+        .text
+        main:
+            la r4, v
+            la r5, slot
+            st r4, 0(r5)
+            ld r3, 0(r5)
+            halt
+        """)
+        assert kinds == [int(ValueKind.DATA_ADDR)]
+
+    def test_byte_load_is_int(self):
+        kinds = load_kinds("""
+        .data
+        p: .ptr p
+        .text
+        main:
+            la r4, p
+            lbu r3, 0(r4)
+            halt
+        """)
+        assert kinds == [int(ValueKind.INT_DATA)]
+
+
+class TestReturnAddressKinds:
+    def test_saved_link_register_is_instr_addr(self):
+        """The prologue/epilogue LR save/reload carries INSTR_ADDR."""
+        b = CodeBuilder("t")
+        with b.function("callee"):
+            b.nop()
+        with b.function("main"):
+            b.call("callee")
+        trace = run_program(b.build()).trace
+        instr_addr_loads = (
+            trace.kind[trace.is_load] == int(ValueKind.INSTR_ADDR)
+        ).sum()
+        assert instr_addr_loads >= 2  # callee's and main's LR reloads
+
+    def test_function_descriptor_is_instr_addr(self):
+        b = CodeBuilder("t", target="ppc")
+        with b.function("callee", leaf=True):
+            b.li(3, 1)
+        with b.function("main"):
+            b.call_far("callee")
+        trace = run_program(b.build()).trace
+        kinds = trace.kind[trace.is_load].tolist()
+        assert int(ValueKind.INSTR_ADDR) in kinds
+
+
+class TestRegisterKindPropagation:
+    def test_pointer_arithmetic_stays_addr(self):
+        kinds = load_kinds("""
+        .data
+        arr: .word 10, 20
+        ptrs: .ptr arr
+        .text
+        main:
+            la r4, ptrs
+            ld r5, 0(r4)     ; DATA_ADDR
+            addi r5, r5, 8   ; still an address
+            la r6, scratch
+            st r5, 0(r6)
+            ld r3, 0(r6)     ; loaded back: DATA_ADDR
+            halt
+        .data
+        scratch: .word 0
+        """)
+        assert kinds[-1] == int(ValueKind.DATA_ADDR)
+
+    def test_alu_on_data_is_int(self):
+        b = CodeBuilder("t")
+        b.data.label("slot")
+        b.data.space(1)
+        b.label("main")
+        b.li(4, 1)
+        b.li(5, 2)
+        b.xor(6, 4, 5)  # INT_DATA
+        b.load_addr(7, "slot")
+        b.st(6, 7, 0)
+        b.ld(3, 7, 0)
+        b.halt()
+        trace = run_program(b.build()).trace
+        assert trace.kind[trace.is_load].tolist()[-1] == \
+            int(ValueKind.INT_DATA)
+
+    def test_fp_result_stored_is_fp(self):
+        b = CodeBuilder("t")
+        b.data.label("slot")
+        b.data.space(1)
+        b.label("main")
+        b.load_fconst(F + 1, 1.0)
+        b.fadd(F + 2, F + 1, F + 1)
+        b.load_addr(4, "slot")
+        b.fst(F + 2, 4, 0)
+        b.fld(F + 3, 4, 0)
+        b.halt()
+        trace = run_program(b.build()).trace
+        assert trace.kind[trace.is_load].tolist()[-1] == \
+            int(ValueKind.FP_DATA)

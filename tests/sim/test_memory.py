@@ -1,0 +1,106 @@
+"""Unit tests for the flat memory model."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa import ValueKind
+from repro.sim import Memory
+
+
+class TestWordAccess:
+    def test_uninitialized_reads_zero(self):
+        mem = Memory()
+        value, kind = mem.read_word(0x1000)
+        assert value == 0
+        assert kind == int(ValueKind.INT_DATA)
+
+    def test_write_read_roundtrip(self):
+        mem = Memory()
+        mem.write_word(0x1000, 0xDEADBEEF, int(ValueKind.DATA_ADDR))
+        value, kind = mem.read_word(0x1000)
+        assert value == 0xDEADBEEF
+        assert kind == int(ValueKind.DATA_ADDR)
+
+    def test_value_masked_to_64_bits(self):
+        mem = Memory()
+        mem.write_word(0x1000, 1 << 70, 0)
+        assert mem.read_word(0x1000)[0] == 0
+
+    def test_misaligned_word_rejected(self):
+        mem = Memory()
+        with pytest.raises(ExecutionError):
+            mem.read_word(0x1001)
+        with pytest.raises(ExecutionError):
+            mem.write_word(0x1004, 1, 0)
+
+    def test_negative_address_rejected(self):
+        mem = Memory()
+        with pytest.raises(ExecutionError):
+            mem.read_word(-8)
+
+    def test_from_image(self):
+        mem = Memory.from_image({0x10: 5}, {0x10: 2})
+        assert mem.read_word(0x10) == (5, 2)
+
+
+class TestSubWordAccess:
+    def test_u32_halves(self):
+        mem = Memory()
+        mem.write_word(0x1000, 0x1122334455667788, 0)
+        assert mem.read_u32(0x1000) == 0x55667788
+        assert mem.read_u32(0x1004) == 0x11223344
+
+    def test_u32_write_preserves_other_half(self):
+        mem = Memory()
+        mem.write_word(0x1000, 0xAAAAAAAABBBBBBBB, 0)
+        mem.write_u32(0x1000, 0x11111111)
+        assert mem.read_word(0x1000)[0] == 0xAAAAAAAA11111111
+
+    def test_u32_write_resets_kind(self):
+        mem = Memory()
+        mem.write_word(0x1000, 0, int(ValueKind.DATA_ADDR))
+        mem.write_u32(0x1000, 1)
+        assert mem.read_word(0x1000)[1] == int(ValueKind.INT_DATA)
+
+    def test_u32_misaligned_rejected(self):
+        mem = Memory()
+        with pytest.raises(ExecutionError):
+            mem.read_u32(0x1002)
+
+    def test_byte_positions(self):
+        mem = Memory()
+        mem.write_word(0x1000, 0x0807060504030201, 0)
+        for i in range(8):
+            assert mem.read_u8(0x1000 + i) == i + 1
+
+    def test_byte_write_rmw(self):
+        mem = Memory()
+        mem.write_word(0x1000, 0xFFFFFFFFFFFFFFFF, 0)
+        mem.write_u8(0x1003, 0)
+        assert mem.read_word(0x1000)[0] == 0xFFFFFFFF00FFFFFF
+
+    def test_byte_any_alignment(self):
+        mem = Memory()
+        mem.write_u8(0x1007, 0xAB)
+        assert mem.read_u8(0x1007) == 0xAB
+
+
+class TestBulkHelpers:
+    def test_read_bytes(self):
+        mem = Memory()
+        for i, byte in enumerate(b"hello world"):
+            mem.write_u8(0x2000 + i, byte)
+        assert mem.read_bytes(0x2000, 11) == b"hello world"
+
+    def test_read_cstring(self):
+        mem = Memory()
+        for i, byte in enumerate(b"abc\x00xyz"):
+            mem.write_u8(0x2000 + i, byte)
+        assert mem.read_cstring(0x2000) == b"abc"
+
+    def test_unterminated_cstring_raises(self):
+        mem = Memory()
+        for i in range(4):
+            mem.write_u8(0x2000 + i, 0xFF)
+        with pytest.raises(ExecutionError):
+            mem.read_cstring(0x2000, limit=4)

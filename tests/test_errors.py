@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("AssemblyError", "LinkError", "ExecutionError",
+                     "ExecutionLimitExceeded", "ConfigError", "TraceError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_limit_is_execution_error(self):
+        assert issubclass(errors.ExecutionLimitExceeded,
+                          errors.ExecutionError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.AssemblyError("x")
+
+    def test_library_raises_only_repro_errors(self):
+        """Representative API misuses all surface as ReproError."""
+        from repro.isa import assemble
+        from repro.lvp import LVPConfig, config_by_name
+        from repro.workloads import get_benchmark
+        with pytest.raises(errors.ReproError):
+            assemble("main:\n bogus r1\n")
+        with pytest.raises(errors.ReproError):
+            config_by_name("nonesuch")
+        with pytest.raises(errors.ReproError):
+            LVPConfig(name="bad", lvpt_entries=3)
+        with pytest.raises(errors.ReproError):
+            get_benchmark("nonesuch")

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs green as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "grep")
+        assert "speedup" in out
+        assert "verified" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "output verified" in out
+        assert "constant loads" in out
+
+    def test_future_work(self):
+        out = run_example("future_work.py", "quick")
+        assert "Stride" in out
+        assert "general value locality" in out
+
+    def test_paper_figures_listing(self):
+        out = run_example("paper_figures.py")
+        assert "fig1" in out
+        assert "tab6" in out
+
+    def test_paper_figures_single_exhibit(self):
+        out = run_example("paper_figures.py", "fig1", "--scale", "tiny",
+                          "--benchmarks", "grep,compress")
+        assert "Value Locality" in out
+
+    def test_design_space_importable(self):
+        """design_space sweeps five small-scale benchmarks (slow); we
+        verify it imports and exposes sane design points instead."""
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import design_space
+            assert len(design_space.DESIGN_POINTS) >= 4
+            names = [c.name for c in design_space.DESIGN_POINTS]
+            assert len(set(names)) == len(names)
+        finally:
+            sys.path.pop(0)
+
+    def test_machine_comparison(self):
+        out = run_example("machine_comparison.py", "grep,quick")
+        assert "620+" in out
+        assert "21164" in out

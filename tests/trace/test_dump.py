@@ -1,0 +1,39 @@
+"""Tests for the dynamic trace dumper."""
+
+from repro.trace import dump_trace, format_record
+
+
+class TestDump:
+    def test_window(self, grep_trace):
+        text = dump_trace(grep_trace, start=0, count=5)
+        assert len(text.splitlines()) == 5
+
+    def test_full_dump_possible(self, grep_trace):
+        text = dump_trace(grep_trace, count=None)
+        assert len(text.splitlines()) == len(grep_trace)
+
+    def test_loads_show_address_value_kind(self, grep_trace):
+        import numpy as np
+        position = int(np.nonzero(grep_trace.is_load)[0][0])
+        line = format_record(grep_trace, position)
+        assert "<-" in line
+        assert "B)" in line
+
+    def test_stores_show_arrow(self, grep_trace):
+        import numpy as np
+        position = int(np.nonzero(grep_trace.is_store)[0][0])
+        assert "->" in format_record(grep_trace, position)
+
+    def test_branches_show_direction(self, grep_trace):
+        import numpy as np
+        from repro.isa import Opcode
+        conditional = np.isin(
+            grep_trace.opcode,
+            [int(Opcode.BEQ), int(Opcode.BNE), int(Opcode.BLT),
+             int(Opcode.BGE), int(Opcode.BLTU), int(Opcode.BGEU)])
+        position = int(np.nonzero(conditional)[0][0])
+        assert "taken" in format_record(grep_trace, position)
+
+    def test_loads_only_filter(self, grep_trace):
+        text = dump_trace(grep_trace, count=500, loads_only=True)
+        assert all("<-" in line for line in text.splitlines())

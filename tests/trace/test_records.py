@@ -1,0 +1,93 @@
+"""Unit tests for the trace record container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.isa import OpClass
+from repro.trace import Trace, TraceColumns
+
+
+def make_trace(records):
+    """Build a trace from (pc, opclass, addr, value) tuples."""
+    cols = TraceColumns()
+    for pc, opclass, addr, value in records:
+        cols.pc.append(pc)
+        cols.opcode.append(1)
+        cols.opclass.append(int(opclass))
+        cols.dst.append(3)
+        cols.src1.append(-1)
+        cols.src2.append(-1)
+        cols.addr.append(addr)
+        cols.value.append(value)
+        cols.kind.append(0)
+        cols.size.append(8 if opclass in (OpClass.LOAD, OpClass.STORE)
+                         else 0)
+        cols.taken.append(0)
+    return Trace.from_columns(cols, name="test", target="ppc")
+
+
+class TestTraceConstruction:
+    def test_from_columns_lengths(self):
+        trace = make_trace([(0, OpClass.SIMPLE_INT, 0, 0)])
+        assert len(trace) == 1
+        assert trace.num_instructions == 1
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(TraceError):
+            Trace({"pc": np.zeros(1)})
+
+    def test_ragged_columns_rejected(self):
+        cols = TraceColumns()
+        cols.pc.append(0)
+        trace_dict = {
+            key: np.zeros(0 if key == "opcode" else 1, dtype="u8")
+            for key in ("pc", "opcode", "opclass", "dst", "src1", "src2",
+                        "addr", "value", "kind", "size", "taken")
+        }
+        with pytest.raises(TraceError):
+            Trace(trace_dict)
+
+    def test_metadata_preserved(self):
+        trace = make_trace([])
+        assert trace.name == "test"
+        assert trace.target == "ppc"
+
+
+class TestMasksAndViews:
+    def _mixed(self):
+        return make_trace([
+            (0x100, OpClass.SIMPLE_INT, 0, 0),
+            (0x104, OpClass.LOAD, 0x2000, 42),
+            (0x108, OpClass.STORE, 0x2000, 43),
+            (0x10C, OpClass.LOAD, 0x2008, 44),
+        ])
+
+    def test_load_store_counts(self):
+        trace = self._mixed()
+        assert trace.num_loads == 2
+        assert trace.num_stores == 1
+
+    def test_load_view_positions(self):
+        loads = self._mixed().loads()
+        assert loads.index.tolist() == [1, 3]
+        assert loads.value.tolist() == [42, 44]
+
+    def test_store_view(self):
+        stores = self._mixed().stores()
+        assert len(stores) == 1
+        assert stores.addr.tolist() == [0x2000]
+
+    def test_view_iteration(self):
+        rows = list(self._mixed().loads())
+        assert rows[0] == (1, 0x104, 0x2000, 42, 8)
+
+    def test_opclass_counts(self):
+        counts = self._mixed().opclass_counts()
+        assert counts[OpClass.LOAD] == 2
+        assert counts[OpClass.SIMPLE_INT] == 1
+
+    def test_empty_trace(self):
+        trace = make_trace([])
+        assert trace.num_loads == 0
+        assert len(trace.loads()) == 0

@@ -1,0 +1,39 @@
+"""Unit tests for trace statistics."""
+
+from repro.isa import OpClass
+from repro.trace import compute_stats
+
+from tests.trace.test_records import make_trace
+
+
+class TestComputeStats:
+    def test_counts(self):
+        trace = make_trace([
+            (0x100, OpClass.LOAD, 0x2000, 1),
+            (0x100, OpClass.LOAD, 0x2008, 2),
+            (0x104, OpClass.LOAD, 0x2000, 1),
+            (0x108, OpClass.STORE, 0x2000, 9),
+            (0x10C, OpClass.BRANCH, 0, 0),
+        ])
+        stats = compute_stats(trace)
+        assert stats.instructions == 5
+        assert stats.loads == 3
+        assert stats.stores == 1
+        assert stats.branches == 1
+        assert stats.static_loads == 2  # pcs 0x100 and 0x104
+
+    def test_fractions(self):
+        trace = make_trace([
+            (0x100, OpClass.LOAD, 0x2000, 1),
+            (0x104, OpClass.SIMPLE_INT, 0, 0),
+        ])
+        stats = compute_stats(trace)
+        assert stats.load_fraction == 0.5
+        assert stats.store_fraction == 0.0
+
+    def test_real_trace_consistency(self, grep_trace):
+        stats = compute_stats(grep_trace)
+        assert stats.instructions == len(grep_trace)
+        assert 0 < stats.loads < stats.instructions
+        assert stats.static_loads <= stats.loads
+        assert stats.name == "grep"

@@ -1,0 +1,92 @@
+"""Tests for the Alpha AXP 21164 timing model."""
+
+import dataclasses
+
+import pytest
+
+from repro.lvp import CONSTANT, LIMIT, PERFECT, SIMPLE, LoadOutcome
+from repro.uarch import AXP21164Model
+from repro.uarch.axp21164.config import AXP21164, AXP21164Config
+
+
+@pytest.fixture(scope="module")
+def grep_ann(tiny_session):
+    return tiny_session.annotated("grep", "alpha", SIMPLE)
+
+
+@pytest.fixture(scope="module")
+def base_result(grep_ann):
+    return AXP21164Model().run(grep_ann, use_lvp=False)
+
+
+class TestBaseline:
+    def test_in_order_bound(self, base_result):
+        # 4-wide: cannot beat instructions/4 cycles.
+        assert base_result.cycles >= base_result.instructions / 4
+
+    def test_ipc_below_issue_width(self, base_result):
+        assert 0.05 < base_result.ipc <= 4.0
+
+    def test_miss_rate_metric(self, base_result):
+        assert 0.0 <= base_result.l1_miss_rate_per_instruction < 1.0
+
+    def test_deterministic(self, grep_ann):
+        a = AXP21164Model().run(grep_ann, use_lvp=False)
+        b = AXP21164Model().run(grep_ann, use_lvp=False)
+        assert a.cycles == b.cycles
+
+
+class TestLVP:
+    def test_grep_speeds_up(self, tiny_session, base_result, grep_ann):
+        lvp = AXP21164Model().run(grep_ann, use_lvp=True)
+        assert lvp.cycles < base_result.cycles
+
+    def test_loads_missing_l1_not_predicted(self, tiny_session):
+        """Paper: no prediction past an L1 miss (except CVU constants)."""
+        ann = tiny_session.annotated("compress", "alpha", SIMPLE)
+        result = AXP21164Model().run(ann, use_lvp=True)
+        # Some annotated-correct loads were demoted at misses: the
+        # model's NO_PREDICTION count exceeds the annotator's.
+        assert result.load_outcomes[LoadOutcome.NO_PREDICTION] >= \
+            ann.stats.outcomes[LoadOutcome.NO_PREDICTION]
+
+    def test_cvu_proceeds_past_miss(self, tiny_session):
+        """Constants verified by the CVU survive L1 misses."""
+        ann = tiny_session.annotated("compress", "alpha", CONSTANT)
+        result = AXP21164Model().run(ann, use_lvp=True)
+        assert result.constant_past_miss >= 0
+        assert result.load_outcomes[LoadOutcome.CONSTANT] > 0
+
+    def test_constant_loads_reduce_l1_accesses(self, tiny_session):
+        ann = tiny_session.annotated("compress", "alpha", CONSTANT)
+        base = AXP21164Model().run(ann, use_lvp=False)
+        lvp = AXP21164Model().run(ann, use_lvp=True)
+        constants = lvp.load_outcomes[LoadOutcome.CONSTANT]
+        assert base.l1_stats.accesses - lvp.l1_stats.accesses == constants
+
+    def test_mispredicts_counted(self, tiny_session):
+        ann = tiny_session.annotated("quick", "alpha", SIMPLE)
+        result = AXP21164Model().run(ann, use_lvp=True)
+        assert result.value_mispredicts >= 0
+        # Every model-level mispredict was an annotator INCORRECT.
+        assert result.value_mispredicts <= \
+            ann.stats.outcomes[LoadOutcome.INCORRECT]
+
+    def test_perfect_no_mispredicts(self, tiny_session):
+        ann = tiny_session.annotated("grep", "alpha", PERFECT)
+        result = AXP21164Model().run(ann, use_lvp=True)
+        assert result.value_mispredicts == 0
+
+
+class TestBlockingMisses:
+    def test_smaller_cache_is_slower(self, grep_ann):
+        small = AXP21164Config(name="small-l1", l1_size=256)
+        normal = AXP21164Model().run(grep_ann, use_lvp=False)
+        tiny = AXP21164Model(small).run(grep_ann, use_lvp=False)
+        assert tiny.cycles >= normal.cycles
+
+    def test_issue_width_one_bound(self, grep_ann):
+        narrow = dataclasses.replace(AXP21164, name="narrow",
+                                     issue_width=1)
+        result = AXP21164Model(narrow).run(grep_ann, use_lvp=False)
+        assert result.cycles >= result.instructions

@@ -1,0 +1,118 @@
+"""Precise semantics tests for the 21164 model on hand-built traces."""
+
+import dataclasses
+
+from repro.isa import NO_REG, Opcode
+from repro.lvp import LoadOutcome
+from repro.uarch import AXP21164Model
+from repro.uarch.axp21164.config import AXP21164
+
+from tests.uarch.test_ppc620_semantics import annotate_manual, build_trace
+
+NOP_ROW = (Opcode.ADDI, 5, 0, NO_REG, 0, 0)
+
+
+def run(trace, outcomes=None, use_lvp=False, config=AXP21164):
+    annotated = annotate_manual(trace, outcomes or {})
+    return AXP21164Model(config).run(annotated, use_lvp=use_lvp)
+
+
+class TestInOrderIssue:
+    def test_issue_width_bound(self):
+        result = run(build_trace([NOP_ROW] * 40))
+        # 2 integer slots per cycle bound these 40 integer ops.
+        assert result.cycles >= 20
+
+    def test_serial_chain_dominates(self):
+        rows = [(Opcode.ADDI, 3, 0, NO_REG, 0, 0)]
+        rows += [(Opcode.ADDI, 3, 3, NO_REG, 0, 0)] * 20
+        serial = run(build_trace(rows)).cycles
+        parallel = run(build_trace([NOP_ROW] * 21)).cycles
+        assert serial > parallel
+
+    def test_younger_blocked_by_older_stall(self):
+        """In-order: an independent op behind a stalled one also waits."""
+        stall_then_free = [
+            (Opcode.LI, 3, NO_REG, NO_REG, 0, 0),
+            (Opcode.MUL, 4, 3, 3, 0, 0),  # 16-cycle result
+            (Opcode.ADDI, 5, 4, NO_REG, 0, 0),  # waits on the MUL
+            (Opcode.ADDI, 6, 0, NO_REG, 0, 0),  # independent but younger
+        ]
+        result = run(build_trace(stall_then_free))
+        # The final independent add cannot issue before the dependent
+        # one does (cycles reflect the full stall).
+        assert result.cycles >= 16
+
+
+class TestBlockingMiss:
+    def test_miss_blocks_pipeline(self):
+        miss_heavy = [
+            (Opcode.LD, 3, 0, NO_REG, 0x2000 + 64 * i, 0)
+            for i in range(20)
+        ]
+        hit_heavy = [
+            (Opcode.LD, 3, 0, NO_REG, 0x2000, 0)
+            for _ in range(20)
+        ]
+        missing = run(build_trace(miss_heavy)).cycles
+        hitting = run(build_trace(hit_heavy)).cycles
+        assert missing > hitting + 50  # each miss serializes its penalty
+
+
+class TestLvpRules:
+    def test_zero_cycle_load(self):
+        rows = [
+            (Opcode.LD, 3, 0, NO_REG, 0x2000, 7),
+            (Opcode.ADDI, 4, 3, NO_REG, 0, 0),
+        ] * 10
+        trace = build_trace(rows)
+        predicted = {i: LoadOutcome.CORRECT for i in range(0, 20, 2)}
+        unpredicted = {i: LoadOutcome.NO_PREDICTION
+                       for i in range(0, 20, 2)}
+        fast = run(trace, predicted, use_lvp=True).cycles
+        slow = run(trace, unpredicted, use_lvp=True).cycles
+        assert fast < slow
+
+    def test_prediction_dropped_on_miss_without_penalty(self):
+        """A cold-miss load annotated CORRECT behaves unpredicted."""
+        rows = [(Opcode.LD, 3, 0, NO_REG, 0x2000, 7),
+                (Opcode.ADDI, 4, 3, NO_REG, 0, 0)]
+        trace = build_trace(rows)
+        with_lvp = run(trace, {0: LoadOutcome.CORRECT}, use_lvp=True)
+        without = run(trace, {0: LoadOutcome.NO_PREDICTION}, use_lvp=True)
+        assert with_lvp.cycles == without.cycles
+        assert with_lvp.load_outcomes[LoadOutcome.NO_PREDICTION] == 1
+
+    def test_constant_survives_miss(self):
+        rows = [(Opcode.LD, 3, 0, NO_REG, 0x2000, 7),
+                (Opcode.ADDI, 4, 3, NO_REG, 0, 0)] * 4
+        trace = build_trace(rows)
+        outcomes = {i: LoadOutcome.CONSTANT for i in range(0, 8, 2)}
+        result = run(trace, outcomes, use_lvp=True)
+        assert result.load_outcomes[LoadOutcome.CONSTANT] == 4
+        assert result.l1_stats.accesses == 0  # CVU bypassed the cache
+        assert result.constant_past_miss >= 1
+
+    def test_mispredict_squash_penalty(self):
+        rows = [(Opcode.LD, 3, 0, NO_REG, 0x2000, 7)] + [NOP_ROW] * 8
+        # Warm the cache so the prediction is attempted.
+        warm = [(Opcode.LD, 9, 0, NO_REG, 0x2000, 7)]
+        trace = build_trace(warm + rows)
+        bad = run(trace, {1: LoadOutcome.INCORRECT}, use_lvp=True)
+        good = run(trace, {1: LoadOutcome.NO_PREDICTION}, use_lvp=True)
+        assert bad.value_mispredicts == 1
+        # Squash costs a few cycles relative to not predicting.
+        assert 0 <= bad.cycles - good.cycles <= 6
+
+    def test_penalty_scales_with_config(self):
+        rows = [(Opcode.LD, 9, 0, NO_REG, 0x2000, 7)]
+        rows += [(Opcode.LD, 3, 0, NO_REG, 0x2000, 7)] + [NOP_ROW] * 8
+        trace = build_trace(rows)
+        outcomes = {1: LoadOutcome.INCORRECT}
+        cheap = run(trace, outcomes, use_lvp=True,
+                    config=dataclasses.replace(
+                        AXP21164, value_mispredict_penalty=1))
+        expensive = run(trace, outcomes, use_lvp=True,
+                        config=dataclasses.replace(
+                            AXP21164, value_mispredict_penalty=8))
+        assert expensive.cycles >= cheap.cycles

@@ -1,0 +1,68 @@
+"""Unit tests for the branch predictor."""
+
+from repro.isa import Opcode
+from repro.uarch.components import BranchPredictor
+
+
+class TestConditional:
+    def test_learns_taken_loop(self):
+        predictor = BranchPredictor()
+        results = [
+            predictor.predict_and_update(Opcode.BNE, 0x100, True, 0x80)
+            for _ in range(10)
+        ]
+        assert not results[0]  # cold counters predict not-taken
+        assert all(results[3:])  # warmed up
+
+    def test_learns_not_taken(self):
+        predictor = BranchPredictor()
+        results = [
+            predictor.predict_and_update(Opcode.BEQ, 0x100, False, 0x80)
+            for _ in range(5)
+        ]
+        assert all(results)  # init state already predicts not-taken
+
+    def test_alternating_pattern_struggles(self):
+        predictor = BranchPredictor()
+        results = [
+            predictor.predict_and_update(Opcode.BNE, 0x100, i % 2 == 0, 0)
+            for i in range(20)
+        ]
+        assert results.count(False) >= 8
+
+    def test_stats_counted(self):
+        predictor = BranchPredictor()
+        for i in range(10):
+            predictor.predict_and_update(Opcode.BNE, 0x100, True, 0)
+        assert predictor.stats.conditional == 10
+        assert predictor.stats.mispredicts == \
+            predictor.stats.conditional_mispredicts
+
+
+class TestIndirect:
+    def test_stable_target_learned(self):
+        predictor = BranchPredictor()
+        first = predictor.predict_and_update(Opcode.RET, 0x100, True, 0x500)
+        second = predictor.predict_and_update(Opcode.RET, 0x100, True, 0x500)
+        assert not first
+        assert second
+
+    def test_changing_target_mispredicts(self):
+        predictor = BranchPredictor()
+        predictor.predict_and_update(Opcode.JR, 0x100, True, 0x500)
+        result = predictor.predict_and_update(Opcode.JR, 0x100, True, 0x600)
+        assert not result
+        assert predictor.stats.indirect_mispredicts == 2
+
+    def test_bctr_uses_btb(self):
+        predictor = BranchPredictor()
+        predictor.predict_and_update(Opcode.BCTR, 0x100, True, 0x500)
+        assert predictor.stats.indirect == 1
+
+
+class TestUnconditional:
+    def test_direct_jumps_always_correct(self):
+        predictor = BranchPredictor()
+        assert predictor.predict_and_update(Opcode.J, 0x100, True, 0x500)
+        assert predictor.predict_and_update(Opcode.JAL, 0x104, True, 0x800)
+        assert predictor.stats.mispredicts == 0

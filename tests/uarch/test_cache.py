@@ -1,0 +1,144 @@
+"""Unit tests for the cache hierarchy and bank tracker."""
+
+import pytest
+
+from repro.uarch.components import BankTracker, Cache, MemoryHierarchy
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(1024, assoc=2, line_size=32)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+
+    def test_same_line_hits(self):
+        cache = Cache(1024, assoc=2, line_size=32)
+        cache.access(0x100)
+        assert cache.access(0x11F)  # same 32-byte line
+        assert not cache.access(0x120)  # next line
+
+    def test_lru_within_set(self):
+        # 2-way, 32B lines, 64B cache = 1 set
+        cache = Cache(64, assoc=2, line_size=32)
+        cache.access(0x000)
+        cache.access(0x100)
+        cache.access(0x000)  # refresh
+        cache.access(0x200)  # evicts 0x100
+        assert cache.access(0x000)
+        assert not cache.access(0x100)
+
+    def test_direct_mapped_conflict(self):
+        cache = Cache(64, assoc=1, line_size=32)  # 2 sets
+        cache.access(0x000)
+        cache.access(0x040)  # same set, evicts
+        assert not cache.access(0x000)
+
+    def test_store_does_not_allocate(self):
+        cache = Cache(1024, assoc=2, line_size=32)
+        cache.access(0x100, is_store=True)
+        assert not cache.access(0x100)  # still a load miss
+
+    def test_store_hit_refreshes(self):
+        cache = Cache(64, assoc=2, line_size=32)
+        cache.access(0x000)
+        cache.access(0x100)
+        cache.access(0x000, is_store=True)  # refresh via store
+        cache.access(0x200)
+        assert cache.access(0x000)
+
+    def test_probe_no_side_effects(self):
+        cache = Cache(1024, assoc=2, line_size=32)
+        assert not cache.probe(0x100)
+        assert cache.stats.accesses == 0
+        cache.access(0x100)
+        assert cache.probe(0x100)
+
+    def test_stats(self):
+        cache = Cache(1024, assoc=2, line_size=32)
+        cache.access(0x100)
+        cache.access(0x100)
+        cache.access(0x200)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(100, assoc=3, line_size=32)
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        return MemoryHierarchy(
+            Cache(64, assoc=1, line_size=32),
+            Cache(256, assoc=2, line_size=32),
+            l2_latency=8, memory_latency=40,
+        )
+
+    def test_l1_hit_free(self):
+        h = self._hierarchy()
+        h.load_penalty(0x100)
+        assert h.load_penalty(0x100) == 0
+
+    def test_l2_hit_penalty(self):
+        h = self._hierarchy()
+        h.load_penalty(0x000)
+        h.load_penalty(0x040)  # evicts 0x000 from tiny L1, lives in L2
+        assert h.load_penalty(0x000) == 8
+
+    def test_memory_penalty(self):
+        h = self._hierarchy()
+        assert h.load_penalty(0x100) == 48
+
+    def test_store_write_through(self):
+        h = self._hierarchy()
+        h.store_access(0x100)
+        assert h.l1.stats.store_accesses == 1
+        assert h.l2.stats.store_accesses == 1
+
+
+class TestBankTracker:
+    def test_bank_interleaving(self):
+        banks = BankTracker(num_banks=2, line_size=32)
+        assert banks.bank_of(0x00) == 0
+        assert banks.bank_of(0x20) == 1
+        assert banks.bank_of(0x40) == 0
+
+    def test_no_conflict_distinct_banks(self):
+        banks = BankTracker(2, 32)
+        banks.access(10, 0x00, can_defer=False)
+        cycle = banks.access(10, 0x20, can_defer=True)
+        assert cycle == 10
+        assert banks.conflicts == 0
+
+    def test_store_defers_on_conflict(self):
+        banks = BankTracker(2, 32)
+        banks.access(10, 0x00, can_defer=False)  # load takes bank 0
+        cycle = banks.access(10, 0x40, can_defer=True)  # store, bank 0
+        assert cycle == 11
+        assert banks.conflicts == 1
+        assert banks.conflict_cycle_count == 1
+
+    def test_load_proceeds_despite_usage(self):
+        banks = BankTracker(2, 32)
+        banks.access(10, 0x00, can_defer=False)
+        cycle = banks.access(10, 0x40, can_defer=False)
+        assert cycle == 10
+        assert banks.conflicts == 0
+
+    def test_chained_deferral(self):
+        banks = BankTracker(2, 32)
+        banks.access(10, 0x00, can_defer=False)
+        banks.access(11, 0x00, can_defer=False)
+        cycle = banks.access(10, 0x40, can_defer=True)
+        assert cycle == 12
+        assert banks.conflicts == 2
+        assert banks.conflict_cycle_count == 2
+
+    def test_distinct_cycles_counted_once(self):
+        banks = BankTracker(2, 32)
+        banks.access(10, 0x00, can_defer=False)
+        banks.access(10, 0x40, can_defer=True)
+        banks.access(10, 0x80, can_defer=True)
+        # Both stores conflicted at cycle 10 (and one also at 11).
+        assert 10 in banks._conflict_cycles

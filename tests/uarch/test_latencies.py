@@ -1,0 +1,51 @@
+"""Unit tests for the Table 5 latency tables."""
+
+from repro.isa import Opcode
+from repro.uarch.components import AXP21164_LATENCY, PPC620_LATENCY
+
+
+class TestPPC620Latencies:
+    def test_simple_integer_single_cycle(self):
+        assert PPC620_LATENCY[Opcode.ADD].result == 1
+        assert PPC620_LATENCY[Opcode.ADD].issue == 1
+
+    def test_load_result_latency_two(self):
+        assert PPC620_LATENCY[Opcode.LD].result == 2
+        assert PPC620_LATENCY[Opcode.FLD].result == 2
+
+    def test_simple_fp_three(self):
+        assert PPC620_LATENCY[Opcode.FADD].result == 3
+        assert PPC620_LATENCY[Opcode.FMUL].result == 3
+
+    def test_fp_divide_non_pipelined_18(self):
+        lat = PPC620_LATENCY[Opcode.FDIV]
+        assert lat.result == 18
+        assert lat.issue == 18  # occupies the FPU
+
+    def test_integer_divide_in_range(self):
+        lat = PPC620_LATENCY[Opcode.DIV]
+        assert 1 <= lat.result <= 35
+
+    def test_every_opcode_has_latency(self):
+        for opcode in Opcode:
+            assert opcode in PPC620_LATENCY
+
+
+class TestAXP21164Latencies:
+    def test_simple_fp_four(self):
+        assert AXP21164_LATENCY[Opcode.FADD].result == 4
+
+    def test_complex_integer_sixteen(self):
+        assert AXP21164_LATENCY[Opcode.MUL].result == 16
+
+    def test_fp_divide_iterative_range(self):
+        lat = AXP21164_LATENCY[Opcode.FDIV]
+        assert 36 <= lat.result <= 65
+        assert lat.issue == 1  # the paper's table: issue 1
+
+    def test_load_latency_two(self):
+        assert AXP21164_LATENCY[Opcode.LD].result == 2
+
+    def test_every_opcode_has_latency(self):
+        for opcode in Opcode:
+            assert opcode in AXP21164_LATENCY

@@ -1,0 +1,61 @@
+"""Unit tests for the scheduler's internal resource abstractions."""
+
+from repro.uarch.ppc620.model import _Pool, _Units
+
+
+class TestPool:
+    def test_free_slots_immediate(self):
+        pool = _Pool(2)
+        assert pool.earliest_slot(10) == 10
+
+    def test_full_pool_waits_for_release(self):
+        pool = _Pool(2)
+        pool.allocate(release=20, now=0)
+        pool.allocate(release=30, now=0)
+        # Both slots busy: next slot frees at the earlier release (20).
+        assert pool.earliest_slot(10) == 20
+
+    def test_candidate_after_release_unchanged(self):
+        pool = _Pool(2)
+        pool.allocate(release=20, now=0)
+        pool.allocate(release=30, now=0)
+        assert pool.earliest_slot(25) == 25
+
+    def test_allocate_prunes_expired(self):
+        pool = _Pool(1)
+        pool.allocate(release=5, now=0)
+        pool.allocate(release=50, now=10)  # the release-5 entry expires
+        assert len(pool.releases) == 1
+        assert pool.earliest_slot(10) == 50
+
+    def test_many_slots(self):
+        pool = _Pool(4)
+        for release in (11, 12, 13):
+            pool.allocate(release, now=0)
+        assert pool.earliest_slot(5) == 5  # one slot still free
+        pool.allocate(14, now=0)
+        assert pool.earliest_slot(5) == 11
+
+
+class TestUnits:
+    def test_single_unit_serializes(self):
+        units = _Units(1)
+        assert units.issue_at(5, occupancy=3) == 5
+        assert units.issue_at(5, occupancy=3) == 8  # busy until 8
+
+    def test_pipelined_unit_back_to_back(self):
+        units = _Units(1)
+        assert units.issue_at(5, occupancy=1) == 5
+        assert units.issue_at(5, occupancy=1) == 6
+
+    def test_two_units_share_load(self):
+        units = _Units(2)
+        assert units.issue_at(5, occupancy=10) == 5
+        assert units.issue_at(5, occupancy=10) == 5  # second instance
+        assert units.issue_at(5, occupancy=10) == 15
+
+    def test_earliest_instance_chosen(self):
+        units = _Units(2)
+        units.issue_at(0, occupancy=100)  # instance 0 busy long
+        assert units.issue_at(1, occupancy=1) == 1  # instance 1 free
+        assert units.issue_at(2, occupancy=1) == 2

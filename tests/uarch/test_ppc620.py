@@ -1,0 +1,144 @@
+"""Tests for the PowerPC 620/620+ timing model."""
+
+import pytest
+
+from repro.lvp import CONSTANT, LIMIT, PERFECT, SIMPLE, LoadOutcome
+from repro.trace import annotate_trace
+from repro.uarch import PPC620, PPC620_PLUS, PPC620Model
+from repro.uarch.ppc620.config import PPC620Config
+from repro.uarch.ppc620.model import VERIFY_BUCKETS
+
+
+@pytest.fixture(scope="module")
+def grep_ann(tiny_session):
+    return tiny_session.annotated("grep", "ppc", SIMPLE)
+
+
+@pytest.fixture(scope="module")
+def base_result(grep_ann):
+    return PPC620Model(PPC620).run(grep_ann, use_lvp=False)
+
+
+@pytest.fixture(scope="module")
+def lvp_result(grep_ann):
+    return PPC620Model(PPC620).run(grep_ann, use_lvp=True)
+
+
+class TestBaseline:
+    def test_cycles_positive_and_bounded(self, base_result):
+        assert 0 < base_result.cycles
+        # 4-wide machine: cycles at least instructions / 4.
+        assert base_result.cycles >= base_result.instructions / 4
+
+    def test_ipc_reasonable(self, base_result):
+        assert 0.1 < base_result.ipc <= 4.0
+
+    def test_no_lvp_annotation_ignored(self, base_result):
+        assert base_result.lvp_name == "none"
+        assert sum(base_result.load_outcomes.values()) == 0
+
+    def test_loads_counted(self, base_result, grep_ann):
+        assert base_result.loads == grep_ann.trace.num_loads
+
+    def test_deterministic(self, grep_ann):
+        a = PPC620Model(PPC620).run(grep_ann, use_lvp=False)
+        b = PPC620Model(PPC620).run(grep_ann, use_lvp=False)
+        assert a.cycles == b.cycles
+
+
+class TestLVPEffects:
+    def test_lvp_speeds_up_grep(self, base_result, lvp_result):
+        assert lvp_result.cycles < base_result.cycles
+
+    def test_outcomes_recorded(self, lvp_result, grep_ann):
+        assert sum(lvp_result.load_outcomes.values()) == \
+            grep_ann.trace.num_loads
+
+    def test_perfect_at_least_as_fast_as_nothing(self, tiny_session):
+        for name in ("grep", "compress"):
+            ann = tiny_session.annotated(name, "ppc", PERFECT)
+            base = PPC620Model(PPC620).run(ann, use_lvp=False)
+            perfect = PPC620Model(PPC620).run(ann, use_lvp=True)
+            assert perfect.cycles <= base.cycles
+
+    def test_constant_loads_skip_cache(self, tiny_session):
+        ann = tiny_session.annotated("compress", "ppc", CONSTANT)
+        base = PPC620Model(PPC620).run(ann, use_lvp=False)
+        lvp = PPC620Model(PPC620).run(ann, use_lvp=True)
+        constants = lvp.load_outcomes[LoadOutcome.CONSTANT]
+        assert constants > 0
+        # Cache sees exactly that many fewer load accesses.
+        assert base.l1_stats.accesses - lvp.l1_stats.accesses == constants
+
+
+class TestVerificationHistogram:
+    def test_histogram_covers_correct_predictions(self, lvp_result):
+        predicted = (lvp_result.load_outcomes[LoadOutcome.CORRECT]
+                     + lvp_result.load_outcomes[LoadOutcome.CONSTANT])
+        assert sum(lvp_result.verify_histogram.values()) == predicted
+
+    def test_buckets_well_formed(self, lvp_result):
+        assert set(lvp_result.verify_histogram) == set(VERIFY_BUCKETS)
+        assert all(v >= 0 for v in lvp_result.verify_histogram.values())
+
+    def test_baseline_histogram_empty(self, base_result):
+        assert sum(base_result.verify_histogram.values()) == 0
+
+
+class TestFuWait:
+    def test_wait_counts_cover_instructions(self, base_result):
+        counted = sum(c for _, c in base_result.fu_wait.values())
+        assert counted == base_result.instructions
+
+    def test_lvp_reduces_lsu_wait(self, tiny_session):
+        """Predicted operands cut reservation-station wait (Figure 8)."""
+        ann = tiny_session.annotated("grep", "ppc", LIMIT)
+        base = PPC620Model(PPC620).run(ann, use_lvp=False)
+        lvp = PPC620Model(PPC620).run(ann, use_lvp=True)
+        assert lvp.average_wait("LSU") <= base.average_wait("LSU")
+
+
+class Test620Plus:
+    def test_620_plus_faster(self, tiny_session):
+        for name in ("grep", "compress", "xlisp"):
+            ann = tiny_session.annotated(name, "ppc", SIMPLE)
+            base = PPC620Model(PPC620).run(ann, use_lvp=False)
+            plus = PPC620Model(PPC620_PLUS).run(ann, use_lvp=False)
+            assert plus.cycles < base.cycles
+
+    def test_config_names(self):
+        assert PPC620.name == "620"
+        assert PPC620_PLUS.name == "620+"
+
+    def test_620_plus_resources_doubled(self):
+        assert PPC620_PLUS.completion_buffer == 2 * PPC620.completion_buffer
+        assert PPC620_PLUS.gpr_rename == 2 * PPC620.gpr_rename
+        assert PPC620_PLUS.num_lsu == 2
+        assert PPC620_PLUS.mem_per_cycle == 2
+
+
+class TestResourceSensitivity:
+    def test_tiny_completion_buffer_slows(self, grep_ann):
+        import dataclasses
+        tiny = dataclasses.replace(PPC620, name="tiny-cbuf",
+                                   completion_buffer=4)
+        normal = PPC620Model(PPC620).run(grep_ann, use_lvp=False)
+        constrained = PPC620Model(tiny).run(grep_ann, use_lvp=False)
+        assert constrained.cycles >= normal.cycles
+
+    def test_single_wide_dispatch_slows(self, grep_ann):
+        import dataclasses
+        narrow = dataclasses.replace(PPC620, name="narrow",
+                                     dispatch_width=1, fetch_width=1,
+                                     complete_width=1)
+        normal = PPC620Model(PPC620).run(grep_ann, use_lvp=False)
+        constrained = PPC620Model(narrow).run(grep_ann, use_lvp=False)
+        assert constrained.cycles > normal.cycles
+        # 1-wide: cycles must be at least the instruction count.
+        assert constrained.cycles >= constrained.instructions
+
+    def test_bank_conflicts_accounted(self, tiny_session):
+        ann = tiny_session.annotated("quick", "ppc", SIMPLE)
+        result = PPC620Model(PPC620).run(ann, use_lvp=False)
+        assert result.bank_conflict_cycles <= result.cycles
+        assert 0.0 <= result.bank_conflict_cycle_fraction < 1.0

@@ -1,0 +1,160 @@
+"""Unit tests for workload support helpers."""
+
+import pytest
+
+from repro.isa import CodeBuilder
+from repro.sim import run_program
+from repro.workloads.support import (
+    Lcg,
+    SCALES,
+    count_down,
+    for_range,
+    if_cond,
+    if_else,
+    make_text,
+    make_word_list,
+    scaled,
+    while_loop,
+)
+
+
+def run_main(body):
+    b = CodeBuilder("t")
+    b.label("main")
+    body(b)
+    b.halt()
+    return run_program(b.build()).registers[3]
+
+
+class TestControlFlow:
+    def test_for_range_counts(self):
+        def body(b):
+            b.li(3, 0)
+            b.li(5, 10)
+            with for_range(b, 4, 5):
+                b.addi(3, 3, 1)
+        assert run_main(body) == 10
+
+    def test_for_range_start_and_step(self):
+        def body(b):
+            b.li(3, 0)
+            b.li(5, 10)
+            with for_range(b, 4, 5, start=4, step=2):
+                b.addi(3, 3, 1)
+        assert run_main(body) == 3  # 4, 6, 8
+
+    def test_for_range_zero_trip(self):
+        def body(b):
+            b.li(3, 7)
+            b.li(5, 0)
+            with for_range(b, 4, 5):
+                b.li(3, 0)
+        assert run_main(body) == 7
+
+    def test_count_down(self):
+        def body(b):
+            b.li(3, 0)
+            b.li(4, 5)
+            with count_down(b, 4):
+                b.addi(3, 3, 1)
+        assert run_main(body) == 5
+
+    def test_while_loop_break(self):
+        def body(b):
+            b.li(3, 0)
+            with while_loop(b) as (_, done):
+                b.addi(3, 3, 1)
+                b.li(5, 4)
+                b.bge(3, 5, done)
+        assert run_main(body) == 4
+
+    @pytest.mark.parametrize("cond,a,b_,expected", [
+        ("eq", 1, 1, 10), ("eq", 1, 2, 0),
+        ("ne", 1, 2, 10), ("ne", 1, 1, 0),
+        ("lt", 1, 2, 10), ("lt", 2, 1, 0),
+        ("ge", 2, 1, 10), ("ge", 1, 2, 0),
+    ])
+    def test_if_cond(self, cond, a, b_, expected):
+        def body(b):
+            b.li(3, 0)
+            b.li(4, a)
+            b.li(5, b_)
+            with if_cond(b, cond, 4, 5):
+                b.li(3, 10)
+        assert run_main(body) == expected
+
+    def test_if_else_then_branch(self):
+        def body(b):
+            b.li(4, 1)
+            b.li(5, 1)
+            with if_else(b, "eq", 4, 5) as otherwise:
+                b.li(3, 1)
+                otherwise()
+                b.li(3, 2)
+        assert run_main(body) == 1
+
+    def test_if_else_else_branch(self):
+        def body(b):
+            b.li(4, 1)
+            b.li(5, 2)
+            with if_else(b, "eq", 4, 5) as otherwise:
+                b.li(3, 1)
+                otherwise()
+                b.li(3, 2)
+        assert run_main(body) == 2
+
+
+class TestLcg:
+    def test_deterministic(self):
+        a = Lcg(42)
+        b = Lcg(42)
+        assert [a.next_u64() for _ in range(10)] == \
+            [b.next_u64() for _ in range(10)]
+
+    def test_seed_sensitivity(self):
+        assert Lcg(1).next_u64() != Lcg(2).next_u64()
+
+    def test_below_in_range(self):
+        rng = Lcg(7)
+        for _ in range(200):
+            assert 0 <= rng.below(13) < 13
+
+    def test_uniform_in_range(self):
+        rng = Lcg(7)
+        for _ in range(200):
+            value = rng.uniform(-1.0, 2.0)
+            assert -1.0 <= value < 2.0
+
+    def test_choice_from_items(self):
+        rng = Lcg(7)
+        items = ("a", "b", "c")
+        assert all(rng.choice(items) in items for _ in range(50))
+
+
+class TestInputSynthesis:
+    def test_text_ascii_and_lines(self):
+        text = make_text(Lcg(1), 64, line_words=8)
+        text.decode("ascii")
+        assert text.count(b"\n") == 8
+
+    def test_text_deterministic(self):
+        assert make_text(Lcg(5), 40) == make_text(Lcg(5), 40)
+
+    def test_word_list_lengths(self):
+        words = make_word_list(Lcg(3), 50, min_len=4, max_len=6)
+        assert len(words) == 50
+        assert all(4 <= len(w) <= 6 for w in words)
+        assert all(w.islower() for w in words)
+
+    def test_scaled(self):
+        assert scaled("small", 100) == 100
+        assert scaled("tiny", 100) == 25
+        assert scaled("reference", 100) == 400
+        assert scaled("tiny", 1, minimum=1) == 1
+
+    def test_scaled_unknown(self):
+        with pytest.raises(ValueError):
+            scaled("huge", 100)
+
+    def test_scales_registry(self):
+        assert set(SCALES) == {"tiny", "small", "reference"}

@@ -1,0 +1,120 @@
+"""Workload correctness: every benchmark verifies on every target.
+
+These are the heavyweight integration tests of the suite: each runs a
+whole benchmark to completion and checks its architectural results
+against an independent Python reference computation.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import run_program
+from repro.workloads import (
+    BENCHMARKS,
+    FP_NAMES,
+    INTEGER_NAMES,
+    NAMES,
+    get_benchmark,
+)
+
+ALL_NAMES = [b.name for b in BENCHMARKS]
+
+
+class TestRegistry:
+    def test_seventeen_benchmarks(self):
+        assert len(BENCHMARKS) == 17
+
+    def test_paper_table1_names(self):
+        assert set(NAMES) == {
+            "ccl-271", "ccl", "cjpeg", "compress", "eqntott", "gawk",
+            "gperf", "grep", "mpeg", "perl", "quick", "sc", "xlisp",
+            "doduc", "hydro2d", "swm256", "tomcatv",
+        }
+
+    def test_categories(self):
+        assert set(FP_NAMES) == {"doduc", "hydro2d", "swm256", "tomcatv"}
+        assert len(INTEGER_NAMES) == 13
+
+    def test_lookup(self):
+        assert get_benchmark("grep").name == "grep"
+        with pytest.raises(ConfigError):
+            get_benchmark("nonesuch")
+
+    def test_metadata_present(self):
+        for bench in BENCHMARKS:
+            assert bench.description
+            assert bench.input_description
+            assert bench.category in ("int", "fp")
+            assert bench.paper_instructions
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("target", ["ppc", "alpha"])
+class TestCorrectness:
+    def test_verifies_at_tiny_scale(self, name, target):
+        bench = get_benchmark(name)
+        program = bench.build_program(target, "tiny")
+        result = run_program(program, name=name, target=target)
+        bench.verify(program, result, "tiny")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestCorrectnessSmall:
+    def test_verifies_at_small_scale(self, name, small_session):
+        """The session fixture verifies on first trace access."""
+        trace = small_session.trace(name, "ppc")
+        assert trace.num_instructions > 0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestTraceShape:
+    def test_trace_has_loads_stores_branches(self, name, tiny_session):
+        from repro.isa import OpClass
+        if name not in tiny_session.benchmark_names:
+            pytest.skip("not in the tiny fixture subset")
+        trace = tiny_session.trace(name, "ppc")
+        counts = trace.opclass_counts()
+        assert counts.get(OpClass.LOAD, 0) > 0
+        assert counts.get(OpClass.BRANCH, 0) > 0
+
+
+class TestTargetDifferences:
+    @pytest.mark.parametrize("name", ["gawk", "compress", "swm256"])
+    def test_ppc_emits_more_loads(self, name):
+        """TOC indirection means the ppc target loads more."""
+        bench = get_benchmark(name)
+        ppc = run_program(bench.build_program("ppc", "tiny"),
+                          name=name, target="ppc").trace
+        alpha = run_program(bench.build_program("alpha", "tiny"),
+                            name=name, target="alpha").trace
+        assert ppc.num_loads > alpha.num_loads
+
+    def test_same_computation_both_targets(self):
+        """Targets change codegen, not semantics."""
+        bench = get_benchmark("quick")
+        for target in ("ppc", "alpha"):
+            program = bench.build_program(target, "tiny")
+            result = run_program(program, name="quick", target=target)
+            bench.verify(program, result, "tiny")
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", ["grep", "compress"])
+    def test_small_larger_than_tiny(self, name):
+        bench = get_benchmark(name)
+        tiny = run_program(bench.build_program("ppc", "tiny"),
+                           name=name).instruction_count
+        small = run_program(bench.build_program("ppc", "small"),
+                            name=name).instruction_count
+        assert small > tiny
+
+    def test_locality_scale_stable(self):
+        """Figure 1's percentages should not depend strongly on scale."""
+        from repro.lvp import measure_value_locality
+        bench = get_benchmark("compress")
+        values = []
+        for scale in ("tiny", "small"):
+            trace = run_program(bench.build_program("ppc", scale),
+                                name="compress").trace
+            values.append(measure_value_locality(trace, 1).percent)
+        assert abs(values[0] - values[1]) < 15.0
