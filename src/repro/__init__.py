@@ -21,9 +21,11 @@ Quick start::
 
 from repro.errors import (
     AssemblyError,
+    BenchmarkFailure,
     ConfigError,
     ExecutionError,
     ExecutionLimitExceeded,
+    FaultError,
     LinkError,
     ReproError,
     TraceError,
@@ -54,8 +56,9 @@ from repro.workloads import BENCHMARKS, get_benchmark
 __version__ = "1.0.0"
 
 __all__ = [
-    "AssemblyError", "ConfigError", "ExecutionError",
-    "ExecutionLimitExceeded", "LinkError", "ReproError", "TraceError",
+    "AssemblyError", "BenchmarkFailure", "ConfigError", "ExecutionError",
+    "ExecutionLimitExceeded", "FaultError", "LinkError", "ReproError",
+    "TraceError",
     "EXPERIMENTS", "ExperimentResult", "Session", "run_experiment",
     "CONSTANT", "LIMIT", "LVPConfig", "LVPUnit", "LoadOutcome",
     "PAPER_CONFIGS", "PERFECT", "SIMPLE",

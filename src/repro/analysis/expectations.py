@@ -42,11 +42,18 @@ class Expectation:
 
 @dataclass
 class CheckResult:
-    """Outcome of evaluating one expectation."""
+    """Outcome of evaluating one expectation.
+
+    ``skipped`` marks a claim that could not be evaluated because the
+    benchmarks it needs failed upstream (a recorded
+    :class:`~repro.errors.BenchmarkFailure`); skipped claims count as
+    not passed.
+    """
 
     expectation: Expectation
     passed: bool
     detail: str = ""
+    skipped: bool = False
 
 
 def _fig1(session, cache):
@@ -167,17 +174,35 @@ EXPECTATIONS: tuple[Expectation, ...] = (
 
 
 def check_all(session: "Session") -> list[CheckResult]:
-    """Evaluate every expectation against *session*."""
+    """Evaluate every expectation against *session*.
+
+    A claim whose check raises :class:`BenchmarkFailure` (a benchmark
+    it needs is broken) is recorded as *skipped*; one whose inputs were
+    only partially available (the session recorded new failures while
+    it ran) passes or fails on what remains, annotated as partial.
+    """
+    from repro.errors import BenchmarkFailure
+
     cache: dict = {}
     results = []
     for expectation in EXPECTATIONS:
+        known_failures = len(session.failures)
+        skipped = False
         try:
             passed = bool(expectation.check(session, cache))
             detail = ""
+        except BenchmarkFailure as exc:
+            passed = False
+            skipped = True
+            detail = f"skipped: {exc}"
         except Exception as exc:  # pragma: no cover - defensive
             passed = False
             detail = f"error: {exc}"
-        results.append(CheckResult(expectation, passed, detail))
+        if not skipped and len(session.failures) > known_failures:
+            omitted = len(session.failures) - known_failures
+            note = f"partial: {omitted} benchmark failure(s) omitted"
+            detail = f"{detail}; {note}" if detail else note
+        results.append(CheckResult(expectation, passed, detail, skipped))
     return results
 
 
@@ -185,10 +210,15 @@ def render_check_report(results: list[CheckResult]) -> str:
     """Human-readable pass/fail report."""
     lines = ["Paper-shape check", "================="]
     for result in results:
-        mark = "PASS" if result.passed else "FAIL"
+        mark = ("SKIP" if result.skipped
+                else "PASS" if result.passed else "FAIL")
         lines.append(f"[{mark}] ({result.expectation.exhibit}) "
                      f"{result.expectation.claim}"
                      + (f" -- {result.detail}" if result.detail else ""))
     passed = sum(1 for r in results if r.passed)
-    lines.append(f"{passed}/{len(results)} claims hold")
+    tail = f"{passed}/{len(results)} claims hold"
+    skipped = sum(1 for r in results if r.skipped)
+    if skipped:
+        tail += f" ({skipped} skipped)"
+    lines.append(tail)
     return "\n".join(lines)

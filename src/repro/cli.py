@@ -17,6 +17,9 @@ Commands
     Regenerate a paper exhibit (``fig1`` ... ``tab6``), or ``all``.
 ``check``
     Evaluate every paper-shape claim against a fresh session.
+``doctor``
+    Inject a deterministic campaign of faults (trace, cache, LVP) and
+    verify each one is detected or safely recovered, never silent.
 ``report``
     Write a single-file HTML report of all exhibits.
 ``disasm BENCH``
@@ -131,6 +134,18 @@ def cmd_speedup(args) -> int:
     return 0
 
 
+def _report_failures(session: Session) -> bool:
+    """Print the session's recorded benchmark failures (to stderr);
+    returns True when there were any."""
+    if not session.failures:
+        return False
+    print(f"{len(session.failures)} benchmark failure(s) degraded "
+          "this run:", file=sys.stderr)
+    for failure in session.failures:
+        print(f"  - {failure}", file=sys.stderr)
+    return True
+
+
 def cmd_experiment(args) -> int:
     names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
     session = Session(scale=args.scale, benchmarks=names)
@@ -138,7 +153,7 @@ def cmd_experiment(args) -> int:
     for exp_id in exhibits:
         print(run_experiment(exp_id, session).text)
         print()
-    return 0
+    return 1 if _report_failures(session) else 0
 
 
 def cmd_check(args) -> int:
@@ -147,7 +162,17 @@ def cmd_check(args) -> int:
     session = Session(scale=args.scale, benchmarks=names)
     results = check_all(session)
     print(render_check_report(results))
+    _report_failures(session)
     return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_doctor(args) -> int:
+    from repro.faults import run_doctor
+    faults = 18 if args.quick else args.faults
+    report = run_doctor(seed=args.seed, faults=faults,
+                        benchmark=args.bench, scale=args.scale)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_report(args) -> int:
@@ -236,6 +261,20 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--benchmarks", default=None,
                               help="comma-separated subset")
     check_parser.set_defaults(func=cmd_check)
+
+    doctor_parser = commands.add_parser(
+        "doctor", help="run the fault-injection self-test campaign")
+    doctor_parser.add_argument("--seed", type=int, default=0,
+                               help="campaign seed (default: 0)")
+    doctor_parser.add_argument("--faults", type=int, default=60,
+                               help="faults to inject (default: 60)")
+    doctor_parser.add_argument("--quick", action="store_true",
+                               help="small 18-fault campaign (for CI)")
+    doctor_parser.add_argument("--bench", default="grep",
+                               help="benchmark to trace (default: grep)")
+    doctor_parser.add_argument("--scale", default="tiny",
+                               choices=("tiny", "small", "reference"))
+    doctor_parser.set_defaults(func=cmd_doctor)
 
     report_parser = commands.add_parser(
         "report", help="write an HTML report of all exhibits")

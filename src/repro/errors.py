@@ -37,3 +37,34 @@ class ConfigError(ReproError):
 
 class TraceError(ReproError):
     """A trace is malformed or inconsistent with what a consumer expects."""
+
+
+class FaultError(ReproError):
+    """A fault-injection request is invalid or a deliberate fault fired.
+
+    Raised by :mod:`repro.faults` for malformed fault specifications and
+    by the harness when a sabotage knob (``REPRO_SABOTAGE``) deliberately
+    fails a benchmark to exercise the degradation paths.
+    """
+
+
+class BenchmarkFailure(ReproError):
+    """One benchmark failed at one pipeline stage.
+
+    The harness records these instead of aborting a whole run: exhibits
+    render with the failed benchmark footnoted, and ``experiment all``
+    completes (with a non-zero exit status).  Carries the failing
+    ``benchmark``, the ``stage`` (``trace``/``annotate``/``model``), the
+    codegen ``target``, and the original exception as ``cause``.
+    """
+
+    def __init__(self, benchmark: str, stage: str, target: str,
+                 cause: BaseException) -> None:
+        super().__init__(
+            f"{benchmark} [{target}] failed at the {stage} stage: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.benchmark = benchmark
+        self.stage = stage
+        self.target = target
+        self.cause = cause

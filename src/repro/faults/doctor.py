@@ -1,0 +1,199 @@
+"""The fault-injection self-test campaign (``python -m repro doctor``).
+
+The paper's central correctness argument is that load value prediction
+is *speculative but safe*: every misprediction is caught by the
+verification comparator or the CVU, so a wrong table entry can cost
+cycles but never correctness.  The doctor turns that claim into a
+tested property.  It plants a deterministic campaign of faults across
+three layers -- in-memory trace columns, on-disk cache bundles, and
+live LVP unit tables -- and asserts that every single one is either
+
+* **detected** (``validate_trace`` flags the trace, or the cache's
+  checksums reject and quarantine the bundle), or
+* **recovered** (annotation completes and the audit log proves no
+  wrong forwarded value was ever marked correct).
+
+Any fault that is neither is **silent** -- the one outcome the design
+must never produce -- and fails the campaign.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults import inject
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.harness.cache import TraceCache
+from repro.lvp.config import CONSTANT, SIMPLE
+from repro.trace.annotate import annotate_trace
+from repro.trace.records import TRACE_COLUMNS, Trace
+from repro.trace.validate import validate_trace
+
+#: Campaign outcome classifications.
+DETECTED = "detected"
+RECOVERED = "recovered"
+SILENT = "silent"
+
+
+@dataclass
+class FaultOutcome:
+    """One executed fault and how the system handled it."""
+
+    spec: FaultSpec
+    status: str  #: DETECTED / RECOVERED / SILENT
+    detail: str
+
+
+@dataclass
+class DoctorReport:
+    """Aggregated result of one doctor campaign."""
+
+    seed: int
+    benchmark: str
+    scale: str
+    outcomes: list
+
+    @property
+    def silent(self) -> list:
+        """The faults nothing caught (must be empty)."""
+        return [o for o in self.outcomes if o.status == SILENT]
+
+    @property
+    def ok(self) -> bool:
+        return not self.silent
+
+    def counts(self) -> dict:
+        """``{layer: {status: count}}`` over all outcomes."""
+        table: dict = {}
+        for outcome in self.outcomes:
+            row = table.setdefault(outcome.spec.layer,
+                                   {DETECTED: 0, RECOVERED: 0, SILENT: 0})
+            row[outcome.status] += 1
+        return table
+
+    def render(self) -> str:
+        """Human-readable campaign report."""
+        lines = [
+            "Fault-injection doctor",
+            "======================",
+            f"seed {self.seed} · {len(self.outcomes)} faults · "
+            f"benchmark {self.benchmark} @ {self.scale}",
+            "",
+            f"{'layer':8s} {'injected':>8s} {'detected':>9s} "
+            f"{'recovered':>10s} {'SILENT':>7s}",
+        ]
+        counts = self.counts()
+        totals = {DETECTED: 0, RECOVERED: 0, SILENT: 0}
+        for layer in ("trace", "cache", "lvp"):
+            row = counts.get(layer)
+            if row is None:
+                continue
+            injected = sum(row.values())
+            lines.append(
+                f"{layer:8s} {injected:8d} {row[DETECTED]:9d} "
+                f"{row[RECOVERED]:10d} {row[SILENT]:7d}")
+            for status in totals:
+                totals[status] += row[status]
+        lines.append(
+            f"{'total':8s} {len(self.outcomes):8d} {totals[DETECTED]:9d} "
+            f"{totals[RECOVERED]:10d} {totals[SILENT]:7d}")
+        lines.append("")
+        if self.ok:
+            lines.append("verdict: OK — every fault was detected or "
+                         "safely recovered")
+        else:
+            lines.append(f"verdict: FAIL — {len(self.silent)} silent "
+                         "corruption(s):")
+            for outcome in self.silent:
+                lines.append(f"  !! [{outcome.spec.layer}/"
+                             f"{outcome.spec.kind} seed="
+                             f"{outcome.spec.seed}] {outcome.detail}")
+        return "\n".join(lines)
+
+
+def _columns_equal(a: Trace, b: Trace) -> bool:
+    return len(a) == len(b) and all(
+        (getattr(a, key) == getattr(b, key)).all()
+        for key, _ in TRACE_COLUMNS
+    )
+
+
+def _run_trace_fault(spec: FaultSpec, trace: Trace) -> FaultOutcome:
+    corrupt, expect_detected, what = inject.inject_trace_fault(
+        trace, spec.kind, spec.rng())
+    problems = validate_trace(corrupt)
+    if expect_detected:
+        if problems:
+            return FaultOutcome(spec, DETECTED,
+                                f"{what}; flagged: {problems[0]}")
+        return FaultOutcome(spec, SILENT,
+                            f"{what}; validate_trace saw nothing")
+    # Well-formed corruption (a value flip): the trace must still
+    # validate, and annotation must absorb it via the misprediction
+    # path without ever letting a wrong forward stand.
+    if problems:
+        return FaultOutcome(spec, DETECTED,
+                            f"{what}; flagged: {problems[0]}")
+    annotated = annotate_trace(corrupt, SIMPLE, audit=True)
+    violations = inject.audit_violations(annotated)
+    if violations:
+        return FaultOutcome(spec, SILENT, f"{what}; {violations[0]}")
+    return FaultOutcome(spec, RECOVERED,
+                        f"{what}; absorbed by the misprediction path")
+
+
+def _run_cache_fault(spec: FaultSpec, trace: Trace, cache: TraceCache,
+                     scale: str) -> FaultOutcome:
+    what = inject.inject_cache_fault(cache, trace, scale, spec.kind,
+                                     spec.rng())
+    loaded = cache.load(trace.name, trace.target, scale)
+    if loaded is None:
+        return FaultOutcome(spec, DETECTED, f"{what}; treated as a miss")
+    if _columns_equal(loaded, trace):
+        return FaultOutcome(spec, RECOVERED,
+                            f"{what}; bundle survived intact")
+    return FaultOutcome(spec, SILENT,
+                        f"{what}; a corrupted trace was served")
+
+
+def _run_lvp_fault(spec: FaultSpec, trace: Trace) -> FaultOutcome:
+    rng = spec.rng()
+    config = rng.choice((SIMPLE, CONSTANT))
+    n_events = int((trace.is_load | trace.is_store).sum())
+    hook, what = inject.make_lvp_hook(spec.kind, rng, n_events)
+    annotated = annotate_trace(trace, config, audit=True, fault_hook=hook)
+    violations = inject.audit_violations(annotated)
+    if violations:
+        return FaultOutcome(spec, SILENT,
+                            f"{what} ({config.name}); {violations[0]}")
+    return FaultOutcome(spec, RECOVERED,
+                        f"{what} ({config.name}); comparator held")
+
+
+def run_doctor(seed: int = 0, faults: int = 60,
+               benchmark: str = "grep", scale: str = "tiny",
+               trace: Optional[Trace] = None) -> DoctorReport:
+    """Run a fault campaign; returns the report (never raises on
+    silent corruption -- inspect ``report.ok``).
+
+    Pass *trace* to reuse an already-generated trace (tests do);
+    otherwise a fresh verifying session traces *benchmark* at *scale*.
+    """
+    if trace is None:
+        from repro.harness.session import Session
+        session = Session(scale=scale, benchmarks=(benchmark,))
+        trace = session.trace(benchmark, "ppc")
+    plan = FaultPlan(seed, faults)
+    outcomes = []
+    with tempfile.TemporaryDirectory(prefix="repro-doctor-") as tmp:
+        cache = TraceCache(tmp)
+        for spec in plan:
+            if spec.layer == "trace":
+                outcomes.append(_run_trace_fault(spec, trace))
+            elif spec.layer == "cache":
+                outcomes.append(_run_cache_fault(spec, trace, cache, scale))
+            else:
+                outcomes.append(_run_lvp_fault(spec, trace))
+    return DoctorReport(seed, trace.name or benchmark, scale, outcomes)

@@ -1,0 +1,254 @@
+"""Fault injectors for the three layers the doctor exercises.
+
+Each injector plants exactly one fault at a realistic boundary:
+
+* :func:`inject_trace_fault` corrupts a *copy* of an in-memory trace
+  (bit flips, out-of-range fields, truncation) the way a bad producer
+  or decayed storage would;
+* :func:`inject_cache_fault` damages a stored ``.npz`` bundle on disk
+  (truncation, bit flips, garbage, stale versions, checksum lies);
+* :func:`make_lvp_hook` builds an ``annotate_trace`` fault hook that
+  corrupts a live LVP unit's tables mid-annotation (soft errors in the
+  LVPT/LCT/CVU).
+
+:func:`audit_violations` is the other half of the contract: given an
+audited annotation it returns every way a corrupted unit let a wrong
+forwarded value stand.  An empty list means the misprediction path
+absorbed the fault.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.harness.cache import TraceCache
+from repro.isa.opcodes import CONDITIONAL_BRANCHES, Opcode, OpClass
+from repro.isa.registers import NUM_REGS
+from repro.lvp.unit import LoadOutcome
+from repro.trace.annotate import AnnotatedTrace
+from repro.trace.records import TRACE_COLUMNS, Trace
+
+
+def copy_trace(trace: Trace) -> Trace:
+    """A deep copy of *trace* safe to corrupt."""
+    return Trace(
+        {key: getattr(trace, key).copy() for key, _ in TRACE_COLUMNS},
+        name=trace.name, target=trace.target,
+    )
+
+
+def _pick(rng: random.Random, positions: np.ndarray, what: str) -> int:
+    if len(positions) == 0:
+        raise FaultError(f"trace has no {what}; cannot plant this fault")
+    return int(positions[rng.randrange(len(positions))])
+
+
+# ---------------------------------------------------------------------------
+# Trace-layer faults.
+# ---------------------------------------------------------------------------
+def inject_trace_fault(trace: Trace, kind: str,
+                       rng: random.Random) -> tuple[Trace, bool, str]:
+    """Corrupt a copy of *trace*; returns (copy, expect_detected, what).
+
+    ``expect_detected`` is True when the fault violates a structural
+    invariant ``validate_trace`` must flag; False for faults (value
+    bit flips) that leave the trace well-formed and must instead be
+    absorbed by the LVP misprediction path.
+    """
+    corrupt = copy_trace(trace)
+    loads = np.nonzero(corrupt.is_load)[0]
+    any_row = np.arange(len(corrupt))
+
+    if kind == "opcode_zero":
+        i = _pick(rng, any_row, "rows")
+        corrupt.opcode[i] = 0
+        return corrupt, True, f"opcode[{i}] zeroed"
+    if kind == "opcode_overflow":
+        i = _pick(rng, any_row, "rows")
+        corrupt.opcode[i] = len(Opcode) + 1 + rng.randrange(50)
+        return corrupt, True, f"opcode[{i}] past the enum"
+    if kind == "opclass_mismatch":
+        i = _pick(rng, any_row, "rows")
+        corrupt.opclass[i] = 250
+        return corrupt, True, f"opclass[{i}] mismatched"
+    if kind == "register_range":
+        i = _pick(rng, any_row, "rows")
+        column = getattr(corrupt, rng.choice(("dst", "src1", "src2")))
+        column[i] = rng.choice((NUM_REGS + 1 + rng.randrange(100), -2))
+        return corrupt, True, f"register id[{i}] out of range"
+    if kind == "bad_size":
+        i = _pick(rng, loads, "loads")
+        corrupt.size[i] = rng.choice((2, 3, 5, 7))
+        return corrupt, True, f"size[{i}] implausible"
+    if kind == "misalign":
+        wide = np.nonzero((corrupt.is_load | corrupt.is_store)
+                          & (corrupt.size >= 4))[0]
+        i = _pick(rng, wide, "wide memory ops")
+        corrupt.addr[i] += rng.choice((1, 2, 3))
+        return corrupt, True, f"addr[{i}] misaligned"
+    if kind == "taken_flag":
+        conditional = np.isin(
+            corrupt.opcode, [int(o) for o in CONDITIONAL_BRANCHES])
+        i = _pick(rng, np.nonzero(~conditional)[0], "non-branch rows")
+        corrupt.taken[i] = 1
+        return corrupt, True, f"taken[{i}] set on a non-branch"
+    if kind == "pc_unaligned":
+        i = _pick(rng, any_row, "rows")
+        corrupt.pc[i] += rng.choice((1, 2, 3))
+        return corrupt, True, f"pc[{i}] unaligned"
+    if kind == "truncate_tail":
+        mid_flow = np.nonzero(
+            corrupt.opclass != int(OpClass.BRANCH))[0]
+        i = _pick(rng, mid_flow, "non-branch rows")
+        sliced = Trace(
+            {key: getattr(corrupt, key)[: i + 1].copy()
+             for key, _ in TRACE_COLUMNS},
+            name=corrupt.name, target=corrupt.target,
+        )
+        return sliced, True, f"trace truncated after row {i}"
+    if kind == "value_flip":
+        i = _pick(rng, loads, "loads")
+        corrupt.value[i] ^= np.uint64(1) << np.uint64(rng.randrange(64))
+        return corrupt, False, f"value[{i}] bit-flipped"
+    raise FaultError(f"unknown trace fault kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Cache-layer faults.
+# ---------------------------------------------------------------------------
+def inject_cache_fault(cache: TraceCache, trace: Trace, scale: str,
+                       kind: str, rng: random.Random) -> str:
+    """Store *trace*, then damage the bundle on disk; returns what."""
+    cache.store(trace, scale)
+    path = cache.path_for(trace.name, trace.target, scale)
+
+    if kind == "truncate":
+        data = path.read_bytes()
+        keep = rng.randrange(1, len(data))
+        path.write_bytes(data[:keep])
+        return f"bundle truncated to {keep}/{len(data)} bytes"
+    if kind == "bitflip":
+        data = bytearray(path.read_bytes())
+        offset = rng.randrange(len(data))
+        data[offset] ^= 1 << rng.randrange(8)
+        path.write_bytes(bytes(data))
+        return f"bundle bit-flipped at byte {offset}"
+    if kind == "garbage":
+        path.write_bytes(rng.randbytes(256))
+        return "bundle replaced with garbage"
+    if kind == "empty":
+        path.write_bytes(b"")
+        return "bundle emptied"
+    if kind == "version_bump":
+        original = cache.version
+        try:
+            cache.version = original + "-stale"
+            cache.store(trace, scale)
+        finally:
+            cache.version = original
+        return "bundle re-stamped with a stale version"
+    if kind == "checksum_mismatch":
+        # Rewrite the bundle with one column element altered but the
+        # *original* checksums kept, so only the per-column CRC layer
+        # (not the zip container's own CRC) can catch the lie.
+        with np.load(path, allow_pickle=False) as bundle:
+            arrays = {key: bundle[key].copy() for key in bundle.files}
+        columns = [key for key, _ in TRACE_COLUMNS
+                   if len(arrays[key])]
+        victim = rng.choice(columns)
+        i = rng.randrange(len(arrays[victim]))
+        arrays[victim][i] = arrays[victim][i] ^ 1
+        np.savez_compressed(path, **arrays)
+        return f"column {victim!r} altered under its recorded checksum"
+    raise FaultError(f"unknown cache fault kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# LVP-layer faults.
+# ---------------------------------------------------------------------------
+def make_lvp_hook(kind: str, rng: random.Random,
+                  n_events: int) -> tuple[Callable, str]:
+    """An ``annotate_trace`` fault hook firing once mid-annotation."""
+    if kind not in ("lvpt_poke", "lct_poke", "cvu_bogus", "unit_flush"):
+        raise FaultError(f"unknown LVP fault kind {kind!r}")
+    fire_at = rng.randrange(n_events) if n_events > 0 else 0
+    fired = [False]
+
+    def hook(unit, event_index: int) -> None:
+        if fired[0] or event_index < fire_at:
+            return
+        fired[0] = True
+        if kind == "unit_flush":
+            unit.flush()
+            return
+        lvpt = unit.lvpt
+        if lvpt is None:
+            return
+        if kind == "lvpt_poke" and hasattr(lvpt, "poke"):
+            depth = max(1, getattr(lvpt, "history_depth", 1))
+            lvpt.poke(rng.randrange(lvpt.entries),
+                      [rng.randrange(2 ** 64) for _ in range(depth)])
+        elif kind == "lct_poke":
+            top = (1 << unit.lct.bits) - 1
+            unit.lct.poke(rng.randrange(unit.lct.entries),
+                          rng.randrange(top + 1))
+        elif kind == "cvu_bogus":
+            unit.cvu.insert(rng.randrange(1 << 24) * 8,
+                            rng.randrange(max(1, lvpt.entries)))
+
+    return hook, f"{kind} at event {fire_at}"
+
+
+# ---------------------------------------------------------------------------
+# The safety oracle.
+# ---------------------------------------------------------------------------
+def audit_violations(annotated: AnnotatedTrace,
+                     limit: int = 10) -> list[str]:
+    """Every way *annotated* let a wrong forwarded value stand.
+
+    Requires the annotation to have run with ``audit=True``.  For mru
+    selection the check is exact: a load marked CORRECT or CONSTANT
+    must have forwarded precisely the value it actually loaded, and a
+    load marked INCORRECT must not have.  Perfect-selection (oracle)
+    configurations only get the structural checks, since their notion
+    of "correct" is any-of-history.
+    """
+    log = annotated.audit_log
+    if log is None:
+        return ["annotation was not run with audit=True"]
+    problems: list[str] = []
+    stats = annotated.stats
+    if sum(stats.outcomes.values()) != stats.loads:
+        problems.append("outcome counts do not sum to the load count")
+    if stats.loads != annotated.trace.num_loads:
+        problems.append("unit processed a different number of loads "
+                        "than the trace contains")
+    if len(log) != stats.loads:
+        problems.append("audit log length disagrees with the load count")
+
+    config = annotated.config
+    strict = not config.perfect and config.selection == "mru"
+    forwarded = (LoadOutcome.CORRECT, LoadOutcome.CONSTANT)
+    for pc, predicted, actual, outcome in log:
+        if len(problems) >= limit:
+            problems.append("... further violations suppressed")
+            break
+        if outcome in forwarded:
+            if predicted is None:
+                problems.append(
+                    f"load @0x{pc:x} marked {outcome.name} with nothing "
+                    "to forward")
+            elif strict and predicted != actual:
+                problems.append(
+                    f"load @0x{pc:x} marked {outcome.name} but forwarded "
+                    f"0x{predicted:x} != actual 0x{actual:x}")
+        elif (outcome is LoadOutcome.INCORRECT and strict
+              and predicted is not None and predicted == actual):
+            problems.append(
+                f"load @0x{pc:x} marked INCORRECT but the forwarded "
+                "value was right")
+    return problems

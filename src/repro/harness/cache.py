@@ -8,16 +8,52 @@ workload definitions change and stale traces invalidate themselves.
 
 Enable it by passing ``cache_dir`` to :class:`repro.harness.Session`
 or by setting the ``REPRO_TRACE_CACHE`` environment variable.
+
+The cache is hardened against on-disk corruption:
+
+* every column is stored with a CRC-32 checksum, verified on load;
+* a bundle that fails to open, parse, or checksum is treated as a
+  cache miss and *quarantined* (moved into a ``quarantine/``
+  subdirectory) so it can be inspected but never re-read;
+* interrupted writes leave no debris -- stores write a ``.tmp.npz``
+  then rename, unlink the temporary on any failure, and stale
+  temporaries from crashed processes are swept on construction;
+* stores and loads take an advisory file lock (where the platform
+  offers ``fcntl``) so concurrent sessions sharing one
+  ``REPRO_TRACE_CACHE`` directory do not race.
 """
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
+import zipfile
+import zlib
 from typing import Optional
 
 import numpy as np
 
 from repro.trace.records import TRACE_COLUMNS, Trace
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+
+class _CorruptBundle(Exception):
+    """Internal: a cached bundle failed a structural or checksum check."""
+
+
+#: Exceptions that mean "this file is damaged", not "this is a bug".
+_CORRUPTION_ERRORS = (OSError, KeyError, ValueError, EOFError,
+                      zlib.error, zipfile.BadZipFile, _CorruptBundle)
+
+
+def _column_crc(array: np.ndarray) -> int:
+    """CRC-32 of a column's raw bytes (dtype-stable: columns are
+    always stored little-endian, see TRACE_COLUMNS)."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
 
 
 class TraceCache:
@@ -28,38 +64,123 @@ class TraceCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         from repro import __version__
         self.version = __version__
+        self._sweep_temporaries()
 
     def _path(self, name: str, target: str, scale: str) -> pathlib.Path:
         safe = name.replace("/", "_")
         return self.directory / f"{safe}-{target}-{scale}.npz"
 
+    def path_for(self, name: str, target: str, scale: str) -> pathlib.Path:
+        """The on-disk bundle path for one key (for tools and tests)."""
+        return self._path(name, target, scale)
+
+    # -- concurrency ---------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self, shared: bool = False):
+        """Advisory lock over the cache directory (no-op without fcntl)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = self.directory / ".lock"
+        with open(lock_path, "a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    # -- hygiene -------------------------------------------------------------
+    def _sweep_temporaries(self) -> int:
+        """Remove ``.tmp.npz`` files left by interrupted stores."""
+        removed = 0
+        for stale in self.directory.glob("*.tmp.npz"):
+            with contextlib.suppress(OSError):
+                stale.unlink()
+                removed += 1
+        return removed
+
+    def quarantine(self, path: pathlib.Path) -> Optional[pathlib.Path]:
+        """Move a damaged bundle into ``quarantine/``; returns its new
+        path (None if the file vanished, e.g. another session won)."""
+        qdir = self.directory / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        destination = qdir / path.name
+        suffix = 0
+        while destination.exists():
+            suffix += 1
+            destination = qdir / f"{path.name}.{suffix}"
+        try:
+            path.replace(destination)
+        except OSError:
+            return None
+        return destination
+
+    def discard(self, name: str, target: str, scale: str) -> None:
+        """Quarantine the bundle for one key (used when a loaded trace
+        fails semantic validation downstream of the checksum layer)."""
+        path = self._path(name, target, scale)
+        if path.exists():
+            with self._locked():
+                self.quarantine(path)
+
+    # -- load/store ----------------------------------------------------------
     def load(self, name: str, target: str,
              scale: str) -> Optional[Trace]:
-        """Return the cached trace, or None on miss/version mismatch."""
+        """Return the cached trace, or None on miss/version mismatch.
+
+        A bundle that is corrupt (unreadable, missing columns, or
+        failing a column checksum) is quarantined and reported as a
+        miss, so callers regenerate transparently.
+        """
         path = self._path(name, target, scale)
         if not path.exists():
             return None
         try:
-            with np.load(path, allow_pickle=False) as bundle:
+            with self._locked(shared=True), \
+                    np.load(path, allow_pickle=False) as bundle:
                 if str(bundle["version"]) != self.version:
-                    return None
-                columns = {key: bundle[key] for key, _ in TRACE_COLUMNS}
-        except (OSError, KeyError, ValueError):
+                    return None  # stale, not damaged: store() overwrites
+                columns = {}
+                for key, _ in TRACE_COLUMNS:
+                    column = bundle[key]
+                    expected = int(bundle[f"crc_{key}"])
+                    if _column_crc(column) != expected:
+                        raise _CorruptBundle(
+                            f"checksum mismatch in column {key!r}")
+                    columns[key] = column
+            return Trace(columns, name=name, target=target)
+        except _CORRUPTION_ERRORS:
+            with self._locked():
+                self.quarantine(path)
             return None
-        return Trace(columns, name=name, target=target)
 
     def store(self, trace: Trace, scale: str) -> None:
-        """Persist *trace* (atomically: write then rename)."""
+        """Persist *trace* (atomically: write then rename).
+
+        The temporary file is unlinked on any write failure so crashed
+        or interrupted stores never leave partial bundles behind.
+        """
         path = self._path(trace.name, trace.target, scale)
         temporary = path.with_suffix(".tmp.npz")
         arrays = {key: getattr(trace, key) for key, _ in TRACE_COLUMNS}
-        np.savez_compressed(temporary, version=self.version, **arrays)
-        temporary.replace(path)
+        checksums = {
+            f"crc_{key}": np.uint32(_column_crc(column))
+            for key, column in arrays.items()
+        }
+        with self._locked():
+            try:
+                np.savez_compressed(temporary, version=self.version,
+                                    **arrays, **checksums)
+                temporary.replace(path)
+            finally:
+                with contextlib.suppress(OSError):
+                    temporary.unlink()
 
     def clear(self) -> int:
         """Delete every cached trace; returns the number removed."""
         removed = 0
-        for path in self.directory.glob("*.npz"):
-            path.unlink()
-            removed += 1
+        with self._locked():
+            for path in self.directory.glob("*.npz"):
+                path.unlink()
+                removed += 1
         return removed

@@ -5,13 +5,20 @@ evaluation and returns an :class:`ExperimentResult` whose ``data``
 holds the raw numbers and whose ``text`` prints the same rows/series
 the paper reports.  ``EXPERIMENTS`` maps exhibit ids (``fig1``,
 ``tab3``, ...) to their runners; ``run_experiment`` dispatches by id.
+
+Runners degrade gracefully: a benchmark that fails at any stage (its
+:class:`~repro.errors.BenchmarkFailure` is recorded by the session) is
+dropped from that exhibit and footnoted in the rendered text instead
+of aborting the run, so ``experiment all`` always produces every
+exhibit it can.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.errors import BenchmarkFailure
 from repro.isa.opcodes import ValueKind
 from repro.lvp.config import CONSTANT, LIMIT, PERFECT, SIMPLE
 from repro.lvp.locality import measure_locality_by_kind, measure_value_locality
@@ -31,12 +38,51 @@ from repro.workloads.suite import get_benchmark
 
 @dataclass
 class ExperimentResult:
-    """One reproduced exhibit: id, title, raw data, rendered text."""
+    """One reproduced exhibit: id, title, raw data, rendered text.
+
+    ``failures`` lists the benchmarks omitted from this exhibit (the
+    rendered text carries matching footnotes).
+    """
 
     exp_id: str
     title: str
     data: dict
     text: str
+    failures: tuple = field(default=())
+
+
+# ---------------------------------------------------------------------------
+# Failure isolation helpers.
+# ---------------------------------------------------------------------------
+def _per_benchmark(session: Session, fn):
+    """Run ``fn(name)`` per benchmark, isolating failures.
+
+    Returns ``(rows, failures)``: *rows* maps each succeeding
+    benchmark to ``fn``'s result, in suite order; *failures* collects
+    the :class:`BenchmarkFailure` of each benchmark that did not.
+    """
+    rows: dict = {}
+    failures: list[BenchmarkFailure] = []
+    for name in session.benchmark_names:
+        try:
+            rows[name] = fn(name)
+        except BenchmarkFailure as failure:
+            failures.append(failure)
+    return rows, failures
+
+
+def _footnotes(failures) -> str:
+    """Footnote block naming each omitted benchmark (empty if none)."""
+    if not failures:
+        return ""
+    lines = ["", "Footnotes:"]
+    for failure in failures:
+        cause = f"{type(failure.cause).__name__}: {failure.cause}"
+        if len(cause) > 72:
+            cause = cause[:69] + "..."
+        lines.append(f"  + {failure.benchmark} [{failure.target}] "
+                     f"omitted -- {failure.stage} stage failed ({cause})")
+    return "\n" + "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -44,30 +90,34 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 def run_tab1(session: Session) -> ExperimentResult:
     """Reproduce Table 1 (benchmark suite summary)."""
-    table = TextTable(
-        ["benchmark", "description", "instrs (PPC)", "instrs (Alpha)",
-         "paper PPC", "paper Alpha"],
-        title="Table 1: Benchmark Descriptions",
-    )
-    data = {}
-    for name in session.benchmark_names:
-        bench = get_benchmark(name)
+
+    def fn(name):
         stats_p = compute_stats(session.trace(name, "ppc"))
         stats_a = compute_stats(session.trace(name, "alpha"))
-        data[name] = {
+        return {
             "ppc_instructions": stats_p.instructions,
             "alpha_instructions": stats_a.instructions,
             "ppc_loads": stats_p.loads,
             "alpha_loads": stats_a.loads,
         }
+
+    data, failures = _per_benchmark(session, fn)
+    table = TextTable(
+        ["benchmark", "description", "instrs (PPC)", "instrs (Alpha)",
+         "paper PPC", "paper Alpha"],
+        title="Table 1: Benchmark Descriptions",
+    )
+    for name, row in data.items():
+        bench = get_benchmark(name)
         table.add_row([
-            name, bench.description, stats_p.instructions,
-            stats_a.instructions,
+            name, bench.description, row["ppc_instructions"],
+            row["alpha_instructions"],
             bench.paper_instructions.get("ppc", "-"),
             bench.paper_instructions.get("alpha", "-"),
         ])
     return ExperimentResult("tab1", "Benchmark Descriptions", data,
-                            table.render())
+                            table.render() + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -93,24 +143,32 @@ def run_tab5(session: Session) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 def run_fig1(session: Session) -> ExperimentResult:
     """Reproduce Figure 1 (value locality, Alpha and PowerPC)."""
-    data: dict = {"alpha": {}, "ppc": {}}
-    for target in ("alpha", "ppc"):
-        for name in session.benchmark_names:
+
+    def fn(name):
+        per_target = {}
+        for target in ("alpha", "ppc"):
             trace = session.trace(name, target)
-            data[target][name] = (
+            per_target[target] = (
                 measure_value_locality(trace, depth=1).percent,
                 measure_value_locality(trace, depth=16).percent,
             )
+        return per_target
+
+    rows, failures = _per_benchmark(session, fn)
+    data: dict = {"alpha": {}, "ppc": {}}
+    for name, per_target in rows.items():
+        for target in ("alpha", "ppc"):
+            data[target][name] = per_target[target]
     lines = []
     for target, label in (("alpha", "Alpha AXP"), ("ppc", "PowerPC")):
         table = TextTable(["benchmark", "depth 1", "depth 16"],
                           title=f"Figure 1: Load Value Locality ({label})")
-        for name in session.benchmark_names:
-            d1, d16 = data[target][name]
+        for name, (d1, d16) in data[target].items():
             table.add_row([name, f"{d1:.1f}%", f"{d16:.1f}%"])
         lines.append(table.render())
     return ExperimentResult("fig1", "Load Value Locality", data,
-                            "\n\n".join(lines))
+                            "\n\n".join(lines) + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -126,16 +184,22 @@ _KIND_LABELS = {
 
 def run_fig2(session: Session) -> ExperimentResult:
     """Reproduce Figure 2 (PowerPC value locality by data type)."""
-    data: dict = {kind.name: {} for kind in ValueKind}
-    for name in session.benchmark_names:
+
+    def fn(name):
         trace = session.trace(name, "ppc")
         by_kind_1 = measure_locality_by_kind(trace, depth=1)
         by_kind_16 = measure_locality_by_kind(trace, depth=16)
+        return {
+            kind.name: (by_kind_1[kind].percent, by_kind_16[kind].percent,
+                        by_kind_1[kind].total_loads)
+            for kind in ValueKind
+        }
+
+    rows, failures = _per_benchmark(session, fn)
+    data: dict = {kind.name: {} for kind in ValueKind}
+    for name, per_kind in rows.items():
         for kind in ValueKind:
-            r1, r16 = by_kind_1[kind], by_kind_16[kind]
-            data[kind.name][name] = (
-                r1.percent, r16.percent, r1.total_loads,
-            )
+            data[kind.name][name] = per_kind[kind.name]
     lines = []
     for kind in (ValueKind.FP_DATA, ValueKind.INT_DATA,
                  ValueKind.INSTR_ADDR, ValueKind.DATA_ADDR):
@@ -143,8 +207,7 @@ def run_fig2(session: Session) -> ExperimentResult:
             ["benchmark", "depth 1", "depth 16", "loads"],
             title=f"Figure 2: PowerPC Value Locality - {_KIND_LABELS[kind]}",
         )
-        for name in session.benchmark_names:
-            d1, d16, loads = data[kind.name][name]
+        for name, (d1, d16, loads) in data[kind.name].items():
             table.add_row([
                 name,
                 f"{d1:.1f}%" if loads else "-",
@@ -153,7 +216,8 @@ def run_fig2(session: Session) -> ExperimentResult:
             ])
         lines.append(table.render())
     return ExperimentResult("fig2", "Value Locality by Data Type", data,
-                            "\n\n".join(lines))
+                            "\n\n".join(lines) + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -164,7 +228,18 @@ def run_tab3(session: Session) -> ExperimentResult:
     combos = (
         ("ppc", SIMPLE), ("ppc", LIMIT), ("alpha", SIMPLE), ("alpha", LIMIT),
     )
-    data: dict = {}
+
+    def fn(name):
+        per_combo = {}
+        for target, config in combos:
+            stats = session.annotated(name, target, config).stats
+            per_combo[f"{target}/{config.name}"] = (
+                stats.unpredictable_identified,
+                stats.predictable_identified,
+            )
+        return per_combo
+
+    data, failures = _per_benchmark(session, fn)
     table = TextTable(
         ["benchmark",
          "PPC/S unpred", "PPC/S pred", "PPC/L unpred", "PPC/L pred",
@@ -172,28 +247,27 @@ def run_tab3(session: Session) -> ExperimentResult:
         title="Table 3: LCT Hit Rates",
     )
     per_column: dict = {combo: ([], []) for combo in combos}
-    for name in session.benchmark_names:
+    for name, per_combo in data.items():
         row = [name]
-        data[name] = {}
         for target, config in combos:
-            stats = session.annotated(name, target, config).stats
-            unpred = stats.unpredictable_identified
-            pred = stats.predictable_identified
-            data[name][f"{target}/{config.name}"] = (unpred, pred)
+            unpred, pred = per_combo[f"{target}/{config.name}"]
             per_column[(target, config)][0].append(unpred)
             per_column[(target, config)][1].append(pred)
             row.extend([format_percent(unpred, 0), format_percent(pred, 0)])
         table.add_row(row)
-    table.add_separator()
-    gm_row = ["GM"]
-    for combo in combos:
-        unpreds, preds = per_column[combo]
-        gm_row.extend([
-            format_percent(geometric_mean(unpreds), 0),
-            format_percent(geometric_mean(preds), 0),
-        ])
-    table.add_row(gm_row)
-    return ExperimentResult("tab3", "LCT Hit Rates", data, table.render())
+    if data:
+        table.add_separator()
+        gm_row = ["GM"]
+        for combo in combos:
+            unpreds, preds = per_column[combo]
+            gm_row.extend([
+                format_percent(geometric_mean(unpreds), 0),
+                format_percent(geometric_mean(preds), 0),
+            ])
+        table.add_row(gm_row)
+    return ExperimentResult("tab3", "LCT Hit Rates", data,
+                            table.render() + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -205,23 +279,28 @@ def run_tab4(session: Session) -> ExperimentResult:
         ("ppc", SIMPLE), ("ppc", CONSTANT),
         ("alpha", SIMPLE), ("alpha", CONSTANT),
     )
-    data: dict = {}
+
+    def fn(name):
+        return {
+            f"{target}/{config.name}":
+                session.annotated(name, target, config).stats.constant_fraction
+            for target, config in combos
+        }
+
+    data, failures = _per_benchmark(session, fn)
     table = TextTable(
         ["benchmark", "PPC Simple", "PPC Constant",
          "AXP Simple", "AXP Constant"],
         title="Table 4: Successful Constant Identification Rates",
     )
-    for name in session.benchmark_names:
-        row = [name]
-        data[name] = {}
-        for target, config in combos:
-            stats = session.annotated(name, target, config).stats
-            fraction = stats.constant_fraction
-            data[name][f"{target}/{config.name}"] = fraction
-            row.append(format_percent(fraction, 0))
-        table.add_row(row)
+    for name, per_combo in data.items():
+        table.add_row([name] + [
+            format_percent(per_combo[f"{target}/{config.name}"], 0)
+            for target, config in combos
+        ])
     return ExperimentResult("tab4", "Constant Identification Rates", data,
-                            table.render())
+                            table.render() + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -231,17 +310,24 @@ def run_fig6(session: Session) -> ExperimentResult:
     """Reproduce Figure 6 (speedups on the base 620 and 21164)."""
     ppc_configs = (SIMPLE, CONSTANT, LIMIT, PERFECT)
     alpha_configs = (SIMPLE, LIMIT, PERFECT)
-    data: dict = {"620": {}, "21164": {}}
-    for config in ppc_configs:
-        data["620"][config.name] = {
-            name: session.ppc_speedup(name, PPC620, config)
-            for name in session.benchmark_names
+
+    def fn(name):
+        return {
+            "620": {config.name: session.ppc_speedup(name, PPC620, config)
+                    for config in ppc_configs},
+            "21164": {config.name: session.alpha_speedup(name, config)
+                      for config in alpha_configs},
         }
-    for config in alpha_configs:
-        data["21164"][config.name] = {
-            name: session.alpha_speedup(name, config)
-            for name in session.benchmark_names
-        }
+
+    rows, failures = _per_benchmark(session, fn)
+    data: dict = {
+        "620": {c.name: {} for c in ppc_configs},
+        "21164": {c.name: {} for c in alpha_configs},
+    }
+    for name, per_machine in rows.items():
+        for machine, per_config in per_machine.items():
+            for config_name, speedup in per_config.items():
+                data[machine][config_name][name] = speedup
     lines = []
     for machine, configs in (("21164", alpha_configs),
                              ("620", ppc_configs)):
@@ -251,18 +337,20 @@ def run_fig6(session: Session) -> ExperimentResult:
             ["benchmark"] + [c.name for c in configs],
             title=f"Figure 6: Base Machine Model Speedups ({label})",
         )
-        for name in session.benchmark_names:
+        for name in rows:
             table.add_row([name] + [
                 format_speedup(data[machine][c.name][name]) for c in configs
             ])
-        table.add_separator()
-        table.add_row(["GM"] + [
-            format_speedup(geometric_mean(data[machine][c.name].values()))
-            for c in configs
-        ])
+        if rows:
+            table.add_separator()
+            table.add_row(["GM"] + [
+                format_speedup(geometric_mean(data[machine][c.name].values()))
+                for c in configs
+            ])
         lines.append(table.render())
     return ExperimentResult("fig6", "Base Machine Model Speedups", data,
-                            "\n\n".join(lines))
+                            "\n\n".join(lines) + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -271,36 +359,39 @@ def run_fig6(session: Session) -> ExperimentResult:
 def run_tab6(session: Session) -> ExperimentResult:
     """Reproduce Table 6 (620+ and additional LVP speedups)."""
     configs = (SIMPLE, CONSTANT, LIMIT, PERFECT)
-    data: dict = {}
+
+    def fn(name):
+        base_620 = session.ppc_result(name, PPC620, None)
+        base_plus = session.ppc_result(name, PPC620_PLUS, None)
+        row = {"620+": base_620.cycles / base_plus.cycles,
+               "instructions": base_620.instructions}
+        for config in configs:
+            row[config.name] = session.ppc_speedup(name, PPC620_PLUS, config)
+        return row
+
+    data, failures = _per_benchmark(session, fn)
     table = TextTable(
         ["benchmark", "instructions", "620+",
          "Simple", "Constant", "Limit", "Perfect"],
         title="Table 6: PowerPC 620+ Speedups",
     )
-    columns: dict = {key: [] for key in ("620+",) + tuple(
-        c.name for c in configs)}
-    for name in session.benchmark_names:
-        base_620 = session.ppc_result(name, PPC620, None)
-        base_plus = session.ppc_result(name, PPC620_PLUS, None)
-        plus_speedup = base_620.cycles / base_plus.cycles
-        data[name] = {"620+": plus_speedup,
-                      "instructions": base_620.instructions}
-        columns["620+"].append(plus_speedup)
-        row = [name, base_620.instructions, format_speedup(plus_speedup)]
-        for config in configs:
-            speedup = session.ppc_speedup(name, PPC620_PLUS, config)
-            data[name][config.name] = speedup
-            columns[config.name].append(speedup)
-            row.append(format_speedup(speedup))
-        table.add_row(row)
-    table.add_separator()
-    table.add_row(["GM", ""] + [
-        format_speedup(geometric_mean(columns[key]))
-        for key in ("620+", "Simple", "Constant", "Limit", "Perfect")
-    ])
-    data["GM"] = {key: geometric_mean(columns[key]) for key in columns}
+    keys = ("620+",) + tuple(c.name for c in configs)
+    columns: dict = {key: [] for key in keys}
+    for name, row in data.items():
+        for key in keys:
+            columns[key].append(row[key])
+        table.add_row([name, row["instructions"],
+                       format_speedup(row["620+"])] +
+                      [format_speedup(row[c.name]) for c in configs])
+    if data:
+        table.add_separator()
+        table.add_row(["GM", ""] + [
+            format_speedup(geometric_mean(columns[key])) for key in keys
+        ])
+        data["GM"] = {key: geometric_mean(columns[key]) for key in columns}
     return ExperimentResult("tab6", "PowerPC 620+ Speedups", data,
-                            table.render())
+                            table.render() + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -309,10 +400,22 @@ def run_tab6(session: Session) -> ExperimentResult:
 def run_fig7(session: Session) -> ExperimentResult:
     """Reproduce Figure 7 (verification-latency distributions)."""
     configs = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+    machines = (PPC620, PPC620_PLUS)
+
+    def fn(name):
+        return {
+            machine.name: {
+                config.name:
+                    session.ppc_result(name, machine, config).verify_histogram
+                for config in configs
+            }
+            for machine in machines
+        }
+
+    rows, failures = _per_benchmark(session, fn)
     data: dict = {}
     lines = []
-    for machine in (PPC620, PPC620_PLUS):
-        data[machine.name] = {}
+    for machine in machines:
         table = TextTable(
             ["latency"] + [c.name for c in configs],
             title=f"Figure 7: Load Verification Latency ({machine.name})",
@@ -320,9 +423,9 @@ def run_fig7(session: Session) -> ExperimentResult:
         histograms = {}
         for config in configs:
             total_hist = {bucket: 0 for bucket in VERIFY_BUCKETS}
-            for name in session.benchmark_names:
-                result = session.ppc_result(name, machine, config)
-                for bucket, count in result.verify_histogram.items():
+            for per_machine in rows.values():
+                for bucket, count in \
+                        per_machine[machine.name][config.name].items():
                     total_hist[bucket] += count
             total = sum(total_hist.values()) or 1
             histograms[config.name] = {
@@ -336,7 +439,8 @@ def run_fig7(session: Session) -> ExperimentResult:
             ])
         lines.append(table.render())
     return ExperimentResult("fig7", "Load Verification Latency Distribution",
-                            data, "\n\n".join(lines))
+                            data, "\n\n".join(lines) + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -346,29 +450,39 @@ def run_fig8(session: Session) -> ExperimentResult:
     """Reproduce Figure 8 (average RS operand-wait time by FU type,
     normalized to the no-LVP baseline)."""
     configs = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+    machines = (PPC620, PPC620_PLUS)
+
+    def fn(name):
+        per_machine = {}
+        for machine in machines:
+            waits = {"base": session.ppc_result(name, machine, None).fu_wait}
+            for config in configs:
+                waits[config.name] = \
+                    session.ppc_result(name, machine, config).fu_wait
+            per_machine[machine.name] = waits
+        return per_machine
+
+    rows, failures = _per_benchmark(session, fn)
     data: dict = {}
     lines = []
-    for machine in (PPC620, PPC620_PLUS):
-        per_fu_base = {fu: [0, 0] for fu in FU_NAMES}
-        for name in session.benchmark_names:
-            result = session.ppc_result(name, machine, None)
-            for fu in FU_NAMES:
-                total, count = result.fu_wait[fu]
-                per_fu_base[fu][0] += total
-                per_fu_base[fu][1] += count
+    for machine in machines:
+        def _mean_waits(variant):
+            per_fu = {fu: [0, 0] for fu in FU_NAMES}
+            for per_machine in rows.values():
+                for fu in FU_NAMES:
+                    total, count = per_machine[machine.name][variant][fu]
+                    per_fu[fu][0] += total
+                    per_fu[fu][1] += count
+            return per_fu
+
+        base_sums = _mean_waits("base")
         baseline = {
             fu: (sums[0] / sums[1] if sums[1] else 0.0)
-            for fu, sums in per_fu_base.items()
+            for fu, sums in base_sums.items()
         }
         normalized: dict = {}
         for config in configs:
-            per_fu = {fu: [0, 0] for fu in FU_NAMES}
-            for name in session.benchmark_names:
-                result = session.ppc_result(name, machine, config)
-                for fu in FU_NAMES:
-                    total, count = result.fu_wait[fu]
-                    per_fu[fu][0] += total
-                    per_fu[fu][1] += count
+            per_fu = _mean_waits(config.name)
             normalized[config.name] = {
                 fu: ((sums[0] / sums[1]) / baseline[fu]
                      if sums[1] and baseline[fu] else 1.0)
@@ -388,7 +502,8 @@ def run_fig8(session: Session) -> ExperimentResult:
             )
         lines.append(table.render())
     return ExperimentResult("fig8", "Data Dependency Resolution Latencies",
-                            data, "\n\n".join(lines))
+                            data, "\n\n".join(lines) + _footnotes(failures),
+                            tuple(failures))
 
 
 # ---------------------------------------------------------------------------
@@ -397,42 +512,58 @@ def run_fig8(session: Session) -> ExperimentResult:
 def run_fig9(session: Session) -> ExperimentResult:
     """Reproduce Figure 9 (fraction of cycles with bank conflicts)."""
     variants = (("base", None), ("Simple", SIMPLE), ("Constant", CONSTANT))
+    machines = (PPC620, PPC620_PLUS)
+
+    def fn(name):
+        per_machine = {}
+        for machine in machines:
+            per_variant = {}
+            for label, config in variants:
+                result = session.ppc_result(name, machine, config)
+                per_variant[label] = (
+                    result.bank_conflict_cycle_fraction,
+                    result.bank_conflict_cycles,
+                    result.cycles,
+                )
+            per_machine[machine.name] = per_variant
+        return per_machine
+
+    rows, failures = _per_benchmark(session, fn)
     data: dict = {}
     lines = []
-    for machine in (PPC620, PPC620_PLUS):
-        data[machine.name] = {}
+    for machine in machines:
         table = TextTable(
             ["benchmark"] + [label for label, _ in variants],
             title=f"Figure 9: Cycles with Bank Conflicts ({machine.name})",
         )
         fractions: dict = {label: {} for label, _ in variants}
-        for name in session.benchmark_names:
+        for name, per_machine in rows.items():
             row = [name]
-            for label, config in variants:
-                result = session.ppc_result(name, machine, config)
-                fraction = result.bank_conflict_cycle_fraction
+            for label, _ in variants:
+                fraction = per_machine[machine.name][label][0]
                 fractions[label][name] = fraction
                 row.append(format_percent(fraction, 2))
             table.add_row(row)
         data[machine.name] = fractions
         # Aggregate (conflict cycles over all cycles, as the paper's
         # "overall" numbers).
-        table.add_separator()
-        agg_row = ["ALL"]
-        for label, config in variants:
-            conflict = sum(
-                session.ppc_result(n, machine, config).bank_conflict_cycles
-                for n in session.benchmark_names)
-            cycles = sum(
-                session.ppc_result(n, machine, config).cycles
-                for n in session.benchmark_names)
-            data[machine.name].setdefault("ALL", {})[label] = \
-                conflict / cycles if cycles else 0.0
-            agg_row.append(format_percent(conflict / cycles, 2))
-        table.add_row(agg_row)
+        if rows:
+            table.add_separator()
+            agg_row = ["ALL"]
+            for label, _ in variants:
+                conflict = sum(per_machine[machine.name][label][1]
+                               for per_machine in rows.values())
+                cycles = sum(per_machine[machine.name][label][2]
+                             for per_machine in rows.values())
+                data[machine.name].setdefault("ALL", {})[label] = \
+                    conflict / cycles if cycles else 0.0
+                agg_row.append(format_percent(
+                    conflict / cycles if cycles else 0.0, 2))
+            table.add_row(agg_row)
         lines.append(table.render())
     return ExperimentResult("fig9", "Bank Conflict Cycles", data,
-                            "\n\n".join(lines))
+                            "\n\n".join(lines) + _footnotes(failures),
+                            tuple(failures))
 
 
 #: Exhibit id -> runner.

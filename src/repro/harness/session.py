@@ -6,6 +6,18 @@ machine model).  A :class:`Session` memoizes each stage so that, e.g.,
 Figure 7's verification-latency histograms reuse the exact runs that
 produced Figure 6's speedups -- just as the paper's numbers all come
 from one set of simulations.
+
+Failures are isolated per benchmark: an exception at any stage is
+wrapped in a :class:`~repro.errors.BenchmarkFailure`, recorded on
+``session.failures``, and re-raised; repeated requests for the same
+failed stage re-raise the recorded failure without re-running the
+broken benchmark.  The experiment runners catch these and render the
+exhibit with the benchmark footnoted instead of aborting the run.
+
+For chaos testing, setting ``REPRO_SABOTAGE=<benchmark>[:<stage>]``
+deliberately fails that benchmark at that stage (default: ``trace``)
+with a :class:`~repro.errors.FaultError`, exercising exactly the same
+degradation paths a real failure would.
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from repro.errors import BenchmarkFailure, FaultError
 from repro.harness.cache import TraceCache
 from repro.lvp.config import LVPConfig, SIMPLE
 from repro.sim.functional import run_program
@@ -41,7 +54,9 @@ class Session:
     cache_dir:
         Optional directory for an on-disk trace cache (defaults to the
         ``REPRO_TRACE_CACHE`` environment variable; unset = no cache).
-        Cached traces are validated structurally before use.
+        Cached traces are checksummed on load and validated
+        structurally before use; damaged bundles are quarantined and
+        regenerated transparently.
     """
 
     def __init__(self, scale: str = "small",
@@ -60,15 +75,60 @@ class Session:
         self._annotated: dict = {}
         self._ppc_runs: dict = {}
         self._alpha_runs: dict = {}
+        #: Every BenchmarkFailure recorded so far, in discovery order.
+        self.failures: list[BenchmarkFailure] = []
+        self._failed: dict = {}
+
+    # ------------------------------------------------------------------
+    def _fail(self, name: str, stage: str, target: str, key,
+              cause: BaseException) -> BenchmarkFailure:
+        """Record one failure and return it for raising."""
+        failure = BenchmarkFailure(name, stage, target, cause)
+        self._failed[key] = failure
+        self.failures.append(failure)
+        return failure
+
+    @staticmethod
+    def _check_sabotage(name: str, stage: str) -> None:
+        """Honour the REPRO_SABOTAGE chaos-testing knob."""
+        knob = os.environ.get("REPRO_SABOTAGE")
+        if not knob:
+            return
+        victim, _, victim_stage = knob.partition(":")
+        if victim == name and (victim_stage or "trace") == stage:
+            raise FaultError(
+                f"deliberate sabotage of {name!r} at the {stage} stage "
+                f"(REPRO_SABOTAGE={knob})"
+            )
+
+    def _cached_trace(self, name: str, target: str) -> Optional[Trace]:
+        """Checksummed + validated trace from the on-disk cache."""
+        if self.cache is None:
+            return None
+        cached = self.cache.load(name, target, self.scale)
+        if cached is None:
+            return None
+        if validate_trace(cached):
+            # Checksums passed but the contents violate trace
+            # invariants (e.g. stale semantics): quarantine and
+            # regenerate rather than feed a bad trace downstream.
+            self.cache.discard(name, target, self.scale)
+            return None
+        return cached
 
     # ------------------------------------------------------------------
     def trace(self, name: str, target: str = "ppc") -> Trace:
         """Functional trace of one benchmark on one codegen target."""
         key = (name, target)
-        if key not in self._traces:
-            cached = (self.cache.load(name, target, self.scale)
-                      if self.cache else None)
-            if cached is not None and not validate_trace(cached):
+        if key in self._traces:
+            return self._traces[key]
+        fail_key = ("trace", key)
+        if fail_key in self._failed:
+            raise self._failed[fail_key]
+        try:
+            self._check_sabotage(name, "trace")
+            cached = self._cached_trace(name, target)
+            if cached is not None:
                 self._traces[key] = cached
                 return cached
             bench = get_benchmark(name)
@@ -79,16 +139,29 @@ class Session:
             if self.cache is not None:
                 self.cache.store(result.trace, self.scale)
             self._traces[key] = result.trace
+        except BenchmarkFailure:
+            raise
+        except Exception as exc:
+            raise self._fail(name, "trace", target, fail_key, exc) from exc
         return self._traces[key]
 
     def annotated(self, name: str, target: str,
                   config: LVPConfig) -> AnnotatedTrace:
         """Trace annotated with one LVP configuration's outcomes."""
         key = (name, target, config.name)
-        if key not in self._annotated:
-            self._annotated[key] = annotate_trace(
-                self.trace(name, target), config
-            )
+        if key in self._annotated:
+            return self._annotated[key]
+        fail_key = ("annotate", key)
+        if fail_key in self._failed:
+            raise self._failed[fail_key]
+        trace = self.trace(name, target)
+        try:
+            self._check_sabotage(name, "annotate")
+            self._annotated[key] = annotate_trace(trace, config)
+        except BenchmarkFailure:
+            raise
+        except Exception as exc:
+            raise self._fail(name, "annotate", target, fail_key, exc) from exc
         return self._annotated[key]
 
     # ------------------------------------------------------------------
@@ -96,11 +169,21 @@ class Session:
                    lvp: Optional[LVPConfig] = None) -> PPC620Result:
         """620/620+ run of one benchmark (``lvp=None`` = no LVP)."""
         key = (name, machine.name, lvp.name if lvp else None)
-        if key not in self._ppc_runs:
-            annotated = self.annotated(name, "ppc", lvp or SIMPLE)
+        if key in self._ppc_runs:
+            return self._ppc_runs[key]
+        fail_key = ("model", "ppc", key)
+        if fail_key in self._failed:
+            raise self._failed[fail_key]
+        annotated = self.annotated(name, "ppc", lvp or SIMPLE)
+        try:
+            self._check_sabotage(name, "model")
             model = PPC620Model(machine)
             self._ppc_runs[key] = model.run(annotated,
                                             use_lvp=lvp is not None)
+        except BenchmarkFailure:
+            raise
+        except Exception as exc:
+            raise self._fail(name, "model", "ppc", fail_key, exc) from exc
         return self._ppc_runs[key]
 
     def alpha_result(self, name: str,
@@ -110,11 +193,21 @@ class Session:
         """21164 run of one benchmark (``lvp=None`` = no LVP)."""
         machine = machine or AXP21164Config()
         key = (name, machine.name, lvp.name if lvp else None)
-        if key not in self._alpha_runs:
-            annotated = self.annotated(name, "alpha", lvp or SIMPLE)
+        if key in self._alpha_runs:
+            return self._alpha_runs[key]
+        fail_key = ("model", "alpha", key)
+        if fail_key in self._failed:
+            raise self._failed[fail_key]
+        annotated = self.annotated(name, "alpha", lvp or SIMPLE)
+        try:
+            self._check_sabotage(name, "model")
             model = AXP21164Model(machine)
             self._alpha_runs[key] = model.run(annotated,
                                               use_lvp=lvp is not None)
+        except BenchmarkFailure:
+            raise
+        except Exception as exc:
+            raise self._fail(name, "model", "alpha", fail_key, exc) from exc
         return self._alpha_runs[key]
 
     # ------------------------------------------------------------------

@@ -68,6 +68,16 @@ class LCT:
             if value > 0:
                 self._counters[index] = value - 1
 
+    def poke(self, index: int, value: int) -> None:
+        """Overwrite one counter (fault injection / tests).
+
+        Models a soft error in the classification table; *value* is
+        clamped to the counter's saturating range so the table stays
+        internally consistent even under injection.
+        """
+        self._counters[index & self._mask] = max(0, min(self._max,
+                                                        int(value)))
+
     def flush(self) -> None:
         """Reset all counters to the don't-predict state."""
         self._counters = [0] * self.entries

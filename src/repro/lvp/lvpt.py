@@ -82,6 +82,18 @@ class LVPT:
         if len(history) > self.history_depth:
             history.pop()
 
+    def poke(self, index: int, values: list[int]) -> None:
+        """Overwrite one entry's history (fault injection / tests).
+
+        Models a soft error in the value table: the entry at *index*
+        now holds *values* (truncated to the history depth) regardless
+        of what training put there.  The verification comparator, not
+        the table, is responsible for safety afterwards.
+        """
+        self._values[index & self._mask] = \
+            [int(v) & 0xFFFFFFFFFFFFFFFF
+             for v in values][: self.history_depth]
+
     def flush(self) -> None:
         """Clear all entries (used between benchmark runs)."""
         self._values = [[] for _ in range(self.entries)]

@@ -88,11 +88,20 @@ class LVPStats:
 
 
 class LVPUnit:
-    """A complete LVP unit: LVPT + LCT + CVU, per one configuration."""
+    """A complete LVP unit: LVPT + LCT + CVU, per one configuration.
 
-    def __init__(self, config: LVPConfig) -> None:
+    With ``audit=True`` the unit records, for every dynamic load, the
+    value it would have forwarded alongside the actual value and the
+    assigned outcome (``audit_log`` of ``(pc, predicted, actual,
+    outcome)`` tuples).  The fault-injection doctor replays these to
+    prove the verification comparator never lets a wrong forwarded
+    value stand -- even when the tables have been corrupted mid-run.
+    """
+
+    def __init__(self, config: LVPConfig, audit: bool = False) -> None:
         self.config = config
         self.stats = LVPStats()
+        self.audit_log: list = [] if audit else None
         if config.perfect:
             self.lvpt = None
             self.lct = None
@@ -125,17 +134,26 @@ class LVPUnit:
         if profile_filter is not None and pc not in profile_filter:
             stats.outcomes[LoadOutcome.NO_PREDICTION] += 1
             stats.unpredictable_not_predicted += 1
+            if self.audit_log is not None:
+                self.audit_log.append(
+                    (pc, None, value, LoadOutcome.NO_PREDICTION))
             return LoadOutcome.NO_PREDICTION
 
         if self.config.perfect:
             outcome = LoadOutcome.CORRECT
             stats.outcomes[outcome] += 1
             stats.predictable_predicted += 1
+            if self.audit_log is not None:
+                # The oracle forwards the actual value by definition.
+                self.audit_log.append((pc, value, value, outcome))
             return outcome
 
         lvpt = self.lvpt
         lct = self.lct
         would_hit = lvpt.would_be_correct(pc, value)
+        # Capture the value the unit would forward *before* training
+        # updates the table below.
+        predicted = lvpt.predict(pc) if self.audit_log is not None else None
         classification = lct.classify(pc)
 
         if classification is LoadClass.DONT_PREDICT:
@@ -163,6 +181,8 @@ class LVPUnit:
         lct.update(pc, would_hit)
         lvpt.update(pc, value)
         stats.outcomes[outcome] += 1
+        if self.audit_log is not None:
+            self.audit_log.append((pc, predicted, value, outcome))
         return outcome
 
     def _process_constant(self, pc: int, addr: int, value: int,

@@ -28,15 +28,20 @@ class AnnotatedTrace:
 
     ``outcomes`` is a uint8 array parallel to the trace: load positions
     hold a :class:`LoadOutcome` value; everything else holds
-    :data:`NOT_A_LOAD`.
+    :data:`NOT_A_LOAD`.  When annotation ran with ``audit=True``,
+    ``audit_log`` holds one ``(pc, predicted, actual, outcome)`` tuple
+    per dynamic load (``predicted`` is None when the unit had no value
+    to forward); otherwise it is None.
     """
 
     def __init__(self, trace: Trace, config: LVPConfig,
-                 outcomes: np.ndarray, stats: LVPStats) -> None:
+                 outcomes: np.ndarray, stats: LVPStats,
+                 audit_log=None) -> None:
         self.trace = trace
         self.config = config
         self.outcomes = outcomes
         self.stats = stats
+        self.audit_log = audit_log
 
     def outcome_counts(self) -> dict[LoadOutcome, int]:
         """Dynamic load counts per prediction state."""
@@ -49,14 +54,23 @@ class AnnotatedTrace:
         )
 
 
-def annotate_trace(trace: Trace, config: LVPConfig) -> AnnotatedTrace:
+def annotate_trace(trace: Trace, config: LVPConfig, *,
+                   audit: bool = False,
+                   fault_hook=None) -> AnnotatedTrace:
     """Run an LVP unit over *trace* in program order; annotate each load.
 
     Units whose lookup index folds in branch history additionally
     consume the trace's conditional-branch outcomes, in program order
     interleaved with the memory operations.
+
+    ``audit=True`` makes the unit record every forwarded prediction so
+    callers (notably the fault-injection doctor) can prove the value
+    comparator catches every wrong forward.  ``fault_hook``, if given,
+    is called as ``fault_hook(unit, event_index)`` before each
+    load/store/branch event -- the hook decides when (and whether) to
+    corrupt the unit's tables mid-annotation.
     """
-    unit = LVPUnit(config)
+    unit = LVPUnit(config, audit=audit)
     outcomes = np.full(len(trace), NOT_A_LOAD, dtype=np.uint8)
 
     is_load = trace.is_load
@@ -80,6 +94,8 @@ def annotate_trace(trace: Trace, config: LVPConfig) -> AnnotatedTrace:
     process_store = unit.process_store
     process_branch = unit.process_branch
     for i, pos in enumerate(position_list):
+        if fault_hook is not None:
+            fault_hook(unit, i)
         kind = kind_list[i]
         if kind == _LOAD:
             outcomes[pos] = int(process_load(pcs[i], addrs[i], values[i]))
@@ -88,4 +104,5 @@ def annotate_trace(trace: Trace, config: LVPConfig) -> AnnotatedTrace:
         else:
             process_branch(bool(takens[i]))
 
-    return AnnotatedTrace(trace, config, outcomes, unit.stats)
+    return AnnotatedTrace(trace, config, outcomes, unit.stats,
+                          audit_log=unit.audit_log)

@@ -1,0 +1,131 @@
+"""Tests for the hardened on-disk trace cache.
+
+The round-trip itself is covered in tests/trace/test_validate.py; this
+module covers the corruption paths: damaged bundles must read as
+misses (with the bad file quarantined), stale bundles as plain misses,
+and interrupted writes must leave no debris behind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import Session, TraceCache
+from repro.trace.records import TRACE_COLUMNS
+
+
+def _store_grep(tmp_path, grep_trace):
+    cache = TraceCache(tmp_path)
+    cache.store(grep_trace, "tiny")
+    return cache, cache.path_for("grep", "ppc", "tiny")
+
+
+class TestCorruptionRecovery:
+    def test_truncated_bundle_regenerates_transparently(
+            self, tmp_path, grep_trace):
+        cache, path = _store_grep(tmp_path, grep_trace)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        # A session pointed at the damaged cache regenerates and the
+        # caller never notices.
+        session = Session(scale="tiny", benchmarks=("grep",),
+                          cache_dir=str(tmp_path))
+        regenerated = session.trace("grep", "ppc")
+        assert (regenerated.value == grep_trace.value).all()
+        assert session.failures == []
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        # ... and the regenerated trace was re-stored, intact.
+        assert cache.load("grep", "ppc", "tiny") is not None
+
+    def test_bitflipped_column_caught_by_checksum(
+            self, tmp_path, grep_trace):
+        cache, path = _store_grep(tmp_path, grep_trace)
+        # Rewrite one column element while keeping the recorded CRCs,
+        # so only the per-column checksum layer can catch it.
+        with np.load(path, allow_pickle=False) as bundle:
+            arrays = {key: bundle[key].copy() for key in bundle.files}
+        arrays["value"][0] ^= np.uint64(1)
+        np.savez_compressed(path, **arrays)
+        assert cache.load("grep", "ppc", "tiny") is None
+        assert list((tmp_path / "quarantine").iterdir())
+        session = Session(scale="tiny", benchmarks=("grep",),
+                          cache_dir=str(tmp_path))
+        assert (session.trace("grep", "ppc").value
+                == grep_trace.value).all()
+
+    def test_version_bump_is_clean_miss(self, tmp_path, grep_trace):
+        cache, _ = _store_grep(tmp_path, grep_trace)
+        cache.version = cache.version + "-stale"
+        assert cache.load("grep", "ppc", "tiny") is None
+        # Stale is not damaged: nothing quarantined, and a session
+        # with the current version simply regenerates and overwrites.
+        assert not (tmp_path / "quarantine").exists()
+        session = Session(scale="tiny", benchmarks=("grep",),
+                          cache_dir=str(tmp_path))
+        assert session.trace("grep", "ppc") is not None
+
+    def test_bundle_missing_checksums_is_corrupt(
+            self, tmp_path, grep_trace):
+        cache, path = _store_grep(tmp_path, grep_trace)
+        with np.load(path, allow_pickle=False) as bundle:
+            arrays = {key: bundle[key].copy() for key in bundle.files
+                      if not key.startswith("crc_")}
+        np.savez_compressed(path, **arrays)
+        assert cache.load("grep", "ppc", "tiny") is None
+        assert list((tmp_path / "quarantine").iterdir())
+
+    def test_quarantine_names_do_not_collide(self, tmp_path, grep_trace):
+        cache, path = _store_grep(tmp_path, grep_trace)
+        for _ in range(3):
+            path.write_bytes(b"garbage")
+            assert cache.load("grep", "ppc", "tiny") is None
+            cache.store(grep_trace, "tiny")
+        assert len(list((tmp_path / "quarantine").iterdir())) == 3
+
+
+class TestWriteHygiene:
+    def test_stale_temporaries_swept_on_init(self, tmp_path):
+        stale = tmp_path / "grep-ppc-tiny.tmp.npz"
+        stale.write_bytes(b"half a bundle")
+        TraceCache(tmp_path)
+        assert not stale.exists()
+
+    def test_failed_store_leaves_no_debris(self, tmp_path, grep_trace,
+                                           monkeypatch):
+        cache = TraceCache(tmp_path)
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", explode)
+        with pytest.raises(OSError):
+            cache.store(grep_trace, "tiny")
+        assert list(tmp_path.glob("*.tmp.npz")) == []
+        assert cache.load("grep", "ppc", "tiny") is None
+
+    def test_interrupted_store_leaves_no_debris(self, tmp_path, grep_trace,
+                                                monkeypatch):
+        cache = TraceCache(tmp_path)
+
+        def interrupted(path, **arrays):
+            # Write a partial file, then die, as a crash mid-write would.
+            with open(path, "wb") as handle:
+                handle.write(b"PK\x03\x04 partial")
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(np, "savez_compressed", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            cache.store(grep_trace, "tiny")
+        assert list(tmp_path.glob("*.tmp.npz")) == []
+
+
+class TestStoredFormat:
+    def test_bundle_carries_per_column_checksums(
+            self, tmp_path, grep_trace):
+        _, path = _store_grep(tmp_path, grep_trace)
+        with np.load(path, allow_pickle=False) as bundle:
+            keys = set(bundle.files)
+        for key, _ in TRACE_COLUMNS:
+            assert key in keys
+            assert f"crc_{key}" in keys
+        assert "version" in keys

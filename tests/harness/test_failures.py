@@ -1,0 +1,104 @@
+"""Tests for graceful per-benchmark degradation.
+
+A broken benchmark must never take the whole run down: the session
+records a BenchmarkFailure, exhibits render with the gap footnoted,
+``experiment all`` finishes (and exits non-zero), and the paper-shape
+checks report what they had to skip.
+"""
+
+import pytest
+
+from repro.errors import BenchmarkFailure, FaultError, ReproError
+from repro.harness import Session, run_experiment
+from repro.harness.experiments import EXPERIMENTS
+from repro.lvp.config import SIMPLE
+
+
+@pytest.fixture
+def sabotaged(monkeypatch):
+    """A two-benchmark tiny session with compress sabotaged."""
+    monkeypatch.setenv("REPRO_SABOTAGE", "compress")
+    return Session(scale="tiny", benchmarks=("grep", "compress"))
+
+
+class TestSessionIsolation:
+    def test_failure_is_recorded_and_typed(self, sabotaged):
+        with pytest.raises(BenchmarkFailure) as excinfo:
+            sabotaged.trace("compress", "ppc")
+        failure = excinfo.value
+        assert failure.benchmark == "compress"
+        assert failure.stage == "trace"
+        assert failure.target == "ppc"
+        assert isinstance(failure.cause, FaultError)
+        assert isinstance(failure, ReproError)
+        assert sabotaged.failures == [failure]
+
+    def test_repeat_requests_reuse_recorded_failure(self, sabotaged):
+        for _ in range(3):
+            with pytest.raises(BenchmarkFailure):
+                sabotaged.trace("compress", "ppc")
+        # Negative memoization: one recorded failure, not three.
+        assert len(sabotaged.failures) == 1
+
+    def test_downstream_stages_propagate_unwrapped(self, sabotaged):
+        with pytest.raises(BenchmarkFailure) as excinfo:
+            sabotaged.annotated("compress", "ppc", SIMPLE)
+        # The trace-stage failure propagates as itself, not re-wrapped
+        # as an annotate-stage failure.
+        assert excinfo.value.stage == "trace"
+        assert len(sabotaged.failures) == 1
+
+    def test_other_benchmarks_unaffected(self, sabotaged):
+        trace = sabotaged.trace("grep", "ppc")
+        assert trace.num_instructions > 0
+        with pytest.raises(BenchmarkFailure):
+            sabotaged.trace("compress", "ppc")
+
+    def test_sabotage_stage_selector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SABOTAGE", "grep:annotate")
+        session = Session(scale="tiny", benchmarks=("grep",))
+        # The trace stage is untouched...
+        assert session.trace("grep", "ppc") is not None
+        # ... the annotate stage fails.
+        with pytest.raises(BenchmarkFailure) as excinfo:
+            session.annotated("grep", "ppc", SIMPLE)
+        assert excinfo.value.stage == "annotate"
+
+
+class TestDegradedExhibits:
+    def test_every_exhibit_renders_with_footnote(self, sabotaged):
+        for exp_id in EXPERIMENTS:
+            result = run_experiment(exp_id, sabotaged)
+            assert result.text, exp_id
+            if exp_id in ("tab2", "tab5"):  # configuration tables
+                continue
+            assert "compress" in result.text, exp_id
+            assert "Footnotes:" in result.text, exp_id
+            assert result.failures, exp_id
+        assert sabotaged.failures
+
+    def test_surviving_benchmark_still_reported(self, sabotaged):
+        result = run_experiment("fig1", sabotaged)
+        assert "grep" in result.text
+        assert result.data["ppc"]["grep"][1] > 0
+
+    def test_healthy_session_has_no_footnotes(self, tiny_session):
+        result = run_experiment("tab4", tiny_session)
+        assert "Footnotes:" not in result.text
+        assert result.failures == ()
+
+
+class TestDegradedChecks:
+    def test_check_all_reports_skips(self, monkeypatch):
+        from repro.analysis.expectations import (
+            check_all,
+            render_check_report,
+        )
+        monkeypatch.setenv("REPRO_SABOTAGE", "quick")
+        session = Session(scale="tiny", benchmarks=("grep", "quick"))
+        results = check_all(session)
+        assert any(r.skipped for r in results)
+        assert all(not r.passed for r in results if r.skipped)
+        report = render_check_report(results)
+        assert "[SKIP]" in report
+        assert "skipped)" in report

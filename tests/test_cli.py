@@ -83,6 +83,42 @@ class TestCheckCommand:
         assert "9/9 claims hold" in out
 
 
+class TestDoctorCommand:
+    def test_quick_campaign_passes(self, capsys):
+        out = run_cli(capsys, "doctor", "--quick")
+        assert "Fault-injection doctor" in out
+        assert "verdict: OK" in out
+
+    def test_seeded_campaign(self, capsys):
+        out = run_cli(capsys, "doctor", "--seed", "5", "--faults", "9")
+        assert "seed 5" in out
+        assert "9 faults" in out
+
+
+class TestDegradedRuns:
+    def test_sabotaged_experiment_all_exits_nonzero(self, capsys,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_SABOTAGE", "compress")
+        code = main(["experiment", "all", "--scale", "tiny",
+                     "--benchmarks", "grep,compress"])
+        captured = capsys.readouterr()
+        assert code == 1
+        # Every exhibit still rendered, gaps footnoted.
+        for marker in ("Table 1", "Table 6", "Figure 9"):
+            assert marker in captured.out
+        assert "Footnotes:" in captured.out
+        assert "benchmark failure(s) degraded this run" in captured.err
+
+    def test_sabotaged_check_reports_skips(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SABOTAGE", "quick")
+        code = main(["check", "--scale", "tiny",
+                     "--benchmarks", "grep,quick"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "[SKIP]" in captured.out
+        assert "skipped)" in captured.out
+
+
 class TestReportCommand:
     def test_writes_html(self, capsys, tmp_path):
         output = tmp_path / "report.html"

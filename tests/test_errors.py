@@ -8,8 +8,37 @@ from repro import errors
 class TestHierarchy:
     def test_all_derive_from_repro_error(self):
         for name in ("AssemblyError", "LinkError", "ExecutionError",
-                     "ExecutionLimitExceeded", "ConfigError", "TraceError"):
+                     "ExecutionLimitExceeded", "ConfigError", "TraceError",
+                     "FaultError", "BenchmarkFailure"):
             assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_whole_hierarchy_catchable_as_repro_error(self):
+        """Every concrete error -- including the new resilience ones --
+        is caught by a single ``except ReproError``."""
+        cause = ValueError("boom")
+        instances = [
+            errors.AssemblyError("x"), errors.LinkError("x"),
+            errors.ExecutionError("x"), errors.ExecutionLimitExceeded("x"),
+            errors.ConfigError("x"), errors.TraceError("x"),
+            errors.FaultError("x"),
+            errors.BenchmarkFailure("grep", "trace", "ppc", cause),
+        ]
+        for instance in instances:
+            try:
+                raise instance
+            except errors.ReproError:
+                pass
+
+    def test_benchmark_failure_carries_context(self):
+        cause = ValueError("boom")
+        failure = errors.BenchmarkFailure("grep", "annotate", "alpha", cause)
+        assert failure.benchmark == "grep"
+        assert failure.stage == "annotate"
+        assert failure.target == "alpha"
+        assert failure.cause is cause
+        message = str(failure)
+        assert "grep" in message and "annotate" in message
+        assert "ValueError" in message and "boom" in message
 
     def test_limit_is_execution_error(self):
         assert issubclass(errors.ExecutionLimitExceeded,

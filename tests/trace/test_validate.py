@@ -69,6 +69,64 @@ class TestInvalidTraces:
             require_valid(trace)
 
 
+class TestDefensiveValidation:
+    """Guards for already-corrupt traces: every violation must be
+    reported -- never a crash or a numpy warning -- and one violation
+    must not mask another."""
+
+    def _halting(self, rows):
+        return rows + [(0x200, OpClass.BRANCH, 0, 0)]
+
+    def test_opcode_zero_reported(self):
+        trace = make_trace(self._halting([(0x100, OpClass.SIMPLE_INT, 0, 0)]))
+        trace.opcode[0] = 0
+        problems = validate_trace(trace)
+        assert any("opcode values outside" in p for p in problems)
+
+    def test_all_opcodes_invalid_reported(self):
+        trace = make_trace(self._halting([(0x100, OpClass.SIMPLE_INT, 0, 0)]))
+        trace.opcode[:] = 0
+        problems = validate_trace(trace)
+        assert any("opcode values outside" in p for p in problems)
+
+    def test_zero_size_memory_op_reports_not_crashes(self):
+        trace = make_trace(self._halting([(0x100, OpClass.LOAD, 0x2000, 1)]))
+        trace.opcode[0] = int(Opcode.LD)
+        trace.size[0] = 0
+        problems = validate_trace(trace)
+        assert any("sizes must be 1, 4, or 8" in p for p in problems)
+
+    def test_nonzero_size_on_non_memory_reported(self):
+        trace = make_trace(self._halting([(0x100, OpClass.SIMPLE_INT, 0, 0)]))
+        trace.size[0] = 4
+        problems = validate_trace(trace)
+        assert any("non-memory instructions must have size 0" in p
+                   for p in problems)
+
+    def test_unaligned_pc_reported(self):
+        trace = make_trace(self._halting([(0x100, OpClass.SIMPLE_INT, 0, 0)]))
+        trace.pc[0] += 1
+        problems = validate_trace(trace)
+        assert any("unaligned instruction addresses" in p for p in problems)
+
+    def test_bad_opcode_does_not_mask_opclass_mismatch(self):
+        trace = make_trace(self._halting([
+            (0x100, OpClass.SIMPLE_INT, 0, 0),
+            (0x104, OpClass.SIMPLE_INT, 0, 0),
+        ]))
+        trace.opcode[0] = 0       # invalid opcode on one row ...
+        trace.opclass[1] = 250    # ... independent mismatch on another
+        problems = validate_trace(trace)
+        assert any("opcode values outside" in p for p in problems)
+        assert any("opclass column disagrees" in p for p in problems)
+
+    def test_negative_register_id_reported(self):
+        trace = make_trace(self._halting([(0x100, OpClass.SIMPLE_INT, 0, 0)]))
+        trace.src1[0] = -2
+        problems = validate_trace(trace)
+        assert any("src1 register ids out of range" in p for p in problems)
+
+
 class TestCacheIntegration:
     def test_cache_roundtrip_and_validation(self, tmp_path, tiny_session):
         from repro.harness import Session, TraceCache
