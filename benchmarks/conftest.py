@@ -3,7 +3,9 @@
 One memoized :class:`Session` over the full 17-benchmark suite is shared
 by every exhibit bench, exactly as the paper's numbers all derive from
 one set of simulations.  Set ``REPRO_SCALE`` to ``tiny`` for a fast
-smoke pass or ``reference`` for long runs (default: ``small``).
+smoke pass or ``reference`` for long runs (default: ``small``), and
+``REPRO_JOBS=N`` to precompute the session with the parallel engine
+(the exhibits then render from warmed memos with bit-identical output).
 
 Rendered exhibit text is also written to ``benchmarks/reports/`` so a
 benchmark run leaves the reproduced tables/figures behind as artifacts.
@@ -23,9 +25,16 @@ REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 
 @pytest.fixture(scope="session")
 def session() -> Session:
-    """The shared full-suite session."""
+    """The shared full-suite session (parallel-warmed under REPRO_JOBS)."""
+    from repro.harness.parallel import jobs_from_env
+
     scale = os.environ.get("REPRO_SCALE", "small")
-    return Session(scale=scale)
+    shared = Session(scale=scale)
+    report = shared.warm(jobs_from_env())
+    if report is not None:
+        print()
+        print(report.render())
+    return shared
 
 
 @pytest.fixture(scope="session")

@@ -30,7 +30,14 @@ from repro.errors import (
     ReproError,
     TraceError,
 )
-from repro.harness import EXPERIMENTS, ExperimentResult, Session, run_experiment
+from repro.harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ParallelEngine,
+    Session,
+    run_experiment,
+    run_experiments,
+)
 from repro.lvp import (
     CONSTANT,
     LIMIT,
@@ -59,7 +66,8 @@ __all__ = [
     "AssemblyError", "BenchmarkFailure", "ConfigError", "ExecutionError",
     "ExecutionLimitExceeded", "FaultError", "LinkError", "ReproError",
     "TraceError",
-    "EXPERIMENTS", "ExperimentResult", "Session", "run_experiment",
+    "EXPERIMENTS", "ExperimentResult", "ParallelEngine", "Session",
+    "run_experiment", "run_experiments",
     "CONSTANT", "LIMIT", "LVPConfig", "LVPUnit", "LoadOutcome",
     "PAPER_CONFIGS", "PERFECT", "SIMPLE",
     "measure_locality_by_kind", "measure_value_locality",

@@ -33,7 +33,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments import EXPERIMENTS, run_experiments
+from repro.harness.parallel import jobs_from_env
 from repro.harness.session import Session
 from repro.isa.disasm import disassemble
 from repro.lvp.config import (
@@ -61,6 +62,15 @@ def _add_common(parser: argparse.ArgumentParser,
     parser.add_argument("--scale", default="small",
                         choices=("tiny", "small", "reference"),
                         help="input scale (default: small)")
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=jobs_from_env(),
+        metavar="N",
+        help="worker processes for the parallel engine (default: "
+             "$REPRO_JOBS or 1 = serial; output is bit-identical "
+             "either way)")
 
 
 def _traced(args):
@@ -146,13 +156,22 @@ def _report_failures(session: Session) -> bool:
     return True
 
 
+def _report_timing(session: Session) -> None:
+    """Print the parallel warm's per-unit timing summary (stderr, so
+    exhibit stdout stays byte-identical to a serial run)."""
+    report = session.last_warm_report
+    if report is not None:
+        print(report.render(), file=sys.stderr)
+
+
 def cmd_experiment(args) -> int:
     names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
     session = Session(scale=args.scale, benchmarks=names)
     exhibits = list(EXPERIMENTS) if args.id == "all" else [args.id]
-    for exp_id in exhibits:
-        print(run_experiment(exp_id, session).text)
+    for result in run_experiments(exhibits, session, jobs=args.jobs):
+        print(result.text)
         print()
+    _report_timing(session)
     return 1 if _report_failures(session) else 0
 
 
@@ -160,8 +179,10 @@ def cmd_check(args) -> int:
     from repro.analysis.expectations import check_all, render_check_report
     names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
     session = Session(scale=args.scale, benchmarks=names)
+    session.last_warm_report = session.warm(args.jobs)
     results = check_all(session)
     print(render_check_report(results))
+    _report_timing(session)
     _report_failures(session)
     return 0 if all(r.passed for r in results) else 1
 
@@ -179,7 +200,9 @@ def cmd_report(args) -> int:
     from repro.analysis.html import build_html_report
     names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
     session = Session(scale=args.scale, benchmarks=names)
+    session.last_warm_report = session.warm(args.jobs)
     document = build_html_report(session)
+    _report_timing(session)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(document)
     print(f"wrote {args.output} ({len(document):,} bytes)")
@@ -252,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    choices=("tiny", "small", "reference"))
     experiment_parser.add_argument("--benchmarks", default=None,
                                    help="comma-separated subset")
+    _add_jobs(experiment_parser)
     experiment_parser.set_defaults(func=cmd_experiment)
 
     check_parser = commands.add_parser(
@@ -260,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=("tiny", "small", "reference"))
     check_parser.add_argument("--benchmarks", default=None,
                               help="comma-separated subset")
+    _add_jobs(check_parser)
     check_parser.set_defaults(func=cmd_check)
 
     doctor_parser = commands.add_parser(
@@ -283,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
                                choices=("tiny", "small", "reference"))
     report_parser.add_argument("--benchmarks", default=None,
                                help="comma-separated subset")
+    _add_jobs(report_parser)
     report_parser.set_defaults(func=cmd_report)
 
     disasm_parser = commands.add_parser(

@@ -48,14 +48,25 @@ class FaultError(ReproError):
     """
 
 
+class WorkerCrashError(ReproError):
+    """A parallel worker process died before returning its results.
+
+    Recorded as the ``cause`` of the :class:`BenchmarkFailure` that the
+    parallel engine synthesizes for work lost to a crashed (killed,
+    segfaulted, out-of-memory...) worker, so the affected benchmark is
+    footnoted like any other failure instead of aborting the run.
+    """
+
+
 class BenchmarkFailure(ReproError):
     """One benchmark failed at one pipeline stage.
 
     The harness records these instead of aborting a whole run: exhibits
     render with the failed benchmark footnoted, and ``experiment all``
     completes (with a non-zero exit status).  Carries the failing
-    ``benchmark``, the ``stage`` (``trace``/``annotate``/``model``), the
-    codegen ``target``, and the original exception as ``cause``.
+    ``benchmark``, the ``stage`` (``trace``/``annotate``/``model``, or
+    ``worker`` for work lost to a crashed parallel worker), the codegen
+    ``target``, and the original exception as ``cause``.
     """
 
     def __init__(self, benchmark: str, stage: str, target: str,
@@ -68,3 +79,11 @@ class BenchmarkFailure(ReproError):
         self.stage = stage
         self.target = target
         self.cause = cause
+
+    def __reduce__(self):
+        # BaseException's default reduce replays ``args`` (the formatted
+        # message) into __init__, which takes four arguments; rebuild
+        # from the structured fields so failures survive the pickle trip
+        # back from parallel worker processes.
+        return (type(self), (self.benchmark, self.stage, self.target,
+                             self.cause))

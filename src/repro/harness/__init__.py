@@ -1,12 +1,24 @@
-"""Experiment harness: memoized sessions and the exhibit registry."""
+"""Experiment harness: memoized sessions, the exhibit registry, and
+the parallel experiment engine."""
 
 from repro.harness.experiments import (
     EXPERIMENTS,
     ExperimentResult,
     run_experiment,
+    run_experiments,
 )
 from repro.harness.cache import TraceCache
+from repro.harness.parallel import (
+    EngineReport,
+    ParallelEngine,
+    WorkUnit,
+    default_workplan,
+    jobs_from_env,
+    warm_session,
+)
 from repro.harness.session import Session
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment",
-           "Session", "TraceCache"]
+__all__ = ["EXPERIMENTS", "EngineReport", "ExperimentResult",
+           "ParallelEngine", "Session", "TraceCache", "WorkUnit",
+           "default_workplan", "jobs_from_env", "run_experiment",
+           "run_experiments", "warm_session"]

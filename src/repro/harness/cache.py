@@ -91,12 +91,20 @@ class TraceCache:
 
     # -- hygiene -------------------------------------------------------------
     def _sweep_temporaries(self) -> int:
-        """Remove ``.tmp.npz`` files left by interrupted stores."""
+        """Remove ``.tmp.npz`` files left by interrupted stores.
+
+        Takes the exclusive lock: stores write-then-rename their
+        temporary entirely under that lock, so any temporary visible
+        once we hold it is guaranteed stale debris -- sweeping without
+        the lock could delete the temporary of a store in flight in
+        another process (between its write and its rename).
+        """
         removed = 0
-        for stale in self.directory.glob("*.tmp.npz"):
-            with contextlib.suppress(OSError):
-                stale.unlink()
-                removed += 1
+        with self._locked():
+            for stale in self.directory.glob("*.tmp.npz"):
+                with contextlib.suppress(OSError):
+                    stale.unlink()
+                    removed += 1
         return removed
 
     def quarantine(self, path: pathlib.Path) -> Optional[pathlib.Path]:

@@ -592,3 +592,18 @@ def run_experiment(exp_id: str, session: Session) -> ExperimentResult:
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
     return runner(session)
+
+
+def run_experiments(exp_ids, session: Session,
+                    jobs: int = 1) -> list[ExperimentResult]:
+    """Run several exhibits, optionally warming the session in parallel.
+
+    With ``jobs > 1`` the session's workplan is precomputed by the
+    parallel engine (:meth:`Session.warm`) before the exhibits render
+    from the warmed memos; the rendered output is bit-identical to a
+    ``jobs=1`` run.  The warm's :class:`~repro.harness.parallel
+    .EngineReport` (per-unit timings), if any, is left on
+    ``session.last_warm_report`` for callers that want to print it.
+    """
+    session.last_warm_report = session.warm(jobs)
+    return [run_experiment(exp_id, session) for exp_id in exp_ids]

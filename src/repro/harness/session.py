@@ -78,6 +78,28 @@ class Session:
         #: Every BenchmarkFailure recorded so far, in discovery order.
         self.failures: list[BenchmarkFailure] = []
         self._failed: dict = {}
+        #: EngineReport of the most recent parallel warm (None = never
+        #: warmed / serial).  Set by run_experiments and Session.warm
+        #: callers that want the timing summary.
+        self.last_warm_report = None
+
+    # ------------------------------------------------------------------
+    def warm(self, jobs: int = 1, units=None):
+        """Precompute this session's runs with *jobs* worker processes.
+
+        Shards the workplan (default: every trace/annotate/model run a
+        full exhibit pass needs) across a process pool and merges the
+        results -- and any :class:`BenchmarkFailure` -- back into this
+        session's memos, ordered by benchmark name.  Subsequent exhibit
+        runs are pure memo lookups and produce bit-identical output to
+        a serial run (see ``docs/parallel.md``).
+
+        ``jobs <= 1`` is a no-op returning None (the lazy serial path).
+        Otherwise returns the :class:`~repro.harness.parallel
+        .EngineReport` with per-unit timings.
+        """
+        from repro.harness.parallel import warm_session
+        return warm_session(self, jobs, units=units)
 
     # ------------------------------------------------------------------
     def _fail(self, name: str, stage: str, target: str, key,

@@ -14,6 +14,19 @@ from repro.isa import CodeBuilder
 from repro.sim import run_program
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden exhibit JSON under tests/golden/ from "
+             "the current code instead of comparing against it")
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    """True when this run should regenerate the golden files."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def tiny_session() -> Session:
     """A verifying session over a fast subset at tiny scale."""

@@ -1,0 +1,291 @@
+"""Differential tests: parallel output must be bit-identical to serial.
+
+The parallel engine's contract (docs/parallel.md) is that ``--jobs N``
+changes wall-clock time and nothing else.  These tests run the same
+tiny-scale three-benchmark session serially and through the engine and
+assert equality at every stage -- raw trace columns, annotation
+statistics, cycle counts, speedups, and the rendered exhibit text --
+then repeat the comparison under REPRO_SABOTAGE and under injected
+worker crashes to prove failure isolation and footnoting survive
+parallel mode.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkFailure, WorkerCrashError
+from repro.harness import (
+    EXPERIMENTS,
+    ParallelEngine,
+    Session,
+    WorkUnit,
+    default_workplan,
+    run_experiment,
+    run_experiments,
+)
+from repro.harness.parallel import CRASH_ENV, jobs_from_env
+from repro.lvp.config import CONSTANT, LIMIT, PERFECT, SIMPLE
+from repro.trace.records import TRACE_COLUMNS
+from repro.uarch.ppc620.config import PPC620, PPC620_PLUS
+
+BENCHES = ("grep", "compress", "quick")
+CONFIGS = (SIMPLE, CONSTANT, LIMIT, PERFECT)
+PPC_MODEL_LVPS = (None, SIMPLE, CONSTANT, LIMIT, PERFECT)
+ALPHA_MODEL_LVPS = (None, SIMPLE, LIMIT, PERFECT)
+
+
+def _clean_env(monkeypatch) -> None:
+    for var in ("REPRO_SABOTAGE", "REPRO_TRACE_CACHE", "REPRO_JOBS",
+                CRASH_ENV):
+        monkeypatch.delenv(var, raising=False)
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    """(serial, parallel) fully-evaluated sessions over BENCHES."""
+    mp = pytest.MonkeyPatch()
+    _clean_env(mp)
+    try:
+        serial = Session(scale="tiny", benchmarks=BENCHES)
+        serial_text = {exp_id: run_experiment(exp_id, serial).text
+                       for exp_id in EXPERIMENTS}
+        parallel = Session(scale="tiny", benchmarks=BENCHES)
+        report = parallel.warm(jobs=4)
+        parallel_text = {exp_id: run_experiment(exp_id, parallel).text
+                         for exp_id in EXPERIMENTS}
+        return serial, serial_text, parallel, parallel_text, report
+    finally:
+        mp.undo()
+
+
+class TestDifferential:
+    def test_traces_bit_identical(self, sessions):
+        serial, _, parallel, _, _ = sessions
+        for name in BENCHES:
+            for target in ("ppc", "alpha"):
+                st = serial.trace(name, target)
+                pt = parallel.trace(name, target)
+                for column, _ in TRACE_COLUMNS:
+                    assert np.array_equal(getattr(st, column),
+                                          getattr(pt, column)), \
+                        (name, target, column)
+
+    def test_annotation_stats_identical(self, sessions):
+        serial, _, parallel, _, _ = sessions
+        for name in BENCHES:
+            for target in ("ppc", "alpha"):
+                for config in CONFIGS:
+                    ss = serial.annotated(name, target, config).stats
+                    ps = parallel.annotated(name, target, config).stats
+                    assert ss == ps, (name, target, config.name)
+
+    def test_cycle_counts_identical(self, sessions):
+        serial, _, parallel, _, _ = sessions
+        for name in BENCHES:
+            for machine in (PPC620, PPC620_PLUS):
+                for lvp in PPC_MODEL_LVPS:
+                    assert serial.ppc_result(name, machine, lvp).cycles == \
+                        parallel.ppc_result(name, machine, lvp).cycles, \
+                        (name, machine.name, lvp and lvp.name)
+            for lvp in ALPHA_MODEL_LVPS:
+                assert serial.alpha_result(name, lvp).cycles == \
+                    parallel.alpha_result(name, lvp).cycles, \
+                    (name, lvp and lvp.name)
+
+    def test_speedups_identical(self, sessions):
+        serial, _, parallel, _, _ = sessions
+        for name in BENCHES:
+            for machine in (PPC620, PPC620_PLUS):
+                for lvp in CONFIGS:
+                    assert serial.ppc_speedup(name, machine, lvp) == \
+                        parallel.ppc_speedup(name, machine, lvp)
+            for lvp in (SIMPLE, LIMIT, PERFECT):
+                assert serial.alpha_speedup(name, lvp) == \
+                    parallel.alpha_speedup(name, lvp)
+
+    def test_every_exhibit_text_identical(self, sessions):
+        _, serial_text, _, parallel_text, _ = sessions
+        for exp_id in EXPERIMENTS:
+            assert serial_text[exp_id] == parallel_text[exp_id], exp_id
+
+    def test_no_failures_on_healthy_run(self, sessions):
+        serial, _, parallel, _, _ = sessions
+        assert serial.failures == []
+        assert parallel.failures == []
+
+    def test_timing_report_covers_every_unit(self, sessions):
+        *_, report = sessions
+        assert report is not None
+        assert report.jobs == 4
+        assert len(report.timings) == len(default_workplan(BENCHES))
+        assert report.crashed == ()
+        assert all(t.ok for t in report.timings)
+        assert report.busy_seconds > 0
+        rendered = report.render()
+        for name in BENCHES:
+            assert name in rendered
+        assert "units in" in rendered
+
+
+class TestSabotagedDifferential:
+    @pytest.fixture(scope="class", params=["compress", "compress:model"])
+    def sabotaged(self, request):
+        """Serial and parallel sessions run under one sabotage knob."""
+        mp = pytest.MonkeyPatch()
+        _clean_env(mp)
+        mp.setenv("REPRO_SABOTAGE", request.param)
+        try:
+            serial = Session(scale="tiny", benchmarks=BENCHES)
+            serial_text = {exp_id: run_experiment(exp_id, serial).text
+                           for exp_id in EXPERIMENTS}
+            parallel = Session(scale="tiny", benchmarks=BENCHES)
+            parallel.warm(jobs=4)
+            parallel_text = {exp_id: run_experiment(exp_id, parallel).text
+                             for exp_id in EXPERIMENTS}
+            return serial, serial_text, parallel, parallel_text
+        finally:
+            mp.undo()
+
+    def test_exhibit_text_identical_under_sabotage(self, sabotaged):
+        _, serial_text, _, parallel_text = sabotaged
+        for exp_id in EXPERIMENTS:
+            assert serial_text[exp_id] == parallel_text[exp_id], exp_id
+
+    def test_victim_footnoted_and_survivors_intact(self, sabotaged):
+        _, _, parallel, parallel_text = sabotaged
+        assert parallel.failures
+        assert {f.benchmark for f in parallel.failures} == {"compress"}
+        assert "Footnotes:" in parallel_text["fig6"]
+        assert "compress" in parallel_text["fig6"]
+        # Survivors still produced full results.
+        for name in ("grep", "quick"):
+            assert parallel.trace(name, "ppc").num_instructions > 0
+
+    def test_failures_merged_as_benchmark_failures(self, sabotaged):
+        _, _, parallel, _ = sabotaged
+        for failure in parallel.failures:
+            assert isinstance(failure, BenchmarkFailure)
+            # The cause survived the pickle trip with its type intact.
+            assert type(failure.cause).__name__ == "FaultError"
+
+
+class TestWorkerCrash:
+    @pytest.fixture(scope="class")
+    def crashed(self):
+        """A parallel session whose 'compress' worker dies hard."""
+        mp = pytest.MonkeyPatch()
+        _clean_env(mp)
+        mp.setenv(CRASH_ENV, "compress")
+        try:
+            session = Session(scale="tiny", benchmarks=BENCHES)
+            report = session.warm(jobs=2)
+            return session, report
+        finally:
+            mp.undo()
+
+    def test_crash_recorded_never_fatal(self, crashed):
+        session, report = crashed
+        assert report.crashed == ("compress",)
+        victims = {f.benchmark for f in session.failures}
+        assert victims == {"compress"}
+        for failure in session.failures:
+            assert failure.stage == "worker"
+            assert isinstance(failure.cause, WorkerCrashError)
+
+    def test_innocent_benchmarks_survive_pool_breakage(self, crashed):
+        session, _ = crashed
+        for name in ("grep", "quick"):
+            assert session.trace(name, "ppc").num_instructions > 0
+            assert session.ppc_result(name, PPC620, SIMPLE).cycles > 0
+
+    def test_crashed_benchmark_footnoted_in_exhibits(self, crashed):
+        session, report = crashed
+        result = run_experiment("fig6", session)
+        assert "Footnotes:" in result.text
+        assert "worker stage failed" in result.text
+        assert "compress" in report.render()
+
+    def test_serial_engine_ignores_crash_knob_consistently(self):
+        # jobs=1 runs shards in-process: the crash knob must not be
+        # honoured there (it would kill the parent), so the in-process
+        # path only ever simulates crashes via real subprocess pools.
+        mp = pytest.MonkeyPatch()
+        _clean_env(mp)
+        try:
+            session = Session(scale="tiny", benchmarks=("grep",))
+            units = (WorkUnit("grep", "trace", "ppc"),)
+            report = ParallelEngine(session, jobs=1, units=units).run()
+            assert len(report.timings) == 1
+            assert session.trace("grep", "ppc").num_instructions > 0
+        finally:
+            mp.undo()
+
+
+class TestCLIByteEquivalence:
+    """Acceptance: `experiment all --jobs 4` == `--jobs 1`, byte for byte."""
+
+    @staticmethod
+    def _run(jobs: int, extra_env=None):
+        env = {k: v for k, v in os.environ.items()
+               if not k.startswith("REPRO_")}
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env.update(extra_env or {})
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "experiment", "all",
+             "--scale", "tiny", "--benchmarks", ",".join(BENCHES),
+             "--jobs", str(jobs)],
+            capture_output=True, env=env, timeout=600)
+
+    def test_stdout_byte_identical(self):
+        serial = self._run(1)
+        parallel = self._run(4)
+        assert serial.returncode == 0, serial.stderr.decode()
+        assert parallel.returncode == 0, parallel.stderr.decode()
+        assert serial.stdout == parallel.stdout
+        # The timing summary goes to stderr, and only in parallel mode.
+        assert b"Parallel timing summary" not in serial.stderr
+        assert b"Parallel timing summary" in parallel.stderr
+
+    def test_sabotaged_stdout_byte_identical_and_nonzero(self):
+        env = {"REPRO_SABOTAGE": "compress"}
+        serial = self._run(1, env)
+        parallel = self._run(4, env)
+        assert serial.returncode == 1
+        assert parallel.returncode == 1
+        assert serial.stdout == parallel.stdout
+        assert b"Footnotes:" in parallel.stdout
+
+
+class TestRunExperiments:
+    def test_helper_warms_and_returns_all(self, monkeypatch):
+        _clean_env(monkeypatch)
+        session = Session(scale="tiny", benchmarks=("grep",))
+        results = run_experiments(("tab1", "tab2"), session, jobs=2)
+        assert [r.exp_id for r in results] == ["tab1", "tab2"]
+        assert session.last_warm_report is not None
+        assert session.last_warm_report.jobs == 2
+
+    def test_helper_serial_leaves_session_lazy(self, monkeypatch):
+        _clean_env(monkeypatch)
+        session = Session(scale="tiny", benchmarks=("grep",))
+        results = run_experiments(("tab2",), session, jobs=1)
+        assert results[0].exp_id == "tab2"
+        assert session.last_warm_report is None
+        assert session._traces == {}  # nothing precomputed
+
+    def test_jobs_from_env(self, monkeypatch):
+        _clean_env(monkeypatch)
+        assert jobs_from_env() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert jobs_from_env() == 6
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert jobs_from_env() == 1
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert jobs_from_env() == 1

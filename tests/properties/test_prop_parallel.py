@@ -1,0 +1,96 @@
+"""Property test: the parallel engine always equals the serial oracle.
+
+Hypothesis drives the engine across generated benchmark subsets, job
+counts, and optional sabotage, asserting that for every combination:
+
+* merged traces, cycle counts, and rendered exhibits are identical to
+  a serial session's (the oracle); and
+* the failure list names exactly the sabotaged benchmarks -- no
+  victim escapes, no innocent is blamed.
+
+A module-shared on-disk trace cache keeps each example cheap: the
+first example pays for trace generation, later examples (serial and
+parallel, both use the same fcntl-locked cache) hit it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness import Session, run_experiment
+from repro.trace.records import TRACE_COLUMNS
+
+NAMES = ("grep", "compress", "quick")
+EXHIBITS = ("tab1", "tab3", "fig6")
+
+_CACHE_DIR = tempfile.mkdtemp(prefix="repro-prop-parallel-")
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos(monkeypatch):
+    monkeypatch.delenv("REPRO_SABOTAGE", raising=False)
+    monkeypatch.delenv("REPRO_PARALLEL_CRASH", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+
+
+def _evaluate(benchmarks, sabotage, jobs):
+    """One fully-evaluated session; serial oracle when jobs == 1."""
+    if sabotage is not None:
+        os.environ["REPRO_SABOTAGE"] = sabotage
+    else:
+        os.environ.pop("REPRO_SABOTAGE", None)
+    try:
+        session = Session(scale="tiny", benchmarks=benchmarks,
+                          cache_dir=_CACHE_DIR)
+        if jobs > 1:
+            session.warm(jobs)
+        texts = {exp_id: run_experiment(exp_id, session).text
+                 for exp_id in EXHIBITS}
+        return session, texts
+    finally:
+        os.environ.pop("REPRO_SABOTAGE", None)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(
+    benchmarks=st.lists(st.sampled_from(NAMES), min_size=1, max_size=3,
+                        unique=True).map(tuple),
+    jobs=st.integers(min_value=2, max_value=4),
+    sabotage=st.one_of(st.none(), st.sampled_from(NAMES)),
+)
+def test_parallel_always_equals_serial_oracle(benchmarks, jobs, sabotage):
+    oracle, oracle_texts = _evaluate(benchmarks, sabotage, jobs=1)
+    parallel, parallel_texts = _evaluate(benchmarks, sabotage, jobs=jobs)
+
+    # Rendered exhibits are identical, byte for byte.
+    for exp_id in EXHIBITS:
+        assert parallel_texts[exp_id] == oracle_texts[exp_id], exp_id
+
+    # Failures name exactly the sabotaged benchmarks that were in the
+    # run -- nothing more, nothing less -- in both modes.
+    expected = {sabotage} & set(benchmarks) if sabotage else set()
+    assert {f.benchmark for f in oracle.failures} == expected
+    assert {f.benchmark for f in parallel.failures} == expected
+
+    # Every healthy trace and cycle count matches the oracle exactly.
+    healthy = [name for name in benchmarks if name not in expected]
+    for name in healthy:
+        for target in ("ppc", "alpha"):
+            ot = oracle.trace(name, target)
+            pt = parallel.trace(name, target)
+            for column, _ in TRACE_COLUMNS:
+                assert np.array_equal(getattr(ot, column),
+                                      getattr(pt, column)), \
+                    (name, target, column)
+    from repro.uarch.ppc620.config import PPC620
+    for name in healthy:
+        assert oracle.ppc_result(name, PPC620, None).cycles == \
+            parallel.ppc_result(name, PPC620, None).cycles
