@@ -15,6 +15,10 @@ Commands
     Cycle-model speedups for one benchmark on the 620/620+/21164.
 ``experiment ID``
     Regenerate a paper exhibit (``fig1`` ... ``tab6``), or ``all``.
+    Journaled by default: the run writes a write-ahead journal and
+    per-benchmark checkpoints under ``.repro/runs/<run-id>/`` so a
+    crashed or killed run resumes with ``--resume <run-id>`` and
+    produces byte-identical output (see ``docs/journal.md``).
 ``check``
     Evaluate every paper-shape claim against a fresh session.
 ``doctor``
@@ -31,10 +35,22 @@ Commands
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
+import signal
 import sys
 
+from repro.errors import JournalError
 from repro.harness.experiments import EXPERIMENTS, run_experiments
-from repro.harness.parallel import jobs_from_env
+from repro.harness.journal import (
+    RunJournal,
+    build_manifest,
+    new_run_id,
+    prune_runs,
+    run_journaled,
+    runs_dir_from_env,
+)
+from repro.harness.parallel import jobs_from_env, unit_timeout_from_env
 from repro.harness.session import Session
 from repro.isa.disasm import disassemble
 from repro.lvp.config import (
@@ -64,13 +80,66 @@ def _add_common(parser: argparse.ArgumentParser,
                         help="input scale (default: small)")
 
 
+def _jobs_arg(value: str) -> int:
+    """argparse type for ``--jobs``: a clear error, never a traceback."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value!r}") from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+    return jobs
+
+
+def _timeout_arg(value: str) -> float:
+    """argparse type for ``--unit-timeout`` (seconds, 0 disarms)."""
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a number of seconds, got {value!r}") from None
+    if seconds < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {seconds:g}")
+    return seconds
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--jobs", type=int, default=jobs_from_env(),
+        "--jobs", type=_jobs_arg, default=None,
         metavar="N",
         help="worker processes for the parallel engine (default: "
              "$REPRO_JOBS or 1 = serial; output is bit-identical "
              "either way)")
+
+
+def _cap_jobs(jobs: int) -> int:
+    """Cap a worker count at the CPU count, with a warning.
+
+    Never capped below 2: collapsing an explicit parallel request to
+    ``jobs=1`` would silently switch to the serial code path, which is
+    a semantic change, not a tuning one (one oversubscribed worker on
+    a single-CPU box is harmless).
+    """
+    cap = max(2, os.cpu_count() or 1)
+    if jobs > cap:
+        print(f"warning: --jobs {jobs} exceeds the "
+              f"{os.cpu_count()} available CPU(s); capping at {cap}",
+              file=sys.stderr)
+        return cap
+    return jobs
+
+
+def _resolve_jobs(args) -> int:
+    """The effective worker count: ``--jobs``, else strict $REPRO_JOBS."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        try:
+            jobs = jobs_from_env(strict=True)
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
+    return _cap_jobs(jobs)
 
 
 def _traced(args):
@@ -164,22 +233,109 @@ def _report_timing(session: Session) -> None:
         print(report.render(), file=sys.stderr)
 
 
+def _install_interrupt_handlers(journal: RunJournal):
+    """SIGINT/SIGTERM: journal a clean ``interrupted`` record, print
+    the resume command, and exit with the conventional 128+signum."""
+    import threading
+    if threading.current_thread() is not threading.main_thread():
+        return {}
+    owner = os.getpid()
+
+    def handler(signum, frame):
+        if os.getpid() != owner:  # a forked worker inherited us
+            os._exit(128 + signum)
+        with contextlib.suppress(Exception):
+            journal.interrupted(signum)
+        name = signal.Signals(signum).name
+        message = (f"\ninterrupted ({name}); resume with:\n"
+                   f"  repro experiment --resume {journal.run_id}\n")
+        with contextlib.suppress(Exception):
+            os.write(sys.stderr.fileno(), message.encode())
+        os._exit(128 + signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, handler)
+    return previous
+
+
+def _restore_handlers(previous) -> None:
+    for signum, old in previous.items():
+        with contextlib.suppress(Exception):
+            signal.signal(signum, old)
+
+
 def cmd_experiment(args) -> int:
-    names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
-    session = Session(scale=args.scale, benchmarks=names)
-    exhibits = list(EXPERIMENTS) if args.id == "all" else [args.id]
-    for result in run_experiments(exhibits, session, jobs=args.jobs):
+    runs_dir = args.runs_dir or runs_dir_from_env()
+    if not args.id and not args.resume:
+        print("repro: error: an exhibit id (or --resume RUN_ID) is "
+              "required", file=sys.stderr)
+        return 2
+    try:
+        if args.resume:
+            if args.id:
+                print(f"note: ignoring exhibit id {args.id!r}: --resume "
+                      "replays the recorded run", file=sys.stderr)
+            journal = RunJournal.open(runs_dir, args.resume)
+            manifest = journal.manifest
+            session = Session(scale=manifest["scale"],
+                              benchmarks=tuple(manifest["benchmarks"]),
+                              verify=manifest.get("verify", True),
+                              cache_dir=manifest.get("cache_dir"))
+            exhibits = list(manifest["exhibits"])
+            jobs = _cap_jobs(args.jobs) if args.jobs is not None \
+                else _cap_jobs(int(manifest.get("jobs", 1)))
+            unit_timeout = args.unit_timeout \
+                if args.unit_timeout is not None \
+                else float(manifest.get("unit_timeout", 0.0))
+            resume = True
+        else:
+            jobs = _resolve_jobs(args)
+            unit_timeout = args.unit_timeout \
+                if args.unit_timeout is not None else unit_timeout_from_env()
+            names = tuple(args.benchmarks.split(",")) \
+                if args.benchmarks else None
+            session = Session(scale=args.scale, benchmarks=names)
+            exhibits = list(EXPERIMENTS) if args.id == "all" else [args.id]
+            if args.no_journal:
+                for result in run_experiments(exhibits, session, jobs=jobs):
+                    print(result.text)
+                    print()
+                _report_timing(session)
+                return 1 if _report_failures(session) else 0
+            run_id = args.run_id or new_run_id()
+            prune_runs(runs_dir, protect=run_id)
+            journal = RunJournal.create(
+                runs_dir, run_id,
+                build_manifest(exhibits, session, jobs, unit_timeout))
+            resume = False
+    except JournalError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"run journal: {journal.directory} "
+          f"(resume: repro experiment --resume {journal.run_id})",
+          file=sys.stderr)
+    previous = _install_interrupt_handlers(journal)
+    try:
+        results = run_journaled(exhibits, session, journal, jobs=jobs,
+                                unit_timeout=unit_timeout, resume=resume)
+    finally:
+        _restore_handlers(previous)
+    for result in results:
         print(result.text)
         print()
     _report_timing(session)
-    return 1 if _report_failures(session) else 0
+    code = 1 if _report_failures(session) else 0
+    journal.finished(code)
+    journal.close()
+    return code
 
 
 def cmd_check(args) -> int:
     from repro.analysis.expectations import check_all, render_check_report
     names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
     session = Session(scale=args.scale, benchmarks=names)
-    session.last_warm_report = session.warm(args.jobs)
+    session.last_warm_report = session.warm(_resolve_jobs(args))
     results = check_all(session)
     print(render_check_report(results))
     _report_timing(session)
@@ -200,7 +356,7 @@ def cmd_report(args) -> int:
     from repro.analysis.html import build_html_report
     names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
     session = Session(scale=args.scale, benchmarks=names)
-    session.last_warm_report = session.warm(args.jobs)
+    session.last_warm_report = session.warm(_resolve_jobs(args))
     document = build_html_report(session)
     _report_timing(session)
     with open(args.output, "w", encoding="utf-8") as handle:
@@ -270,12 +426,35 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser = commands.add_parser(
         "experiment", help="regenerate a paper exhibit")
     experiment_parser.add_argument(
-        "id", choices=sorted(EXPERIMENTS) + ["all"])
+        "id", nargs="?", default=None,
+        choices=sorted(EXPERIMENTS) + ["all"])
     experiment_parser.add_argument("--scale", default="small",
                                    choices=("tiny", "small", "reference"))
     experiment_parser.add_argument("--benchmarks", default=None,
                                    help="comma-separated subset")
     _add_jobs(experiment_parser)
+    experiment_parser.add_argument(
+        "--unit-timeout", type=_timeout_arg, default=None, metavar="SECONDS",
+        help="per-unit watchdog: a work unit exceeding this many "
+             "seconds fails (footnoted) instead of hanging the run "
+             "(default: $REPRO_UNIT_TIMEOUT or 0 = disarmed)")
+    experiment_parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume an interrupted journaled run ('latest' picks the "
+             "newest); completed benchmarks load from verified "
+             "checkpoints, only the rest re-execute")
+    experiment_parser.add_argument(
+        "--run-id", default=None, metavar="RUN_ID",
+        help="explicit id for this run's journal directory "
+             "(default: a timestamp-derived id)")
+    experiment_parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="where run journals live (default: $REPRO_RUNS_DIR "
+             "or .repro/runs)")
+    experiment_parser.add_argument(
+        "--no-journal", action="store_true",
+        help="skip the write-ahead journal (the pre-journal code path; "
+             "the run cannot be resumed)")
     experiment_parser.set_defaults(func=cmd_experiment)
 
     check_parser = commands.add_parser(

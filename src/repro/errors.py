@@ -48,13 +48,64 @@ class FaultError(ReproError):
     """
 
 
-class WorkerCrashError(ReproError):
+class RetryableError(ReproError):
+    """Base class for *transient* failures that are safe to retry.
+
+    The split is the retry contract of the whole harness: an error
+    deriving from this class (lock contention, a worker lost to a
+    crash, an injected transient I/O fault) may succeed on a clean
+    re-execution, so the session retries it with exponential backoff
+    (:mod:`repro.harness.retry`) before recording a
+    :class:`BenchmarkFailure`.  Every other error is terminal: retrying
+    would deterministically fail again, so it is recorded immediately.
+    """
+
+
+class CacheLockTimeout(RetryableError):
+    """The trace cache's advisory lock could not be acquired in time.
+
+    Raised instead of blocking forever when another process wedges while
+    holding the cache directory lock (``REPRO_LOCK_TIMEOUT``, default
+    60s).  Retryable: the holder usually finishes or dies, and the
+    cache is an accelerator only -- a retried stage can also regenerate.
+    """
+
+
+class TransientFaultError(FaultError, RetryableError):
+    """A deliberately injected *transient* fault (``REPRO_TRANSIENT``).
+
+    Fails a benchmark's stage for the first N attempts and then lets it
+    succeed, proving the retry-with-backoff path end to end.
+    """
+
+
+class UnitTimeoutError(ReproError):
+    """A work unit exceeded the per-unit watchdog (``--unit-timeout``).
+
+    Terminal, not retryable: a hung computation is assumed to hang
+    again, so the unit's benchmark is footnoted for this run instead of
+    burning the retry budget re-hanging.
+    """
+
+
+class JournalError(ReproError):
+    """A run journal, manifest, or checkpoint is unusable.
+
+    Raised when ``--resume`` names an unknown run, the manifest does not
+    match the current suite/version, or a journal is damaged beyond the
+    tolerated trailing truncation.
+    """
+
+
+class WorkerCrashError(RetryableError):
     """A parallel worker process died before returning its results.
 
     Recorded as the ``cause`` of the :class:`BenchmarkFailure` that the
     parallel engine synthesizes for work lost to a crashed (killed,
     segfaulted, out-of-memory...) worker, so the affected benchmark is
     footnoted like any other failure instead of aborting the run.
+    Retryable: the engine re-runs lost shards (with backoff) before
+    giving up on them.
     """
 
 

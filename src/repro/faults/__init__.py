@@ -19,6 +19,7 @@ from repro.faults.doctor import (
     DETECTED,
     DoctorReport,
     FaultOutcome,
+    JOURNAL_CHECKS,
     RECOVERED,
     SILENT,
     run_doctor,
@@ -39,7 +40,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
-    "DETECTED", "RECOVERED", "SILENT",
+    "DETECTED", "JOURNAL_CHECKS", "RECOVERED", "SILENT",
     "DoctorReport", "FaultOutcome", "run_doctor",
     "audit_violations", "copy_trace",
     "inject_cache_fault", "inject_trace_fault", "make_lvp_hook",

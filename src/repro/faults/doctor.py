@@ -15,6 +15,14 @@ live LVP unit tables -- and asserts that every single one is either
 
 Any fault that is neither is **silent** -- the one outcome the design
 must never produce -- and fails the campaign.
+
+A fourth layer of deterministic **journal** self-tests (not drawn from
+the seeded fault plan, so existing campaign seeds are unchanged)
+exercises the crash-safety machinery: a write-replay round trip over
+the run journal, tolerance of a truncated trailing line, rejection of
+an interior tampered line, rejection of a checkpoint whose digest
+disagrees with its ``done`` record, the per-unit watchdog, and the
+retry backoff schedule's determinism and bounds.
 """
 
 from __future__ import annotations
@@ -35,6 +43,10 @@ from repro.trace.validate import validate_trace
 DETECTED = "detected"
 RECOVERED = "recovered"
 SILENT = "silent"
+
+#: The journal-layer self-tests run_doctor appends to every campaign.
+JOURNAL_CHECKS = ("replay", "truncation", "tamper", "checkpoint",
+                  "watchdog", "backoff")
 
 
 @dataclass
@@ -75,18 +87,21 @@ class DoctorReport:
 
     def render(self) -> str:
         """Human-readable campaign report."""
+        injected = sum(1 for o in self.outcomes
+                       if o.spec.layer != "journal")
+        checks = len(self.outcomes) - injected
         lines = [
             "Fault-injection doctor",
             "======================",
-            f"seed {self.seed} · {len(self.outcomes)} faults · "
-            f"benchmark {self.benchmark} @ {self.scale}",
+            f"seed {self.seed} · {injected} faults + {checks} journal "
+            f"self-checks · benchmark {self.benchmark} @ {self.scale}",
             "",
             f"{'layer':8s} {'injected':>8s} {'detected':>9s} "
             f"{'recovered':>10s} {'SILENT':>7s}",
         ]
         counts = self.counts()
         totals = {DETECTED: 0, RECOVERED: 0, SILENT: 0}
-        for layer in ("trace", "cache", "lvp"):
+        for layer in ("trace", "cache", "lvp", "journal"):
             row = counts.get(layer)
             if row is None:
                 continue
@@ -172,6 +187,109 @@ def _run_lvp_fault(spec: FaultSpec, trace: Trace) -> FaultOutcome:
                         f"{what} ({config.name}); comparator held")
 
 
+def _journal_self_tests() -> list[FaultOutcome]:
+    """Deterministic drills over the crash-safety machinery.
+
+    Each drill plants a specific kind of damage (or demand) and checks
+    the journal/watchdog/backoff layer responds the designed way;
+    anything else is reported SILENT and fails the campaign.
+    """
+    import time as time_mod
+
+    from repro.errors import JournalError, UnitTimeoutError
+    from repro.harness.journal import RunJournal, replay_journal
+    from repro.harness.parallel import WorkUnit, _ShardResult, _unit_watchdog
+    from repro.harness.retry import RetryPolicy
+
+    outcomes: list[FaultOutcome] = []
+
+    def record(kind: str, status: str, detail: str) -> None:
+        outcomes.append(
+            FaultOutcome(FaultSpec("journal", kind, 0), status, detail))
+
+    with tempfile.TemporaryDirectory(prefix="repro-doctor-journal-") as tmp:
+        journal = RunJournal.create(tmp, "selftest", {
+            "version": "selftest", "exhibits": [], "scale": "tiny",
+            "benchmarks": ["b1", "b2"], "verify": True,
+        })
+        journal.append({"type": "done", "benchmark": "b1",
+                        "checkpoint": "0" * 64, "digests": {}})
+        journal.close()
+        path = journal.journal_path
+
+        # 1. Write-replay round trip: every appended record comes back,
+        # in order, CRC-verified.
+        types = [r["type"] for r in replay_journal(path)]
+        if types == ["run_started", "planned", "planned", "done"]:
+            record("replay", RECOVERED, "write-replay round trip held")
+        else:
+            record("replay", SILENT,
+                   f"replay returned {types!r}, not the written sequence")
+
+        # 2. A truncated trailing line (crash mid-append) is dropped.
+        whole = path.read_bytes()
+        path.write_bytes(whole + b'{"rec":{"type":"done","benchm')
+        truncated = [r["type"] for r in replay_journal(path)]
+        if truncated == types:
+            record("truncation", DETECTED,
+                   "truncated trailing line dropped on replay")
+        else:
+            record("truncation", SILENT,
+                   "a truncated trailing line leaked into replay")
+
+        # 3. An interior tampered line refuses to replay at all.
+        lines = whole.split(b"\n")
+        lines[1] = lines[1].replace(b"planned", b"plonned")
+        path.write_bytes(b"\n".join(lines))
+        try:
+            replay_journal(path)
+        except JournalError:
+            record("tamper", DETECTED,
+                   "interior damage raised JournalError")
+        else:
+            record("tamper", SILENT,
+                   "an interior tampered line replayed without complaint")
+
+        # 4. A checkpoint whose bytes disagree with the journal's digest
+        # is dropped (that benchmark re-runs).
+        path.write_bytes(whole)
+        empty = _ShardResult(benchmark="b1", traces={}, annotated={},
+                             ppc_runs={}, alpha_runs={}, failed={},
+                             timings=[])
+        journal._write_checkpoint(empty)  # digest != the "0"*64 on record
+        if journal.load_checkpoints() == {}:
+            record("checkpoint", DETECTED,
+                   "digest-mismatching checkpoint dropped")
+        else:
+            record("checkpoint", SILENT,
+                   "a checkpoint was loaded against a wrong digest")
+
+    # 5. The per-unit watchdog interrupts a wedged unit.
+    unit = WorkUnit("b1", "trace", "ppc")
+    try:
+        with _unit_watchdog(0.05, unit):
+            time_mod.sleep(2.0)
+    except UnitTimeoutError:
+        record("watchdog", DETECTED, "watchdog interrupted a 2s hang")
+    else:
+        record("watchdog", RECOVERED,
+               "watchdog disarmed on this platform/thread (documented)")
+
+    # 6. The backoff schedule is deterministic, bounded, and growing.
+    policy = RetryPolicy(attempts=5, base=0.1, seed=7)
+    first, second = policy.delays(), policy.delays()
+    bound = policy.cap * (1.0 + policy.jitter)
+    if (first == second and len(first) == 4
+            and all(0.0 <= d <= bound for d in first)
+            and first[0] < bound):
+        record("backoff", RECOVERED,
+               "backoff schedule deterministic and bounded")
+    else:
+        record("backoff", SILENT,
+               f"backoff schedule unsound: {first!r} vs {second!r}")
+    return outcomes
+
+
 def run_doctor(seed: int = 0, faults: int = 60,
                benchmark: str = "grep", scale: str = "tiny",
                trace: Optional[Trace] = None) -> DoctorReport:
@@ -196,4 +314,5 @@ def run_doctor(seed: int = 0, faults: int = 60,
                 outcomes.append(_run_cache_fault(spec, trace, cache, scale))
             else:
                 outcomes.append(_run_lvp_fault(spec, trace))
+    outcomes.extend(_journal_self_tests())
     return DoctorReport(seed, trace.name or benchmark, scale, outcomes)

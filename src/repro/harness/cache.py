@@ -20,19 +20,28 @@ The cache is hardened against on-disk corruption:
   temporaries from crashed processes are swept on construction;
 * stores and loads take an advisory file lock (where the platform
   offers ``fcntl``) so concurrent sessions sharing one
-  ``REPRO_TRACE_CACHE`` directory do not race.
+  ``REPRO_TRACE_CACHE`` directory do not race; lock acquisition is
+  bounded (``REPRO_LOCK_TIMEOUT``, default 60s) and raises a retryable
+  :class:`~repro.errors.CacheLockTimeout` instead of blocking forever
+  behind a wedged holder;
+* ``quarantine/`` growth is capped (``REPRO_QUARANTINE_KEEP``, default
+  16 newest bundles) so repeated corruption drills cannot fill the
+  disk.
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 import pathlib
+import time
 import zipfile
 import zlib
 from typing import Optional
 
 import numpy as np
 
+from repro.errors import CacheLockTimeout
 from repro.trace.records import TRACE_COLUMNS, Trace
 
 try:  # pragma: no cover - platform probe
@@ -56,14 +65,42 @@ def _column_crc(array: np.ndarray) -> int:
     return zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
 
 
-class TraceCache:
-    """Load/store traces under a directory, versioned by the library."""
+def _float_env(name: str, default: float) -> float:
+    """A float environment knob (malformed values use the default)."""
+    try:
+        return float(os.environ[name])
+    except (KeyError, ValueError):
+        return default
 
-    def __init__(self, directory) -> None:
+
+def _int_env(name: str, default: int) -> int:
+    """An int environment knob (malformed values use the default)."""
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+class TraceCache:
+    """Load/store traces under a directory, versioned by the library.
+
+    ``lock_timeout`` bounds how long a load/store waits for the
+    directory's advisory lock (default ``REPRO_LOCK_TIMEOUT`` or 60s;
+    ``<= 0`` = try once, never wait).  ``quarantine_keep`` caps how
+    many quarantined bundles are retained (default
+    ``REPRO_QUARANTINE_KEEP`` or 16), newest first.
+    """
+
+    def __init__(self, directory, lock_timeout: Optional[float] = None,
+                 quarantine_keep: Optional[int] = None) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         from repro import __version__
         self.version = __version__
+        self.lock_timeout = lock_timeout if lock_timeout is not None \
+            else _float_env("REPRO_LOCK_TIMEOUT", 60.0)
+        self.quarantine_keep = quarantine_keep if quarantine_keep is not None \
+            else max(1, _int_env("REPRO_QUARANTINE_KEEP", 16))
         self._sweep_temporaries()
 
     def _path(self, name: str, target: str, scale: str) -> pathlib.Path:
@@ -77,13 +114,32 @@ class TraceCache:
     # -- concurrency ---------------------------------------------------------
     @contextlib.contextmanager
     def _locked(self, shared: bool = False):
-        """Advisory lock over the cache directory (no-op without fcntl)."""
+        """Advisory lock over the cache directory (no-op without fcntl).
+
+        Acquisition is non-blocking with a bounded spin so a wedged
+        lock holder surfaces as a retryable
+        :class:`~repro.errors.CacheLockTimeout` instead of hanging the
+        whole run (the session's retry-with-backoff then re-attempts
+        the stage).
+        """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             yield
             return
         lock_path = self.directory / ".lock"
+        operation = fcntl.LOCK_SH if shared else fcntl.LOCK_EX
         with open(lock_path, "a") as handle:
-            fcntl.flock(handle, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+            deadline = time.monotonic() + max(0.0, self.lock_timeout)
+            while True:
+                try:
+                    fcntl.flock(handle, operation | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise CacheLockTimeout(
+                            f"could not lock trace cache {self.directory} "
+                            f"within {self.lock_timeout:.0f}s "
+                            f"(REPRO_LOCK_TIMEOUT)") from None
+                    time.sleep(0.02)
             try:
                 yield
             finally:
@@ -121,7 +177,27 @@ class TraceCache:
             path.replace(destination)
         except OSError:
             return None
+        self._prune_quarantine(qdir)
         return destination
+
+    def _prune_quarantine(self, qdir: pathlib.Path) -> int:
+        """Keep only the ``quarantine_keep`` newest quarantined bundles
+        so repeated corruption (or a corruption drill in a loop) cannot
+        fill the disk; returns the number pruned."""
+        try:
+            entries = sorted(
+                (entry for entry in qdir.iterdir() if entry.is_file()),
+                key=lambda entry: entry.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:
+            return 0
+        pruned = 0
+        for stale in entries[self.quarantine_keep:]:
+            with contextlib.suppress(OSError):
+                stale.unlink()
+                pruned += 1
+        return pruned
 
     def discard(self, name: str, target: str, scale: str) -> None:
         """Quarantine the bundle for one key (used when a loaded trace

@@ -1,0 +1,509 @@
+"""Write-ahead run journal: crash-safe, resumable experiment runs.
+
+Every journaled ``repro experiment`` run owns a *run directory*::
+
+    <runs-dir>/<run-id>/
+        manifest.json        what was asked for (suite, scale, jobs...)
+        journal.jsonl        append-only, fsync'd lifecycle records
+        checkpoints/<b>.pkl  one completed benchmark's merge payload
+
+The **manifest** pins everything needed to re-create the run:
+library version, exhibit ids, input scale, benchmark list, worker
+count, watchdog timeout, and a fingerprint over all of it.  The
+**journal** is written ahead of the work it describes: a benchmark's
+shard is recorded ``planned`` before any worker sees it, ``started``
+when it is handed out, and ``done`` (with a checkpoint digest and
+per-unit result digests) or ``failed`` only after its checkpoint is
+durably on disk.  Each journal line carries a CRC-32 of its payload
+and is written with a single ``write``+``fsync``, so a power cut can
+at worst truncate the final line -- which replay tolerates.
+
+``repro experiment --resume <run-id>`` replays the journal, loads the
+checkpoint of every completed benchmark (re-hashing each one against
+the digest the journal recorded, and cross-checking trace digests
+against the shared :class:`~repro.harness.cache.TraceCache`), seeds
+the parallel engine with those payloads, and re-executes only the
+incomplete benchmarks.  A run killed mid-suite and resumed produces
+byte-identical stdout to one that was never interrupted (the
+differential suite in ``tests/harness/test_resume.py`` proves it,
+SIGKILL included).
+
+Chaos knob: ``REPRO_JOURNAL_CRASH_AFTER=<k>`` hard-exits the parent
+process (``os._exit``) immediately after the *k*-th checkpoint is
+journalled, simulating a mid-suite crash for the resume drill.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import time
+import zlib
+from typing import Optional
+
+from repro.errors import JournalError
+from repro.harness.parallel import EngineObserver, _ShardResult, _ShardSpec
+
+#: Where run directories live (created on demand).
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+DEFAULT_RUNS_DIR = os.path.join(".repro", "runs")
+
+#: How many finished run directories to retain (newest first).
+RUNS_KEEP_ENV = "REPRO_RUNS_KEEP"
+DEFAULT_RUNS_KEEP = 8
+
+#: Chaos knob: crash the parent after the k-th checkpoint (resume drill).
+CRASH_AFTER_ENV = "REPRO_JOURNAL_CRASH_AFTER"
+
+_MANIFEST = "manifest.json"
+_JOURNAL = "journal.jsonl"
+_CHECKPOINTS = "checkpoints"
+
+
+def runs_dir_from_env(default: Optional[str] = None) -> pathlib.Path:
+    """The configured runs directory (``REPRO_RUNS_DIR``)."""
+    return pathlib.Path(
+        os.environ.get(RUNS_DIR_ENV) or default or DEFAULT_RUNS_DIR)
+
+
+def new_run_id() -> str:
+    """A fresh, sortable run id (timestamp + pid keeps concurrent
+    sessions on one machine from colliding)."""
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid()}"
+
+
+def find_run(runs_dir, run_id: str) -> pathlib.Path:
+    """Resolve *run_id* (or ``latest``) to an existing run directory."""
+    runs_dir = pathlib.Path(runs_dir)
+    if run_id == "latest":
+        candidates = sorted(
+            (entry for entry in runs_dir.iterdir()
+             if entry.is_dir() and (entry / _MANIFEST).exists()),
+            key=lambda entry: entry.name,
+        ) if runs_dir.is_dir() else []
+        if not candidates:
+            raise JournalError(f"no runs found under {runs_dir}")
+        return candidates[-1]
+    path = runs_dir / run_id
+    if not (path / _MANIFEST).exists():
+        raise JournalError(
+            f"no run {run_id!r} under {runs_dir} (no manifest); "
+            f"try 'latest' or list the directory")
+    return path
+
+
+def prune_runs(runs_dir, keep: Optional[int] = None,
+               protect: Optional[str] = None) -> int:
+    """Keep only the *keep* newest run directories; returns the number
+    removed.  *protect* (a run id) is never pruned."""
+    import shutil
+    runs_dir = pathlib.Path(runs_dir)
+    if keep is None:
+        try:
+            keep = max(1, int(os.environ[RUNS_KEEP_ENV]))
+        except (KeyError, ValueError):
+            keep = DEFAULT_RUNS_KEEP
+    if not runs_dir.is_dir():
+        return 0
+    entries = sorted(
+        (entry for entry in runs_dir.iterdir() if entry.is_dir()),
+        key=lambda entry: entry.name,
+        reverse=True,
+    )
+    removed = 0
+    for stale in entries[keep:]:
+        if protect is not None and stale.name == protect:
+            continue
+        with contextlib.suppress(OSError):
+            shutil.rmtree(stale)
+            removed += 1
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# Result digests.
+# ---------------------------------------------------------------------------
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def trace_digest(trace) -> str:
+    """sha256 over a trace's column bytes (the identity the TraceCache
+    checksums protect, re-expressed as one stable digest)."""
+    import numpy as np
+    from repro.trace.records import TRACE_COLUMNS
+    digest = hashlib.sha256()
+    for key, _ in TRACE_COLUMNS:
+        digest.update(np.ascontiguousarray(getattr(trace, key)).tobytes())
+    return digest.hexdigest()
+
+
+def shard_digests(shard: _ShardResult) -> dict[str, str]:
+    """Per-unit result digests for one benchmark's merge payload.
+
+    Keys are stable unit labels; values identify the *result* (not the
+    computation), so a resumed run can prove a checkpoint still holds
+    exactly what the journal said it held.
+    """
+    import numpy as np
+    digests: dict[str, str] = {}
+    for (name, target), trace in shard.traces.items():
+        digests[f"trace/{name}/{target}"] = trace_digest(trace)
+    for (name, target, config), annotated in shard.annotated.items():
+        digests[f"annotate/{name}/{target}/{config}"] = _sha256(
+            np.ascontiguousarray(annotated.outcomes).tobytes())
+    for (name, machine, lvp), result in shard.ppc_runs.items():
+        digests[f"model/ppc/{name}/{machine}/{lvp or 'base'}"] = _sha256(
+            repr((result.cycles, result.instructions)).encode())
+    for (name, machine, lvp), result in shard.alpha_runs.items():
+        digests[f"model/alpha/{name}/{machine}/{lvp or 'base'}"] = _sha256(
+            repr((result.cycles, result.instructions)).encode())
+    return digests
+
+
+# ---------------------------------------------------------------------------
+# Journal lines.
+# ---------------------------------------------------------------------------
+def _encode_record(record: dict) -> bytes:
+    """One journal line: the record plus a CRC-32 of its canonical
+    JSON, emitted as a single newline-terminated write."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode()) & 0xFFFFFFFF
+    return json.dumps({"rec": record, "crc": crc},
+                      sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def _decode_line(line: bytes) -> Optional[dict]:
+    """Parse + CRC-check one journal line (None = damaged)."""
+    try:
+        wrapper = json.loads(line)
+        record = wrapper["rec"]
+        payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        if (zlib.crc32(payload.encode()) & 0xFFFFFFFF) != wrapper["crc"]:
+            return None
+        return record
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+def replay_journal(path) -> list[dict]:
+    """Every valid record in *path*, in order.
+
+    A damaged **final** line is the signature of a crash mid-append and
+    is silently dropped; a damaged line anywhere else means the file
+    was tampered with or the disk is failing, and raises
+    :class:`~repro.errors.JournalError`.
+    """
+    records: list[dict] = []
+    try:
+        raw = pathlib.Path(path).read_bytes()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    lines = raw.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    for index, line in enumerate(lines):
+        record = _decode_line(line)
+        if record is None:
+            if index == len(lines) - 1:
+                break  # truncated trailing line: tolerated
+            raise JournalError(
+                f"journal {path} is damaged at line {index + 1} "
+                f"(not the trailing line; refusing to resume)")
+        records.append(record)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# The journal itself.
+# ---------------------------------------------------------------------------
+class RunJournal(EngineObserver):
+    """Write-ahead journal for one run directory.
+
+    Doubles as the parallel engine's observer: shard lifecycle events
+    are journalled as they happen, and a finished shard's payload is
+    checkpointed to disk *before* its ``done`` record is appended
+    (write-ahead order: the journal never claims more than the disk
+    holds).
+    """
+
+    def __init__(self, directory, manifest: dict) -> None:
+        self.directory = pathlib.Path(directory)
+        self.manifest = manifest
+        self._fd: Optional[int] = None
+        self._checkpoints_done = 0
+        self._crash_after = self._crash_after_from_env()
+
+    @staticmethod
+    def _crash_after_from_env() -> Optional[int]:
+        try:
+            return max(1, int(os.environ[CRASH_AFTER_ENV]))
+        except (KeyError, ValueError):
+            return None
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def create(cls, runs_dir, run_id: str, manifest: dict) -> "RunJournal":
+        """Start a fresh run directory (manifest + empty journal)."""
+        directory = pathlib.Path(runs_dir) / run_id
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / _CHECKPOINTS).mkdir(exist_ok=True)
+        manifest = dict(manifest, run_id=run_id,
+                        fingerprint=cls.fingerprint(manifest))
+        temporary = directory / (_MANIFEST + ".tmp")
+        temporary.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        temporary.replace(directory / _MANIFEST)
+        journal = cls(directory, manifest)
+        journal._open()
+        journal.append({"type": "run_started", "run_id": run_id})
+        for benchmark in manifest.get("benchmarks", ()):
+            journal.append({"type": "planned", "benchmark": benchmark})
+        return journal
+
+    @classmethod
+    def open(cls, runs_dir, run_id: str) -> "RunJournal":
+        """Open an existing run directory for resumption."""
+        directory = find_run(runs_dir, run_id)
+        try:
+            manifest = json.loads((directory / _MANIFEST).read_text())
+        except (OSError, ValueError) as exc:
+            raise JournalError(
+                f"unreadable manifest in {directory}: {exc}") from exc
+        journal = cls(directory, manifest)
+        journal.verify_manifest()
+        journal._open()
+        return journal
+
+    @staticmethod
+    def fingerprint(manifest: dict) -> str:
+        """Stable digest of a manifest's identity-bearing fields."""
+        identity = {key: manifest.get(key)
+                    for key in ("version", "exhibits", "scale",
+                                "benchmarks", "verify")}
+        return _sha256(json.dumps(identity, sort_keys=True).encode())
+
+    def verify_manifest(self) -> None:
+        """Refuse to resume a run recorded by different code/config."""
+        from repro import __version__
+        recorded = self.manifest.get("version")
+        if recorded != __version__:
+            raise JournalError(
+                f"run {self.run_id!r} was recorded by repro {recorded}, "
+                f"this is {__version__}: results would not be comparable "
+                f"(start a fresh run)")
+        expected = self.manifest.get("fingerprint")
+        if expected and expected != self.fingerprint(self.manifest):
+            raise JournalError(
+                f"manifest of run {self.run_id!r} does not match its "
+                f"fingerprint (edited by hand?); refusing to resume")
+
+    # -- plumbing ------------------------------------------------------------
+    @property
+    def run_id(self) -> str:
+        return self.manifest.get("run_id", self.directory.name)
+
+    @property
+    def journal_path(self) -> pathlib.Path:
+        return self.directory / _JOURNAL
+
+    def _open(self) -> None:
+        self._fd = os.open(self.journal_path,
+                           os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            with contextlib.suppress(OSError):
+                os.close(self._fd)
+            self._fd = None
+
+    def append(self, record: dict) -> None:
+        """Append one fsync'd journal record.
+
+        One ``os.write`` of the whole line keeps the append atomic with
+        respect to signal handlers re-entering the journal (the
+        ``interrupted`` record is written from a handler).
+        """
+        if self._fd is None:
+            self._open()
+        line = _encode_record(record)
+        os.write(self._fd, line)
+        with contextlib.suppress(OSError):
+            os.fsync(self._fd)
+
+    # -- engine observer hooks ----------------------------------------------
+    def shard_started(self, spec: _ShardSpec) -> None:
+        self.append({"type": "started", "benchmark": spec.benchmark,
+                     "units": len(spec.units)})
+
+    def shard_finished(self, spec: _ShardSpec, result: _ShardResult) -> None:
+        digest = self._write_checkpoint(result)
+        self.append({
+            "type": "done",
+            "benchmark": spec.benchmark,
+            "checkpoint": digest,
+            "failed": len(result.failed),
+            "digests": shard_digests(result),
+        })
+        self._checkpoints_done += 1
+        if (self._crash_after is not None
+                and self._checkpoints_done >= self._crash_after):
+            # Chaos drill: die the hardest way possible (no atexit, no
+            # flush) right after the journal claims this checkpoint.
+            # Pool workers are reaped first -- a real crash would leave
+            # them to die on their broken queues, but the drill must
+            # not leave orphans holding the caller's pipes open.
+            import multiprocessing
+            for child in multiprocessing.active_children():
+                with contextlib.suppress(Exception):
+                    child.terminate()
+            os._exit(23)
+
+    def shard_retry(self, benchmark: str, attempt: int, delay: float,
+                    cause: BaseException) -> None:
+        self.append({"type": "retry", "benchmark": benchmark,
+                     "attempt": attempt, "delay": round(delay, 4),
+                     "cause": f"{type(cause).__name__}: {cause}"})
+
+    def shard_lost(self, benchmark: str, cause: BaseException) -> None:
+        self.append({"type": "lost", "benchmark": benchmark,
+                     "cause": f"{type(cause).__name__}: {cause}"})
+
+    # -- lifecycle records ----------------------------------------------------
+    def interrupted(self, signum: int) -> None:
+        """Journal a clean interruption (called from a signal handler)."""
+        self.append({"type": "interrupted", "signal": int(signum)})
+
+    def finished(self, exit_code: int) -> None:
+        self.append({"type": "run_finished", "exit": int(exit_code)})
+
+    # -- checkpoints ----------------------------------------------------------
+    def _checkpoint_path(self, benchmark: str) -> pathlib.Path:
+        safe = benchmark.replace("/", "_")
+        return self.directory / _CHECKPOINTS / f"{safe}.pkl"
+
+    def _write_checkpoint(self, result: _ShardResult) -> str:
+        """Durably persist one shard payload; returns its sha256."""
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self._checkpoint_path(result.benchmark)
+        temporary = path.with_suffix(".tmp")
+        fd = os.open(temporary, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        temporary.replace(path)
+        return _sha256(payload)
+
+    # -- resumption ------------------------------------------------------------
+    def replay(self) -> list[dict]:
+        """Valid journal records, tolerating a truncated final line."""
+        if not self.journal_path.exists():
+            return []
+        return replay_journal(self.journal_path)
+
+    def completed(self) -> dict[str, dict]:
+        """Benchmark -> its latest ``done`` record."""
+        done: dict[str, dict] = {}
+        for record in self.replay():
+            if record.get("type") == "done":
+                done[record["benchmark"]] = record
+        return done
+
+    def load_checkpoints(self, cache=None) -> dict[str, _ShardResult]:
+        """Verified merge payloads of every completed benchmark.
+
+        Each checkpoint is re-hashed against the digest its ``done``
+        record committed; a missing, unreadable, or mismatching
+        checkpoint is dropped (that benchmark simply re-runs -- resume
+        trades work for certainty, never the reverse).  When *cache* (a
+        :class:`~repro.harness.cache.TraceCache`) is given, every
+        checkpointed trace is cross-checked against the cache's copy
+        and a disagreeing cache bundle is quarantined, so a resumed run
+        cannot be poisoned by a cache that rotted while the run was
+        down.
+        """
+        loaded: dict[str, _ShardResult] = {}
+        for benchmark, record in self.completed().items():
+            path = self._checkpoint_path(benchmark)
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                continue
+            if _sha256(payload) != record.get("checkpoint"):
+                continue
+            try:
+                result = pickle.loads(payload)
+            except Exception:
+                continue
+            if shard_digests(result) != record.get("digests"):
+                continue
+            loaded[benchmark] = result
+        if cache is not None:
+            self._cross_check_cache(loaded, cache)
+        return loaded
+
+    def _cross_check_cache(self, loaded: dict[str, _ShardResult],
+                           cache) -> None:
+        """Quarantine cache bundles that disagree with a verified
+        checkpoint (the checkpoint is journal-attested; the cache is
+        only an accelerator and may have rotted while the run was
+        down)."""
+        scale = self.manifest.get("scale", "small")
+        for result in loaded.values():
+            for (name, target), trace in result.traces.items():
+                with contextlib.suppress(Exception):
+                    cached = cache.load(name, target, scale)
+                    if cached is not None and \
+                            trace_digest(cached) != trace_digest(trace):
+                        cache.discard(name, target, scale)
+
+
+# ---------------------------------------------------------------------------
+# Orchestration: journaled (and resumable) experiment runs.
+# ---------------------------------------------------------------------------
+def build_manifest(exhibits, session, jobs: int,
+                   unit_timeout: float) -> dict:
+    """The manifest for a fresh journaled run of *session*."""
+    from repro import __version__
+    return {
+        "version": __version__,
+        "exhibits": list(exhibits),
+        "scale": session.scale,
+        "benchmarks": list(session.benchmark_names),
+        "verify": session.verify,
+        "jobs": int(jobs),
+        "unit_timeout": float(unit_timeout),
+        "cache_dir": str(session.cache.directory) if session.cache else None,
+    }
+
+
+def run_journaled(exhibits, session, journal: RunJournal,
+                  jobs: int = 1, unit_timeout: float = 0.0,
+                  resume: bool = False):
+    """Run *exhibits* under *journal*; returns ExperimentResult list.
+
+    The workplan is the union of what the exhibits read (single-exhibit
+    runs stay cheap); on *resume*, completed benchmarks are preloaded
+    from verified checkpoints and only the remainder re-executes.  The
+    rendered exhibits -- drawn from the merged session memos either way
+    -- are byte-identical to an uninterrupted (or unjournaled) run.
+    ``session.last_warm_report`` is set only for ``jobs > 1``, matching
+    the unjournaled engine's stderr contract.
+    """
+    from repro.harness.experiments import run_experiment
+    from repro.harness.parallel import ParallelEngine, units_for_exhibits
+    preloaded = journal.load_checkpoints(cache=session.cache) \
+        if resume else {}
+    units = units_for_exhibits(exhibits, session.benchmark_names)
+    engine = ParallelEngine(session, jobs=jobs, units=units,
+                            unit_timeout=unit_timeout,
+                            observer=journal, preloaded=preloaded)
+    report = engine.run()
+    session.last_warm_report = report if jobs > 1 else None
+    return [run_experiment(exp_id, session) for exp_id in exhibits]

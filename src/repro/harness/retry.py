@@ -1,0 +1,98 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The harness distinguishes *transient* failures -- cache-lock
+contention, a worker process lost to a crash, an injected I/O fault --
+from terminal ones via the :class:`~repro.errors.RetryableError` split
+in :mod:`repro.errors`.  Transient failures are retried a bounded
+number of times with exponentially growing, jittered delays; terminal
+failures are recorded immediately.
+
+Jitter is *seeded*, never wall-clock random: two runs with the same
+policy sleep the same schedule, so a retried run is as reproducible as
+an untried one (the journal records each retry either way).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import RetryableError
+
+#: Environment knobs honoured by :meth:`RetryPolicy.from_env`.
+ATTEMPTS_ENV = "REPRO_RETRIES"
+BASE_ENV = "REPRO_RETRY_BASE"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to back off in between.
+
+    ``delays()`` yields ``attempts - 1`` delays: the wait *after* each
+    failed attempt except the last (which raises).  Delay ``i`` is
+    ``min(cap, base * multiplier**i)`` stretched by up to ``jitter``
+    (a fraction, seeded) so that colliding processes de-synchronize.
+    """
+
+    attempts: int = 3
+    base: float = 0.05
+    multiplier: float = 2.0
+    cap: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base < 0 or self.cap < 0 or self.jitter < 0:
+            raise ValueError("base, cap, and jitter must be >= 0")
+
+    @classmethod
+    def from_env(cls, seed: int = 0) -> "RetryPolicy":
+        """Policy with ``REPRO_RETRIES`` / ``REPRO_RETRY_BASE`` applied
+        (malformed values fall back to the defaults)."""
+        kwargs: dict = {"seed": seed}
+        try:
+            kwargs["attempts"] = max(1, int(os.environ[ATTEMPTS_ENV]))
+        except (KeyError, ValueError):
+            pass
+        try:
+            kwargs["base"] = max(0.0, float(os.environ[BASE_ENV]))
+        except (KeyError, ValueError):
+            pass
+        return cls(**kwargs)
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule (deterministic for one policy)."""
+        rng = random.Random(self.seed)
+        schedule = []
+        for i in range(max(0, self.attempts - 1)):
+            delay = min(self.cap, self.base * self.multiplier ** i)
+            schedule.append(delay * (1.0 + self.jitter * rng.random()))
+        return schedule
+
+
+def call_with_retries(fn: Callable, policy: RetryPolicy,
+                      on_retry: Optional[Callable] = None,
+                      sleep: Callable[[float], None] = time.sleep):
+    """Call ``fn()``, retrying :class:`RetryableError` per *policy*.
+
+    ``on_retry(attempt, delay, exc)`` is invoked before each backoff
+    sleep (the journal uses it to record the retry).  The final attempt
+    re-raises the transient error unchanged; non-retryable exceptions
+    propagate immediately.
+    """
+    schedule = policy.delays()
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return fn()
+        except RetryableError as exc:
+            if attempt >= policy.attempts:
+                raise
+            delay = schedule[attempt - 1]
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            sleep(delay)

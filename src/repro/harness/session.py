@@ -14,19 +14,36 @@ failed stage re-raise the recorded failure without re-running the
 broken benchmark.  The experiment runners catch these and render the
 exhibit with the benchmark footnoted instead of aborting the run.
 
-For chaos testing, setting ``REPRO_SABOTAGE=<benchmark>[:<stage>]``
-deliberately fails that benchmark at that stage (default: ``trace``)
-with a :class:`~repro.errors.FaultError`, exercising exactly the same
-degradation paths a real failure would.
+Transient failures -- anything deriving from
+:class:`~repro.errors.RetryableError`, e.g. cache-lock contention or an
+injected I/O fault -- are retried with exponential backoff
+(:mod:`repro.harness.retry`) before a failure is recorded; terminal
+errors are recorded on the first strike.
+
+Chaos knobs (all exercising exactly the paths a real failure would):
+
+* ``REPRO_SABOTAGE=<benchmark>[:<stage>]`` deliberately fails that
+  benchmark at that stage (default ``trace``) with a terminal
+  :class:`~repro.errors.FaultError`;
+* ``REPRO_TRANSIENT=<benchmark>[:<stage>][:<fails>]`` fails the first
+  *fails* attempts (default 2) with a retryable
+  :class:`~repro.errors.TransientFaultError`, proving the backoff path;
+* ``REPRO_PARALLEL_HANG=<benchmark>[:<stage>][:<seconds>]`` wedges the
+  stage in a long sleep (default 300s) so the per-unit watchdog
+  (``--unit-timeout``, see :mod:`repro.harness.parallel`) can be
+  drilled.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional
+import time
+import zlib
+from typing import Callable, Optional
 
-from repro.errors import BenchmarkFailure, FaultError
+from repro.errors import BenchmarkFailure, FaultError, TransientFaultError
 from repro.harness.cache import TraceCache
+from repro.harness.retry import RetryPolicy, call_with_retries
 from repro.lvp.config import LVPConfig, SIMPLE
 from repro.sim.functional import run_program
 from repro.trace.annotate import AnnotatedTrace, annotate_trace
@@ -37,6 +54,36 @@ from repro.uarch.axp21164.model import AXP21164Model, AXP21164Result
 from repro.uarch.ppc620.config import PPC620, PPC620Config
 from repro.uarch.ppc620.model import PPC620Model, PPC620Result
 from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+#: Chaos knob: wedge one benchmark's stage in a long sleep (watchdog
+#: drill).  Format ``<benchmark>[:<stage>][:<seconds>]``.
+HANG_ENV = "REPRO_PARALLEL_HANG"
+
+#: Chaos knob: fail one benchmark's stage transiently for its first N
+#: attempts.  Format ``<benchmark>[:<stage>][:<fails>]``.
+TRANSIENT_ENV = "REPRO_TRANSIENT"
+
+#: How often each (benchmark, stage) transient knob has fired in this
+#: process.  Per-process on purpose: a retried stage re-attempts inside
+#: the same worker, so the counter sees every attempt.
+_TRANSIENT_FIRED: dict = {}
+
+
+def _parse_knob(knob: str, stages=("trace", "annotate", "model")):
+    """Split ``<benchmark>[:<stage>][:<number>]`` (stage optional)."""
+    parts = knob.split(":")
+    victim = parts[0]
+    stage = None
+    number = None
+    for part in parts[1:]:
+        if part in stages and stage is None:
+            stage = part
+        else:
+            try:
+                number = float(part)
+            except ValueError:
+                pass
+    return victim, stage or "trace", number
 
 
 class Session:
@@ -84,7 +131,7 @@ class Session:
         self.last_warm_report = None
 
     # ------------------------------------------------------------------
-    def warm(self, jobs: int = 1, units=None):
+    def warm(self, jobs: int = 1, units=None, unit_timeout=None):
         """Precompute this session's runs with *jobs* worker processes.
 
         Shards the workplan (default: every trace/annotate/model run a
@@ -92,14 +139,17 @@ class Session:
         results -- and any :class:`BenchmarkFailure` -- back into this
         session's memos, ordered by benchmark name.  Subsequent exhibit
         runs are pure memo lookups and produce bit-identical output to
-        a serial run (see ``docs/parallel.md``).
+        a serial run (see ``docs/parallel.md``).  ``unit_timeout``
+        (seconds; default ``REPRO_UNIT_TIMEOUT``) arms the per-unit
+        watchdog against hung units.
 
         ``jobs <= 1`` is a no-op returning None (the lazy serial path).
         Otherwise returns the :class:`~repro.harness.parallel
         .EngineReport` with per-unit timings.
         """
         from repro.harness.parallel import warm_session
-        return warm_session(self, jobs, units=units)
+        return warm_session(self, jobs, units=units,
+                            unit_timeout=unit_timeout)
 
     # ------------------------------------------------------------------
     def _fail(self, name: str, stage: str, target: str, key,
@@ -122,6 +172,65 @@ class Session:
                 f"deliberate sabotage of {name!r} at the {stage} stage "
                 f"(REPRO_SABOTAGE={knob})"
             )
+
+    @staticmethod
+    def _check_hang(name: str, stage: str) -> None:
+        """Honour the REPRO_PARALLEL_HANG chaos knob (watchdog drill)."""
+        knob = os.environ.get(HANG_ENV)
+        if not knob:
+            return
+        victim, victim_stage, seconds = _parse_knob(knob)
+        if victim == name and victim_stage == stage:
+            time.sleep(seconds if seconds is not None else 300.0)
+
+    @staticmethod
+    def _check_transient(name: str, stage: str) -> None:
+        """Honour the REPRO_TRANSIENT chaos knob (retry drill)."""
+        knob = os.environ.get(TRANSIENT_ENV)
+        if not knob:
+            return
+        victim, victim_stage, fails = _parse_knob(knob)
+        if victim != name or victim_stage != stage:
+            return
+        budget = int(fails) if fails is not None else 2
+        fired = _TRANSIENT_FIRED.get((name, stage), 0)
+        if fired < budget:
+            _TRANSIENT_FIRED[(name, stage)] = fired + 1
+            raise TransientFaultError(
+                f"injected transient fault {fired + 1}/{budget} for "
+                f"{name!r} at the {stage} stage (REPRO_TRANSIENT={knob})"
+            )
+
+    def _run_stage(self, name: str, stage: str, target: str, fail_key,
+                   body: Callable):
+        """Execute one stage body with chaos knobs, retry, and failure
+        isolation.
+
+        Transient errors (:class:`~repro.errors.RetryableError`) are
+        retried with seeded exponential backoff; whatever still escapes
+        is recorded as a :class:`BenchmarkFailure` under *fail_key* and
+        re-raised, so subsequent requests fail fast via negative
+        memoization.
+        """
+
+        def attempt():
+            self._check_sabotage(name, stage)
+            self._check_hang(name, stage)
+            self._check_transient(name, stage)
+            return body()
+
+        # Seed the jitter per (benchmark, stage) so concurrent workers
+        # that collide (e.g. on the cache lock) de-synchronize instead
+        # of marching in lockstep -- while staying run-to-run
+        # deterministic.
+        policy = RetryPolicy.from_env(
+            seed=zlib.crc32(f"{name}/{stage}/{target}".encode()))
+        try:
+            return call_with_retries(attempt, policy)
+        except BenchmarkFailure:
+            raise
+        except Exception as exc:
+            raise self._fail(name, stage, target, fail_key, exc) from exc
 
     def _cached_trace(self, name: str, target: str) -> Optional[Trace]:
         """Checksummed + validated trace from the on-disk cache."""
@@ -147,11 +256,10 @@ class Session:
         fail_key = ("trace", key)
         if fail_key in self._failed:
             raise self._failed[fail_key]
-        try:
-            self._check_sabotage(name, "trace")
+
+        def body() -> Trace:
             cached = self._cached_trace(name, target)
             if cached is not None:
-                self._traces[key] = cached
                 return cached
             bench = get_benchmark(name)
             program = bench.build_program(target, self.scale)
@@ -160,11 +268,10 @@ class Session:
                 bench.verify(program, result, self.scale)
             if self.cache is not None:
                 self.cache.store(result.trace, self.scale)
-            self._traces[key] = result.trace
-        except BenchmarkFailure:
-            raise
-        except Exception as exc:
-            raise self._fail(name, "trace", target, fail_key, exc) from exc
+            return result.trace
+
+        self._traces[key] = self._run_stage(name, "trace", target,
+                                            fail_key, body)
         return self._traces[key]
 
     def annotated(self, name: str, target: str,
@@ -177,13 +284,9 @@ class Session:
         if fail_key in self._failed:
             raise self._failed[fail_key]
         trace = self.trace(name, target)
-        try:
-            self._check_sabotage(name, "annotate")
-            self._annotated[key] = annotate_trace(trace, config)
-        except BenchmarkFailure:
-            raise
-        except Exception as exc:
-            raise self._fail(name, "annotate", target, fail_key, exc) from exc
+        self._annotated[key] = self._run_stage(
+            name, "annotate", target, fail_key,
+            lambda: annotate_trace(trace, config))
         return self._annotated[key]
 
     # ------------------------------------------------------------------
@@ -197,15 +300,10 @@ class Session:
         if fail_key in self._failed:
             raise self._failed[fail_key]
         annotated = self.annotated(name, "ppc", lvp or SIMPLE)
-        try:
-            self._check_sabotage(name, "model")
-            model = PPC620Model(machine)
-            self._ppc_runs[key] = model.run(annotated,
-                                            use_lvp=lvp is not None)
-        except BenchmarkFailure:
-            raise
-        except Exception as exc:
-            raise self._fail(name, "model", "ppc", fail_key, exc) from exc
+        self._ppc_runs[key] = self._run_stage(
+            name, "model", "ppc", fail_key,
+            lambda: PPC620Model(machine).run(annotated,
+                                             use_lvp=lvp is not None))
         return self._ppc_runs[key]
 
     def alpha_result(self, name: str,
@@ -221,15 +319,10 @@ class Session:
         if fail_key in self._failed:
             raise self._failed[fail_key]
         annotated = self.annotated(name, "alpha", lvp or SIMPLE)
-        try:
-            self._check_sabotage(name, "model")
-            model = AXP21164Model(machine)
-            self._alpha_runs[key] = model.run(annotated,
-                                              use_lvp=lvp is not None)
-        except BenchmarkFailure:
-            raise
-        except Exception as exc:
-            raise self._fail(name, "model", "alpha", fail_key, exc) from exc
+        self._alpha_runs[key] = self._run_stage(
+            name, "model", "alpha", fail_key,
+            lambda: AXP21164Model(machine).run(annotated,
+                                               use_lvp=lvp is not None))
         return self._alpha_runs[key]
 
     # ------------------------------------------------------------------

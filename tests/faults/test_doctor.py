@@ -1,12 +1,21 @@
 """Tests for the fault-injection doctor campaign."""
 
-from repro.faults import DETECTED, RECOVERED, SILENT, run_doctor
+from repro.faults import (
+    DETECTED,
+    JOURNAL_CHECKS,
+    RECOVERED,
+    SILENT,
+    run_doctor,
+)
+
+#: Every campaign appends the journal-layer self-tests.
+EXTRA = len(JOURNAL_CHECKS)
 
 
 class TestDoctorCampaign:
     def test_campaign_has_no_silent_corruption(self, grep_trace):
         report = run_doctor(seed=0, faults=18, trace=grep_trace)
-        assert len(report.outcomes) == 18
+        assert len(report.outcomes) == 18 + EXTRA
         assert report.silent == []
         assert report.ok
 
@@ -19,15 +28,24 @@ class TestDoctorCampaign:
     def test_counts_cover_all_layers(self, grep_trace):
         report = run_doctor(seed=0, faults=18, trace=grep_trace)
         counts = report.counts()
-        assert set(counts) == {"trace", "cache", "lvp"}
+        assert set(counts) == {"trace", "cache", "lvp", "journal"}
         total = sum(row[status] for row in counts.values()
                     for status in (DETECTED, RECOVERED, SILENT))
-        assert total == 18
+        assert total == 18 + EXTRA
+
+    def test_journal_layer_kinds(self, grep_trace):
+        report = run_doctor(seed=0, faults=9, trace=grep_trace)
+        kinds = [o.spec.kind for o in report.outcomes
+                 if o.spec.layer == "journal"]
+        assert kinds == list(JOURNAL_CHECKS)
+        assert all(o.status != SILENT for o in report.outcomes
+                   if o.spec.layer == "journal")
 
     def test_render_reports_verdict(self, grep_trace):
         report = run_doctor(seed=0, faults=9, trace=grep_trace)
         text = report.render()
         assert "Fault-injection doctor" in text
+        assert "journal" in text
         assert "verdict: OK" in text
 
     def test_silent_outcome_fails_report(self, grep_trace):
