@@ -26,6 +26,9 @@ Commands
     verify each one is detected or safely recovered, never silent.
 ``report``
     Write a single-file HTML report of all exhibits.
+``stats [RUN_ID]``
+    Render a journaled run's ``metrics.json`` (per-benchmark phase
+    timings, headline counters; ``latest`` by default).
 ``disasm BENCH``
     Disassemble a benchmark's program text.
 ``trace BENCH``
@@ -45,10 +48,17 @@ from repro.harness.experiments import EXPERIMENTS, run_experiments
 from repro.harness.journal import (
     RunJournal,
     build_manifest,
+    find_run,
     new_run_id,
     prune_runs,
     run_journaled,
     runs_dir_from_env,
+)
+from repro.obs import (
+    load_metrics,
+    metrics_enabled_from_env,
+    render_stats,
+    validate_metrics,
 )
 from repro.harness.parallel import jobs_from_env, unit_timeout_from_env
 from repro.harness.session import Session
@@ -278,16 +288,20 @@ def cmd_experiment(args) -> int:
                       "replays the recorded run", file=sys.stderr)
             journal = RunJournal.open(runs_dir, args.resume)
             manifest = journal.manifest
+            metrics = False if args.no_metrics \
+                else bool(manifest.get("metrics", False))
             session = Session(scale=manifest["scale"],
                               benchmarks=tuple(manifest["benchmarks"]),
                               verify=manifest.get("verify", True),
-                              cache_dir=manifest.get("cache_dir"))
+                              cache_dir=manifest.get("cache_dir"),
+                              metrics=metrics)
             exhibits = list(manifest["exhibits"])
             jobs = _cap_jobs(args.jobs) if args.jobs is not None \
                 else _cap_jobs(int(manifest.get("jobs", 1)))
             unit_timeout = args.unit_timeout \
                 if args.unit_timeout is not None \
                 else float(manifest.get("unit_timeout", 0.0))
+            profile = args.profile or bool(manifest.get("profile", False))
             resume = True
         else:
             jobs = _resolve_jobs(args)
@@ -295,19 +309,31 @@ def cmd_experiment(args) -> int:
                 if args.unit_timeout is not None else unit_timeout_from_env()
             names = tuple(args.benchmarks.split(",")) \
                 if args.benchmarks else None
-            session = Session(scale=args.scale, benchmarks=names)
             exhibits = list(EXPERIMENTS) if args.id == "all" else [args.id]
             if args.no_journal:
+                # No run directory, so there is nowhere to persist a
+                # metrics document: sessions keep their library default
+                # (off unless REPRO_METRICS asks).
+                session = Session(scale=args.scale, benchmarks=names)
                 for result in run_experiments(exhibits, session, jobs=jobs):
                     print(result.text)
                     print()
                 _report_timing(session)
                 return 1 if _report_failures(session) else 0
+            # Journaled runs observe by default: all surfacing goes to
+            # the run directory and stderr, so exhibit stdout stays
+            # byte-identical either way.
+            metrics = False if args.no_metrics \
+                else metrics_enabled_from_env(default=True)
+            session = Session(scale=args.scale, benchmarks=names,
+                              metrics=metrics)
+            profile = args.profile
             run_id = args.run_id or new_run_id()
             prune_runs(runs_dir, protect=run_id)
             journal = RunJournal.create(
                 runs_dir, run_id,
-                build_manifest(exhibits, session, jobs, unit_timeout))
+                build_manifest(exhibits, session, jobs, unit_timeout,
+                               profile=profile))
             resume = False
     except JournalError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
@@ -318,17 +344,54 @@ def cmd_experiment(args) -> int:
     previous = _install_interrupt_handlers(journal)
     try:
         results = run_journaled(exhibits, session, journal, jobs=jobs,
-                                unit_timeout=unit_timeout, resume=resume)
+                                unit_timeout=unit_timeout, resume=resume,
+                                profile=profile)
     finally:
         _restore_handlers(previous)
     for result in results:
         print(result.text)
         print()
     _report_timing(session)
+    if session.metrics is not None:
+        print(f"metrics: repro stats {journal.run_id}", file=sys.stderr)
     code = 1 if _report_failures(session) else 0
     journal.finished(code)
     journal.close()
     return code
+
+
+def cmd_stats(args) -> int:
+    runs_dir = args.runs_dir or runs_dir_from_env()
+    try:
+        directory = find_run(runs_dir, args.id)
+    except JournalError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        document = load_metrics(directory)
+    except OSError:
+        print(f"repro: error: run {directory.name} has no metrics.json "
+              "(recorded with --no-metrics, interrupted, or by an older "
+              "version)", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro: error: damaged metrics.json in {directory}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.validate:
+        errors = validate_metrics(document)
+        if errors:
+            print(f"metrics.json of run {directory.name} is invalid:",
+                  file=sys.stderr)
+            for error in errors:
+                print(f"  - {error}", file=sys.stderr)
+            return 1
+        print(f"metrics.json of run {directory.name}: schema OK "
+              f"({len(document.get('benchmarks', {}))} benchmark(s), "
+              f"{len(document.get('spans', []))} span(s))")
+        return 0
+    print(render_stats(document, full=args.full))
+    return 0
 
 
 def cmd_check(args) -> int:
@@ -455,7 +518,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-journal", action="store_true",
         help="skip the write-ahead journal (the pre-journal code path; "
              "the run cannot be resumed)")
+    experiment_parser.add_argument(
+        "--no-metrics", action="store_true",
+        help="skip metrics collection (journaled runs record counters "
+             "and phase spans into <run-dir>/metrics.json by default; "
+             "exhibit stdout is identical either way)")
+    experiment_parser.add_argument(
+        "--profile", action="store_true",
+        help="run every work unit under cProfile and write the hottest "
+             "units' captures into <run-dir>/profiles/")
     experiment_parser.set_defaults(func=cmd_experiment)
+
+    stats_parser = commands.add_parser(
+        "stats", help="render a journaled run's metrics.json")
+    stats_parser.add_argument(
+        "id", nargs="?", default="latest",
+        help="run id (default: 'latest' = the newest journaled run)")
+    stats_parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="where run journals live (default: $REPRO_RUNS_DIR "
+             "or .repro/runs)")
+    stats_parser.add_argument(
+        "--full", action="store_true",
+        help="also dump every recorded counter, not just the headline "
+             "digest")
+    stats_parser.add_argument(
+        "--validate", action="store_true",
+        help="check metrics.json against the repro.obs schema instead "
+             "of rendering (exit 1 on violations)")
+    stats_parser.set_defaults(func=cmd_stats)
 
     check_parser = commands.add_parser(
         "check", help="evaluate the paper-shape claims")

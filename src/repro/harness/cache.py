@@ -37,6 +37,7 @@ import pathlib
 import time
 import zipfile
 import zlib
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -81,6 +82,33 @@ def _int_env(name: str, default: int) -> int:
         return default
 
 
+@dataclass
+class CacheCounters:
+    """Observability counters for one process's cache instance.
+
+    These are per-process and scheduling-dependent (which worker warms
+    the cache first is a race), so they surface in the metrics
+    document's run scope, never the deterministic benchmark scope.
+    """
+
+    hits: int = 0
+    misses: int = 0  # absent, version-stale, or corrupt bundles
+    stores: int = 0
+    quarantined: int = 0
+    lock_waits: int = 0  # acquisitions that found the lock contended
+    lock_wait_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+            "lock_waits": self.lock_waits,
+            "lock_wait_seconds": self.lock_wait_seconds,
+        }
+
+
 class TraceCache:
     """Load/store traces under a directory, versioned by the library.
 
@@ -101,6 +129,7 @@ class TraceCache:
             else _float_env("REPRO_LOCK_TIMEOUT", 60.0)
         self.quarantine_keep = quarantine_keep if quarantine_keep is not None \
             else max(1, _int_env("REPRO_QUARANTINE_KEEP", 16))
+        self.counters = CacheCounters()
         self._sweep_temporaries()
 
     def _path(self, name: str, target: str, scale: str) -> pathlib.Path:
@@ -128,18 +157,27 @@ class TraceCache:
         lock_path = self.directory / ".lock"
         operation = fcntl.LOCK_SH if shared else fcntl.LOCK_EX
         with open(lock_path, "a") as handle:
-            deadline = time.monotonic() + max(0.0, self.lock_timeout)
+            started = time.monotonic()
+            deadline = started + max(0.0, self.lock_timeout)
+            contended = False
             while True:
                 try:
                     fcntl.flock(handle, operation | fcntl.LOCK_NB)
                     break
                 except OSError:
+                    contended = True
                     if time.monotonic() >= deadline:
+                        self.counters.lock_waits += 1
+                        self.counters.lock_wait_seconds += \
+                            time.monotonic() - started
                         raise CacheLockTimeout(
                             f"could not lock trace cache {self.directory} "
                             f"within {self.lock_timeout:.0f}s "
                             f"(REPRO_LOCK_TIMEOUT)") from None
                     time.sleep(0.02)
+            if contended:
+                self.counters.lock_waits += 1
+                self.counters.lock_wait_seconds += time.monotonic() - started
             try:
                 yield
             finally:
@@ -177,6 +215,7 @@ class TraceCache:
             path.replace(destination)
         except OSError:
             return None
+        self.counters.quarantined += 1
         self._prune_quarantine(qdir)
         return destination
 
@@ -218,11 +257,13 @@ class TraceCache:
         """
         path = self._path(name, target, scale)
         if not path.exists():
+            self.counters.misses += 1
             return None
         try:
             with self._locked(shared=True), \
                     np.load(path, allow_pickle=False) as bundle:
                 if str(bundle["version"]) != self.version:
+                    self.counters.misses += 1
                     return None  # stale, not damaged: store() overwrites
                 columns = {}
                 for key, _ in TRACE_COLUMNS:
@@ -232,8 +273,10 @@ class TraceCache:
                         raise _CorruptBundle(
                             f"checksum mismatch in column {key!r}")
                     columns[key] = column
+            self.counters.hits += 1
             return Trace(columns, name=name, target=target)
         except _CORRUPTION_ERRORS:
+            self.counters.misses += 1
             with self._locked():
                 self.quarantine(path)
             return None
@@ -256,6 +299,7 @@ class TraceCache:
                 np.savez_compressed(temporary, version=self.version,
                                     **arrays, **checksums)
                 temporary.replace(path)
+                self.counters.stores += 1
             finally:
                 with contextlib.suppress(OSError):
                     temporary.unlink()

@@ -606,4 +606,11 @@ def run_experiments(exp_ids, session: Session,
     ``session.last_warm_report`` for callers that want to print it.
     """
     session.last_warm_report = session.warm(jobs)
-    return [run_experiment(exp_id, session) for exp_id in exp_ids]
+    metrics = session.metrics
+    if metrics is None:
+        return [run_experiment(exp_id, session) for exp_id in exp_ids]
+    results = []
+    for exp_id in exp_ids:
+        with metrics.span(None, "report", exp_id):
+            results.append(run_experiment(exp_id, session))
+    return results

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import itertools
 import json
 import os
 import pathlib
@@ -47,6 +48,7 @@ from typing import Optional
 
 from repro.errors import JournalError
 from repro.harness.parallel import EngineObserver, _ShardResult, _ShardSpec
+from repro.obs.metrics import write_metrics
 
 #: Where run directories live (created on demand).
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
@@ -70,11 +72,22 @@ def runs_dir_from_env(default: Optional[str] = None) -> pathlib.Path:
         os.environ.get(RUNS_DIR_ENV) or default or DEFAULT_RUNS_DIR)
 
 
+#: Per-process run sequence: the timestamp below has second
+#: granularity, so two runs created in the same second by one process
+#: (exactly what a test suite or scripted sweep does) would otherwise
+#: collide and share a run directory.
+_RUN_SEQ = itertools.count()
+
+
 def new_run_id() -> str:
-    """A fresh, sortable run id (timestamp + pid keeps concurrent
-    sessions on one machine from colliding)."""
+    """A fresh, sortable run id.
+
+    Timestamp + pid keeps concurrent sessions on one machine apart;
+    the per-process sequence suffix keeps same-second runs from one
+    process apart (the stamp alone is only second-granular).
+    """
     stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
-    return f"{stamp}-{os.getpid()}"
+    return f"{stamp}-{os.getpid()}-{next(_RUN_SEQ):03d}"
 
 
 def find_run(runs_dir, run_id: str) -> pathlib.Path:
@@ -468,7 +481,7 @@ class RunJournal(EngineObserver):
 # Orchestration: journaled (and resumable) experiment runs.
 # ---------------------------------------------------------------------------
 def build_manifest(exhibits, session, jobs: int,
-                   unit_timeout: float) -> dict:
+                   unit_timeout: float, profile: bool = False) -> dict:
     """The manifest for a fresh journaled run of *session*."""
     from repro import __version__
     return {
@@ -480,12 +493,34 @@ def build_manifest(exhibits, session, jobs: int,
         "jobs": int(jobs),
         "unit_timeout": float(unit_timeout),
         "cache_dir": str(session.cache.directory) if session.cache else None,
+        "metrics": session.metrics is not None,
+        "profile": bool(profile),
     }
+
+
+def write_run_profiles(directory, report, keep: int = 5) -> list:
+    """Persist the *keep* hottest profiled units' pstats text into
+    ``<run-dir>/profiles/``; returns the written paths.  "Hottest" is
+    by measured unit wall time, so the capture a developer opens first
+    is the one that dominated the run.
+    """
+    profile_dir = pathlib.Path(directory) / "profiles"
+    profile_dir.mkdir(parents=True, exist_ok=True)
+    seconds = {timing.unit.label: timing.seconds
+               for timing in report.timings}
+    hottest = sorted(report.profiles,
+                     key=lambda label: -seconds.get(label, 0.0))[:keep]
+    written = []
+    for label in hottest:
+        path = profile_dir / (label.replace("/", "_") + ".txt")
+        path.write_text(report.profiles[label])
+        written.append(path)
+    return written
 
 
 def run_journaled(exhibits, session, journal: RunJournal,
                   jobs: int = 1, unit_timeout: float = 0.0,
-                  resume: bool = False):
+                  resume: bool = False, profile: bool = False):
     """Run *exhibits* under *journal*; returns ExperimentResult list.
 
     The workplan is the union of what the exhibits read (single-exhibit
@@ -495,6 +530,11 @@ def run_journaled(exhibits, session, journal: RunJournal,
     -- are byte-identical to an uninterrupted (or unjournaled) run.
     ``session.last_warm_report`` is set only for ``jobs > 1``, matching
     the unjournaled engine's stderr contract.
+
+    When the session carries a :class:`~repro.obs.MetricsRegistry`,
+    the merged metrics document is written as ``metrics.json`` into the
+    run directory (``repro stats`` reads it); with *profile* the
+    hottest units' cProfile captures land in ``profiles/`` beside it.
     """
     from repro.harness.experiments import run_experiment
     from repro.harness.parallel import ParallelEngine, units_for_exhibits
@@ -503,7 +543,22 @@ def run_journaled(exhibits, session, journal: RunJournal,
     units = units_for_exhibits(exhibits, session.benchmark_names)
     engine = ParallelEngine(session, jobs=jobs, units=units,
                             unit_timeout=unit_timeout,
-                            observer=journal, preloaded=preloaded)
+                            observer=journal, preloaded=preloaded,
+                            profile=profile)
     report = engine.run()
     session.last_warm_report = report if jobs > 1 else None
-    return [run_experiment(exp_id, session) for exp_id in exhibits]
+    metrics = session.metrics
+    results = []
+    for exp_id in exhibits:
+        span = contextlib.nullcontext() if metrics is None \
+            else metrics.span(None, "report", exp_id)
+        with span:
+            results.append(run_experiment(exp_id, session))
+    if metrics is not None:
+        session.collect_run_counters()
+        write_metrics(journal.directory,
+                      metrics.to_document(run_id=journal.run_id,
+                                          manifest=journal.manifest))
+    if report.profiles:
+        write_run_profiles(journal.directory, report)
+    return results

@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 import random
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -33,8 +34,9 @@ class RetryPolicy:
 
     ``delays()`` yields ``attempts - 1`` delays: the wait *after* each
     failed attempt except the last (which raises).  Delay ``i`` is
-    ``min(cap, base * multiplier**i)`` stretched by up to ``jitter``
-    (a fraction, seeded) so that colliding processes de-synchronize.
+    ``base * multiplier**i`` stretched by up to ``jitter`` (a fraction,
+    seeded) so that colliding processes de-synchronize, then clamped to
+    ``cap`` -- the cap bounds the *actual* sleep, jitter included.
     """
 
     attempts: int = 3
@@ -52,26 +54,43 @@ class RetryPolicy:
 
     @classmethod
     def from_env(cls, seed: int = 0) -> "RetryPolicy":
-        """Policy with ``REPRO_RETRIES`` / ``REPRO_RETRY_BASE`` applied
-        (malformed values fall back to the defaults)."""
+        """Policy with ``REPRO_RETRIES`` / ``REPRO_RETRY_BASE`` applied.
+
+        A malformed value falls back to the default -- loudly, via a
+        :class:`RuntimeWarning` naming the variable and the bad value,
+        so a typo'd knob cannot silently run with default retries.
+        """
         kwargs: dict = {"seed": seed}
-        try:
-            kwargs["attempts"] = max(1, int(os.environ[ATTEMPTS_ENV]))
-        except (KeyError, ValueError):
-            pass
-        try:
-            kwargs["base"] = max(0.0, float(os.environ[BASE_ENV]))
-        except (KeyError, ValueError):
-            pass
+        for env, key, convert in ((ATTEMPTS_ENV, "attempts", int),
+                                  (BASE_ENV, "base", float)):
+            raw = os.environ.get(env)
+            if raw is None:
+                continue
+            try:
+                value = convert(raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring malformed {env}={raw!r} "
+                    f"(expected {'an integer' if convert is int else 'a number'}); "
+                    f"using the default", RuntimeWarning, stacklevel=2)
+                continue
+            kwargs[key] = max(1, value) if key == "attempts" \
+                else max(0.0, value)
         return cls(**kwargs)
 
     def delays(self) -> list[float]:
-        """The full backoff schedule (deterministic for one policy)."""
+        """The full backoff schedule (deterministic for one policy).
+
+        The cap is applied *after* jitter: it is a hard upper bound on
+        the sleep itself, not on the pre-jitter base (which would let
+        sleeps exceed the cap by up to the jitter fraction).
+        """
         rng = random.Random(self.seed)
         schedule = []
         for i in range(max(0, self.attempts - 1)):
-            delay = min(self.cap, self.base * self.multiplier ** i)
-            schedule.append(delay * (1.0 + self.jitter * rng.random()))
+            raw = self.base * self.multiplier ** i
+            schedule.append(
+                min(self.cap, raw * (1.0 + self.jitter * rng.random())))
         return schedule
 
 

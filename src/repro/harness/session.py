@@ -36,16 +36,18 @@ Chaos knobs (all exercising exactly the paths a real failure would):
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 import zlib
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.errors import BenchmarkFailure, FaultError, TransientFaultError
 from repro.harness.cache import TraceCache
 from repro.harness.retry import RetryPolicy, call_with_retries
 from repro.lvp.config import LVPConfig, SIMPLE
-from repro.sim.functional import run_program
+from repro.obs.metrics import MetricsRegistry, metrics_enabled_from_env
+from repro.sim.functional import run_program, sim_counters
 from repro.trace.annotate import AnnotatedTrace, annotate_trace
 from repro.trace.records import Trace
 from repro.trace.validate import validate_trace
@@ -67,6 +69,23 @@ TRANSIENT_ENV = "REPRO_TRANSIENT"
 #: process.  Per-process on purpose: a retried stage re-attempts inside
 #: the same worker, so the counter sees every attempt.
 _TRANSIENT_FIRED: dict = {}
+
+
+def _span_label(fail_key) -> str:
+    """Flatten a stage's fail key into a readable span label, e.g.
+    ``('annotate', ('grep', 'ppc', 'Simple'))`` -> ``annotate/grep/ppc/
+    Simple`` (None components, like the no-LVP baseline, are elided)."""
+    parts: list[str] = []
+
+    def walk(value) -> None:
+        if isinstance(value, tuple):
+            for item in value:
+                walk(item)
+        elif value is not None:
+            parts.append(str(value))
+
+    walk(fail_key)
+    return "/".join(parts)
 
 
 def _parse_knob(knob: str, stages=("trace", "annotate", "model")):
@@ -104,12 +123,22 @@ class Session:
         Cached traces are checksummed on load and validated
         structurally before use; damaged bundles are quarantined and
         regenerated transparently.
+    metrics:
+        Observability (see ``docs/observability.md``).  ``None``
+        (default) consults ``REPRO_METRICS`` (off unless set truthy);
+        ``True`` attaches a fresh :class:`MetricsRegistry`; ``False``
+        disables metrics regardless of the environment; an existing
+        registry is adopted as-is.  When disabled (``session.metrics``
+        is None) every instrumentation point is a single ``is None``
+        test, so the session behaves byte-identically to an
+        unobserved one.
     """
 
     def __init__(self, scale: str = "small",
                  benchmarks: Optional[tuple[str, ...]] = None,
                  verify: bool = True,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 metrics: Union[None, bool, MetricsRegistry] = None) -> None:
         self.scale = scale
         self.benchmark_names = tuple(
             benchmarks if benchmarks is not None
@@ -118,6 +147,13 @@ class Session:
         self.verify = verify
         cache_dir = cache_dir or os.environ.get("REPRO_TRACE_CACHE")
         self.cache = TraceCache(cache_dir) if cache_dir else None
+        if isinstance(metrics, MetricsRegistry):
+            self.metrics: Optional[MetricsRegistry] = metrics
+        elif metrics is None:
+            self.metrics = MetricsRegistry() \
+                if metrics_enabled_from_env() else None
+        else:
+            self.metrics = MetricsRegistry() if metrics else None
         self._traces: dict = {}
         self._annotated: dict = {}
         self._ppc_runs: dict = {}
@@ -150,6 +186,18 @@ class Session:
         from repro.harness.parallel import warm_session
         return warm_session(self, jobs, units=units,
                             unit_timeout=unit_timeout)
+
+    # ------------------------------------------------------------------
+    def collect_run_counters(self) -> None:
+        """Fold this process's trace-cache statistics into the metrics
+        run scope.  Call once per process, just before the registry is
+        shipped (worker) or persisted (parent): cache hit rates are
+        scheduling-dependent, so they belong to the non-deterministic
+        run scope, never the per-benchmark one.
+        """
+        if self.metrics is None or self.cache is None:
+            return
+        self.metrics.add_run_many("cache/", self.cache.counters.as_dict())
 
     # ------------------------------------------------------------------
     def _fail(self, name: str, stage: str, target: str, key,
@@ -225,12 +273,15 @@ class Session:
         # deterministic.
         policy = RetryPolicy.from_env(
             seed=zlib.crc32(f"{name}/{stage}/{target}".encode()))
-        try:
-            return call_with_retries(attempt, policy)
-        except BenchmarkFailure:
-            raise
-        except Exception as exc:
-            raise self._fail(name, stage, target, fail_key, exc) from exc
+        span = contextlib.nullcontext() if self.metrics is None \
+            else self.metrics.span(name, stage, _span_label(fail_key))
+        with span:
+            try:
+                return call_with_retries(attempt, policy)
+            except BenchmarkFailure:
+                raise
+            except Exception as exc:
+                raise self._fail(name, stage, target, fail_key, exc) from exc
 
     def _cached_trace(self, name: str, target: str) -> Optional[Trace]:
         """Checksummed + validated trace from the on-disk cache."""
@@ -272,6 +323,11 @@ class Session:
 
         self._traces[key] = self._run_stage(name, "trace", target,
                                             fail_key, body)
+        if self.metrics is not None:
+            # Derived from the finished trace, so cache hits and fresh
+            # simulations record identical values.
+            self.metrics.add_many(name, f"sim/{target}/",
+                                  sim_counters(self._traces[key]))
         return self._traces[key]
 
     def annotated(self, name: str, target: str,
@@ -287,6 +343,10 @@ class Session:
         self._annotated[key] = self._run_stage(
             name, "annotate", target, fail_key,
             lambda: annotate_trace(trace, config))
+        if self.metrics is not None:
+            self.metrics.add_many(
+                name, f"lvp/{target}/{config.name}/",
+                self._annotated[key].stats.counters())
         return self._annotated[key]
 
     # ------------------------------------------------------------------
@@ -304,6 +364,11 @@ class Session:
             name, "model", "ppc", fail_key,
             lambda: PPC620Model(machine).run(annotated,
                                              use_lvp=lvp is not None))
+        if self.metrics is not None:
+            self.metrics.add_many(
+                name,
+                f"model/ppc/{machine.name}/{lvp.name if lvp else 'base'}/",
+                self._ppc_runs[key].counters())
         return self._ppc_runs[key]
 
     def alpha_result(self, name: str,
@@ -323,6 +388,11 @@ class Session:
             name, "model", "alpha", fail_key,
             lambda: AXP21164Model(machine).run(annotated,
                                                use_lvp=lvp is not None))
+        if self.metrics is not None:
+            self.metrics.add_many(
+                name,
+                f"model/alpha/{machine.name}/{lvp.name if lvp else 'base'}/",
+                self._alpha_runs[key].counters())
         return self._alpha_runs[key]
 
     # ------------------------------------------------------------------

@@ -86,6 +86,37 @@ class LVPStats:
         return (self.outcomes[LoadOutcome.CORRECT]
                 + self.outcomes[LoadOutcome.CONSTANT]) / attempted
 
+    def counters(self) -> dict[str, int]:
+        """Observability counters (see docs/observability.md).
+
+        LVPT hits/misses use the paper's value-locality sense (would
+        the table's prediction have matched?); LCT hits are decisions
+        that agreed with that ground truth.
+        """
+        outcomes = self.outcomes
+        return {
+            "loads": self.loads,
+            "stores": self.stores,
+            "lvpt_hits": (self.predictable_predicted
+                          + self.predictable_not_predicted),
+            "lvpt_misses": (self.unpredictable_predicted
+                            + self.unpredictable_not_predicted),
+            "lct_hits": (self.predictable_predicted
+                         + self.unpredictable_not_predicted),
+            "lct_misses": (self.predictable_not_predicted
+                           + self.unpredictable_predicted),
+            "predicted_correct": outcomes[LoadOutcome.CORRECT],
+            "mispredicts": outcomes[LoadOutcome.INCORRECT],
+            "no_prediction": outcomes[LoadOutcome.NO_PREDICTION],
+            "constant_loads": outcomes[LoadOutcome.CONSTANT],
+            "cvu_hits": (outcomes[LoadOutcome.CONSTANT]
+                         + self.cvu_stale_hits),
+            "cvu_misses": self.cvu_demotions,
+            "cvu_insertions": self.cvu_insertions,
+            "cvu_store_invalidations": self.cvu_store_invalidations,
+            "cvu_stale_hits": self.cvu_stale_hits,
+        }
+
 
 class LVPUnit:
     """A complete LVP unit: LVPT + LCT + CVU, per one configuration.

@@ -1,0 +1,26 @@
+"""repro.obs: per-run metrics, phase tracing, and hot-loop counters.
+
+See :mod:`repro.obs.metrics` for the model and determinism contract,
+:mod:`repro.obs.schema` for ``metrics.json`` validation, and
+``docs/observability.md`` for the counter catalogue.
+"""
+
+from repro.obs.metrics import (
+    METRICS_ENV,
+    METRICS_FILENAME,
+    MetricsRegistry,
+    RUN_SCOPE,
+    SCHEMA_ID,
+    Span,
+    load_metrics,
+    metrics_enabled_from_env,
+    write_metrics,
+)
+from repro.obs.render import render_stats
+from repro.obs.schema import validate_metrics
+
+__all__ = [
+    "METRICS_ENV", "METRICS_FILENAME", "MetricsRegistry", "RUN_SCOPE",
+    "SCHEMA_ID", "Span", "load_metrics", "metrics_enabled_from_env",
+    "render_stats", "validate_metrics", "write_metrics",
+]

@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.errors import ExecutionError, ExecutionLimitExceeded
 from repro.isa.instructions import Instruction
-from repro.isa.opcodes import OP_CLASS, Opcode, ValueKind
+from repro.isa.opcodes import OP_CLASS, OpClass, Opcode, ValueKind
 from repro.isa.program import (
     DATA_BASE,
     INSTR_SIZE,
@@ -520,3 +520,32 @@ def run_program(program: Program, collect_trace: bool = True,
     """Run *program* to completion; convenience wrapper."""
     sim = FunctionalSimulator(program, max_instructions=max_instructions)
     return sim.run(collect_trace=collect_trace, name=name, target=target)
+
+
+def sim_counters(trace: Trace) -> dict[str, int]:
+    """Observability counters for one functional run.
+
+    Derived from the finished trace's columns in a few vectorized
+    passes rather than incremented inside the dispatch loop, so the
+    hot loop pays nothing for observability and the counters are
+    identical whether the trace was just simulated or loaded from the
+    on-disk cache.  Keys: ``instructions``, ``loads``, ``stores``,
+    ``branches``, and a per-opcode mix under ``op/<NAME>`` (dynamic
+    opcodes only).
+    """
+    import numpy as np
+    opclass_counts = np.bincount(trace.opclass,
+                                 minlength=max(int(c) for c in OpClass) + 1)
+    counters = {
+        "instructions": trace.num_instructions,
+        "loads": trace.num_loads,
+        "stores": trace.num_stores,
+        "branches": int(opclass_counts[int(OpClass.BRANCH)]),
+    }
+    opcode_counts = np.bincount(trace.opcode,
+                                minlength=max(int(o) for o in Opcode) + 1)
+    for opcode in Opcode:
+        count = int(opcode_counts[int(opcode)])
+        if count:
+            counters[f"op/{opcode.name}"] = count
+    return counters

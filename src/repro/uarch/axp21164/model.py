@@ -63,6 +63,23 @@ class AXP21164Result:
             return 0.0
         return self.l1_stats.misses / self.instructions
 
+    def counters(self) -> dict[str, int]:
+        """Observability counters (see docs/observability.md)."""
+        l1 = self.l1_stats
+        branches = self.branch_stats
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "l1_accesses": l1.accesses,
+            "l1_misses": l1.misses,
+            "l1_hits": l1.accesses - l1.misses,
+            "branches": branches.conditional + branches.indirect,
+            "branch_mispredicts": branches.mispredicts,
+            "value_mispredicts": self.value_mispredicts,
+            "constant_past_miss": self.constant_past_miss,
+        }
+
 
 class AXP21164Model:
     """In-order 21164 pipeline model with optional LVP annotations."""

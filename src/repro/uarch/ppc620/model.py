@@ -105,6 +105,25 @@ class PPC620Result:
         total, count = self.fu_wait[fu_name]
         return total / count if count else 0.0
 
+    def counters(self) -> dict[str, int]:
+        """Observability counters (see docs/observability.md)."""
+        l1 = self.l1_stats
+        branches = self.branch_stats
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "l1_accesses": l1.accesses,
+            "l1_misses": l1.misses,
+            "l1_hits": l1.accesses - l1.misses,
+            "branches": branches.conditional + branches.indirect,
+            "branch_mispredicts": branches.mispredicts,
+            "bank_conflicts": self.bank_conflicts,
+            "bank_conflict_cycles": self.bank_conflict_cycles,
+            "rs_wait_cycles": sum(total for total, _ in
+                                  self.fu_wait.values()),
+        }
+
 
 class _Pool:
     """A reservation-station pool: bounded slots with release times."""

@@ -181,7 +181,14 @@ class TestRunDirectories:
         assert survivors == ["r1", "r3", "r4"]
 
     def test_new_run_ids_are_distinct_across_processes(self):
-        assert new_run_id().endswith(str(os.getpid()))
+        assert f"-{os.getpid()}-" in new_run_id()
+
+    def test_new_run_ids_distinct_within_one_second(self):
+        # The timestamp is second-granular: a scripted sweep (or this
+        # test suite) creates several runs in one second, and the ids
+        # must not collide into a shared run directory.
+        ids = [new_run_id() for _ in range(20)]
+        assert len(set(ids)) == len(ids)
 
 
 class TestRetryPolicy:
@@ -190,8 +197,23 @@ class TestRetryPolicy:
         first, second = policy.delays(), policy.delays()
         assert first == second
         assert len(first) == 4
-        assert all(0 <= d <= policy.cap * (1 + policy.jitter)
-                   for d in first)
+        # Regression: the cap bounds the post-jitter sleep itself.  The
+        # old code clamped before jittering, so sleeps could exceed the
+        # cap by up to the jitter fraction (50%).
+        assert all(0 <= d <= policy.cap for d in first)
+
+    def test_cap_applies_after_jitter(self):
+        # base * multiplier**i reaches the cap from i=1 on; with the
+        # old clamp-then-jitter order every one of those delays would
+        # (almost surely) exceed the cap.
+        policy = RetryPolicy(attempts=6, base=1.0, multiplier=4.0,
+                             cap=1.5, jitter=0.5, seed=7)
+        delays = policy.delays()
+        assert all(d <= policy.cap for d in delays)
+        # Jitter still does its de-synchronization job below the cap.
+        small = RetryPolicy(attempts=2, base=0.1, cap=10.0, jitter=0.5,
+                            seed=7).delays()[0]
+        assert 0.1 <= small <= 0.15
 
     def test_env_overrides(self, monkeypatch):
         _clean_env(monkeypatch)
@@ -200,6 +222,28 @@ class TestRetryPolicy:
         policy = RetryPolicy.from_env(seed=1)
         assert policy.attempts == 5
         assert policy.base == 0.0
+
+    def test_malformed_env_warns_and_falls_back(self, monkeypatch):
+        _clean_env(monkeypatch)
+        monkeypatch.setenv("REPRO_RETRIES", "three")
+        monkeypatch.setenv("REPRO_RETRY_BASE", "fast")
+        with pytest.warns(RuntimeWarning) as caught:
+            policy = RetryPolicy.from_env()
+        assert policy.attempts == RetryPolicy().attempts
+        assert policy.base == RetryPolicy().base
+        messages = [str(w.message) for w in caught]
+        assert any("REPRO_RETRIES" in m and "'three'" in m
+                   for m in messages)
+        assert any("REPRO_RETRY_BASE" in m and "'fast'" in m
+                   for m in messages)
+
+    def test_unset_env_stays_silent(self, monkeypatch):
+        _clean_env(monkeypatch)
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            policy = RetryPolicy.from_env()
+        assert policy == RetryPolicy()
 
     def test_validation(self):
         with pytest.raises(ValueError):

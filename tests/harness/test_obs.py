@@ -1,0 +1,183 @@
+"""Observability differential tests (see docs/observability.md).
+
+The metrics layer's two load-bearing promises:
+
+* **Determinism** -- the ``benchmarks`` section of ``metrics.json`` is
+  identical for a serial and a ``--jobs 4`` run of the same suite;
+* **Invisibility** -- with metrics disabled (and enabled!) exhibit
+  stdout is byte-identical to an unobserved run, because all metrics
+  surfacing goes to the run directory and stderr.
+
+Both are proven here end to end through the real CLI, plus in-process
+engine-level checks that are cheaper to iterate on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.parallel import ParallelEngine, units_for_exhibits
+from repro.harness.session import Session
+from repro.obs import validate_metrics
+
+BENCHES = "grep,compress"
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+
+def _env(extra=None):
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("REPRO_")}
+    env["PYTHONPATH"] = SRC
+    env.update(extra or {})
+    return env
+
+
+def _cli(*argv, cwd, extra_env=None, timeout=600):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, env=_env(extra_env), cwd=cwd, timeout=timeout)
+
+
+def _experiment(cwd, run_id, *extra):
+    return _cli("experiment", "fig6", "--scale", "tiny",
+                "--benchmarks", BENCHES, "--run-id", run_id, *extra,
+                cwd=cwd)
+
+
+def _metrics_path(cwd, run_id):
+    return os.path.join(cwd, ".repro", "runs", run_id, "metrics.json")
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """One directory holding --no-metrics, serial, and --jobs 4 runs.
+
+    The unobserved run goes first so that ``latest`` resolves to a run
+    that actually has a metrics.json.
+    """
+    cwd = tmp_path_factory.mktemp("obs")
+    unobserved = _experiment(cwd, "0-unobserved", "--no-metrics")
+    assert unobserved.returncode == 0, unobserved.stderr.decode()
+    serial = _experiment(cwd, "1-serial")
+    assert serial.returncode == 0, serial.stderr.decode()
+    parallel = _experiment(cwd, "2-parallel", "--jobs", "4")
+    assert parallel.returncode == 0, parallel.stderr.decode()
+    return {"cwd": cwd, "0-unobserved": unobserved, "1-serial": serial,
+            "2-parallel": parallel}
+
+
+class TestCounterDeterminism:
+    def test_serial_and_parallel_counters_identical(self, run_dir):
+        with open(_metrics_path(run_dir["cwd"], "1-serial")) as handle:
+            serial = json.load(handle)
+        with open(_metrics_path(run_dir["cwd"], "2-parallel")) as handle:
+            parallel = json.load(handle)
+        # The deterministic section must match exactly; spans/run are
+        # wall-clock-shaped and carry no such guarantee.
+        assert serial["benchmarks"] == parallel["benchmarks"]
+        assert serial["benchmarks"]  # non-trivially: counters exist
+        for document in (serial, parallel):
+            assert validate_metrics(document) == []
+
+    def test_documents_cover_all_stages(self, run_dir):
+        with open(_metrics_path(run_dir["cwd"], "1-serial")) as handle:
+            document = json.load(handle)
+        counters = document["benchmarks"]["grep"]
+        prefixes = {name.split("/")[0] for name in counters}
+        assert {"sim", "lvp", "model"} <= prefixes
+        phases = document["phases"]["grep"]
+        assert {"trace", "annotate", "model"} <= set(phases)
+
+    def test_engine_merge_matches_inprocess_serial(self):
+        """Library-level: engine jobs=1 vs jobs=2 merge to equal
+        counters (cheaper to iterate on than the CLI runs above)."""
+        units = units_for_exhibits(["fig6"], ("grep", "compress"))
+        counters = []
+        for jobs in (1, 2):
+            session = Session(scale="tiny",
+                              benchmarks=("grep", "compress"),
+                              metrics=True)
+            ParallelEngine(session, jobs=jobs, units=units).run()
+            counters.append(session.metrics.benchmark_counters())
+        assert counters[0] == counters[1]
+        assert counters[0]["grep"]["sim/ppc/instructions"] > 0
+
+
+class TestStdoutInvariance:
+    def test_metrics_do_not_touch_stdout(self, run_dir):
+        assert run_dir["0-unobserved"].stdout == run_dir["1-serial"].stdout
+        assert not os.path.exists(
+            _metrics_path(run_dir["cwd"], "0-unobserved"))
+
+    def test_no_metrics_recorded_in_manifest(self, run_dir):
+        manifest_path = os.path.join(run_dir["cwd"], ".repro", "runs",
+                                     "0-unobserved", "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["metrics"] is False
+
+    def test_session_defaults_stay_unobserved(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        assert Session(scale="tiny", benchmarks=("grep",)).metrics is None
+
+
+class TestStatsCli:
+    def test_stats_renders_latest(self, run_dir):
+        done = _cli("stats", cwd=run_dir["cwd"])
+        assert done.returncode == 0, done.stderr.decode()
+        text = done.stdout.decode()
+        assert "Phase seconds per benchmark" in text
+        assert "grep" in text and "compress" in text
+
+    def test_stats_validate_passes(self, run_dir):
+        done = _cli("stats", "1-serial", "--validate", cwd=run_dir["cwd"])
+        assert done.returncode == 0, done.stderr.decode()
+        assert b"schema OK" in done.stdout
+
+    def test_stats_full_lists_counters(self, run_dir):
+        done = _cli("stats", "1-serial", "--full", cwd=run_dir["cwd"])
+        assert done.returncode == 0
+        assert b"sim/ppc/instructions" in done.stdout
+
+    def test_stats_unknown_run_exits_2(self, run_dir):
+        done = _cli("stats", "no-such-run", cwd=run_dir["cwd"])
+        assert done.returncode == 2
+        assert b"error" in done.stderr
+
+    def test_stats_on_unobserved_run_exits_2(self, run_dir):
+        done = _cli("stats", "0-unobserved", cwd=run_dir["cwd"])
+        assert done.returncode == 2
+        assert b"no metrics.json" in done.stderr
+
+    def test_stats_on_damaged_document_exits_2(self, run_dir):
+        path = _metrics_path(run_dir["cwd"], "2-parallel")
+        original = open(path).read()
+        try:
+            with open(path, "w") as handle:
+                handle.write("{not json")
+            done = _cli("stats", "2-parallel", cwd=run_dir["cwd"])
+            assert done.returncode == 2
+            assert b"damaged" in done.stderr
+        finally:
+            with open(path, "w") as handle:
+                handle.write(original)
+
+
+class TestProfileCapture:
+    def test_profile_writes_hottest_units(self, tmp_path):
+        done = _cli("experiment", "fig2", "--scale", "tiny",
+                    "--benchmarks", "grep", "--run-id", "prof",
+                    "--profile", cwd=tmp_path)
+        assert done.returncode == 0, done.stderr.decode()
+        profile_dir = tmp_path / ".repro" / "runs" / "prof" / "profiles"
+        captures = list(profile_dir.glob("*.txt"))
+        assert captures
+        assert len(captures) <= 5
+        text = captures[0].read_text()
+        assert "cumulative" in text  # pstats output, sorted as asked
