@@ -29,6 +29,11 @@ Commands
 ``stats [RUN_ID]``
     Render a journaled run's ``metrics.json`` (per-benchmark phase
     timings, headline counters; ``latest`` by default).
+``bench``
+    Time every pipeline phase (trace, annotate, model) under the slow
+    reference engines and the tiered fast engines, plus a cold
+    ``experiment all`` pass per tier; write/check ``BENCH_PERF.json``
+    (see ``docs/performance.md``).
 ``disasm BENCH``
     Disassemble a benchmark's program text.
 ``trace BENCH``
@@ -443,6 +448,66 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.harness.bench import (
+        QUICK_BENCHMARKS,
+        compare_bench,
+        load_bench,
+        render_bench,
+        run_bench,
+        validate_bench,
+        write_bench,
+    )
+    if args.benchmarks:
+        names = args.benchmarks.split(",")
+    elif args.quick:
+        names = list(QUICK_BENCHMARKS)
+    else:
+        names = None
+    e2e = not args.no_e2e and not args.quick
+    document = run_bench(names, scale=args.scale, trials=args.trials,
+                         e2e=e2e, progress=print)
+    errors = validate_bench(document)
+    if errors:
+        print("repro: error: bench document failed validation:",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 2
+    print(render_bench(document))
+    if args.output:
+        write_bench(document, args.output)
+        print(f"wrote {args.output}")
+    if args.check:
+        try:
+            baseline = load_bench(args.baseline)
+        except OSError:
+            print(f"repro: error: no baseline at {args.baseline} "
+                  "(run 'repro bench --output' first)", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"repro: error: damaged baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        base_errors = validate_bench(baseline)
+        if base_errors:
+            print(f"repro: error: baseline {args.baseline} failed "
+                  "validation:", file=sys.stderr)
+            for error in base_errors:
+                print(f"  - {error}", file=sys.stderr)
+            return 2
+        regressions = compare_bench(document, baseline,
+                                    threshold=args.threshold)
+        if regressions:
+            print(f"perf regressions vs {args.baseline}:", file=sys.stderr)
+            for regression in regressions:
+                print(f"  - {regression}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline} "
+              f"(threshold {args.threshold:g}x)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -547,6 +612,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="check metrics.json against the repro.obs schema instead "
              "of rendering (exit 1 on violations)")
     stats_parser.set_defaults(func=cmd_stats)
+
+    bench_parser = commands.add_parser(
+        "bench", help="time every pipeline phase per engine tier")
+    bench_parser.add_argument("--scale", default="small",
+                              choices=("tiny", "small", "reference"))
+    bench_parser.add_argument("--benchmarks", default=None,
+                              help="comma-separated subset "
+                                   "(default: all 17)")
+    bench_parser.add_argument("--trials", type=int, default=1,
+                              metavar="N",
+                              help="timing repetitions; the minimum is "
+                                   "kept (default: 1)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="CI subset: three benchmarks, no "
+                                   "end-to-end pass")
+    bench_parser.add_argument("--no-e2e", action="store_true",
+                              help="skip the cold 'experiment all' "
+                                   "passes")
+    bench_parser.add_argument("--output", default=None, metavar="FILE",
+                              help="write the measurements as JSON "
+                                   "(e.g. BENCH_PERF.json)")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="compare against the committed "
+                                   "baseline; exit 1 on regressions")
+    bench_parser.add_argument("--baseline", default="BENCH_PERF.json",
+                              metavar="FILE",
+                              help="baseline document for --check "
+                                   "(default: BENCH_PERF.json)")
+    bench_parser.add_argument("--threshold", type=float, default=2.0,
+                              metavar="X",
+                              help="--check fails only when a fast path "
+                                   "is more than X times slower than "
+                                   "the baseline (default: 2.0)")
+    bench_parser.set_defaults(func=cmd_bench)
 
     check_parser = commands.add_parser(
         "check", help="evaluate the paper-shape claims")

@@ -53,6 +53,26 @@ _COND_BRANCHES = {
 }
 _NO_OPERANDS = {Opcode.RET, Opcode.BCTR, Opcode.HALT, Opcode.NOP}
 
+# FP-writing opcodes for which an r0 destination is rejected outright.
+# Integer writes to r0 are architecturally discarded (hardwired zero),
+# but an FP result aimed at r0 is always a programming error -- and it
+# used to silently clobber the zero register before the simulator grew
+# its write guard.
+_FP_R0_CHECKED = {
+    Opcode.FLD, Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    Opcode.FNEG, Opcode.FABS, Opcode.FSQRT, Opcode.FCVT,
+}
+
+
+def _fp_dst(opcode: Opcode, reg: int) -> int:
+    """Validate a parsed destination register for FP-writing opcodes."""
+    if reg == 0 and opcode in _FP_R0_CHECKED:
+        raise AssemblyError(
+            f"{opcode.name.lower()}: r0 is not a valid destination "
+            "(the zero register cannot hold an FP result)"
+        )
+    return reg
+
 
 def _parse_int(text: str) -> int:
     try:
@@ -184,8 +204,8 @@ class Assembler:
         if opcode in _LOADS:
             need(2)
             base, offset = self._mem_operand(ops[1])
-            return Instruction(opcode, dst=parse_reg(ops[0]), src1=base,
-                               imm=offset)
+            return Instruction(opcode, dst=_fp_dst(opcode, parse_reg(ops[0])),
+                               src1=base, imm=offset)
         if opcode in _STORES:
             need(2)
             base, offset = self._mem_operand(ops[1])
@@ -218,13 +238,13 @@ class Assembler:
                                imm=_parse_int(ops[2]))
         if opcode in _ONE_SOURCE:
             need(2)
-            return Instruction(opcode, dst=parse_reg(ops[0]),
+            return Instruction(opcode, dst=_fp_dst(opcode, parse_reg(ops[0])),
                                src1=parse_reg(ops[1]))
         # Remaining opcodes are three-register ALU/FP forms.
         if op_class(opcode) in (OpClass.SIMPLE_INT, OpClass.COMPLEX_INT,
                                 OpClass.FP_SIMPLE, OpClass.FP_COMPLEX):
             need(3)
-            return Instruction(opcode, dst=parse_reg(ops[0]),
+            return Instruction(opcode, dst=_fp_dst(opcode, parse_reg(ops[0])),
                                src1=parse_reg(ops[1]),
                                src2=parse_reg(ops[2]))
         raise AssemblyError(f"cannot encode opcode: {opcode.name}")

@@ -153,6 +153,9 @@ class LVPUnit:
                              config.selection, tagged=config.lvpt_tagged)
             self.lct = LCT(config.lct_entries, config.lct_bits)
             self.cvu = CVU(config.cvu_entries)
+        # Cached once: the table type never changes after construction,
+        # and process_branch runs once per conditional branch.
+        self._needs_branch_stream = isinstance(self.lvpt, ContextLVPT)
 
     def process_load(self, pc: int, addr: int, value: int) -> LoadOutcome:
         """Process one dynamic load; returns its prediction state."""
@@ -241,11 +244,11 @@ class LVPUnit:
     @property
     def needs_branch_stream(self) -> bool:
         """True if the unit's tables consume branch outcomes."""
-        return isinstance(self.lvpt, ContextLVPT)
+        return self._needs_branch_stream
 
     def process_branch(self, taken: bool) -> None:
         """Feed one conditional-branch outcome (gshare indexing)."""
-        if isinstance(self.lvpt, ContextLVPT):
+        if self._needs_branch_stream:
             self.lvpt.record_branch(taken)
 
     def process_store(self, addr: int, size: int = 8) -> None:

@@ -1,5 +1,12 @@
-"""Functional simulation: flat memory model and VRISC interpreter."""
+"""Functional simulation: flat memory model, VRISC interpreter, and the
+ahead-of-time basic-block compiler (see ``docs/performance.md``)."""
 
+from repro.sim.compile import (
+    ENGINES,
+    CompiledProgram,
+    compiled_engine_for,
+    resolve_engine,
+)
 from repro.sim.functional import (
     EXIT_ADDRESS,
     ExecutionResult,
@@ -11,4 +18,5 @@ from repro.sim.memory import Memory
 __all__ = [
     "EXIT_ADDRESS", "ExecutionResult", "FunctionalSimulator",
     "run_program", "Memory",
+    "ENGINES", "CompiledProgram", "compiled_engine_for", "resolve_engine",
 ]

@@ -1,0 +1,723 @@
+"""Ahead-of-time basic-block compiler for VRISC programs (tier 1).
+
+The interpreter in :mod:`repro.sim.functional` pays per-instruction
+dispatch (a ~30-arm ``elif`` chain), per-instruction operand field
+reads, and eleven bound-method appends for every dynamic instruction.
+This module removes all three costs by *compiling* a linked
+:class:`~repro.isa.program.Program` once: the static instruction stream
+is partitioned into basic blocks (leaders are the entry point, every
+resolved branch target, and every instruction after a control-flow op)
+and each block is emitted as one specialized Python function via
+``compile()``/``exec`` with
+
+* immediates, PCs, opcode/op-class numbers and register ids baked in as
+  constants,
+* registers promoted to function locals (loaded on entry, written back
+  on exit; reads of the hardwired ``r0`` fold to the literal ``0``),
+* trace-column appends batched into one ``list.extend`` per column per
+  block (fully-constant columns become pre-built constant tuples), and
+* the instruction-budget check hoisted to one comparison per block.
+
+The whole program becomes a single source string compiled to a single
+code object, cached per :class:`Program` in a ``WeakKeyDictionary``;
+each run ``exec``s that code object in a fresh namespace so the run's
+:class:`~repro.sim.memory.Memory` methods and trace buffers are bound
+as default arguments (zero per-call rebinding cost).  Computed jumps
+(``JALR``/``JR``/``RET``/``BCTR``) can land mid-block; such entry
+points are compiled lazily on first use and cached on the engine.
+
+The interpreter remains the reference oracle: the compiled engine is
+required to be *bit-identical* to it -- same trace columns, same final
+registers/memory, same exceptions with the same messages -- which the
+differential suite in ``tests/sim/test_compile.py`` enforces across all
+workloads.
+
+Semantic mirroring notes (all proven by the differential suite):
+
+* ``ExecutionLimitExceeded``: the interpreter raises before executing
+  the instruction that would exceed the budget.  Because every halting
+  or control-flow instruction ends its block, a block of length ``L``
+  always retires exactly ``L`` instructions, so the per-block pre-check
+  ``count + L > limit`` raises in exactly the same executions.
+* A ``dst`` of ``NO_REG`` (-1) is *truthy*, so guarded writes with
+  ``dst == -1`` store to ``regs[-1]`` (the CTR slot) just like the
+  interpreter; only a literal ``dst == 0`` suppresses the write.
+* Reads of register 0 constant-fold to ``0`` -- valid because ``r0``
+  starts at zero and every write is ``if dst:``-guarded.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import weakref
+
+from repro.errors import ConfigError, ExecutionError, ExecutionLimitExceeded
+from repro.isa.opcodes import OP_CLASS, OpClass, Opcode
+from repro.isa.program import INSTR_SIZE, Program, TEXT_BASE
+from repro.isa.registers import CTR, LR, NUM_REGS
+from repro.sim.functional import EXIT_ADDRESS, _from_float, _to_float
+
+_U64 = (1 << 64) - 1
+_SIGN = 1 << 63
+_BRANCH = OpClass.BRANCH
+
+#: Recognised values of the ``engine`` knob / ``REPRO_ENGINE`` env var.
+ENGINES = ("auto", "interp", "compiled")
+
+
+def resolve_engine(engine: str) -> str:
+    """Resolve the engine knob to ``"interp"`` or ``"compiled"``.
+
+    The ``REPRO_ENGINE`` environment variable overrides the argument
+    (same precedence style as the harness's other chaos/engine knobs);
+    ``"auto"`` selects the compiled tier.
+    """
+    env = os.environ.get("REPRO_ENGINE")
+    if env:
+        engine = env
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown execution engine {engine!r} "
+            f"(choose from {', '.join(ENGINES)})"
+        )
+    return "compiled" if engine == "auto" else engine
+
+
+# --------------------------------------------------------------------------
+# code generation
+# --------------------------------------------------------------------------
+
+def _canon(reg: int) -> int:
+    """Canonical register-file index (mirrors Python negative indexing)."""
+    return reg if reg >= 0 else NUM_REGS + reg
+
+
+def _r(c: int) -> str:
+    return f"r{c}" if c >= 0 else f"rn{-c}"
+
+
+def _k(c: int) -> str:
+    return f"k{c}" if c >= 0 else f"kn{-c}"
+
+
+def _sx(expr: str) -> str:
+    """Inline signed-64 view of an unsigned local (no function call)."""
+    return (f"(({expr}) - 18446744073709551616 "
+            f"if ({expr}) & 9223372036854775808 else ({expr}))")
+
+
+def _tgt_expr(instr) -> str:
+    """Branch-target instruction index, folded when resolved."""
+    t = instr.target
+    if isinstance(t, int):
+        return repr((t - TEXT_BASE) // INSTR_SIZE)
+    # Unlinked/symbolic target: defer to runtime so the failure mode
+    # matches the interpreter (which only fails if the branch is taken).
+    return f"(({t!r} - {TEXT_BASE}) // {INSTR_SIZE})"
+
+
+#: Default-argument list binding the per-run namespace into each block
+#: function at ``exec`` time (trace-column extends, memory methods, FP
+#: helpers).  Evaluated once per function definition, never per call.
+_DEFAULTS = (
+    "_xpc=_xpc, _xop=_xop, _xcl=_xcl, _xds=_xds, _xs1=_xs1, _xs2=_xs2, "
+    "_xad=_xad, _xva=_xva, _xkn=_xkn, _xsz=_xsz, _xtk=_xtk, "
+    "_rw=_rw, _ww=_ww, _ru4=_ru4, _wu4=_wu4, _ru1=_ru1, _wu1=_wu1, "
+    "_tf=_tf, _ff=_ff, _sqrt=_sqrt, _tr=_tr"
+)
+
+
+def _emit(j: int, instr, pc: int) -> dict:  # noqa: C901
+    """Emit one instruction: statements, record markers, read/write sets.
+
+    Record markers are ``("lit", value)``, ``("name", local)``,
+    ``("reg", c)`` (value of register *c* at this point) or
+    ``("kreg", c)`` (its kind); reg markers are resolved to locals or
+    capture temps once the whole block is known.
+    """
+    op = instr.opcode
+    O = Opcode
+    item = {
+        "stmts": [], "writes": set(), "pre_val": set(), "pre_kind": set(),
+        "addr": ("lit", 0), "value": None, "kind": None,
+        "taken": ("lit", 0), "size": 0, "terminal": None,
+    }
+    dst, imm = instr.dst, instr.imm
+    d = _canon(dst)
+    c1 = _canon(instr.src1)
+    c2 = _canon(instr.src2)
+    stmts = item["stmts"]
+
+    def RV(c: int) -> str:
+        if c != 0:
+            item["pre_val"].add(c)
+        return "0" if c == 0 else _r(c)
+
+    def RK(c: int) -> str:
+        if c != 0:
+            item["pre_kind"].add(c)
+        return "0" if c == 0 else _k(c)
+
+    def write(value_expr: str, kind_expr: str) -> None:
+        stmts.append(f"{_r(d)} = {value_expr}")
+        stmts.append(f"{_k(d)} = {kind_expr}")
+        item["writes"].add(d)
+
+    # ---- integer ALU ----
+    if op is O.ADD:
+        if dst:
+            v1, v2, k1, k2 = RV(c1), RV(c2), RK(c1), RK(c2)
+            write(f"({v1} + {v2}) & {_U64}",
+                  f"{k1} if {k1} in (2, 3) else "
+                  f"({k2} if {k2} in (2, 3) else 0)")
+    elif op is O.ADDI:
+        if dst:
+            v1, k1 = RV(c1), RK(c1)
+            write(f"({v1} + {imm}) & {_U64}",
+                  f"{k1} if {k1} in (2, 3) else 0")
+    elif op is O.SUB:
+        if dst:
+            v1, v2, k1 = RV(c1), RV(c2), RK(c1)
+            write(f"({v1} - {v2}) & {_U64}",
+                  f"{k1} if {k1} in (2, 3) else 0")
+    elif op is O.AND:
+        if dst:
+            write(f"{RV(c1)} & {RV(c2)}", "0")
+    elif op is O.ANDI:
+        if dst:
+            write(f"{RV(c1)} & {imm & _U64}", "0")
+    elif op is O.OR:
+        if dst:
+            write(f"{RV(c1)} | {RV(c2)}", "0")
+    elif op is O.ORI:
+        if dst:
+            write(f"{RV(c1)} | {imm & _U64}", "0")
+    elif op is O.XOR:
+        if dst:
+            write(f"{RV(c1)} ^ {RV(c2)}", "0")
+    elif op is O.XORI:
+        if dst:
+            write(f"{RV(c1)} ^ {imm & _U64}", "0")
+    elif op is O.SLL:
+        if dst:
+            write(f"({RV(c1)} << ({RV(c2)} & 63)) & {_U64}", "0")
+    elif op is O.SLLI:
+        if dst:
+            write(f"({RV(c1)} << {imm & 63}) & {_U64}", "0")
+    elif op is O.SRL:
+        if dst:
+            write(f"{RV(c1)} >> ({RV(c2)} & 63)", "0")
+    elif op is O.SRLI:
+        if dst:
+            write(f"{RV(c1)} >> {imm & 63}", "0")
+    elif op is O.SRA:
+        if dst:
+            write(f"({_sx(RV(c1))} >> ({RV(c2)} & 63)) & {_U64}", "0")
+    elif op is O.SRAI:
+        if dst:
+            write(f"({_sx(RV(c1))} >> {imm & 63}) & {_U64}", "0")
+    elif op is O.SLT:
+        if dst:
+            write(f"1 if {_sx(RV(c1))} < {_sx(RV(c2))} else 0", "0")
+    elif op is O.SLTI:
+        if dst:
+            write(f"1 if {_sx(RV(c1))} < {imm} else 0", "0")
+    elif op is O.SLTU:
+        if dst:
+            write(f"1 if {RV(c1)} < {RV(c2)} else 0", "0")
+    elif op is O.SEQ:
+        if dst:
+            write(f"1 if {RV(c1)} == {RV(c2)} else 0", "0")
+    elif op is O.LI:
+        if dst:
+            write(repr(imm & _U64), "0")
+    elif op is O.LA:
+        if dst:
+            write(repr(imm & _U64), "3")
+    elif op is O.MOV:
+        if dst:
+            write(RV(c1), RK(c1))
+    elif op is O.NOP:
+        pass
+
+    # ---- complex integer ----
+    elif op is O.MUL:
+        if dst:
+            write(f"({RV(c1)} * {RV(c2)}) & {_U64}", "0")
+    elif op is O.DIV:
+        if dst:
+            stmts.append(f"_a = {_sx(RV(c1))}")
+            stmts.append(f"_b = {_sx(RV(c2))}")
+            write(f"(0 if _b == 0 else abs(_a) // abs(_b) * "
+                  f"(-1 if (_a < 0) != (_b < 0) else 1)) & {_U64}", "0")
+    elif op is O.REM:
+        if dst:
+            stmts.append(f"_a = {_sx(RV(c1))}")
+            stmts.append(f"_b = {_sx(RV(c2))}")
+            write(f"(0 if _b == 0 else abs(_a) % abs(_b) * "
+                  f"(-1 if _a < 0 else 1)) & {_U64}", "0")
+    elif op is O.MFLR:
+        if dst:
+            write(RV(LR), RK(LR))
+    elif op is O.MTLR:
+        stmts.append(f"{_r(LR)} = {RV(c1)}")
+        stmts.append(f"{_k(LR)} = {RK(c1)}")
+        item["writes"].add(LR)
+    elif op is O.MFCTR:
+        if dst:
+            write(RV(CTR), RK(CTR))
+    elif op is O.MTCTR:
+        stmts.append(f"{_r(CTR)} = {RV(c1)}")
+        stmts.append(f"{_k(CTR)} = {RK(c1)}")
+        item["writes"].add(CTR)
+
+    # ---- loads ----
+    elif op is O.LD:
+        a, v, q = f"a{j}", f"v{j}", f"q{j}"
+        stmts.append(f"{a} = ({RV(c1)} + {imm}) & {_U64}")
+        stmts.append(f"{v}, {q} = _rw({a})")
+        if dst:
+            write(v, q)
+        item["addr"] = ("name", a)
+        item["value"] = ("name", v)
+        item["kind"] = ("name", q)
+        item["size"] = 8
+    elif op is O.LW:
+        a, v = f"a{j}", f"v{j}"
+        stmts.append(f"{a} = ({RV(c1)} + {imm}) & {_U64}")
+        stmts.append(f"_w = _ru4({a})")
+        stmts.append(
+            f"{v} = (_w - 4294967296 if _w & 2147483648 else _w) & {_U64}")
+        if dst:
+            write(v, "0")
+        item["addr"] = ("name", a)
+        item["value"] = ("name", v)
+        item["kind"] = ("lit", 0)
+        item["size"] = 4
+    elif op is O.LBU:
+        a, v = f"a{j}", f"v{j}"
+        stmts.append(f"{a} = ({RV(c1)} + {imm}) & {_U64}")
+        stmts.append(f"{v} = _ru1({a})")
+        if dst:
+            write(v, "0")
+        item["addr"] = ("name", a)
+        item["value"] = ("name", v)
+        item["kind"] = ("lit", 0)
+        item["size"] = 1
+    elif op is O.FLD:
+        a, v, q = f"a{j}", f"v{j}", f"q{j}"
+        stmts.append(f"{a} = ({RV(c1)} + {imm}) & {_U64}")
+        stmts.append(f"{v}, _sk = _rw({a})")
+        stmts.append(f"{q} = 1 if _sk == 0 else _sk")
+        if dst:
+            write(v, q)
+        item["addr"] = ("name", a)
+        item["value"] = ("name", v)
+        item["kind"] = ("name", q)
+        item["size"] = 8
+
+    # ---- stores ----
+    elif op is O.ST:
+        a = f"a{j}"
+        stmts.append(f"{a} = ({RV(c1)} + {imm}) & {_U64}")
+        stmts.append(f"_ww({a}, {RV(c2)}, {RK(c2)})")
+        item["addr"] = ("name", a)
+        item["value"] = ("reg", c2)
+        item["kind"] = ("kreg", c2)
+        item["size"] = 8
+    elif op is O.STW:
+        a, v = f"a{j}", f"v{j}"
+        stmts.append(f"{a} = ({RV(c1)} + {imm}) & {_U64}")
+        stmts.append(f"{v} = {RV(c2)} & 4294967295")
+        stmts.append(f"_wu4({a}, {v})")
+        item["addr"] = ("name", a)
+        item["value"] = ("name", v)
+        item["kind"] = ("lit", 0)
+        item["size"] = 4
+    elif op is O.SB:
+        a, v = f"a{j}", f"v{j}"
+        stmts.append(f"{a} = ({RV(c1)} + {imm}) & {_U64}")
+        stmts.append(f"{v} = {RV(c2)} & 255")
+        stmts.append(f"_wu1({a}, {v})")
+        item["addr"] = ("name", a)
+        item["value"] = ("name", v)
+        item["kind"] = ("lit", 0)
+        item["size"] = 1
+    elif op is O.FST:
+        a = f"a{j}"
+        stmts.append(f"{a} = ({RV(c1)} + {imm}) & {_U64}")
+        stmts.append(f"_ww({a}, {RV(c2)}, 1)")
+        item["addr"] = ("name", a)
+        item["value"] = ("reg", c2)
+        item["kind"] = ("lit", 1)
+        item["size"] = 8
+
+    # ---- floating point ----
+    elif op is O.FADD:
+        if dst:
+            write(f"_ff(_tf({RV(c1)}) + _tf({RV(c2)}))", "1")
+    elif op is O.FSUB:
+        if dst:
+            write(f"_ff(_tf({RV(c1)}) - _tf({RV(c2)}))", "1")
+    elif op is O.FMUL:
+        if dst:
+            write(f"_ff(_tf({RV(c1)}) * _tf({RV(c2)}))", "1")
+    elif op is O.FDIV:
+        if dst:
+            stmts.append(f"_fb = _tf({RV(c2)})")
+            write(f"_ff(_tf({RV(c1)}) / _fb if _fb != 0.0 else 0.0)", "1")
+    elif op is O.FNEG:
+        if dst:
+            write(f"_ff(-_tf({RV(c1)}))", "1")
+    elif op is O.FABS:
+        if dst:
+            write(f"_ff(abs(_tf({RV(c1)})))", "1")
+    elif op is O.FSQRT:
+        if dst:
+            stmts.append(f"_fa = _tf({RV(c1)})")
+            write("_ff(_sqrt(_fa) if _fa >= 0.0 else 0.0)", "1")
+    elif op is O.FCVT:
+        if dst:
+            write(f"_ff(float({_sx(RV(c1))}))", "1")
+    elif op is O.FTRUNC:
+        if dst:
+            write(f"int(_tr(_tf({RV(c1)}))) & {_U64}", "0")
+    elif op is O.FLT:
+        if dst:
+            write(f"1 if _tf({RV(c1)}) < _tf({RV(c2)}) else 0", "0")
+    elif op is O.FEQ:
+        if dst:
+            write(f"1 if _tf({RV(c1)}) == _tf({RV(c2)}) else 0", "0")
+    elif op is O.FLE:
+        if dst:
+            write(f"1 if _tf({RV(c1)}) <= _tf({RV(c2)}) else 0", "0")
+
+    # ---- control flow (always block-final) ----
+    elif op in (O.BEQ, O.BNE, O.BLT, O.BGE, O.BLTU, O.BGEU):
+        if op is O.BEQ:
+            cond = f"{RV(c1)} == {RV(c2)}"
+        elif op is O.BNE:
+            cond = f"{RV(c1)} != {RV(c2)}"
+        elif op is O.BLT:
+            cond = f"{_sx(RV(c1))} < {_sx(RV(c2))}"
+        elif op is O.BGE:
+            cond = f"{_sx(RV(c1))} >= {_sx(RV(c2))}"
+        elif op is O.BLTU:
+            cond = f"{RV(c1)} < {RV(c2)}"
+        else:
+            cond = f"{RV(c1)} >= {RV(c2)}"
+        stmts.append(f"_t = 1 if {cond} else 0")
+        item["taken"] = ("name", "_t")
+        item["terminal"] = f"{_tgt_expr(instr)} if _t else {j + 1}"
+    elif op is O.J:
+        item["terminal"] = _tgt_expr(instr)
+    elif op is O.JAL:
+        stmts.append(f"{_r(LR)} = {pc + INSTR_SIZE}")
+        stmts.append(f"{_k(LR)} = 2")
+        item["writes"].add(LR)
+        item["terminal"] = _tgt_expr(instr)
+    elif op is O.JALR:
+        # Read the jump target *before* LR is overwritten (src1 may be LR).
+        stmts.append(f"_x = {RV(c1)}")
+        stmts.append(f"{_r(LR)} = {pc + INSTR_SIZE}")
+        stmts.append(f"{_k(LR)} = 2")
+        item["writes"].add(LR)
+        item["terminal"] = (f"None if _x == {EXIT_ADDRESS} "
+                            f"else (_x - {TEXT_BASE}) // {INSTR_SIZE}")
+    elif op in (O.JR, O.RET, O.BCTR):
+        src = c1 if op is O.JR else (LR if op is O.RET else CTR)
+        stmts.append(f"_x = {RV(src)}")
+        item["terminal"] = (f"None if _x == {EXIT_ADDRESS} "
+                            f"else (_x - {TEXT_BASE}) // {INSTR_SIZE}")
+    elif op is O.HALT:
+        item["terminal"] = "None"
+    else:  # pragma: no cover - opcode table is exhaustive
+        raise ExecutionError(f"unhandled opcode: {op.name}")
+
+    # Mirror the interpreter's recording rule: non-memory instructions
+    # with dst > 0 record the destination's post-write value and kind.
+    if item["size"] == 0 and dst > 0:
+        item["value"] = ("reg", d)
+        item["kind"] = ("kreg", d)
+    elif item["value"] is None:
+        item["value"] = ("lit", 0)
+        item["kind"] = ("lit", 0)
+    return item
+
+
+def _emit_block(instructions, start: int, stop: int,
+                fn_name: str) -> list[str]:
+    """Emit the source lines of one basic-block function."""
+    items = []
+    for j in range(start, stop):
+        items.append(_emit(j, instructions[j],
+                           TEXT_BASE + j * INSTR_SIZE))
+    terminal = items[-1]["terminal"]
+    if terminal is None:  # fell off the block: next leader (or pc error)
+        terminal = repr(stop)
+
+    # Registers whose value/kind must be loaded from the register file
+    # on entry (read before any write inside the block).
+    written: set[int] = set()
+    loads_v: list[int] = []
+    loads_k: list[int] = []
+    sv: set[int] = set()
+    sk: set[int] = set()
+    for it in items:
+        for c in sorted(it["pre_val"]):
+            if c not in written and c not in sv:
+                sv.add(c)
+                loads_v.append(c)
+        for c in sorted(it["pre_kind"]):
+            if c not in written and c not in sk:
+                sk.add(c)
+                loads_k.append(c)
+        written |= it["writes"]
+        vm, km = it["value"], it["kind"]
+        if vm[0] == "reg" and vm[1] != 0 and vm[1] not in written \
+                and vm[1] not in sv:
+            sv.add(vm[1])
+            loads_v.append(vm[1])
+        if km[0] == "kreg" and km[1] != 0 and km[1] not in written \
+                and km[1] not in sk:
+            sk.add(km[1])
+            loads_k.append(km[1])
+
+    # Resolve reg/kreg record markers.  A register referenced by a
+    # record and overwritten by a *later* instruction in the block must
+    # be captured into a temp at record time; otherwise the live local
+    # (or literal 0 for r0) is referenced directly in the batched tuple.
+    after: set[int] = set()
+    suffixes = [frozenset()] * len(items)
+    for idx in range(len(items) - 1, -1, -1):
+        suffixes[idx] = frozenset(after)
+        after |= items[idx]["writes"]
+    for idx, it in enumerate(items):
+        j = start + idx
+        vm = it["value"]
+        if vm[0] == "reg":
+            c = vm[1]
+            if c == 0:
+                it["value"] = ("lit", 0)
+            elif c in suffixes[idx]:
+                it["stmts"].append(f"cv{j} = {_r(c)}")
+                it["value"] = ("name", f"cv{j}")
+            else:
+                it["value"] = ("name", _r(c))
+        km = it["kind"]
+        if km[0] == "kreg":
+            c = km[1]
+            if c == 0:
+                it["kind"] = ("lit", 0)
+            elif c in suffixes[idx]:
+                it["stmts"].append(f"ck{j} = {_k(c)}")
+                it["kind"] = ("name", f"ck{j}")
+            else:
+                it["kind"] = ("name", _k(c))
+
+    def col(markers) -> str:
+        if all(m[0] == "lit" for m in markers):
+            return repr(tuple(m[1] for m in markers))
+        return "(" + ", ".join(
+            repr(m[1]) if m[0] == "lit" else m[1] for m in markers
+        ) + ",)"
+
+    rng = range(start, stop)
+    pcs = repr(tuple(TEXT_BASE + j * INSTR_SIZE for j in rng))
+    ops = repr(tuple(int(instructions[j].opcode) for j in rng))
+    cls = repr(tuple(int(OP_CLASS[instructions[j].opcode]) for j in rng))
+    dsts = repr(tuple(instructions[j].dst for j in rng))
+    s1s = repr(tuple(instructions[j].src1 for j in rng))
+    s2s = repr(tuple(instructions[j].src2 for j in rng))
+    sizes = repr(tuple(it["size"] for it in items))
+
+    lines = [f"def {fn_name}(regs, rkinds, {_DEFAULTS}):"]
+    for c in loads_v:
+        lines.append(f"    {_r(c)} = regs[{c}]")
+    for c in loads_k:
+        lines.append(f"    {_k(c)} = rkinds[{c}]")
+    for it in items:
+        for s in it["stmts"]:
+            lines.append("    " + s)
+    lines.append(f"    _xpc({pcs})")
+    lines.append(f"    _xop({ops})")
+    lines.append(f"    _xcl({cls})")
+    lines.append(f"    _xds({dsts})")
+    lines.append(f"    _xs1({s1s})")
+    lines.append(f"    _xs2({s2s})")
+    lines.append(f"    _xad({col([it['addr'] for it in items])})")
+    lines.append(f"    _xva({col([it['value'] for it in items])})")
+    lines.append(f"    _xkn({col([it['kind'] for it in items])})")
+    lines.append(f"    _xsz({sizes})")
+    lines.append(f"    _xtk({col([it['taken'] for it in items])})")
+    for c in sorted(written):
+        lines.append(f"    regs[{c}] = {_r(c)}")
+        lines.append(f"    rkinds[{c}] = {_k(c)}")
+    lines.append(f"    return {terminal}")
+    return lines
+
+
+def partition(program: Program) -> list[tuple[int, int]]:
+    """Split the static instruction stream into basic-block ranges.
+
+    Leaders are the entry point, every in-range resolved branch target,
+    and the instruction after every control-flow op; a block also ends
+    at any control-flow op.  Returned ranges are ``(start, stop)`` with
+    ``stop`` exclusive, sorted by start.
+    """
+    instructions = program.instructions
+    n = len(instructions)
+    entry = program.index_of(program.entry_pc)
+    leaders: set[int] = set()
+    if 0 <= entry < n:
+        leaders.add(entry)
+    for i, ins in enumerate(instructions):
+        if OP_CLASS[ins.opcode] is _BRANCH:
+            if i + 1 < n:
+                leaders.add(i + 1)
+            t = ins.target
+            if isinstance(t, int):
+                ti = (t - TEXT_BASE) // INSTR_SIZE
+                if 0 <= ti < n:
+                    leaders.add(ti)
+    ranges = []
+    for s in sorted(leaders):
+        i = s
+        while True:
+            if OP_CLASS[instructions[i].opcode] is _BRANCH \
+                    or i + 1 == n or (i + 1) in leaders:
+                break
+            i += 1
+        ranges.append((s, i + 1))
+    return ranges
+
+
+def generate_source(program: Program) -> tuple[str, dict[int, int]]:
+    """Generate the whole-program block source and a start->length map."""
+    parts = [f"# compiled VRISC blocks for {program.name!r}"]
+    lengths: dict[int, int] = {}
+    for start, stop in partition(program):
+        parts.extend(_emit_block(program.instructions, start, stop,
+                                 f"_b{start}"))
+        lengths[start] = stop - start
+    parts.append("_BLOCKS = {" + ", ".join(
+        f"{s}: (_b{s}, {ln})" for s, ln in lengths.items()) + "}")
+    return "\n".join(parts) + "\n", lengths
+
+
+class CompiledProgram:
+    """A program compiled to per-basic-block Python functions.
+
+    Construction generates and ``compile()``s the whole-program source
+    once; :meth:`execute` ``exec``s the cached code object per run with
+    that run's memory and trace buffers bound into the namespace.
+    """
+
+    def __init__(self, program: Program) -> None:
+        program.entry_pc  # raises LinkError early if not linked
+        self.program = program
+        self.source, self.block_lengths = generate_source(program)
+        self.code = compile(self.source,
+                            f"<vrisc-compiled:{program.name}>", "exec")
+        self._lazy: dict[int, tuple] = {}  # start -> (code, length)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_lengths)
+
+    def _namespace(self, memory, cols) -> dict:
+        if cols is None:
+            noop = _noop_extend
+            ext = [noop] * 11
+        else:
+            ext = [cols.pc.extend, cols.opcode.extend, cols.opclass.extend,
+                   cols.dst.extend, cols.src1.extend, cols.src2.extend,
+                   cols.addr.extend, cols.value.extend, cols.kind.extend,
+                   cols.size.extend, cols.taken.extend]
+        return {
+            "_xpc": ext[0], "_xop": ext[1], "_xcl": ext[2], "_xds": ext[3],
+            "_xs1": ext[4], "_xs2": ext[5], "_xad": ext[6], "_xva": ext[7],
+            "_xkn": ext[8], "_xsz": ext[9], "_xtk": ext[10],
+            "_rw": memory.read_word, "_ww": memory.write_word,
+            "_ru4": memory.read_u32, "_wu4": memory.write_u32,
+            "_ru1": memory.read_u8, "_wu1": memory.write_u8,
+            "_tf": _to_float, "_ff": _from_float,
+            "_sqrt": math.sqrt, "_tr": math.trunc,
+        }
+
+    def _lazy_block(self, index: int, ns: dict, blocks: dict) -> tuple:
+        """Compile (or re-bind) a block entered mid-stream by a computed
+        jump.  Lazy blocks run from *index* to the next control-flow op."""
+        cached = self._lazy.get(index)
+        if cached is None:
+            instructions = self.program.instructions
+            n = len(instructions)
+            i = index
+            while OP_CLASS[instructions[i].opcode] is not _BRANCH \
+                    and i + 1 < n:
+                i += 1
+            stop = i + 1
+            lines = _emit_block(instructions, index, stop, f"_lz{index}")
+            code = compile("\n".join(lines) + "\n",
+                           f"<vrisc-compiled:{self.program.name}:+{index}>",
+                           "exec")
+            cached = (code, stop - index)
+            self._lazy[index] = cached
+        code, length = cached
+        exec(code, ns)
+        blk = (ns[f"_lz{index}"], length)
+        blocks[index] = blk
+        return blk
+
+    def execute(self, memory, regs: list[int], rkinds: list[int],
+                cols, limit: int) -> int:
+        """Run to completion; mirrors ``FunctionalSimulator._execute``."""
+        ns = self._namespace(memory, cols)
+        exec(self.code, ns)
+        blocks = ns["_BLOCKS"]
+        program = self.program
+        name = program.name
+        n = len(program.instructions)
+        index = program.index_of(program.entry_pc)
+        count = 0
+        get = blocks.get
+        while True:
+            if count >= limit:
+                raise ExecutionLimitExceeded(
+                    f"{name}: exceeded {limit} instructions"
+                )
+            blk = get(index)
+            if blk is None:
+                if not 0 <= index < n:
+                    raise ExecutionError(
+                        f"{name}: pc out of range (index {index})"
+                    )
+                blk = self._lazy_block(index, ns, blocks)
+            fn, length = blk
+            if count + length > limit:
+                raise ExecutionLimitExceeded(
+                    f"{name}: exceeded {limit} instructions"
+                )
+            count += length
+            nxt = fn(regs, rkinds)
+            if nxt is None:
+                return count
+            index = nxt
+
+
+def _noop_extend(_values) -> None:
+    """Column sink for untraced runs."""
+
+
+_ENGINE_CACHE: "weakref.WeakKeyDictionary[Program, CompiledProgram]" = \
+    weakref.WeakKeyDictionary()
+
+
+def compiled_engine_for(program: Program) -> CompiledProgram:
+    """Return (building and caching on first use) *program*'s engine."""
+    engine = _ENGINE_CACHE.get(program)
+    if engine is None:
+        engine = CompiledProgram(program)
+        _ENGINE_CACHE[program] = engine
+    return engine

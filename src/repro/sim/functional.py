@@ -22,6 +22,8 @@ import math
 import struct
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import ExecutionError, ExecutionLimitExceeded
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import OP_CLASS, OpClass, Opcode, ValueKind
@@ -38,6 +40,11 @@ from repro.trace.records import Trace, TraceColumns
 
 _U64 = (1 << 64) - 1
 _SIGN = 1 << 63
+
+# bincount minlengths for sim_counters, computed once at import time
+# rather than on every call.
+_OPCLASS_BINS = max(int(c) for c in OpClass) + 1
+_OPCODE_BINS = max(int(o) for o in Opcode) + 1
 
 #: Jumping to this address terminates execution (the loader puts it in LR
 #: before calling the entry point, so returning from ``main`` halts).
@@ -80,12 +87,24 @@ class FunctionalSimulator:
         self.max_instructions = max_instructions
 
     def run(self, collect_trace: bool = True,
-            name: str = "", target: str = "") -> ExecutionResult:
+            name: str = "", target: str = "",
+            engine: str = "auto") -> ExecutionResult:
         """Run the program to completion.
+
+        *engine* selects the execution tier: ``"interp"`` runs this
+        module's reference interpreter, ``"compiled"`` the basic-block
+        compiler in :mod:`repro.sim.compile`, and ``"auto"`` (default)
+        the compiled tier.  The ``REPRO_ENGINE`` environment variable
+        overrides the argument.  Both tiers are bit-identical; the
+        interpreter is the oracle the compiled tier is verified against.
 
         Raises :class:`ExecutionLimitExceeded` if the instruction budget
         is exhausted (a non-halting workload is a bug, not a hang).
         """
+        # Imported here (not at module level): repro.sim.compile mirrors
+        # this module's semantics and imports its helpers.
+        from repro.sim.compile import compiled_engine_for, resolve_engine
+
         program = self.program
         words, kinds_image = program.initial_memory()
         memory = Memory.from_image(words, kinds_image)
@@ -100,7 +119,11 @@ class FunctionalSimulator:
         rkinds[LR] = int(ValueKind.INSTR_ADDR)
 
         cols = TraceColumns() if collect_trace else None
-        count = self._execute(memory, regs, rkinds, cols)
+        if resolve_engine(engine) == "compiled":
+            count = compiled_engine_for(program).execute(
+                memory, regs, rkinds, cols, limit=self.max_instructions)
+        else:
+            count = self._execute(memory, regs, rkinds, cols)
 
         trace = None
         if cols is not None:
@@ -339,8 +362,9 @@ class FunctionalSimulator:
                 mem_value, stored_kind = read_word(mem_addr)
                 mem_kind = FP_DATA if stored_kind == INT_DATA else stored_kind
                 mem_size = 8
-                regs[dst] = mem_value
-                rkinds[dst] = mem_kind
+                if dst:
+                    regs[dst] = mem_value
+                    rkinds[dst] = mem_kind
 
             # ---- stores ------------------------------------------------------------
             elif op is O.ST:
@@ -370,35 +394,43 @@ class FunctionalSimulator:
 
             # ---- floating point -------------------------------------------------------
             elif op is O.FADD:
-                regs[dst] = _from_float(
-                    _to_float(regs[src1]) + _to_float(regs[src2]))
-                rkinds[dst] = FP_DATA
+                if dst:
+                    regs[dst] = _from_float(
+                        _to_float(regs[src1]) + _to_float(regs[src2]))
+                    rkinds[dst] = FP_DATA
             elif op is O.FSUB:
-                regs[dst] = _from_float(
-                    _to_float(regs[src1]) - _to_float(regs[src2]))
-                rkinds[dst] = FP_DATA
+                if dst:
+                    regs[dst] = _from_float(
+                        _to_float(regs[src1]) - _to_float(regs[src2]))
+                    rkinds[dst] = FP_DATA
             elif op is O.FMUL:
-                regs[dst] = _from_float(
-                    _to_float(regs[src1]) * _to_float(regs[src2]))
-                rkinds[dst] = FP_DATA
+                if dst:
+                    regs[dst] = _from_float(
+                        _to_float(regs[src1]) * _to_float(regs[src2]))
+                    rkinds[dst] = FP_DATA
             elif op is O.FDIV:
                 b = _to_float(regs[src2])
                 a = _to_float(regs[src1])
-                regs[dst] = _from_float(a / b if b != 0.0 else 0.0)
-                rkinds[dst] = FP_DATA
+                if dst:
+                    regs[dst] = _from_float(a / b if b != 0.0 else 0.0)
+                    rkinds[dst] = FP_DATA
             elif op is O.FNEG:
-                regs[dst] = _from_float(-_to_float(regs[src1]))
-                rkinds[dst] = FP_DATA
+                if dst:
+                    regs[dst] = _from_float(-_to_float(regs[src1]))
+                    rkinds[dst] = FP_DATA
             elif op is O.FABS:
-                regs[dst] = _from_float(abs(_to_float(regs[src1])))
-                rkinds[dst] = FP_DATA
+                if dst:
+                    regs[dst] = _from_float(abs(_to_float(regs[src1])))
+                    rkinds[dst] = FP_DATA
             elif op is O.FSQRT:
                 a = _to_float(regs[src1])
-                regs[dst] = _from_float(math.sqrt(a) if a >= 0.0 else 0.0)
-                rkinds[dst] = FP_DATA
+                if dst:
+                    regs[dst] = _from_float(math.sqrt(a) if a >= 0.0 else 0.0)
+                    rkinds[dst] = FP_DATA
             elif op is O.FCVT:
-                regs[dst] = _from_float(float(_s64(regs[src1])))
-                rkinds[dst] = FP_DATA
+                if dst:
+                    regs[dst] = _from_float(float(_s64(regs[src1])))
+                    rkinds[dst] = FP_DATA
             elif op is O.FTRUNC:
                 if dst:
                     regs[dst] = int(math.trunc(_to_float(regs[src1]))) & _U64
@@ -516,10 +548,12 @@ class FunctionalSimulator:
 
 def run_program(program: Program, collect_trace: bool = True,
                 name: str = "", target: str = "",
-                max_instructions: int = 50_000_000) -> ExecutionResult:
+                max_instructions: int = 50_000_000,
+                engine: str = "auto") -> ExecutionResult:
     """Run *program* to completion; convenience wrapper."""
     sim = FunctionalSimulator(program, max_instructions=max_instructions)
-    return sim.run(collect_trace=collect_trace, name=name, target=target)
+    return sim.run(collect_trace=collect_trace, name=name, target=target,
+                   engine=engine)
 
 
 def sim_counters(trace: Trace) -> dict[str, int]:
@@ -533,17 +567,14 @@ def sim_counters(trace: Trace) -> dict[str, int]:
     ``branches``, and a per-opcode mix under ``op/<NAME>`` (dynamic
     opcodes only).
     """
-    import numpy as np
-    opclass_counts = np.bincount(trace.opclass,
-                                 minlength=max(int(c) for c in OpClass) + 1)
+    opclass_counts = np.bincount(trace.opclass, minlength=_OPCLASS_BINS)
     counters = {
         "instructions": trace.num_instructions,
         "loads": trace.num_loads,
         "stores": trace.num_stores,
         "branches": int(opclass_counts[int(OpClass.BRANCH)]),
     }
-    opcode_counts = np.bincount(trace.opcode,
-                                minlength=max(int(o) for o in Opcode) + 1)
+    opcode_counts = np.bincount(trace.opcode, minlength=_OPCODE_BINS)
     for opcode in Opcode:
         count = int(opcode_counts[int(opcode)])
         if count:

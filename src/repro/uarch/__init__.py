@@ -2,6 +2,7 @@
 
 from repro.uarch.axp21164.config import AXP21164, AXP21164Config
 from repro.uarch.axp21164.model import AXP21164Model, AXP21164Result
+from repro.uarch.engine import MODEL_ENGINES, resolve_model_engine
 from repro.uarch.ppc620.config import PPC620, PPC620_PLUS, PPC620Config
 from repro.uarch.ppc620.model import FU_NAMES, PPC620Model, PPC620Result
 
@@ -9,4 +10,5 @@ __all__ = [
     "AXP21164", "AXP21164Config", "AXP21164Model", "AXP21164Result",
     "PPC620", "PPC620_PLUS", "PPC620Config",
     "FU_NAMES", "PPC620Model", "PPC620Result",
+    "MODEL_ENGINES", "resolve_model_engine",
 ]

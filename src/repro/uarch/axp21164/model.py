@@ -28,12 +28,40 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.registers import NUM_REGS
 from repro.lvp.unit import LoadOutcome
 from repro.trace.annotate import NOT_A_LOAD, AnnotatedTrace
 from repro.uarch.axp21164.config import AXP21164Config
 from repro.uarch.components.branch import BranchPredictor, BranchStats
 from repro.uarch.components.cache import Cache, CacheStats, MemoryHierarchy
 from repro.uarch.components.latencies import AXP21164_LATENCY
+from repro.uarch.engine import (
+    BRANCH_KIND,
+    latency_arrays,
+    resolve_model_engine,
+)
+
+# Flat lookup tables for the fast scheduling loop.
+_LAT_ISSUE, _LAT_RESULT = latency_arrays(AXP21164_LATENCY)
+_OP_HALT = int(Opcode.HALT)
+
+
+def _slot_kinds() -> list[int]:
+    """Per-opclass issue-slot category: int/fp/load/store/branch."""
+    kinds = [4] * (max(int(c) for c in OpClass) + 1)
+    for cls in OpClass:
+        if cls in (OpClass.SIMPLE_INT, OpClass.COMPLEX_INT):
+            kinds[int(cls)] = 0
+        elif cls in (OpClass.FP_SIMPLE, OpClass.FP_COMPLEX):
+            kinds[int(cls)] = 1
+        elif cls is OpClass.LOAD:
+            kinds[int(cls)] = 2
+        elif cls is OpClass.STORE:
+            kinds[int(cls)] = 3
+    return kinds
+
+
+_SLOT_KIND = _slot_kinds()
 
 
 @dataclass
@@ -87,9 +115,23 @@ class AXP21164Model:
     def __init__(self, config: AXP21164Config = AXP21164Config()) -> None:
         self.config = config
 
-    def run(self, annotated: AnnotatedTrace,
-            use_lvp: bool = True) -> AXP21164Result:
-        """Schedule the whole trace; returns the run's measurements."""
+    def run(self, annotated: AnnotatedTrace, use_lvp: bool = True,
+            engine: str | None = None) -> AXP21164Result:
+        """Schedule the whole trace; returns the run's measurements.
+
+        ``engine`` selects the scheduling loop: ``"reference"`` is the
+        original component-object implementation, ``"fast"`` inlines
+        the same arithmetic (bit-identical; held so by the differential
+        suite in ``tests/uarch``), and ``"auto"`` (default) picks the
+        fast loop.  ``REPRO_MODEL_ENGINE`` overrides.
+        """
+        if resolve_model_engine(engine) == "fast":
+            return self._run_fast(annotated, use_lvp)
+        return self._run_reference(annotated, use_lvp)
+
+    def _run_reference(self, annotated: AnnotatedTrace,
+                       use_lvp: bool = True) -> AXP21164Result:
+        """The original scheduling loop (the oracle for ``fast``)."""
         config = self.config
         trace = annotated.trace
         opcodes = trace.opcode.tolist()
@@ -262,6 +304,290 @@ class AXP21164Model:
             branch_stats=predictor.stats,
             loads=num_loads,
             load_outcomes=outcome_counts,
+            constant_past_miss=constant_past_miss,
+            value_mispredicts=value_mispredicts,
+        )
+
+    def _run_fast(self, annotated: AnnotatedTrace,
+                  use_lvp: bool = True) -> AXP21164Result:
+        """The inlined scheduling loop (bit-identical to ``reference``).
+
+        Same arithmetic as :meth:`_run_reference`, with latency and
+        slot-category lookups flattened to lists, the register
+        scoreboard as a list, and the cache and branch-predictor state
+        inlined as local variables.
+        """
+        config = self.config
+        trace = annotated.trace
+        opcodes = trace.opcode.tolist()
+        opclasses = trace.opclass.tolist()
+        dsts = trace.dst.tolist()
+        src1s = trace.src1.tolist()
+        src2s = trace.src2.tolist()
+        addrs = trace.addr.tolist()
+        takens = trace.taken.tolist()
+        pcs = trace.pc.tolist()
+        outcome_list = annotated.outcomes.tolist()
+        count = len(opcodes)
+
+        lat_result = _LAT_RESULT
+        slot_kind = _SLOT_KIND
+        branch_kind = BRANCH_KIND
+        op_halt = _OP_HALT
+        cls_branch = int(OpClass.BRANCH)
+
+        l1 = Cache(config.l1_size, config.l1_assoc, config.l1_line)
+        l2 = Cache(config.l2_size, config.l2_assoc, config.l1_line)
+        l1_sets, l1_nsets, l1_assoc = l1._sets, l1.num_sets, l1.assoc
+        l2_sets, l2_nsets, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+        line_size = config.l1_line
+        l2_latency = config.l2_latency
+        miss_penalty = l2_latency + config.memory_latency
+        l1_acc = l1_miss = l1_store_acc = 0
+        if config.icache_size:
+            icache = Cache(config.icache_size, config.icache_assoc,
+                           config.l1_line)
+            icache_sets, icache_nsets = icache._sets, icache.num_sets
+            icache_assoc = icache.assoc
+        else:
+            icache_sets = None
+
+        bht = [1] * 2048
+        bht_mask = 2047
+        btb: dict = {}
+        btb_get = btb.get
+        n_cond = n_cond_misp = n_ind = n_ind_misp = 0
+
+        reg_ready = [0] * NUM_REGS
+        store_ready: dict[int, int] = {}
+        store_get = store_ready.get
+
+        cycle = 0
+        slots_total = 0
+        slots_int = 0
+        slots_fp = 0
+        slots_load = 0
+        slots_store = 0
+        slots_branch = 0
+        stall_until = 0
+        last_issue = 0
+        last_result = 0
+
+        oc = [0, 0, 0, 0]
+        num_loads = 0
+        constant_past_miss = 0
+        value_mispredicts = 0
+
+        issue_width = config.issue_width
+        int_per_cycle = config.int_per_cycle
+        fp_per_cycle = config.fp_per_cycle
+        loads_per_cycle = config.loads_per_cycle
+        stores_per_cycle = config.stores_per_cycle
+        branches_per_cycle = config.branches_per_cycle
+        mispredict_penalty = config.mispredict_penalty
+        vm_penalty = config.value_mispredict_penalty
+        maf = config.maf
+
+        for i in range(count):
+            opclass = opclasses[i]
+            opv = opcodes[i]
+            kind = slot_kind[opclass]
+
+            ready = 0
+            s = src1s[i]
+            if s > 0:
+                v = reg_ready[s]
+                if v > ready:
+                    ready = v
+            s = src2s[i]
+            if s > 0:
+                v = reg_ready[s]
+                if v > ready:
+                    ready = v
+            if kind == 2:
+                dep = store_get(addrs[i] & ~7, 0)
+                if dep > ready:
+                    ready = dep
+
+            candidate = cycle
+            if ready > candidate:
+                candidate = ready
+            if stall_until > candidate:
+                candidate = stall_until
+            if last_issue > candidate:
+                candidate = last_issue
+            if icache_sets is not None:
+                line = pcs[i] // line_size
+                lru = icache_sets[line % icache_nsets]
+                if line in lru:
+                    lru.remove(line)
+                    lru.append(line)
+                else:
+                    lru.append(line)
+                    if len(lru) > icache_assoc:
+                        lru.pop(0)
+                    candidate += l2_latency
+            while True:
+                if candidate > cycle:
+                    cycle = candidate
+                    slots_total = slots_int = slots_fp = 0
+                    slots_load = slots_store = slots_branch = 0
+                full = slots_total >= issue_width
+                if not full:
+                    if kind == 0:
+                        full = slots_int >= int_per_cycle
+                    elif kind == 1:
+                        full = slots_fp >= fp_per_cycle
+                    elif kind == 2:
+                        full = slots_load >= loads_per_cycle
+                    elif kind == 3:
+                        full = slots_store >= stores_per_cycle
+                    else:
+                        full = slots_branch >= branches_per_cycle
+                if not full:
+                    break
+                candidate += 1
+            issue = candidate
+            slots_total += 1
+            if kind == 0:
+                slots_int += 1
+            elif kind == 1:
+                slots_fp += 1
+            elif kind == 2:
+                slots_load += 1
+            elif kind == 3:
+                slots_store += 1
+            else:
+                slots_branch += 1
+            last_issue = issue
+
+            # ---- execute -----------------------------------------------
+            lr = lat_result[opv]
+            result_time = issue + lr
+            if kind == 2:
+                num_loads += 1
+                outcome = outcome_list[i]
+                addr = addrs[i]
+                line = addr // line_size
+                if use_lvp and outcome == 3:  # CONSTANT: skip memory
+                    if line not in l1_sets[line % l1_nsets]:
+                        constant_past_miss += 1
+                    result_time = issue
+                    oc[3] += 1
+                else:
+                    lru = l1_sets[line % l1_nsets]
+                    l1_acc += 1
+                    if line in lru:
+                        lru.remove(line)
+                        lru.append(line)
+                        penalty = 0
+                    else:
+                        l1_miss += 1
+                        lru.append(line)
+                        if len(lru) > l1_assoc:
+                            lru.pop(0)
+                        lru = l2_sets[line % l2_nsets]
+                        l2.stats.accesses += 1
+                        if line in lru:
+                            lru.remove(line)
+                            lru.append(line)
+                            penalty = l2_latency
+                        else:
+                            l2.stats.misses += 1
+                            lru.append(line)
+                            if len(lru) > l2_assoc:
+                                lru.pop(0)
+                            penalty = miss_penalty
+                    if penalty:
+                        result_time = issue + lr + penalty
+                        if not maf and result_time > stall_until:
+                            stall_until = result_time
+                        if use_lvp and outcome != NOT_A_LOAD:
+                            oc[0] += 1
+                    elif use_lvp and outcome == 2:  # CORRECT
+                        result_time = issue
+                        oc[2] += 1
+                    elif use_lvp and outcome == 1:  # INCORRECT
+                        value_mispredicts += 1
+                        restart = issue + lr + vm_penalty
+                        if restart > stall_until:
+                            stall_until = restart
+                        result_time = issue + lr
+                        oc[1] += 1
+                    elif use_lvp and outcome != NOT_A_LOAD:
+                        oc[outcome] += 1
+            elif kind == 3:
+                addr = addrs[i]
+                line = addr // line_size
+                lru = l1_sets[line % l1_nsets]
+                l1_store_acc += 1
+                if line in lru:
+                    lru.remove(line)
+                    lru.append(line)
+                lru = l2_sets[line % l2_nsets]
+                l2.stats.store_accesses += 1
+                if line in lru:
+                    lru.remove(line)
+                    lru.append(line)
+                store_ready[addr & ~7] = issue + lr
+            elif opclass == cls_branch and opv != op_halt:
+                bk = branch_kind[opv]
+                if bk == 1:
+                    bidx = (pcs[i] >> 2) & bht_mask
+                    ctr = bht[bidx]
+                    if takens[i]:
+                        if ctr < 3:
+                            bht[bidx] = ctr + 1
+                        correct = ctr >= 2
+                    else:
+                        if ctr > 0:
+                            bht[bidx] = ctr - 1
+                        correct = ctr < 2
+                    n_cond += 1
+                    if not correct:
+                        n_cond_misp += 1
+                elif bk == 2:
+                    target = pcs[i + 1] if i + 1 < count else 0
+                    bidx = (pcs[i] >> 2) & 255
+                    correct = btb_get(bidx) == target
+                    btb[bidx] = target
+                    n_ind += 1
+                    if not correct:
+                        n_ind_misp += 1
+                else:
+                    correct = True
+                if not correct:
+                    v = issue + 1 + mispredict_penalty
+                    if v > stall_until:
+                        stall_until = v
+
+            dst = dsts[i]
+            if dst > 0:
+                reg_ready[dst] = result_time
+            if result_time > last_result:
+                last_result = result_time
+            if len(store_ready) > 4096:
+                store_ready.clear()
+
+        cycles = (last_issue if last_issue >= last_result
+                  else last_result) + 4
+        l1.stats.accesses = l1_acc
+        l1.stats.misses = l1_miss
+        l1.stats.store_accesses = l1_store_acc
+        return AXP21164Result(
+            config_name=config.name,
+            lvp_name=annotated.config.name if use_lvp else "none",
+            instructions=count,
+            cycles=cycles,
+            l1_stats=l1.stats,
+            branch_stats=BranchStats(
+                conditional=n_cond,
+                conditional_mispredicts=n_cond_misp,
+                indirect=n_ind,
+                indirect_mispredicts=n_ind_misp,
+            ),
+            loads=num_loads,
+            load_outcomes={o: oc[int(o)] for o in LoadOutcome},
             constant_past_miss=constant_past_miss,
             value_mispredicts=value_mispredicts,
         )

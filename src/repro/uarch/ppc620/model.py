@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.registers import NUM_REGS
 from repro.lvp.unit import LoadOutcome
 from repro.trace.annotate import NOT_A_LOAD, AnnotatedTrace
 from repro.uarch.components.branch import BranchPredictor, BranchStats
@@ -46,6 +47,12 @@ from repro.uarch.components.cache import (
     MemoryHierarchy,
 )
 from repro.uarch.components.latencies import PPC620_LATENCY
+from repro.uarch.engine import (
+    BRANCH_KIND,
+    fu_of_class_array,
+    latency_arrays,
+    resolve_model_engine,
+)
 from repro.uarch.ppc620.config import PPC620Config
 
 #: Functional-unit pool ids.
@@ -69,6 +76,11 @@ _FU_OF_CLASS = {
 
 #: Figure 7 verification-latency buckets.
 VERIFY_BUCKETS = ("<4", "4", "5", "6", "7", ">7")
+
+# Flat lookup tables for the fast scheduling loop.
+_FU_OF_CLASS_LIST = fu_of_class_array(_FU_OF_CLASS)
+_LAT_ISSUE, _LAT_RESULT = latency_arrays(PPC620_LATENCY)
+_OP_HALT = int(Opcode.HALT)
 
 
 @dataclass
@@ -171,9 +183,23 @@ class PPC620Model:
     def __init__(self, config: PPC620Config) -> None:
         self.config = config
 
-    def run(self, annotated: AnnotatedTrace,
-            use_lvp: bool = True) -> PPC620Result:
-        """Schedule the whole trace; returns the run's measurements."""
+    def run(self, annotated: AnnotatedTrace, use_lvp: bool = True,
+            engine: str | None = None) -> PPC620Result:
+        """Schedule the whole trace; returns the run's measurements.
+
+        ``engine`` selects the scheduling loop: ``"reference"`` is the
+        original component-object implementation, ``"fast"`` inlines
+        the same arithmetic (bit-identical; held so by the differential
+        suite in ``tests/uarch``), and ``"auto"`` (default) picks the
+        fast loop.  ``REPRO_MODEL_ENGINE`` overrides.
+        """
+        if resolve_model_engine(engine) == "fast":
+            return self._run_fast(annotated, use_lvp)
+        return self._run_reference(annotated, use_lvp)
+
+    def _run_reference(self, annotated: AnnotatedTrace,
+                       use_lvp: bool = True) -> PPC620Result:
+        """The original scheduling loop (the oracle for ``fast``)."""
         config = self.config
         trace = annotated.trace
         outcomes = annotated.outcomes
@@ -506,4 +532,487 @@ class PPC620Model:
             },
             loads=num_loads,
             load_outcomes=outcome_counts,
+        )
+
+    def _run_fast(self, annotated: AnnotatedTrace,
+                  use_lvp: bool = True) -> PPC620Result:
+        """The inlined scheduling loop (bit-identical to ``reference``).
+
+        Same arithmetic as :meth:`_run_reference`, with the per-event
+        abstractions flattened: latency and FU lookup tables as flat
+        lists, register scoreboards as lists instead of dicts, cache /
+        branch-predictor / bank state as local variables, and the
+        reservation-station and functional-unit helpers inlined.
+        """
+        config = self.config
+        trace = annotated.trace
+
+        opcodes = trace.opcode.tolist()
+        opclasses = trace.opclass.tolist()
+        dsts = trace.dst.tolist()
+        src1s = trace.src1.tolist()
+        src2s = trace.src2.tolist()
+        addrs = trace.addr.tolist()
+        takens = trace.taken.tolist()
+        pcs = trace.pc.tolist()
+        outcome_list = annotated.outcomes.tolist()
+        count = len(opcodes)
+
+        lat_issue = _LAT_ISSUE
+        lat_result = _LAT_RESULT
+        fu_of_class = _FU_OF_CLASS_LIST
+        branch_kind = BRANCH_KIND
+        op_halt = _OP_HALT
+        cls_load = int(OpClass.LOAD)
+        cls_store = int(OpClass.STORE)
+        cls_branch = int(OpClass.BRANCH)
+
+        # Cache objects validate geometry and own the stats containers;
+        # the loop mutates their tag lists directly.
+        l1 = Cache(config.l1_size, config.l1_assoc, config.l1_line)
+        l2 = Cache(config.l2_size, config.l2_assoc, config.l1_line)
+        l1_sets, l1_nsets, l1_assoc = l1._sets, l1.num_sets, l1.assoc
+        l2_sets, l2_nsets, l2_assoc = l2._sets, l2.num_sets, l2.assoc
+        l1_line = config.l1_line
+        l2_latency = config.l2_latency
+        miss_penalty = l2_latency + config.memory_latency
+        l1_acc = l1_miss = l1_store_acc = 0
+        if config.icache_size:
+            icache = Cache(config.icache_size, config.icache_assoc,
+                           config.l1_line)
+            icache_sets, icache_nsets = icache._sets, icache.num_sets
+            icache_assoc = icache.assoc
+        else:
+            icache_sets = None
+
+        # Bank-usage ledger (BankTracker inlined; loads own a port, so
+        # only the store-commit pass below can conflict).
+        num_banks = config.l1_banks
+        bank_usage: dict = {}
+        bank_get = bank_usage.get
+        conflicts = 0
+        conflict_cycles: set = set()
+
+        # Branch predictor (2-bit BHT + last-target BTB), inlined.
+        bht = [1] * 2048
+        bht_mask = 2047
+        btb: dict = {}
+        btb_get = btb.get
+        n_cond = n_cond_misp = n_ind = n_ind_misp = 0
+
+        pool_size = (config.rs_scfx, config.rs_mcfx, config.rs_fpu,
+                     config.rs_lsu, config.rs_bru)
+        pool_rel: list[list[int]] = [[], [], [], [], []]
+        unit_free = [
+            [0] * config.num_scfx, [0] * config.num_mcfx,
+            [0] * config.num_fpu, [0] * config.num_lsu,
+            [0] * config.num_bru,
+        ]
+
+        reg_spec = [0] * NUM_REGS
+        reg_real = [0] * NUM_REGS
+        reg_verify = [0] * NUM_REGS
+        reg_misp = [False] * NUM_REGS
+
+        store_ready: dict[int, int] = {}
+        store_get = store_ready.get
+
+        fetch_cycle = 0
+        fetch_count = 0
+        fetch_blocked_until = 0
+        dispatch_cycle = 0
+        dispatch_count = 0
+        mem_dispatch_count = 0
+        complete_cycle = 0
+        complete_count = 0
+        last_completion = 0
+        dispatch_window: deque = deque()
+        gpr_ring: deque = deque()
+        fpr_ring: deque = deque()
+        ibuf_ring: deque = deque()
+
+        vh0 = vh1 = vh2 = vh3 = vh4 = vh5 = 0
+        store_commits: list[tuple[int, int]] = []
+        fu_wait_sum = [0, 0, 0, 0, 0]
+        fu_wait_count = [0, 0, 0, 0, 0]
+        oc = [0, 0, 0, 0]
+        num_loads = 0
+
+        fetch_width = config.fetch_width
+        dispatch_width = config.dispatch_width
+        complete_width = config.complete_width
+        instruction_buffer = config.instruction_buffer
+        completion_buffer = config.completion_buffer
+        gpr_rename = config.gpr_rename
+        fpr_rename = config.fpr_rename
+        mem_per_cycle = config.mem_per_cycle
+        mispredict_penalty = config.mispredict_penalty
+        rs_retention = config.rs_retention
+
+        for i in range(count):
+            opv = opcodes[i]
+            opclass = opclasses[i]
+            fu = fu_of_class[opclass]
+            li = lat_issue[opv]
+            lr = lat_result[opv]
+
+            # ---- fetch -------------------------------------------------
+            candidate = fetch_cycle if fetch_cycle >= fetch_blocked_until \
+                else fetch_blocked_until
+            if candidate == fetch_cycle and fetch_count >= fetch_width:
+                candidate += 1
+            if len(ibuf_ring) >= instruction_buffer:
+                first = ibuf_ring[0]
+                if first > candidate:
+                    candidate = first
+            if icache_sets is not None:
+                line = pcs[i] // l1_line
+                lru = icache_sets[line % icache_nsets]
+                if line in lru:
+                    lru.remove(line)
+                    lru.append(line)
+                else:
+                    lru.append(line)
+                    if len(lru) > icache_assoc:
+                        lru.pop(0)
+                    candidate += l2_latency
+            if candidate != fetch_cycle:
+                fetch_cycle = candidate
+                fetch_count = 0
+            fetch_time = fetch_cycle
+            fetch_count += 1
+
+            # ---- dispatch ----------------------------------------------
+            candidate = fetch_time + 1
+            if dispatch_cycle > candidate:
+                candidate = dispatch_cycle
+            is_mem = fu == FU_LSU
+            while True:
+                if candidate > dispatch_cycle:
+                    width_used = 0
+                    mem_used = 0
+                else:
+                    width_used = dispatch_count
+                    mem_used = mem_dispatch_count
+                if width_used >= dispatch_width or (
+                        is_mem and mem_used >= mem_per_cycle):
+                    candidate += 1
+                    continue
+                break
+            if len(dispatch_window) >= completion_buffer:
+                first = dispatch_window[0]
+                if first > candidate:
+                    candidate = first
+                while (len(dispatch_window) >= completion_buffer
+                        and dispatch_window[0] <= candidate):
+                    dispatch_window.popleft()
+            dst = dsts[i]
+            ring = None
+            if dst > 0:
+                if dst < 32:
+                    ring = gpr_ring
+                    limit = gpr_rename
+                elif dst < 64:
+                    ring = fpr_ring
+                    limit = fpr_rename
+            if ring is not None and len(ring) >= limit:
+                first = ring[0]
+                if first > candidate:
+                    candidate = first
+                while len(ring) >= limit and ring[0] <= candidate:
+                    ring.popleft()
+            rel = pool_rel[fu]
+            psize = pool_size[fu]
+            if len(rel) >= psize:
+                bound = sorted(rel)[len(rel) - psize]
+                if bound > candidate:
+                    candidate = bound
+            if candidate > dispatch_cycle:
+                dispatch_cycle = candidate
+                dispatch_count = 0
+                mem_dispatch_count = 0
+            dispatch_time = dispatch_cycle
+            dispatch_count += 1
+            if is_mem:
+                mem_dispatch_count += 1
+            ibuf_ring.append(dispatch_time)
+            if len(ibuf_ring) > instruction_buffer:
+                ibuf_ring.popleft()
+
+            # ---- operands ----------------------------------------------
+            ready_spec = dispatch_time
+            ready_real = dispatch_time
+            spec_until = 0
+            has_misp_source = False
+            s = src1s[i]
+            if s > 0:
+                v = reg_spec[s]
+                if v > ready_spec:
+                    ready_spec = v
+                v = reg_real[s]
+                if v > ready_real:
+                    ready_real = v
+                v = reg_verify[s]
+                if v > spec_until:
+                    spec_until = v
+                if reg_misp[s]:
+                    has_misp_source = True
+            s = src2s[i]
+            if s > 0:
+                v = reg_spec[s]
+                if v > ready_spec:
+                    ready_spec = v
+                v = reg_real[s]
+                if v > ready_real:
+                    ready_real = v
+                v = reg_verify[s]
+                if v > spec_until:
+                    spec_until = v
+                if reg_misp[s]:
+                    has_misp_source = True
+
+            fu_wait_sum[fu] += ready_spec - dispatch_time
+            fu_wait_count[fu] += 1
+
+            operand_time = ready_spec
+            if has_misp_source:
+                would_issue = dispatch_time + 1
+                if ready_spec > would_issue:
+                    would_issue = ready_spec
+                if would_issue < ready_real:
+                    operand_time = ready_real + 1
+                else:
+                    operand_time = ready_real
+
+            # ---- issue / execute ---------------------------------------
+            issue_candidate = dispatch_time + 1
+            if operand_time > issue_candidate:
+                issue_candidate = operand_time
+            free = unit_free[fu]
+            n_inst = len(free)
+            best = 0
+            bf = free[0]
+            if n_inst > 1:
+                for j in range(1, n_inst):
+                    if free[j] < bf:
+                        bf = free[j]
+                        best = j
+            issue_time = issue_candidate if issue_candidate > bf else bf
+            free[best] = issue_time + li
+
+            verify_time = 0
+            is_load = opclass == cls_load
+            outcome = outcome_list[i] if is_load else NOT_A_LOAD
+            if is_load:
+                num_loads += 1
+                addr = addrs[i]
+                dep = store_get(addr & ~7, 0)
+                if dep > issue_time:
+                    best = 0
+                    bf = free[0]
+                    if n_inst > 1:
+                        for j in range(1, n_inst):
+                            if free[j] < bf:
+                                bf = free[j]
+                                best = j
+                    issue_time = dep if dep > bf else bf
+                    free[best] = issue_time + li
+                if use_lvp and outcome == 3:  # CONSTANT: no cache access
+                    exec_done = issue_time + lr
+                    verify_time = exec_done
+                else:
+                    line = addr // l1_line
+                    key = (issue_time + 1, line % num_banks)
+                    bank_usage[key] = bank_get(key, 0) + 1
+                    lru = l1_sets[line % l1_nsets]
+                    l1_acc += 1
+                    if line in lru:
+                        lru.remove(line)
+                        lru.append(line)
+                        exec_done = issue_time + lr
+                    else:
+                        l1_miss += 1
+                        lru.append(line)
+                        if len(lru) > l1_assoc:
+                            lru.pop(0)
+                        lru = l2_sets[line % l2_nsets]
+                        l2.stats.accesses += 1
+                        if line in lru:
+                            lru.remove(line)
+                            lru.append(line)
+                            exec_done = issue_time + lr + l2_latency
+                        else:
+                            l2.stats.misses += 1
+                            lru.append(line)
+                            if len(lru) > l2_assoc:
+                                lru.pop(0)
+                            exec_done = issue_time + lr + miss_penalty
+                    if use_lvp and (outcome == 2 or outcome == 1):
+                        verify_time = exec_done + 1
+                if use_lvp and outcome != NOT_A_LOAD:
+                    oc[outcome] += 1
+            elif opclass == cls_store:
+                addr = addrs[i]
+                line = addr // l1_line
+                lru = l1_sets[line % l1_nsets]
+                l1_store_acc += 1
+                if line in lru:
+                    lru.remove(line)
+                    lru.append(line)
+                lru = l2_sets[line % l2_nsets]
+                l2.stats.store_accesses += 1
+                if line in lru:
+                    lru.remove(line)
+                    lru.append(line)
+                exec_done = issue_time + lr
+                store_ready[addr & ~7] = exec_done
+            else:
+                exec_done = issue_time + lr
+
+            # ---- branches ----------------------------------------------
+            if opclass == cls_branch and opv != op_halt:
+                bk = branch_kind[opv]
+                if bk == 1:
+                    bidx = (pcs[i] >> 2) & bht_mask
+                    ctr = bht[bidx]
+                    if takens[i]:
+                        if ctr < 3:
+                            bht[bidx] = ctr + 1
+                        correct = ctr >= 2
+                    else:
+                        if ctr > 0:
+                            bht[bidx] = ctr - 1
+                        correct = ctr < 2
+                    n_cond += 1
+                    if not correct:
+                        n_cond_misp += 1
+                elif bk == 2:
+                    target = pcs[i + 1] if i + 1 < count else 0
+                    bidx = (pcs[i] >> 2) & 255
+                    correct = btb_get(bidx) == target
+                    btb[bidx] = target
+                    n_ind += 1
+                    if not correct:
+                        n_ind_misp += 1
+                else:
+                    correct = True
+                if not correct:
+                    v = exec_done + mispredict_penalty
+                    if v > fetch_blocked_until:
+                        fetch_blocked_until = v
+
+            # ---- producer bookkeeping ----------------------------------
+            predicted = (use_lvp and is_load
+                         and (outcome == 2 or outcome == 3))
+            mispredicted = use_lvp and is_load and outcome == 1
+            if predicted:
+                avail_spec = dispatch_time
+                avail_real = dispatch_time
+                my_verify = spec_until if spec_until >= verify_time \
+                    else verify_time
+                bucket = verify_time - dispatch_time
+                if bucket < 4:
+                    vh0 += 1
+                elif bucket > 7:
+                    vh5 += 1
+                elif bucket == 4:
+                    vh1 += 1
+                elif bucket == 5:
+                    vh2 += 1
+                elif bucket == 6:
+                    vh3 += 1
+                else:
+                    vh4 += 1
+            elif mispredicted:
+                avail_spec = exec_done
+                avail_real = exec_done
+                my_verify = spec_until if spec_until >= verify_time \
+                    else verify_time
+            else:
+                avail_spec = exec_done
+                avail_real = exec_done
+                my_verify = spec_until
+
+            if dst > 0:
+                reg_spec[dst] = avail_spec
+                reg_real[dst] = avail_real
+                reg_verify[dst] = my_verify
+                reg_misp[dst] = mispredicted
+
+            # ---- reservation-station release ---------------------------
+            rs_release = issue_time + 1
+            if rs_retention:
+                if spec_until > rs_release:
+                    rs_release = spec_until
+                if verify_time > rs_release:
+                    rs_release = verify_time
+            nrel = [r for r in rel if r > dispatch_time]
+            nrel.append(rs_release)
+            pool_rel[fu] = nrel
+
+            # ---- in-order completion -----------------------------------
+            finish = exec_done
+            if my_verify > finish:
+                finish = my_verify
+            if verify_time > finish:
+                finish = verify_time
+            candidate = finish + 1
+            if last_completion > candidate:
+                candidate = last_completion
+            if candidate == complete_cycle \
+                    and complete_count >= complete_width:
+                candidate += 1
+            if candidate > complete_cycle:
+                complete_cycle = candidate
+                complete_count = 0
+            completion = complete_cycle
+            complete_count += 1
+            last_completion = completion
+            if opclass == cls_store:
+                store_commits.append((completion, addrs[i]))
+            dispatch_window.append(completion)
+            if ring is not None:
+                ring.append(completion)
+
+            if len(store_ready) > 4096:
+                store_ready.clear()
+
+        # Store-commit bank retries (single-ported banks for stores).
+        for commit_cycle, addr in store_commits:
+            bank = (addr // l1_line) % num_banks
+            actual = commit_cycle
+            while bank_get((actual, bank), 0) >= 1:
+                conflicts += 1
+                conflict_cycles.add(actual)
+                actual += 1
+            key = (actual, bank)
+            bank_usage[key] = bank_get(key, 0) + 1
+
+        l1.stats.accesses = l1_acc
+        l1.stats.misses = l1_miss
+        l1.stats.store_accesses = l1_store_acc
+        return PPC620Result(
+            config_name=config.name,
+            lvp_name=annotated.config.name if use_lvp else "none",
+            instructions=count,
+            cycles=last_completion,
+            l1_stats=l1.stats,
+            branch_stats=BranchStats(
+                conditional=n_cond,
+                conditional_mispredicts=n_cond_misp,
+                indirect=n_ind,
+                indirect_mispredicts=n_ind_misp,
+            ),
+            bank_conflicts=conflicts,
+            bank_conflict_cycles=len(conflict_cycles),
+            verify_histogram={
+                "<4": vh0, "4": vh1, "5": vh2, "6": vh3,
+                "7": vh4, ">7": vh5,
+            },
+            fu_wait={
+                FU_NAMES[f]: (fu_wait_sum[f], fu_wait_count[f])
+                for f in range(5)
+            },
+            loads=num_loads,
+            load_outcomes={o: oc[int(o)] for o in LoadOutcome},
         )

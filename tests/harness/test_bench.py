@@ -1,0 +1,200 @@
+"""Unit and integration tests for the tracked perf harness (repro bench)."""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    BENCH_SCHEMA_ID,
+    DEFAULT_THRESHOLD,
+    PHASES,
+    QUICK_BENCHMARKS,
+    compare_bench,
+    load_bench,
+    render_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+def _fake_document(fast=1.0, slow=3.0, e2e=True):
+    entry = {"slow_s": slow, "fast_s": fast,
+             "speedup": round(slow / fast, 3)}
+    doc = {
+        "schema": BENCH_SCHEMA_ID,
+        "scale": "tiny",
+        "trials": 1,
+        "benchmarks": {"grep": {phase: dict(entry) for phase in PHASES}},
+        "totals": {phase: dict(entry) for phase in PHASES},
+        "e2e": None,
+        "host": {"python": "3", "machine": "test"},
+    }
+    if e2e:
+        doc["e2e"] = {"legacy_s": slow, "tiered_s": fast,
+                      "speedup": round(slow / fast, 3),
+                      "identical_exhibits": True,
+                      "legacy_phases": {}, "tiered_phases": {}}
+    return doc
+
+
+class TestValidation:
+    def test_good_document_validates(self):
+        assert validate_bench(_fake_document()) == []
+
+    def test_no_e2e_is_valid(self):
+        assert validate_bench(_fake_document(e2e=False)) == []
+
+    def test_wrong_schema_rejected(self):
+        doc = _fake_document()
+        doc["schema"] = "repro.bench/v0"
+        assert any("schema" in e for e in validate_bench(doc))
+
+    def test_missing_phase_rejected(self):
+        doc = _fake_document()
+        del doc["benchmarks"]["grep"]["model"]
+        assert any("model" in e for e in validate_bench(doc))
+
+    def test_negative_time_rejected(self):
+        doc = _fake_document()
+        doc["benchmarks"]["grep"]["trace"]["fast_s"] = -1.0
+        assert any("fast_s" in e for e in validate_bench(doc))
+
+    def test_empty_benchmarks_rejected(self):
+        doc = _fake_document()
+        doc["benchmarks"] = {}
+        assert validate_bench(doc)
+
+    def test_non_object_rejected(self):
+        assert validate_bench([1, 2]) == ["document is not an object"]
+
+
+class TestComparison:
+    def test_identical_documents_pass(self):
+        doc = _fake_document()
+        assert compare_bench(doc, doc) == []
+
+    def test_mild_slowdown_tolerated(self):
+        base = _fake_document(fast=1.0)
+        now = _fake_document(fast=1.8)
+        assert compare_bench(now, base,
+                             threshold=DEFAULT_THRESHOLD) == []
+
+    def test_large_slowdown_flagged(self):
+        base = _fake_document(fast=1.0)
+        now = _fake_document(fast=2.5)
+        regressions = compare_bench(now, base)
+        assert any("grep/trace" in r for r in regressions)
+        assert any(r.startswith("model:") for r in regressions)
+        assert any("e2e" in r for r in regressions)
+
+    def test_missing_e2e_skipped(self):
+        base = _fake_document(e2e=False)
+        now = _fake_document(fast=2.5, e2e=False)
+        regressions = compare_bench(now, base)
+        assert not any("e2e" in r for r in regressions)
+
+    def test_tiny_absolute_slowdowns_ignored(self):
+        # 5x slower but only 40ms in absolute terms: under the noise
+        # floor, so a shared CI runner can't flake the gate.
+        base = _fake_document(fast=0.01, slow=0.03)
+        now = _fake_document(fast=0.05, slow=0.03)
+        assert compare_bench(now, base) == []
+
+    def test_subset_skips_totals_and_e2e(self):
+        # CI's quick subset vs the full baseline: per-benchmark gates
+        # still apply, aggregate ones don't.
+        base = _fake_document(fast=1.0)
+        base["benchmarks"]["compress"] = dict(
+            base["benchmarks"]["grep"])
+        now = _fake_document(fast=2.5)
+        regressions = compare_bench(now, base)
+        assert any("grep/model" in r for r in regressions)
+        assert not any(r.startswith("model:") for r in regressions)
+        assert not any("e2e" in r for r in regressions)
+
+    def test_speedups_never_flagged(self):
+        base = _fake_document(fast=2.0)
+        now = _fake_document(fast=0.4)
+        assert compare_bench(now, base) == []
+
+
+class TestRoundTrip:
+    def test_write_load(self, tmp_path):
+        doc = _fake_document()
+        path = write_bench(doc, tmp_path / "BENCH_PERF.json")
+        assert load_bench(path) == doc
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_bench(tmp_path / "nope.json")
+
+    def test_load_damaged_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+    def test_render(self):
+        text = render_bench(_fake_document())
+        assert "grep" in text and "TOTAL" in text
+        assert "byte-identical" in text
+
+
+class TestRealRun:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return run_bench(["grep"], scale="tiny", e2e=False)
+
+    def test_schema_valid(self, document):
+        assert validate_bench(document) == []
+
+    def test_phases_measured(self, document):
+        record = document["benchmarks"]["grep"]
+        for phase in PHASES:
+            assert record[phase]["slow_s"] > 0
+            assert record[phase]["fast_s"] > 0
+            assert record[phase]["speedup"] > 0
+
+    def test_self_comparison_clean(self, document):
+        assert compare_bench(document, document) == []
+
+
+def test_committed_baseline_is_valid():
+    """The BENCH_PERF.json at the repo root must stay schema-valid and
+    must document the tiered engines actually paying off."""
+    import pathlib
+    root = pathlib.Path(__file__).resolve().parents[2]
+    document = load_bench(root / "BENCH_PERF.json")
+    assert validate_bench(document) == []
+    assert document["totals"]["trace"]["speedup"] >= 3.0
+    assert document["e2e"]["speedup"] >= 2.0
+    assert document["e2e"]["identical_exhibits"] is True
+
+
+def test_cli_bench_writes_and_checks(tmp_path, capsys):
+    from repro.cli import main
+    output = tmp_path / "bench.json"
+    code = main(["bench", "--scale", "tiny", "--benchmarks", "grep",
+                 "--no-e2e", "--output", str(output)])
+    assert code == 0
+    assert validate_bench(json.loads(output.read_text())) == []
+    code = main(["bench", "--scale", "tiny", "--benchmarks", "grep",
+                 "--no-e2e", "--check", "--baseline", str(output)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "no regressions" in out
+
+
+def test_cli_bench_check_missing_baseline(tmp_path, capsys):
+    from repro.cli import main
+    code = main(["bench", "--scale", "tiny", "--benchmarks", "grep",
+                 "--no-e2e", "--check", "--baseline",
+                 str(tmp_path / "absent.json")])
+    assert code == 2
+
+
+def test_quick_subset_is_real():
+    from repro.workloads.suite import NAMES
+    assert set(QUICK_BENCHMARKS) <= set(NAMES)

@@ -1,0 +1,100 @@
+"""Differential suite: the AOT basic-block compiler vs the interpreter.
+
+The compiled engine is only allowed to exist because it is bit-identical
+to the interpreter.  These tests hold it to that: every workload in the
+suite, on both codegen targets, must produce byte-for-byte equal traces,
+register files, and instruction counts under both engines.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import (
+    CompiledProgram,
+    ENGINES,
+    compiled_engine_for,
+    resolve_engine,
+    run_program,
+)
+from repro.trace.records import TRACE_COLUMNS
+from repro.workloads.suite import BENCHMARKS, NAMES
+
+
+def assert_traces_equal(a, b):
+    assert len(a) == len(b)
+    for name, _ in TRACE_COLUMNS:
+        assert (getattr(a, name) == getattr(b, name)).all(), \
+            f"column {name!r} differs"
+
+
+def _both_engines(program, name):
+    interp = run_program(program, name=name, engine="interp")
+    compiled = run_program(program, name=name, engine="compiled")
+    return interp, compiled
+
+
+class TestEngineResolution:
+    def test_auto_selects_compiled(self):
+        assert resolve_engine("auto") == "compiled"
+
+    def test_explicit_engines_pass_through(self):
+        assert resolve_engine("interp") == "interp"
+        assert resolve_engine("compiled") == "compiled"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            resolve_engine("jit")
+
+    def test_env_overrides_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "interp")
+        assert resolve_engine("compiled") == "interp"
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ConfigError, match="unknown"):
+            resolve_engine("auto")
+
+    def test_engines_tuple(self):
+        assert ENGINES == ("auto", "interp", "compiled")
+
+
+class TestCompiledProgramCache:
+    def test_engine_memoized_per_program(self):
+        program = BENCHMARKS[7].build_program("ppc", "tiny")
+        engine = compiled_engine_for(program)
+        assert isinstance(engine, CompiledProgram)
+        assert compiled_engine_for(program) is engine
+
+    def test_distinct_programs_distinct_engines(self):
+        a = BENCHMARKS[7].build_program("ppc", "tiny")
+        b = BENCHMARKS[7].build_program("ppc", "tiny")
+        assert compiled_engine_for(a) is not compiled_engine_for(b)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_trace_bit_identical_ppc(name):
+    from repro.workloads.suite import get_benchmark
+    program = get_benchmark(name).build_program("ppc", "tiny")
+    interp, compiled = _both_engines(program, name)
+    assert interp.instruction_count == compiled.instruction_count
+    assert interp.registers == compiled.registers
+    assert_traces_equal(interp.trace, compiled.trace)
+
+
+@pytest.mark.parametrize("name", ("grep", "compress", "quick", "xlisp",
+                                  "tomcatv", "doduc"))
+def test_trace_bit_identical_alpha(name):
+    from repro.workloads.suite import get_benchmark
+    program = get_benchmark(name).build_program("alpha", "tiny")
+    interp, compiled = _both_engines(program, name)
+    assert interp.registers == compiled.registers
+    assert_traces_equal(interp.trace, compiled.trace)
+
+
+def test_no_trace_mode_matches():
+    program = BENCHMARKS[7].build_program("ppc", "tiny")
+    interp = run_program(program, collect_trace=False, engine="interp")
+    compiled = run_program(program, collect_trace=False, engine="compiled")
+    assert interp.trace is None and compiled.trace is None
+    assert interp.registers == compiled.registers
+    assert interp.instruction_count == compiled.instruction_count

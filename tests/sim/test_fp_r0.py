@@ -1,0 +1,103 @@
+"""Regression tests for the FP-write-to-r0 bug.
+
+An FP-writing instruction whose destination decoded to r0 used to
+clobber the hardwired zero register in the functional simulator, after
+which every later read of r0 saw garbage.  The fix is layered: the
+assembler rejects such instructions outright, and both execution
+engines discard the write if one is constructed anyway (e.g. by
+hand-built test programs or a future buggy code generator).
+"""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import (
+    DataSegment,
+    FPR_BASE,
+    Instruction,
+    Opcode,
+    Program,
+    assemble,
+    float_to_bits,
+)
+from repro.sim import run_program
+
+#: Every FP-writing opcode the assembler must police.
+FP_WRITERS = ("fld", "fadd", "fsub", "fmul", "fdiv", "fneg", "fabs",
+              "fsqrt", "fcvt")
+
+
+class TestAssemblerRejection:
+    @pytest.mark.parametrize("mnemonic", FP_WRITERS)
+    def test_r0_destination_rejected(self, mnemonic):
+        if mnemonic == "fld":
+            line = "fld r0, 0(r4)"
+        elif mnemonic in ("fneg", "fabs", "fsqrt", "fcvt"):
+            line = f"{mnemonic} r0, f1"
+        else:
+            line = f"{mnemonic} r0, f1, f2"
+        with pytest.raises(AssemblyError, match="zero register"):
+            assemble(f"main:\n {line}\n halt")
+
+    def test_integer_r0_destination_still_allowed(self):
+        # Integer writes to r0 are architecturally discarded, not errors.
+        result = run_program(assemble("main:\n addi r0, r0, 5\n halt"))
+        assert result.registers[0] == 0
+
+    def test_fp_register_destinations_still_allowed(self):
+        result = run_program(assemble("""
+        main:
+            fadd f3, f1, f2
+            halt
+        """))
+        assert result.registers[0] == 0
+
+
+def _rogue_program(opcode: Opcode) -> Program:
+    """Hand-build the program the assembler refuses to produce."""
+    f1 = FPR_BASE + 1
+    instructions = [
+        Instruction(Opcode.FADD, dst=f1, src1=f1, src2=f1),
+        Instruction(opcode, dst=0, src1=f1, src2=f1),
+        Instruction(Opcode.ADD, dst=3, src1=0, src2=0),
+        Instruction(Opcode.HALT),
+    ]
+    return Program(instructions, DataSegment(), {"main": 0},
+                   name="rogue").link()
+
+
+class TestSimulatorGuard:
+    @pytest.mark.parametrize("engine", ("interp", "compiled"))
+    @pytest.mark.parametrize("opcode", (Opcode.FADD, Opcode.FMUL,
+                                        Opcode.FNEG, Opcode.FABS))
+    def test_rogue_fp_write_discarded(self, opcode, engine):
+        result = run_program(_rogue_program(opcode), engine=engine)
+        assert result.registers[0] == 0
+        assert result.registers[3] == 0
+
+    def test_engines_agree_on_rogue_program(self):
+        interp = run_program(_rogue_program(Opcode.FADD), engine="interp")
+        compiled = run_program(_rogue_program(Opcode.FADD),
+                               engine="compiled")
+        assert interp.registers == compiled.registers
+        assert (interp.trace.value == compiled.trace.value).all()
+
+
+def test_fp_pipeline_unaffected():
+    """A normal FP program computes the same answer on both engines."""
+    source = """
+    .data
+    x: .double 1.5
+    .text
+    main:
+        la r4, x
+        fld f1, 0(r4)
+        fadd f2, f1, f1
+        fmul f3, f2, f2
+        halt
+    """
+    interp = run_program(assemble(source), engine="interp")
+    compiled = run_program(assemble(source), engine="compiled")
+    expected = float_to_bits(9.0)
+    assert interp.registers[FPR_BASE + 3] == expected
+    assert compiled.registers[FPR_BASE + 3] == expected

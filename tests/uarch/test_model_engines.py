@@ -1,0 +1,134 @@
+"""Differential suite: the fast timing-model loops vs the reference loops.
+
+Both machine models (PPC 620 family and Alpha 21164) carry a
+``reference`` scheduling loop and an inlined ``fast`` loop; these tests
+require every reported statistic to be identical between the two.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lvp.config import CONSTANT, SIMPLE
+from repro.sim import run_program
+from repro.trace.annotate import annotate_trace
+from repro.uarch import (
+    AXP21164,
+    AXP21164Model,
+    MODEL_ENGINES,
+    PPC620,
+    PPC620_PLUS,
+    PPC620Model,
+    resolve_model_engine,
+)
+from repro.workloads.suite import get_benchmark
+
+BENCH_NAMES = ("grep", "compress", "quick", "xlisp", "tomcatv")
+
+
+class TestResolution:
+    def test_engines_tuple(self):
+        assert MODEL_ENGINES == ("auto", "reference", "fast")
+
+    def test_auto_selects_fast(self):
+        assert resolve_model_engine("auto") == "fast"
+        assert resolve_model_engine(None) == "fast"
+
+    def test_explicit_pass_through(self):
+        assert resolve_model_engine("reference") == "reference"
+        assert resolve_model_engine("fast") == "fast"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            resolve_model_engine("warp")
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_ENGINE", "reference")
+        assert resolve_model_engine("fast") == "reference"
+
+
+@pytest.fixture(scope="module")
+def annotated_traces():
+    cache = {}
+
+    def get(name, target):
+        key = (name, target)
+        if key not in cache:
+            program = get_benchmark(name).build_program(target, "tiny")
+            trace = run_program(program, name=name).trace
+            cache[key] = annotate_trace(trace, SIMPLE)
+        return cache[key]
+
+    return get
+
+
+def assert_ppc_results_equal(a, b):
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+    assert a.load_outcomes == b.load_outcomes
+    assert a.verify_histogram == b.verify_histogram
+    assert a.fu_wait == b.fu_wait
+    assert a.bank_conflicts == b.bank_conflicts
+    assert a.bank_conflict_cycles == b.bank_conflict_cycles
+    assert a.loads == b.loads
+    assert a.branch_stats == b.branch_stats
+    assert a.l1_stats == b.l1_stats
+
+
+@pytest.mark.parametrize("use_lvp", (True, False),
+                         ids=("lvp", "nolvp"))
+@pytest.mark.parametrize("name", BENCH_NAMES)
+def test_ppc620_fast_matches_reference(annotated_traces, name, use_lvp):
+    annotated = annotated_traces(name, "ppc")
+    reference = PPC620Model(PPC620).run(annotated, use_lvp=use_lvp,
+                                        engine="reference")
+    fast = PPC620Model(PPC620).run(annotated, use_lvp=use_lvp,
+                                   engine="fast")
+    assert_ppc_results_equal(reference, fast)
+
+
+@pytest.mark.parametrize("name", BENCH_NAMES)
+def test_ppc620_plus_fast_matches_reference(annotated_traces, name):
+    annotated = annotated_traces(name, "ppc")
+    reference = PPC620Model(PPC620_PLUS).run(annotated,
+                                             engine="reference")
+    fast = PPC620Model(PPC620_PLUS).run(annotated, engine="fast")
+    assert_ppc_results_equal(reference, fast)
+
+
+@pytest.mark.parametrize("use_lvp", (True, False),
+                         ids=("lvp", "nolvp"))
+@pytest.mark.parametrize("name", BENCH_NAMES)
+def test_axp21164_fast_matches_reference(annotated_traces, name,
+                                         use_lvp):
+    annotated = annotated_traces(name, "alpha")
+    reference = AXP21164Model(AXP21164).run(annotated, use_lvp=use_lvp,
+                                            engine="reference")
+    fast = AXP21164Model(AXP21164).run(annotated, use_lvp=use_lvp,
+                                       engine="fast")
+    assert reference.cycles == fast.cycles
+    assert reference.instructions == fast.instructions
+    assert reference.load_outcomes == fast.load_outcomes
+    assert reference.constant_past_miss == fast.constant_past_miss
+    assert reference.value_mispredicts == fast.value_mispredicts
+    assert reference.l1_stats == fast.l1_stats
+    assert reference.branch_stats == fast.branch_stats
+
+
+def test_constant_config_paths_agree(annotated_traces):
+    """The CVU-heavy Constant config exercises the constant-load path."""
+    program = get_benchmark("xlisp").build_program("ppc", "tiny")
+    trace = run_program(program, name="xlisp").trace
+    annotated = annotate_trace(trace, CONSTANT)
+    reference = PPC620Model(PPC620).run(annotated, engine="reference")
+    fast = PPC620Model(PPC620).run(annotated, engine="fast")
+    assert_ppc_results_equal(reference, fast)
+
+
+def test_env_pins_engine(annotated_traces, monkeypatch):
+    """REPRO_MODEL_ENGINE=reference forces the reference loop even on
+    the default path, and the result is identical either way."""
+    annotated = annotated_traces("grep", "ppc")
+    default = PPC620Model(PPC620).run(annotated)
+    monkeypatch.setenv("REPRO_MODEL_ENGINE", "reference")
+    pinned = PPC620Model(PPC620).run(annotated)
+    assert_ppc_results_equal(default, pinned)
