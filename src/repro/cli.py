@@ -23,7 +23,13 @@ Commands
     Evaluate every paper-shape claim against a fresh session.
 ``doctor``
     Inject a deterministic campaign of faults (trace, cache, LVP) and
-    verify each one is detected or safely recovered, never silent.
+    verify each one is detected or safely recovered, never silent;
+    also self-tests the journal and tiered-engine layers.
+``chaos``
+    Seeded randomized soak: run ``repro experiment`` subprocesses
+    under planted faults (tier divergence, kills, cache damage,
+    resource budgets...) and assert byte-identical exhibits or a
+    cleanly footnoted degradation (see ``docs/resilience.md``).
 ``report``
     Write a single-file HTML report of all exhibits.
 ``stats [RUN_ID]``
@@ -47,6 +53,7 @@ import contextlib
 import os
 import signal
 import sys
+from typing import Optional
 
 from repro.errors import JournalError
 from repro.harness.experiments import EXPERIMENTS, run_experiments
@@ -81,6 +88,29 @@ from repro.trace.annotate import annotate_trace
 from repro.trace.stats import compute_stats
 from repro.uarch.ppc620.config import PPC620, PPC620_PLUS
 from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+
+#: Tier-pinning environment knobs validated at CLI entry, before any
+#: work runs under a typo'd tier: env var -> its legal values.
+def _engine_env_choices() -> dict:
+    from repro.sim.compile import ENGINES
+    from repro.trace.annotate import KERNELS
+    from repro.uarch.engine import MODEL_ENGINES
+    return {
+        "REPRO_ENGINE": ENGINES,
+        "REPRO_ANNOTATE_KERNEL": KERNELS,
+        "REPRO_MODEL_ENGINE": MODEL_ENGINES,
+    }
+
+
+def _validate_engine_env() -> Optional[str]:
+    """The first invalid tier knob's error message, if any."""
+    for name, choices in _engine_env_choices().items():
+        value = os.environ.get(name)
+        if value and value not in choices:
+            return (f"invalid {name}={value!r}: choose from "
+                    f"{', '.join(choices)}")
+    return None
 
 
 def _add_common(parser: argparse.ArgumentParser,
@@ -420,6 +450,24 @@ def cmd_doctor(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.errors import FaultError
+    from repro.harness.chaos import run_chaos
+    benchmarks = tuple(args.benchmarks.split(","))
+    progress = (lambda line: print(line, file=sys.stderr)) \
+        if not args.quiet else None
+    try:
+        report = run_chaos(seed=args.seed, drills=args.drills,
+                           exhibit=args.exhibit, scale=args.scale,
+                           benchmarks=benchmarks,
+                           artifacts=args.artifacts, progress=progress)
+    except FaultError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     from repro.analysis.html import build_html_report
     names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
@@ -670,6 +718,30 @@ def build_parser() -> argparse.ArgumentParser:
                                choices=("tiny", "small", "reference"))
     doctor_parser.set_defaults(func=cmd_doctor)
 
+    chaos_parser = commands.add_parser(
+        "chaos", help="seeded randomized resilience soak")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="campaign seed (default: 0)")
+    chaos_parser.add_argument("--drills", type=int, default=20,
+                              help="drills to run (default: 20)")
+    chaos_parser.add_argument("--exhibit", default="fig6",
+                              choices=sorted(EXPERIMENTS),
+                              help="exhibit each drill regenerates "
+                                   "(default: fig6)")
+    chaos_parser.add_argument("--scale", default="tiny",
+                              choices=("tiny", "small", "reference"))
+    chaos_parser.add_argument("--benchmarks", default="grep,compress",
+                              help="comma-separated subset each drill "
+                                   "runs (default: grep,compress)")
+    chaos_parser.add_argument("--artifacts", default=None, metavar="DIR",
+                              help="keep every drill's captures under "
+                                   "DIR (default: a temp dir, kept only "
+                                   "on failure)")
+    chaos_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-drill progress on "
+                                   "stderr")
+    chaos_parser.set_defaults(func=cmd_chaos)
+
     report_parser = commands.add_parser(
         "report", help="write an HTML report of all exhibits")
     report_parser.add_argument("--output", default="report.html")
@@ -700,6 +772,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """CLI entry point."""
+    problem = _validate_engine_env()
+    if problem:
+        print(f"repro: error: {problem}", file=sys.stderr)
+        return 2
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

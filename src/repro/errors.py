@@ -7,6 +7,21 @@ letting genuine bugs (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+import errno
+
+#: Errnos that mean "the machine ran out of a resource" (disk space,
+#: quota, file descriptors), not "the code is wrong".  The guardrails
+#: map these onto :class:`ResourceExhaustedError` so callers degrade
+#: (evict, skip the cache, stop journalling) instead of crashing.
+RESOURCE_ERRNOS = frozenset({
+    errno.ENOSPC, errno.EDQUOT, errno.EMFILE, errno.ENFILE,
+})
+
+
+def is_resource_exhaustion(exc: BaseException) -> bool:
+    """True when *exc* is an OSError caused by resource exhaustion."""
+    return isinstance(exc, OSError) and exc.errno in RESOURCE_ERRNOS
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -76,6 +91,54 @@ class TransientFaultError(FaultError, RetryableError):
 
     Fails a benchmark's stage for the first N attempts and then lets it
     succeed, proving the retry-with-backoff path end to end.
+    """
+
+
+class ResourceExhaustedError(RetryableError):
+    """The machine ran out of disk space, quota, or file descriptors.
+
+    Raised where an ``ENOSPC``/``EDQUOT``/``EMFILE``/``ENFILE`` from
+    the operating system crosses a harness boundary (trace-cache
+    store/load, journal checkpoints).  Retryable: space and descriptors
+    are routinely freed by other processes, and the cache/journal
+    layers additionally degrade (LRU eviction, journalling stops with
+    a resume hint) before this escapes to the retry machinery.
+    """
+
+
+class TierDivergenceError(ReproError):
+    """A fast execution tier disagreed with its oracle tier.
+
+    Raised by the divergence sentinel
+    (:class:`repro.harness.guard.TierGuard`) when a sampled re-execution
+    on the oracle tier (interpreter, general annotate kernel, reference
+    timing loop) produces a different result field-for-field.  Terminal
+    on purpose -- re-running the same deterministic fast tier would
+    diverge again -- but the guard catches it itself and *demotes* the
+    unit to the oracle tier instead of failing the benchmark.
+    """
+
+    def __init__(self, stage: str, unit: str,
+                 differences: list[str]) -> None:
+        preview = "; ".join(differences[:3])
+        if len(differences) > 3:
+            preview += f"; ... {len(differences) - 3} more"
+        super().__init__(
+            f"{stage} fast tier diverged from its oracle on {unit}: "
+            f"{preview}")
+        self.stage = stage
+        self.unit = unit
+        self.differences = list(differences)
+
+
+class MemoryBudgetError(ReproError):
+    """A worker's resident set exceeded ``REPRO_RSS_LIMIT_MB``.
+
+    Terminal, like :class:`UnitTimeoutError`: a unit that blew the
+    memory budget once is assumed to blow it again, so its benchmark
+    is footnoted for this run instead of retried -- and, crucially,
+    the worker survives to finish its other benchmarks instead of
+    being OOM-killed with all of them.
     """
 
 

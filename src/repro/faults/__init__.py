@@ -18,6 +18,7 @@ semantics the rest of the harness implements.
 from repro.faults.doctor import (
     DETECTED,
     DoctorReport,
+    ENGINE_CHECKS,
     FaultOutcome,
     JOURNAL_CHECKS,
     RECOVERED,
@@ -28,6 +29,7 @@ from repro.faults.inject import (
     audit_violations,
     copy_trace,
     inject_cache_fault,
+    inject_tier_fault,
     inject_trace_fault,
     make_lvp_hook,
 )
@@ -40,10 +42,11 @@ from repro.faults.plan import (
 )
 
 __all__ = [
-    "DETECTED", "JOURNAL_CHECKS", "RECOVERED", "SILENT",
+    "DETECTED", "ENGINE_CHECKS", "JOURNAL_CHECKS", "RECOVERED", "SILENT",
     "DoctorReport", "FaultOutcome", "run_doctor",
     "audit_violations", "copy_trace",
-    "inject_cache_fault", "inject_trace_fault", "make_lvp_hook",
+    "inject_cache_fault", "inject_tier_fault", "inject_trace_fault",
+    "make_lvp_hook",
     "CACHE_FAULTS", "FaultPlan", "FaultSpec", "LVP_FAULTS",
     "TRACE_FAULTS",
 ]

@@ -23,6 +23,14 @@ the run journal, tolerance of a truncated trailing line, rejection of
 an interior tampered line, rejection of a checkpoint whose digest
 disagrees with its ``done`` record, the per-unit watchdog, and the
 retry backoff schedule's determinism and bounds.
+
+A fifth layer of **engines** self-tests (also outside the seeded
+plan) covers the tiered execution engines: each fast tier -- the
+compiled simulator, the monomorphic annotate kernel, the fast timing
+loop -- re-runs one workload against its oracle tier and must agree
+field for field, and a forced-demotion drill (``REPRO_TIER_FAULT``)
+proves the divergence sentinel detects a corrupted fast tier, demotes
+it, and serves the oracle's answer.
 """
 
 from __future__ import annotations
@@ -47,6 +55,10 @@ SILENT = "silent"
 #: The journal-layer self-tests run_doctor appends to every campaign.
 JOURNAL_CHECKS = ("replay", "truncation", "tamper", "checkpoint",
                   "watchdog", "backoff")
+
+#: The engines-layer self-tests (tier agreement + forced demotion).
+ENGINE_CHECKS = ("trace_tier", "annotate_tier", "model_tier",
+                 "forced_demotion")
 
 
 @dataclass
@@ -88,12 +100,12 @@ class DoctorReport:
     def render(self) -> str:
         """Human-readable campaign report."""
         injected = sum(1 for o in self.outcomes
-                       if o.spec.layer != "journal")
+                       if o.spec.layer not in ("journal", "engines"))
         checks = len(self.outcomes) - injected
         lines = [
             "Fault-injection doctor",
             "======================",
-            f"seed {self.seed} · {injected} faults + {checks} journal "
+            f"seed {self.seed} · {injected} faults + {checks} "
             f"self-checks · benchmark {self.benchmark} @ {self.scale}",
             "",
             f"{'layer':8s} {'injected':>8s} {'detected':>9s} "
@@ -101,7 +113,7 @@ class DoctorReport:
         ]
         counts = self.counts()
         totals = {DETECTED: 0, RECOVERED: 0, SILENT: 0}
-        for layer in ("trace", "cache", "lvp", "journal"):
+        for layer in ("trace", "cache", "lvp", "journal", "engines"):
             row = counts.get(layer)
             if row is None:
                 continue
@@ -290,6 +302,90 @@ def _journal_self_tests() -> list[FaultOutcome]:
     return outcomes
 
 
+def _engine_self_tests(trace: Trace, benchmark: str,
+                       scale: str) -> list[FaultOutcome]:
+    """Deterministic drills over the tiered execution engines.
+
+    Three tier-agreement checks run one workload on a fast tier and
+    its oracle and compare field for field (any disagreement here is
+    exactly the silent corruption the divergence sentinel exists to
+    catch, so it is reported SILENT).  The forced-demotion drill then
+    plants ``REPRO_TIER_FAULT`` and proves the sentinel detects the
+    corruption, demotes the unit, and serves the oracle's answer.
+    """
+    import os
+
+    from repro.harness import guard
+    from repro.sim.functional import run_program
+    from repro.uarch.ppc620.config import PPC620
+    from repro.uarch.ppc620.model import PPC620Model
+    from repro.workloads.suite import get_benchmark
+
+    outcomes: list[FaultOutcome] = []
+
+    def record(kind: str, status: str, detail: str) -> None:
+        outcomes.append(
+            FaultOutcome(FaultSpec("engines", kind, 0), status, detail))
+
+    def check(kind: str, what: str, differences: list) -> None:
+        if differences:
+            record(kind, SILENT, f"{what}; {differences[0]}")
+        else:
+            record(kind, RECOVERED, f"{what}; tiers agree")
+
+    # These drills measure the unpinned tiers against each other, so
+    # any inherited tier/sentinel knobs must not leak in (and the
+    # forced-demotion drill sets its own).
+    knobs = ("REPRO_ENGINE", "REPRO_ANNOTATE_KERNEL", "REPRO_MODEL_ENGINE",
+             "REPRO_TIER_FAULT", "REPRO_SENTINEL_RATE", "REPRO_TRACE_CACHE")
+    saved = {key: os.environ.pop(key, None) for key in knobs}
+    try:
+        bench = get_benchmark(benchmark)
+
+        def execute(engine: str):
+            return run_program(bench.build_program("ppc", scale),
+                               name=benchmark, target="ppc", engine=engine)
+
+        check("trace_tier", "compiled vs interp",
+              guard.diff_executions(execute("compiled"), execute("interp")))
+        check("annotate_tier", "mono vs general (Simple)",
+              guard.diff_annotations(
+                  annotate_trace(trace, SIMPLE, kernel="mono"),
+                  annotate_trace(trace, SIMPLE, kernel="general")))
+        annotated = annotate_trace(trace, SIMPLE)
+        check("model_tier", "fast vs reference (PPC 620)",
+              guard.diff_model_results(
+                  PPC620Model(PPC620).run(annotated, engine="fast"),
+                  PPC620Model(PPC620).run(annotated, engine="reference")))
+
+        os.environ[guard.TIER_FAULT_ENV] = f"{benchmark}:trace"
+        from repro.harness.session import Session
+        session = Session(scale=scale, benchmarks=(benchmark,),
+                          verify=False)
+        demoted = session.trace(benchmark, "ppc")
+        oracle = execute("interp").trace
+        if session.demotions and _columns_equal(demoted, oracle):
+            record("forced_demotion", DETECTED,
+                   "planted divergence caught; unit demoted to the "
+                   "oracle's exact answer")
+        elif session.demotions:
+            record("forced_demotion", SILENT,
+                   "unit demoted but served a non-oracle trace")
+        else:
+            record("forced_demotion", SILENT,
+                   "planted fast-tier corruption sailed past the sentinel")
+    except Exception as exc:  # a crashed drill is itself a failure
+        record("crashed", SILENT,
+               f"engine drill raised {type(exc).__name__}: {exc}")
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return outcomes
+
+
 def run_doctor(seed: int = 0, faults: int = 60,
                benchmark: str = "grep", scale: str = "tiny",
                trace: Optional[Trace] = None) -> DoctorReport:
@@ -315,4 +411,5 @@ def run_doctor(seed: int = 0, faults: int = 60,
             else:
                 outcomes.append(_run_lvp_fault(spec, trace))
     outcomes.extend(_journal_self_tests())
+    outcomes.extend(_engine_self_tests(trace, benchmark, scale))
     return DoctorReport(seed, trace.name or benchmark, scale, outcomes)

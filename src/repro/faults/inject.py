@@ -118,6 +118,40 @@ def inject_trace_fault(trace: Trace, kind: str,
 
 
 # ---------------------------------------------------------------------------
+# Tier-layer faults (the divergence-sentinel drill).
+# ---------------------------------------------------------------------------
+def inject_tier_fault(stage: str, result):
+    """Deterministically corrupt one fast-tier *result* in place.
+
+    The smallest corruption each stage's field-for-field comparator
+    must still catch: a flipped load value (trace), a flipped load
+    outcome (annotate), one extra cycle (model).  Deterministic on
+    purpose -- the ``REPRO_TIER_FAULT`` drill must demote identically
+    in serial and parallel runs.  Returns *result*.
+    """
+    if stage == "trace":
+        trace = result.trace
+        loads = np.nonzero(trace.is_load)[0]
+        if len(loads):
+            trace.value[loads[0]] ^= np.uint64(1)
+        else:
+            result.instruction_count += 1
+        return result
+    if stage == "annotate":
+        from repro.trace.annotate import NOT_A_LOAD
+        positions = np.nonzero(result.outcomes != NOT_A_LOAD)[0]
+        if len(positions):
+            result.outcomes[positions[0]] ^= 1
+        else:
+            result.stats.loads += 1
+        return result
+    if stage == "model":
+        result.cycles += 1
+        return result
+    raise FaultError(f"unknown tier fault stage {stage!r}")
+
+
+# ---------------------------------------------------------------------------
 # Cache-layer faults.
 # ---------------------------------------------------------------------------
 def inject_cache_fault(cache: TraceCache, trace: Trace, scale: str,

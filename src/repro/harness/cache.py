@@ -26,7 +26,18 @@ The cache is hardened against on-disk corruption:
   behind a wedged holder;
 * ``quarantine/`` growth is capped (``REPRO_QUARANTINE_KEEP``, default
   16 newest bundles) so repeated corruption drills cannot fill the
-  disk.
+  disk;
+* the main store is capped too (``REPRO_CACHE_BUDGET``, total bytes;
+  0 = unlimited) with least-recently-*used* eviction -- loads touch a
+  bundle's mtime, so the bundle evicted first is the one no session
+  has read for longest;
+* resource exhaustion (``ENOSPC``/``EDQUOT``/``EMFILE``/``ENFILE``) is
+  never mistaken for corruption: a store that hits a full disk evicts
+  and retries once, then raises a retryable
+  :class:`~repro.errors.ResourceExhaustedError` (which the session
+  degrades to "this trace just isn't cached"); a load that cannot even
+  open its file for resource reasons raises the same instead of
+  quarantining a perfectly healthy bundle.
 """
 
 from __future__ import annotations
@@ -42,7 +53,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import CacheLockTimeout
+from repro.errors import (
+    CacheLockTimeout,
+    ResourceExhaustedError,
+    is_resource_exhaustion,
+)
 from repro.trace.records import TRACE_COLUMNS, Trace
 
 try:  # pragma: no cover - platform probe
@@ -95,6 +110,7 @@ class CacheCounters:
     misses: int = 0  # absent, version-stale, or corrupt bundles
     stores: int = 0
     quarantined: int = 0
+    evictions: int = 0  # bundles removed to honour the size budget
     lock_waits: int = 0  # acquisitions that found the lock contended
     lock_wait_seconds: float = 0.0
 
@@ -104,6 +120,7 @@ class CacheCounters:
             "misses": self.misses,
             "stores": self.stores,
             "quarantined": self.quarantined,
+            "evictions": self.evictions,
             "lock_waits": self.lock_waits,
             "lock_wait_seconds": self.lock_wait_seconds,
         }
@@ -116,11 +133,15 @@ class TraceCache:
     directory's advisory lock (default ``REPRO_LOCK_TIMEOUT`` or 60s;
     ``<= 0`` = try once, never wait).  ``quarantine_keep`` caps how
     many quarantined bundles are retained (default
-    ``REPRO_QUARANTINE_KEEP`` or 16), newest first.
+    ``REPRO_QUARANTINE_KEEP`` or 16), newest first.  ``budget`` caps
+    the main store's total bytes (default ``REPRO_CACHE_BUDGET``;
+    ``0`` = unlimited): after each store, least-recently-used bundles
+    are evicted until the directory fits.
     """
 
     def __init__(self, directory, lock_timeout: Optional[float] = None,
-                 quarantine_keep: Optional[int] = None) -> None:
+                 quarantine_keep: Optional[int] = None,
+                 budget: Optional[int] = None) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         from repro import __version__
@@ -129,6 +150,8 @@ class TraceCache:
             else _float_env("REPRO_LOCK_TIMEOUT", 60.0)
         self.quarantine_keep = quarantine_keep if quarantine_keep is not None \
             else max(1, _int_env("REPRO_QUARANTINE_KEEP", 16))
+        self.budget = budget if budget is not None \
+            else max(0, _int_env("REPRO_CACHE_BUDGET", 0))
         self.counters = CacheCounters()
         self._sweep_temporaries()
 
@@ -274,8 +297,17 @@ class TraceCache:
                             f"checksum mismatch in column {key!r}")
                     columns[key] = column
             self.counters.hits += 1
+            # LRU recency: a read bundle is the *last* eviction victim.
+            with contextlib.suppress(OSError):
+                os.utime(path, None)
             return Trace(columns, name=name, target=target)
-        except _CORRUPTION_ERRORS:
+        except _CORRUPTION_ERRORS as exc:
+            if is_resource_exhaustion(exc):
+                # Out of descriptors/space is not corruption: don't
+                # quarantine a healthy bundle, surface it retryably.
+                raise ResourceExhaustedError(
+                    f"cannot read trace cache bundle {path.name}: "
+                    f"{exc}") from exc
             self.counters.misses += 1
             with self._locked():
                 self.quarantine(path)
@@ -296,13 +328,96 @@ class TraceCache:
         }
         with self._locked():
             try:
-                np.savez_compressed(temporary, version=self.version,
-                                    **arrays, **checksums)
-                temporary.replace(path)
-                self.counters.stores += 1
+                try:
+                    self._write_bundle(temporary, path, arrays, checksums)
+                except OSError as exc:
+                    if not is_resource_exhaustion(exc):
+                        raise
+                    # Disk full: make room (drop the quarantine and
+                    # every other bundle -- the cache is an accelerator
+                    # and a full disk is an emergency) and retry once.
+                    with contextlib.suppress(OSError):
+                        temporary.unlink()
+                    self._evict_for_space(exclude=path)
+                    try:
+                        self._write_bundle(temporary, path, arrays,
+                                           checksums)
+                    except OSError as retry_exc:
+                        if is_resource_exhaustion(retry_exc):
+                            raise ResourceExhaustedError(
+                                f"cannot store trace cache bundle "
+                                f"{path.name} even after eviction: "
+                                f"{retry_exc}") from retry_exc
+                        raise
             finally:
                 with contextlib.suppress(OSError):
                     temporary.unlink()
+            if self.budget:
+                self._enforce_budget(exclude=path)
+
+    def _write_bundle(self, temporary: pathlib.Path, path: pathlib.Path,
+                      arrays: dict, checksums: dict) -> None:
+        """One atomic write-then-rename attempt (caller holds the lock)."""
+        np.savez_compressed(temporary, version=self.version,
+                            **arrays, **checksums)
+        temporary.replace(path)
+        self.counters.stores += 1
+
+    def _bundles_by_age(self, exclude: Optional[pathlib.Path] = None):
+        """Cached bundles, least recently used first (mtime, then name
+        for determinism when mtimes tie)."""
+        try:
+            entries = [
+                entry for entry in self.directory.glob("*.npz")
+                if entry != exclude and not entry.name.endswith(".tmp.npz")
+            ]
+            return sorted(
+                entries,
+                key=lambda entry: (entry.stat().st_mtime, entry.name))
+        except OSError:
+            return []
+
+    def _enforce_budget(self, exclude: Optional[pathlib.Path] = None) -> int:
+        """Evict LRU bundles until the directory fits the byte budget
+        (the just-written *exclude* is never evicted); returns the
+        number evicted."""
+        bundles = self._bundles_by_age(exclude=exclude)
+        total = 0
+        with contextlib.suppress(OSError):
+            if exclude is not None and exclude.exists():
+                total += exclude.stat().st_size
+        sizes = {}
+        for entry in bundles:
+            with contextlib.suppress(OSError):
+                sizes[entry] = entry.stat().st_size
+                total += sizes[entry]
+        evicted = 0
+        for entry in bundles:
+            if total <= self.budget:
+                break
+            with contextlib.suppress(OSError):
+                entry.unlink()
+                total -= sizes.get(entry, 0)
+                evicted += 1
+                self.counters.evictions += 1
+        return evicted
+
+    def _evict_for_space(self, exclude: Optional[pathlib.Path] = None) -> int:
+        """Emergency eviction after ENOSPC: drop every quarantined file
+        and every bundle but *exclude*; returns the number removed."""
+        removed = 0
+        qdir = self.directory / "quarantine"
+        if qdir.is_dir():
+            for entry in qdir.iterdir():
+                with contextlib.suppress(OSError):
+                    entry.unlink()
+                    removed += 1
+        for entry in self._bundles_by_age(exclude=exclude):
+            with contextlib.suppress(OSError):
+                entry.unlink()
+                removed += 1
+                self.counters.evictions += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every cached trace; returns the number removed."""

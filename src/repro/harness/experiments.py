@@ -584,14 +584,27 @@ EXPERIMENTS: dict[str, Callable[[Session], ExperimentResult]] = {
 
 
 def run_experiment(exp_id: str, session: Session) -> ExperimentResult:
-    """Run one exhibit by id (``fig1``, ``tab3``, ...)."""
+    """Run one exhibit by id (``fig1``, ``tab3``, ...).
+
+    Any tier demotions the session's :class:`~repro.harness.guard
+    .TierGuard` recorded while computing this exhibit are appended to
+    the rendered text as a ``Tier notes:`` block -- an additive
+    footnote (strippable with :func:`~repro.harness.guard
+    .strip_tier_notes`) so degraded runs stay honest without changing
+    the numbers above it.
+    """
     try:
         runner = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(session)
+    result = runner(session)
+    demotions = getattr(session, "demotions", None)
+    if demotions:
+        from repro.harness.guard import tier_notes
+        result.text += tier_notes(demotions)
+    return result
 
 
 def run_experiments(exp_ids, session: Session,

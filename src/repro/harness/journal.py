@@ -42,11 +42,16 @@ import json
 import os
 import pathlib
 import pickle
+import sys
 import time
 import zlib
 from typing import Optional
 
-from repro.errors import JournalError
+from repro.errors import (
+    JournalError,
+    ResourceExhaustedError,
+    is_resource_exhaustion,
+)
 from repro.harness.parallel import EngineObserver, _ShardResult, _ShardSpec
 from repro.obs.metrics import write_metrics
 
@@ -251,6 +256,9 @@ class RunJournal(EngineObserver):
         self._fd: Optional[int] = None
         self._checkpoints_done = 0
         self._crash_after = self._crash_after_from_env()
+        #: Set when the disk filled up under a journal write: further
+        #: appends become no-ops (the computation itself continues).
+        self._degraded = False
 
     @staticmethod
     def _crash_after_from_env() -> Optional[int]:
@@ -340,13 +348,42 @@ class RunJournal(EngineObserver):
         One ``os.write`` of the whole line keeps the append atomic with
         respect to signal handlers re-entering the journal (the
         ``interrupted`` record is written from a handler).
+
+        A full disk (``ENOSPC``/``EDQUOT``) must never kill the run the
+        journal only *describes*: the first such failure marks the
+        journal degraded (all later appends are no-ops), prints a
+        one-time resume hint to stderr, and returns.  The write-ahead
+        invariant survives -- the journal simply stops early, claiming
+        less than the run completed, and ``--resume`` re-runs whatever
+        the journal could not attest.
         """
+        if self._degraded:
+            return
         if self._fd is None:
             self._open()
         line = _encode_record(record)
-        os.write(self._fd, line)
+        try:
+            os.write(self._fd, line)
+        except OSError as exc:
+            if is_resource_exhaustion(exc):
+                self._mark_degraded(exc)
+                return
+            raise
         with contextlib.suppress(OSError):
             os.fsync(self._fd)
+
+    def _mark_degraded(self, cause: BaseException) -> None:
+        """Stop journalling (disk full) with a one-time resume hint."""
+        if self._degraded:
+            return
+        self._degraded = True
+        print(
+            f"warning: run journal write failed ({cause}); journalling "
+            f"for run {self.run_id} stops here.  The run continues, but "
+            f"benchmarks finished from now on are not checkpointed: free "
+            f"disk space and, if this run is interrupted, resume with:\n"
+            f"  repro experiment --resume {self.run_id}",
+            file=sys.stderr)
 
     # -- engine observer hooks ----------------------------------------------
     def shard_started(self, spec: _ShardSpec) -> None:
@@ -354,7 +391,18 @@ class RunJournal(EngineObserver):
                      "units": len(spec.units)})
 
     def shard_finished(self, spec: _ShardSpec, result: _ShardResult) -> None:
-        digest = self._write_checkpoint(result)
+        try:
+            digest = self._write_checkpoint(result)
+        except ResourceExhaustedError as exc:
+            # No checkpoint durably on disk, so no "done" record may
+            # claim one (write-ahead order): note the skip and let the
+            # in-memory merge proceed; --resume re-runs this benchmark.
+            self.append({"type": "checkpoint_failed",
+                         "benchmark": spec.benchmark,
+                         "cause": str(exc)})
+            return
+        for demotion in getattr(result, "demotions", None) or ():
+            self.append({"type": "demoted", **demotion.as_dict()})
         self.append({
             "type": "done",
             "benchmark": spec.benchmark,
@@ -400,17 +448,32 @@ class RunJournal(EngineObserver):
         return self.directory / _CHECKPOINTS / f"{safe}.pkl"
 
     def _write_checkpoint(self, result: _ShardResult) -> str:
-        """Durably persist one shard payload; returns its sha256."""
+        """Durably persist one shard payload; returns its sha256.
+
+        A full disk (or exhausted fd table) raises
+        :class:`~repro.errors.ResourceExhaustedError` after removing
+        the partial temp file, so the caller can skip the checkpoint
+        without ever leaving a half-written ``.pkl`` behind.
+        """
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         path = self._checkpoint_path(result.benchmark)
         temporary = path.with_suffix(".tmp")
-        fd = os.open(temporary, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
-            os.write(fd, payload)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        temporary.replace(path)
+            fd = os.open(temporary,
+                         os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            temporary.replace(path)
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                temporary.unlink()
+            if is_resource_exhaustion(exc):
+                raise ResourceExhaustedError(
+                    f"cannot checkpoint {result.benchmark}: {exc}") from exc
+            raise
         return _sha256(payload)
 
     # -- resumption ------------------------------------------------------------

@@ -38,12 +38,19 @@ from __future__ import annotations
 
 import contextlib
 import os
+import sys
 import time
 import zlib
 from typing import Callable, Optional, Union
 
-from repro.errors import BenchmarkFailure, FaultError, TransientFaultError
+from repro.errors import (
+    BenchmarkFailure,
+    FaultError,
+    ResourceExhaustedError,
+    TransientFaultError,
+)
 from repro.harness.cache import TraceCache
+from repro.harness.guard import TierGuard
 from repro.harness.retry import RetryPolicy, call_with_retries
 from repro.lvp.config import LVPConfig, SIMPLE
 from repro.obs.metrics import MetricsRegistry, metrics_enabled_from_env
@@ -138,7 +145,8 @@ class Session:
                  benchmarks: Optional[tuple[str, ...]] = None,
                  verify: bool = True,
                  cache_dir: Optional[str] = None,
-                 metrics: Union[None, bool, MetricsRegistry] = None) -> None:
+                 metrics: Union[None, bool, MetricsRegistry] = None,
+                 unit_timeout: Optional[float] = None) -> None:
         self.scale = scale
         self.benchmark_names = tuple(
             benchmarks if benchmarks is not None
@@ -165,6 +173,17 @@ class Session:
         #: warmed / serial).  Set by run_experiments and Session.warm
         #: callers that want the timing summary.
         self.last_warm_report = None
+        if unit_timeout is None:
+            from repro.harness.parallel import unit_timeout_from_env
+            unit_timeout = unit_timeout_from_env()
+        #: Watchdog seconds the guard re-arms around oracle retries
+        #: after a fast-tier timeout (0 = disarmed).
+        self.unit_timeout = float(unit_timeout)
+        #: Every TierDemotion recorded so far (this session's own plus
+        #: any merged back from parallel workers), in discovery order.
+        self.demotions: list = []
+        #: Divergence sentinels + degradation ladder (docs/resilience.md).
+        self.guard = TierGuard(self)
 
     # ------------------------------------------------------------------
     def warm(self, jobs: int = 1, units=None, unit_timeout=None):
@@ -283,6 +302,24 @@ class Session:
             except Exception as exc:
                 raise self._fail(name, stage, target, fail_key, exc) from exc
 
+    def _store_trace(self, trace: Trace) -> None:
+        """Store a fresh trace in the cache, tolerating a full disk.
+
+        The cache is an accelerator only: resource exhaustion while
+        persisting (even after the cache's own LRU eviction made room
+        and retried) must degrade to "this run just isn't cached", not
+        fail the benchmark that already computed a good trace.
+        """
+        if self.cache is None:
+            return
+        try:
+            self.cache.store(trace, self.scale)
+        except ResourceExhaustedError as exc:
+            if self.metrics is not None:
+                self.metrics.inc_run("cache/store_failures")
+            print(f"warning: trace cache store skipped: {exc}",
+                  file=sys.stderr)
+
     def _cached_trace(self, name: str, target: str) -> Optional[Trace]:
         """Checksummed + validated trace from the on-disk cache."""
         if self.cache is None:
@@ -314,11 +351,10 @@ class Session:
                 return cached
             bench = get_benchmark(name)
             program = bench.build_program(target, self.scale)
-            result = run_program(program, name=name, target=target)
+            result = self.guard.run_trace(name, target, program)
             if self.verify:
                 bench.verify(program, result, self.scale)
-            if self.cache is not None:
-                self.cache.store(result.trace, self.scale)
+            self._store_trace(result.trace)
             return result.trace
 
         self._traces[key] = self._run_stage(name, "trace", target,
@@ -342,7 +378,7 @@ class Session:
         trace = self.trace(name, target)
         self._annotated[key] = self._run_stage(
             name, "annotate", target, fail_key,
-            lambda: annotate_trace(trace, config))
+            lambda: self.guard.run_annotate(name, target, trace, config))
         if self.metrics is not None:
             self.metrics.add_many(
                 name, f"lvp/{target}/{config.name}/",
@@ -360,10 +396,13 @@ class Session:
         if fail_key in self._failed:
             raise self._failed[fail_key]
         annotated = self.annotated(name, "ppc", lvp or SIMPLE)
+        label = f"{name}/model/ppc/{machine.name}/{lvp.name if lvp else 'base'}"
         self._ppc_runs[key] = self._run_stage(
             name, "model", "ppc", fail_key,
-            lambda: PPC620Model(machine).run(annotated,
-                                             use_lvp=lvp is not None))
+            lambda: self.guard.run_model(
+                name, "ppc", label,
+                lambda engine: PPC620Model(machine).run(
+                    annotated, use_lvp=lvp is not None, engine=engine)))
         if self.metrics is not None:
             self.metrics.add_many(
                 name,
@@ -384,10 +423,14 @@ class Session:
         if fail_key in self._failed:
             raise self._failed[fail_key]
         annotated = self.annotated(name, "alpha", lvp or SIMPLE)
+        label = (f"{name}/model/alpha/{machine.name}/"
+                 f"{lvp.name if lvp else 'base'}")
         self._alpha_runs[key] = self._run_stage(
             name, "model", "alpha", fail_key,
-            lambda: AXP21164Model(machine).run(annotated,
-                                               use_lvp=lvp is not None))
+            lambda: self.guard.run_model(
+                name, "alpha", label,
+                lambda engine: AXP21164Model(machine).run(
+                    annotated, use_lvp=lvp is not None, engine=engine)))
         if self.metrics is not None:
             self.metrics.add_many(
                 name,

@@ -1,0 +1,81 @@
+"""Tests for the ``repro chaos`` soak harness.
+
+The plan tests are pure and fast; the drill tests run a small number
+of real drills (each is a full ``repro experiment`` subprocess, so
+they are kept to the cheapest kinds -- the full 11-kind sweep runs in
+CI's chaos-soak job and on demand via ``repro chaos``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.harness.chaos import (
+    DRILL_KINDS,
+    FAIL,
+    PASS,
+    ChaosDrill,
+    ChaosOutcome,
+    ChaosReport,
+    plan_drills,
+    run_chaos,
+)
+
+
+class TestDrillPlan:
+    def test_plan_is_deterministic(self):
+        first = plan_drills(7, 20, ("grep", "compress"))
+        second = plan_drills(7, 20, ("grep", "compress"))
+        assert first == second
+
+    def test_plan_cycles_every_kind(self):
+        plan = plan_drills(0, len(DRILL_KINDS) * 2, ("grep",))
+        kinds = [drill.kind for drill in plan]
+        assert kinds == list(DRILL_KINDS) * 2
+
+    def test_seed_varies_victims(self):
+        benchmarks = ("grep", "compress", "quick")
+        one = [d.victim for d in plan_drills(1, 30, benchmarks)]
+        two = [d.victim for d in plan_drills(2, 30, benchmarks)]
+        assert one != two
+        assert set(one) <= set(benchmarks)
+
+    def test_empty_benchmarks_rejected(self):
+        with pytest.raises(FaultError):
+            plan_drills(0, 5, ())
+
+
+class TestReport:
+    def _report(self, status):
+        drill = ChaosDrill(index=0, kind="tier_trace", seed=1,
+                           victim="grep")
+        return ChaosReport(
+            seed=0, exhibit="fig6", scale="tiny", benchmarks=("grep",),
+            outcomes=[ChaosOutcome(drill, status, "detail text")],
+            artifacts="/tmp/x")
+
+    def test_ok_report(self):
+        report = self._report(PASS)
+        assert report.ok
+        text = report.render()
+        assert "verdict: OK" in text
+        assert "tier_trace" in text
+
+    def test_failing_report_names_artifacts(self):
+        report = self._report(FAIL)
+        assert not report.ok
+        text = report.render()
+        assert "verdict: FAIL" in text
+        assert "!!" in text
+        assert "/tmp/x" in text
+
+
+class TestDrillsEndToEnd:
+    def test_tier_and_transient_drills_pass(self, tmp_path):
+        # Drills 0..3 of seed 0: the three tier stages plus transient.
+        report = run_chaos(seed=0, drills=4, scale="tiny",
+                           benchmarks=("grep",),
+                           artifacts=str(tmp_path / "artifacts"))
+        assert [o.drill.kind for o in report.outcomes] == \
+            ["tier_trace", "tier_annotate", "tier_model", "transient"]
+        assert report.ok, report.render()
