@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -84,11 +85,24 @@ _PIN_ENVS = {
 
 
 def sentinel_rate() -> float:
-    """The configured sampling fraction, clamped to [0, 1]."""
+    """The configured sampling fraction, clamped to [0, 1].
+
+    A malformed ``REPRO_SENTINEL_RATE`` warns (naming the bad value)
+    and falls back to the default rather than silently disarming the
+    sentinels -- the same contract as
+    :meth:`~repro.harness.retry.RetryPolicy.from_env`.
+    """
+    raw = os.environ.get(SENTINEL_RATE_ENV)
+    if raw is None:
+        return DEFAULT_SENTINEL_RATE
     try:
-        rate = float(os.environ[SENTINEL_RATE_ENV])
-    except (KeyError, ValueError):
-        rate = DEFAULT_SENTINEL_RATE
+        rate = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {SENTINEL_RATE_ENV}={raw!r} "
+            f"(expected a number); using the default",
+            RuntimeWarning, stacklevel=2)
+        return DEFAULT_SENTINEL_RATE
     return min(1.0, max(0.0, rate))
 
 

@@ -70,6 +70,21 @@ _MANIFEST = "manifest.json"
 _JOURNAL = "journal.jsonl"
 _CHECKPOINTS = "checkpoints"
 
+#: Pointer file naming the newest run (symlink-style, but a plain file
+#: updated under an fcntl lock: atomic on every filesystem, and the
+#: read side needs no readlink/stat race dance).
+_LATEST = "LATEST"
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: pointer updates fall back to unlocked
+    fcntl = None  # type: ignore[assignment]
+
+
+def _lock_fd(fd: int, shared: bool = False) -> None:
+    if fcntl is not None:
+        fcntl.flock(fd, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+
 
 def runs_dir_from_env(default: Optional[str] = None) -> pathlib.Path:
     """The configured runs directory (``REPRO_RUNS_DIR``)."""
@@ -95,10 +110,63 @@ def new_run_id() -> str:
     return f"{stamp}-{os.getpid()}-{next(_RUN_SEQ):03d}"
 
 
+def publish_latest(runs_dir, run_id: str) -> None:
+    """Advance the ``LATEST`` pointer to *run_id* (move-forward only).
+
+    The read-modify-write runs under an exclusive ``fcntl`` lock, so
+    two processes creating runs concurrently serialize instead of
+    interleaving: the slower writer of an *older* run id cannot clobber
+    a newer one (run ids sort lexicographically by creation time).  A
+    pointer whose target has since been pruned is treated as absent and
+    overwritten even by an older id.
+    """
+    runs_dir = pathlib.Path(runs_dir)
+    runs_dir.mkdir(parents=True, exist_ok=True)
+    fd = os.open(runs_dir / _LATEST, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        _lock_fd(fd)
+        current = os.read(fd, 4096).decode("utf-8", "replace").strip()
+        if current and current >= run_id \
+                and (runs_dir / current / _MANIFEST).exists():
+            return
+        os.lseek(fd, 0, os.SEEK_SET)
+        os.truncate(fd, 0)
+        os.write(fd, (run_id + "\n").encode())
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)  # releases the lock
+
+
+def _read_latest(runs_dir: pathlib.Path) -> Optional[pathlib.Path]:
+    """The run directory the ``LATEST`` pointer names, if still valid."""
+    try:
+        fd = os.open(runs_dir / _LATEST, os.O_RDONLY)
+    except OSError:
+        return None
+    try:
+        _lock_fd(fd, shared=True)
+        name = os.read(fd, 4096).decode("utf-8", "replace").strip()
+    finally:
+        os.close(fd)
+    if name and os.sep not in name \
+            and (runs_dir / name / _MANIFEST).exists():
+        return runs_dir / name
+    return None
+
+
 def find_run(runs_dir, run_id: str) -> pathlib.Path:
     """Resolve *run_id* (or ``latest``) to an existing run directory."""
     runs_dir = pathlib.Path(runs_dir)
     if run_id == "latest":
+        # The locked pointer is authoritative: a directory scan races
+        # with concurrent run creation (a directory appears before its
+        # manifest) and with pruning (an entry vanishes between iterdir
+        # and the manifest check).  The scan remains as a fallback for
+        # runs directories predating the pointer.
+        pointed = _read_latest(runs_dir)
+        if pointed is not None:
+            return pointed
         candidates = sorted(
             (entry for entry in runs_dir.iterdir()
              if entry.is_dir() and (entry / _MANIFEST).exists()),
@@ -279,6 +347,7 @@ class RunJournal(EngineObserver):
         temporary = directory / (_MANIFEST + ".tmp")
         temporary.write_text(json.dumps(manifest, indent=2, sort_keys=True))
         temporary.replace(directory / _MANIFEST)
+        publish_latest(runs_dir, run_id)
         journal = cls(directory, manifest)
         journal._open()
         journal.append({"type": "run_started", "run_id": run_id})

@@ -1,0 +1,44 @@
+"""Long-lived simulation service (``repro serve``).
+
+A small asyncio daemon that keeps one warm process alive to serve
+trace/annotate/model/experiment requests over a unix socket (and an
+optional local HTTP listener) with a versioned JSON protocol.  The
+value proposition mirrors the paper's: just as a load value predictor
+amortizes repeated loads, the service amortizes repeated simulations --
+identical concurrent requests coalesce onto one execution, results are
+cached, and the shared trace cache stays warm across requests.
+
+Modules:
+
+``protocol``
+    The ``repro.serve/v1`` wire protocol: frame encoding, request
+    validation, request keys for coalescing, error-kind mapping.
+``scheduler``
+    Admission control (bounded queue + load shedding), coalescing,
+    per-subject circuit breakers, deadlines, and service metrics.
+``server``
+    The daemon: listeners, request dispatch, experiment subprocess
+    management, journaled resume after a kill, graceful drain.
+``client``
+    A small blocking client used by the CLI, the load generator, the
+    chaos drills, and the test-suite.
+``loadgen``
+    A threaded load generator and the ``BENCH_SERVE.json`` service
+    benchmark document (latency percentiles, coalescing hit rate,
+    shed rate under overload).
+"""
+
+from repro.serve.protocol import PROTOCOL_ID, request_key
+from repro.serve.scheduler import Scheduler, ServeStats
+from repro.serve.server import ReproServer, ServeConfig
+from repro.serve.client import ServeClient
+
+__all__ = [
+    "PROTOCOL_ID",
+    "ReproServer",
+    "Scheduler",
+    "ServeClient",
+    "ServeConfig",
+    "ServeStats",
+    "request_key",
+]

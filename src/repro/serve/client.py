@@ -1,0 +1,153 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+Used by the CLI (``repro serve --status``), the load generator, the
+chaos drills, and the test-suite.  One client owns one unix-socket
+connection (opened lazily, reopened transparently after a server
+restart); a failed response is re-raised as the same exception type
+the server recorded -- overloads as :class:`~repro.errors
+.ServiceOverloadError`, blown deadlines as :class:`~repro.errors
+.DeadlineExceededError`, and so on -- so calling through the service
+feels like calling the library.
+
+Clients are not thread-safe: give each thread its own instance (the
+load generator does).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+from typing import Any, Optional
+
+from repro.errors import ServeError
+from repro.serve import protocol
+
+
+class ServeClient:
+    """One connection to one server socket."""
+
+    def __init__(self, socket_path: str, timeout: float = 120.0) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+        self._counter = 0
+        self._tag = uuid.uuid4().hex[:8]
+        #: Meta block of the most recent successful response
+        #: (coalesced/cached flags, server-side elapsed time).
+        self.last_meta: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError:
+                sock.close()
+                raise
+            self._sock = sock
+            self._buffer = b""
+        return self._sock
+
+    def _read_line(self, sock: socket.socket) -> bytes:
+        while b"\n" not in self._buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    f"server at {self.socket_path} closed the "
+                    f"connection mid-response")
+            self._buffer += chunk
+            if len(self._buffer) > protocol.MAX_FRAME_BYTES:
+                raise ServeError("response exceeds the frame limit")
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line + b"\n"
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, params: dict[str, Any] | None = None, *,
+                deadline_s: Optional[float] = None,
+                timeout: Optional[float] = None) -> Any:
+        """Send one request; return its result or raise its error."""
+        self._counter += 1
+        frame = protocol.encode_frame(protocol.make_request(
+            op, params, request_id=f"{self._tag}-{self._counter}",
+            deadline_s=deadline_s))
+        try:
+            sock = self._connect()
+            if timeout is not None:
+                sock.settimeout(timeout)
+            try:
+                sock.sendall(frame)
+                line = self._read_line(sock)
+            finally:
+                if timeout is not None:
+                    sock.settimeout(self.timeout)
+        except OSError:
+            # Stale connection (server restarted): one clean retry on
+            # a fresh socket, then let the error propagate.
+            self.close()
+            sock = self._connect()
+            sock.sendall(frame)
+            line = self._read_line(sock)
+        response = protocol.decode_frame(line)
+        protocol.raise_for_error(response)
+        self.last_meta = response.get("meta", {})
+        return response.get("result")
+
+    # Convenience wrappers -------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def status(self) -> dict[str, Any]:
+        return self.request("status")
+
+    def drain(self) -> dict[str, Any]:
+        return self.request("drain")
+
+    def trace(self, bench: str, **params: Any) -> dict[str, Any]:
+        return self.request("trace", {"bench": bench, **params})
+
+    def annotate(self, bench: str, **params: Any) -> dict[str, Any]:
+        return self.request("annotate", {"bench": bench, **params})
+
+    def model(self, bench: str, **params: Any) -> dict[str, Any]:
+        return self.request("model", {"bench": bench, **params})
+
+    def experiment(self, exhibit: str,
+                   benchmarks: list[str] | None = None,
+                   **params: Any) -> dict[str, Any]:
+        request: dict[str, Any] = {"exhibit": exhibit, **params}
+        if benchmarks is not None:
+            request["benchmarks"] = list(benchmarks)
+        deadline = request.pop("deadline_s", None)
+        return self.request("experiment", request, deadline_s=deadline)
+
+    # ------------------------------------------------------------------
+    def wait_until_ready(self, timeout: float = 30.0,
+                         interval: float = 0.1) -> bool:
+        """Poll ``ping`` until the server answers (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.ping()
+                return True
+            except (OSError, ServeError, ConnectionError):
+                self.close()
+                time.sleep(interval)
+        return False

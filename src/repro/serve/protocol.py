@@ -1,0 +1,217 @@
+"""The ``repro.serve/v1`` wire protocol.
+
+Requests and responses are single-line JSON documents ("frames")
+terminated by ``\\n``, exchanged over a unix stream socket.  The same
+payloads travel over the optional local HTTP listener, where each error
+kind maps onto a conventional status code (429 for overload, 504 for a
+blown deadline, ...).
+
+A request::
+
+    {"proto": "repro.serve/v1", "id": "c1-7", "op": "trace",
+     "params": {"bench": "grep", "scale": "tiny"}, "deadline_s": 30.0}
+
+A response::
+
+    {"proto": "repro.serve/v1", "id": "c1-7", "ok": true,
+     "result": {...}, "meta": {"coalesced": false, "cached": false,
+     "elapsed_s": 0.41}}
+
+or, on failure::
+
+    {"proto": "repro.serve/v1", "id": "c1-7", "ok": false,
+     "error": {"kind": "overloaded", "message": "...",
+               "retry_after_s": 0.25}}
+
+``request_key`` is the coalescing identity: the sha256 of the
+canonical-JSON ``(op, params)`` pair.  Two requests with the same key
+share one execution, one journal entry, and one cached result --
+deadlines and request ids deliberately do not participate, so callers
+with different patience still coalesce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ProtocolError,
+    ReproError,
+    ServiceOverloadError,
+)
+
+PROTOCOL_ID = "repro.serve/v1"
+
+#: Operations a server must accept.  ``status``/``ping``/``drain`` are
+#: control-plane: they bypass the scheduler so they keep answering even
+#: when the data plane is saturated or draining.
+OPS = ("ping", "status", "drain", "trace", "annotate", "model",
+       "experiment")
+CONTROL_OPS = ("ping", "status", "drain")
+
+#: Error kinds and their HTTP status codes.
+ERROR_STATUS = {
+    "bad_request": 400,
+    "overloaded": 429,
+    "failed": 500,
+    "circuit_open": 503,
+    "deadline": 504,
+}
+
+#: Upper bound on a single frame.  Exhibit texts are a few KiB; one
+#: MiB is far past anything legitimate and keeps a corrupt or hostile
+#: peer from ballooning server memory.
+MAX_FRAME_BYTES = 1 << 20
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace, pure ASCII."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def request_key(op: str, params: dict[str, Any] | None) -> str:
+    """The coalescing identity of a request: sha256 of (op, params)."""
+    doc = canonical_json({"op": op, "params": params or {}})
+    return hashlib.sha256(doc.encode("ascii")).hexdigest()
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one protocol frame, newline terminator included."""
+    line = canonical_json(payload).encode("ascii") + b"\n"
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit")
+    return line
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one frame, rejecting oversized or non-object payloads."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def make_request(op: str, params: dict[str, Any] | None = None, *,
+                 request_id: str = "", deadline_s: float | None = None,
+                 ) -> dict[str, Any]:
+    """Build a request payload (validated, so clients fail early)."""
+    request = {"proto": PROTOCOL_ID, "id": request_id, "op": op,
+               "params": dict(params or {})}
+    if deadline_s is not None:
+        request["deadline_s"] = float(deadline_s)
+    validate_request(request)
+    return request
+
+
+def validate_request(payload: dict[str, Any]) -> dict[str, Any]:
+    """Check a decoded frame against the v1 request schema.
+
+    Returns the payload on success; raises :class:`ProtocolError`
+    naming the first problem otherwise.
+    """
+    proto = payload.get("proto")
+    if proto != PROTOCOL_ID:
+        raise ProtocolError(
+            f"unsupported protocol {proto!r}; this server speaks "
+            f"{PROTOCOL_ID}")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            f"params must be an object, got {type(params).__name__}")
+    deadline = payload.get("deadline_s")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) \
+                or isinstance(deadline, bool):
+            raise ProtocolError(
+                f"deadline_s must be a number, got {deadline!r}")
+        if deadline <= 0:
+            raise ProtocolError(
+                f"deadline_s must be positive, got {deadline!r}")
+    request_id = payload.get("id", "")
+    if not isinstance(request_id, str):
+        raise ProtocolError(
+            f"id must be a string, got {type(request_id).__name__}")
+    return payload
+
+
+def error_kind(exc: BaseException) -> str:
+    """Map an exception onto its protocol error kind."""
+    if isinstance(exc, ServiceOverloadError):
+        return "overloaded"
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline"
+    if isinstance(exc, CircuitOpenError):
+        return "circuit_open"
+    if isinstance(exc, ProtocolError):
+        return "bad_request"
+    return "failed"
+
+
+def ok_response(request_id: str, result: Any,
+                meta: dict[str, Any] | None = None) -> dict[str, Any]:
+    return {"proto": PROTOCOL_ID, "id": request_id, "ok": True,
+            "result": result, "meta": dict(meta or {})}
+
+
+def error_response(request_id: str,
+                   exc: BaseException) -> dict[str, Any]:
+    kind = error_kind(exc)
+    error: dict[str, Any] = {"kind": kind, "message": str(exc)}
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after:
+        error["retry_after_s"] = float(retry_after)
+    return {"proto": PROTOCOL_ID, "id": request_id, "ok": False,
+            "error": error}
+
+
+def http_status(response: dict[str, Any]) -> int:
+    """The HTTP status code for a protocol response document."""
+    if response.get("ok"):
+        return 200
+    kind = (response.get("error") or {}).get("kind", "failed")
+    return ERROR_STATUS.get(kind, 500)
+
+
+def raise_for_error(response: dict[str, Any]) -> dict[str, Any]:
+    """Raise the exception a response's error kind encodes.
+
+    Clients funnel every failed response through here so callers see
+    the same exception types the server raised: an overload surfaces as
+    :class:`ServiceOverloadError`, a blown deadline as
+    :class:`DeadlineExceededError`, and so on.  Returns the response
+    when ``ok`` is true.
+    """
+    if response.get("ok"):
+        return response
+    error = response.get("error") or {}
+    kind = error.get("kind", "failed")
+    message = error.get("message", "request failed")
+    if kind == "overloaded":
+        raise ServiceOverloadError(message,
+                                   error.get("retry_after_s", 0.0))
+    if kind == "deadline":
+        raise DeadlineExceededError(message)
+    if kind == "circuit_open":
+        raise CircuitOpenError(message)
+    if kind == "bad_request":
+        raise ProtocolError(message)
+    raise ReproError(message)

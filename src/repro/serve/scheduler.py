@@ -1,0 +1,572 @@
+"""Admission control, coalescing, circuit breaking, and deadlines.
+
+The scheduler is the robustness core of ``repro serve``: every
+data-plane request (trace/annotate/model/experiment) passes through
+:meth:`Scheduler.submit`, which decides -- in order -- whether to
+
+1. **coalesce** it onto an identical in-flight execution (same
+   :func:`~repro.serve.protocol.request_key`), so concurrent duplicate
+   demand costs one simulation and one journal entry;
+2. answer it from the **result cache** (a small LRU of completed
+   requests);
+3. reject it because its subject's **circuit is open** (a benchmark
+   that keeps failing stops consuming worker slots until a cooldown
+   elapses, then a single half-open probe may close the circuit);
+4. **shed** it with :class:`~repro.errors.ServiceOverloadError` when
+   the bounded queue is at its high-water mark (bounded queues degrade
+   to fast explicit 429s instead of collapsing under a backlog); or
+5. **admit** it: the request waits for a worker slot, runs under its
+   deadline, and its latency and outcome feed the service stats.
+
+Deadlines are enforced twice, on purpose: the worker side arms the
+same SIGALRM watchdog that bounds experiment work units
+(:func:`repro.harness.parallel._unit_watchdog`), interrupting even a
+wedged computation, and the scheduler backstops it with an asyncio
+timer at ``deadline + grace`` in case the worker cannot raise (e.g. a
+stub runner in the doctor's self-tests).
+
+:func:`execute_sim_op` is the process-pool worker entry point for the
+simulation-shaped ops.  It retries :class:`~repro.errors
+.RetryableError` with the existing seeded :class:`~repro.harness.retry
+.RetryPolicy` and reports tier demotions back to the server so tier
+notes flow into the service ``metrics.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from collections import OrderedDict, deque
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.errors import (
+    BenchmarkFailure,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServiceOverloadError,
+    UnitTimeoutError,
+)
+from repro.serve.protocol import request_key
+
+DEFAULT_WORKERS = 2
+DEFAULT_QUEUE_LIMIT = 16
+DEFAULT_BREAKER_THRESHOLD = 3
+DEFAULT_BREAKER_COOLDOWN = 30.0
+#: Parent-side slack past the worker-side deadline, so the SIGALRM
+#: watchdog (with its precise unit label) wins the race to report.
+DEADLINE_GRACE = 2.0
+#: Bounded latency reservoir: enough samples for stable tail
+#: percentiles, bounded so a long-lived server cannot grow without
+#: limit.
+LATENCY_RESERVOIR = 4096
+#: Result-cache entries kept (completed request results by key).
+RESULT_CACHE_ENTRIES = 128
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of *samples* (``q`` in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, int(-(-q * len(ordered) // 100)))  # ceil, 1-based
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def breaker_subject(op: str, params: dict[str, Any]) -> str:
+    """The circuit-breaker key of a request: its benchmark/exhibit.
+
+    Breaking per *subject* rather than per exact request means a
+    benchmark broken at one scale does not poison others, while every
+    config of a genuinely broken benchmark is shielded together.
+    """
+    subject = params.get("bench") or params.get("exhibit") or "*"
+    return f"{op}:{subject}"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit for one subject.
+
+    Closed until ``threshold`` consecutive failures; then open (every
+    request rejected) for ``cooldown`` seconds; then half-open: exactly
+    one probe request is admitted, and its success closes the circuit
+    while its failure re-opens it for another cooldown.
+    """
+
+    def __init__(self, threshold: int, cooldown: float,
+                 clock: Callable[[], float]) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self.failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half_open"
+        if self._clock() - self._opened_at >= self.cooldown:
+            return "half_open"
+        return "open"
+
+    def remaining(self) -> float:
+        """Seconds until the next half-open probe is admitted."""
+        if self._opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
+    def allow(self) -> bool:
+        """May a request for this subject run now?"""
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False  # one probe at a time
+        if self._clock() - self._opened_at >= self.cooldown:
+            self._probing = True
+            return True
+        return False
+
+    def record_ok(self) -> None:
+        self.failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._probing = False
+        if self.failures >= self.threshold:
+            self._opened_at = self._clock()
+
+
+class ServeStats:
+    """Service counters plus a bounded latency reservoir."""
+
+    COUNTER_NAMES = ("received", "admitted", "completed", "failed",
+                     "shed", "coalesced", "cache_hits",
+                     "deadline_expired", "circuit_rejections", "resumed")
+
+    def __init__(self) -> None:
+        for name in self.COUNTER_NAMES:
+            setattr(self, name, 0)
+        self.latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    def latency_summary(self) -> dict[str, float]:
+        samples = list(self.latencies)
+        return {
+            "count": len(samples),
+            "p50_ms": round(percentile(samples, 50) * 1000, 3),
+            "p95_ms": round(percentile(samples, 95) * 1000, 3),
+            "p99_ms": round(percentile(samples, 99) * 1000, 3),
+            "max_ms": round(max(samples) * 1000, 3) if samples else 0.0,
+        }
+
+    def counters(self) -> dict[str, int]:
+        return {name: getattr(self, name)
+                for name in self.COUNTER_NAMES}
+
+
+class Scheduler:
+    """Asyncio request scheduler with admission control.
+
+    ``runner`` is an async callable ``(op, params, deadline_s) ->
+    result`` -- the server provides one that dispatches simulation ops
+    to a process pool and experiments to journaled subprocesses.  The
+    scheduler is deliberately runner-agnostic so the doctor's serve
+    layer can exercise every control path in-process with stubs.
+    """
+
+    def __init__(self, runner: Callable[..., Awaitable[Any]], *,
+                 workers: int = DEFAULT_WORKERS,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+                 deadline_grace: float = DEADLINE_GRACE,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.runner = runner
+        self.workers = max(1, int(workers))
+        self.queue_limit = max(1, int(queue_limit))
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.deadline_grace = float(deadline_grace)
+        self.draining = False
+        self.stats = ServeStats()
+        self._clock = clock
+        self._slots = asyncio.Semaphore(self.workers)
+        self._inflight: dict[str, asyncio.Task] = {}
+        self._queued = 0
+        self._executing = 0
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._cache: OrderedDict[str, Any] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests waiting for a worker slot."""
+        return self._queued
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently executing on a worker."""
+        return self._executing
+
+    def breaker(self, subject: str) -> CircuitBreaker:
+        if subject not in self._breakers:
+            self._breakers[subject] = CircuitBreaker(
+                self.breaker_threshold, self.breaker_cooldown,
+                self._clock)
+        return self._breakers[subject]
+
+    # ------------------------------------------------------------------
+    async def submit(self, op: str, params: dict[str, Any],
+                     deadline_s: Optional[float] = None,
+                     ) -> tuple[Any, dict[str, Any]]:
+        """Schedule one request; returns ``(result, meta)``.
+
+        Raises the service errors documented in the module docstring;
+        whatever the runner raises for an admitted request propagates
+        to every coalesced waiter.
+        """
+        self.stats.received += 1
+        key = request_key(op, params)
+        started = self._clock()
+
+        def meta(**flags: Any) -> dict[str, Any]:
+            base = {"coalesced": False, "cached": False, "key": key,
+                    "elapsed_s": round(self._clock() - started, 4)}
+            base.update(flags)
+            return base
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.stats.coalesced += 1
+            # shield: one impatient waiter must not cancel the shared
+            # execution out from under the others.
+            result = await asyncio.shield(existing)
+            return result, meta(coalesced=True)
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            return self._cache[key], meta(cached=True)
+        if self.draining:
+            self.stats.shed += 1
+            raise ServiceOverloadError(
+                "server is draining; no new work is being admitted")
+        subject = breaker_subject(op, params)
+        breaker = self.breaker(subject)
+        if not breaker.allow():
+            self.stats.circuit_rejections += 1
+            raise CircuitOpenError(
+                f"circuit open for {subject} after {breaker.failures} "
+                f"consecutive failures; next probe in "
+                f"{breaker.remaining():.1f}s")
+        if self._queued >= self.queue_limit:
+            self.stats.shed += 1
+            raise ServiceOverloadError(
+                f"queue at its high-water mark "
+                f"({self._queued}/{self.queue_limit} waiting); "
+                f"shedding instead of queueing",
+                retry_after_s=self._retry_after())
+        self.stats.admitted += 1
+        task = asyncio.get_running_loop().create_task(
+            self._run(op, params, deadline_s, key, breaker))
+        self._inflight[key] = task
+        result = await asyncio.shield(task)
+        return result, meta()
+
+    async def _run(self, op: str, params: dict[str, Any],
+                   deadline_s: Optional[float], key: str,
+                   breaker: CircuitBreaker) -> Any:
+        started = self._clock()
+        try:
+            self._queued += 1
+            try:
+                await self._slots.acquire()
+            finally:
+                self._queued -= 1
+            self._executing += 1
+            try:
+                call = self.runner(op, params, deadline_s or 0.0)
+                if deadline_s:
+                    result = await asyncio.wait_for(
+                        call, deadline_s + self.deadline_grace)
+                else:
+                    result = await call
+            finally:
+                self._executing -= 1
+                self._slots.release()
+        except asyncio.TimeoutError:
+            self.stats.deadline_expired += 1
+            breaker.record_failure()
+            raise DeadlineExceededError(
+                f"request {key[:16]} exceeded its {deadline_s:g}s "
+                f"deadline (+{self.deadline_grace:g}s grace)") from None
+        except DeadlineExceededError:
+            self.stats.deadline_expired += 1
+            breaker.record_failure()
+            raise
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            self.stats.failed += 1
+            breaker.record_failure()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        breaker.record_ok()
+        self.stats.completed += 1
+        self.stats.record_latency(self._clock() - started)
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > RESULT_CACHE_ENTRIES:
+            self._cache.popitem(last=False)
+        return result
+
+    def _retry_after(self) -> float:
+        """Backoff hint for a shed request.
+
+        Rough service-time estimate: mean recent latency times the
+        queue's depth per worker -- clamped to a sane band so the hint
+        stays useful even before any latency samples exist.
+        """
+        samples = list(self.stats.latencies)
+        mean = sum(samples) / len(samples) if samples else 0.25
+        hint = mean * (self._queued + 1) / self.workers
+        return round(min(5.0, max(0.1, hint)), 3)
+
+    # ------------------------------------------------------------------
+    async def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every in-flight task; True when the queue drained."""
+        deadline = None if timeout is None else self._clock() + timeout
+        while self._inflight:
+            pending = [t for t in self._inflight.values() if not t.done()]
+            if not pending:
+                for stale in list(self._inflight):
+                    if self._inflight[stale].done():
+                        self._inflight.pop(stale, None)
+                continue
+            remaining = None if deadline is None \
+                else deadline - self._clock()
+            if remaining is not None and remaining <= 0:
+                return False
+            done, _ = await asyncio.wait(
+                pending, timeout=remaining,
+                return_when=asyncio.FIRST_COMPLETED)
+            if not done:
+                return False
+        return True
+
+    def cancel_inflight(self) -> int:
+        """Cancel whatever is still running (drain-timeout fallback)."""
+        cancelled = 0
+        for task in list(self._inflight.values()):
+            if not task.done():
+                task.cancel()
+                cancelled += 1
+        return cancelled
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """The status document ``repro serve --status`` renders."""
+        doc: dict[str, Any] = dict(self.stats.counters())
+        doc["queue_depth"] = self.queue_depth
+        doc["in_flight"] = self.in_flight
+        doc["queue_limit"] = self.queue_limit
+        doc["workers"] = self.workers
+        doc["draining"] = self.draining
+        doc["latency"] = self.stats.latency_summary()
+        doc["breakers"] = {
+            subject: {"state": breaker.state,
+                      "failures": breaker.failures}
+            for subject, breaker in sorted(self._breakers.items())
+            if breaker.failures or breaker.state != "closed"
+        }
+        hits = doc["coalesced"] + doc["cache_hits"]
+        doc["coalescing_hit_rate"] = round(
+            hits / doc["received"], 4) if doc["received"] else 0.0
+        doc["shed_rate"] = round(
+            doc["shed"] / doc["received"], 4) if doc["received"] else 0.0
+        return doc
+
+
+# ---------------------------------------------------------------------------
+# Request normalization (shared by server and clients).
+# ---------------------------------------------------------------------------
+def normalize_params(op: str, params: dict[str, Any],
+                     default_scale: str = "small") -> dict[str, Any]:
+    """Validate and canonicalize request params for one data-plane op.
+
+    Fills defaults (scale, target, machine) and canonicalizes names so
+    that two spellings of the same request -- ``{"bench": "grep"}`` and
+    ``{"bench": "grep", "scale": "small"}`` -- produce the same
+    :func:`~repro.serve.protocol.request_key` and therefore coalesce.
+    Raises :class:`~repro.errors.ProtocolError` (a ``bad_request``) for
+    anything invalid, before the request can burn a worker slot or trip
+    a circuit breaker.
+    """
+    from repro.workloads.suite import BENCHMARKS
+    from repro.workloads.support import SCALES
+
+    known_benchmarks = {b.name for b in BENCHMARKS}
+    out = dict(params)
+    scale = out.setdefault("scale", default_scale)
+    if scale not in SCALES:
+        raise ProtocolError(
+            f"unknown scale {scale!r}; expected one of "
+            f"{', '.join(sorted(SCALES))}")
+
+    if op == "experiment":
+        from repro.harness.experiments import EXPERIMENTS
+        exhibit = out.get("exhibit")
+        if exhibit != "all" and exhibit not in EXPERIMENTS:
+            raise ProtocolError(
+                f"unknown exhibit {exhibit!r}; expected 'all' or one "
+                f"of {', '.join(EXPERIMENTS)}")
+        benchmarks = out.setdefault(
+            "benchmarks", sorted(known_benchmarks))
+        if (not isinstance(benchmarks, list) or not benchmarks
+                or not all(isinstance(b, str) for b in benchmarks)):
+            raise ProtocolError(
+                "benchmarks must be a non-empty list of names")
+        unknown = [b for b in benchmarks if b not in known_benchmarks]
+        if unknown:
+            raise ProtocolError(
+                f"unknown benchmark(s): {', '.join(unknown)}")
+        return out
+
+    bench = out.get("bench")
+    if bench not in known_benchmarks:
+        raise ProtocolError(
+            f"unknown benchmark {bench!r}; expected one of "
+            f"{', '.join(sorted(known_benchmarks))}")
+    if op in ("trace", "annotate"):
+        target = out.setdefault("target", "ppc")
+        if target not in ("ppc", "alpha"):
+            raise ProtocolError(
+                f"unknown target {target!r}; expected ppc or alpha")
+    if op == "annotate":
+        from repro.lvp.config import config_by_name
+        out["config"] = config_by_name(
+            str(out.get("config", "Simple"))).name
+    if op == "model":
+        machine = out.setdefault("machine", "620")
+        if machine not in ("620", "620+", "21164"):
+            raise ProtocolError(
+                f"unknown machine {machine!r}; expected 620, 620+, "
+                f"or 21164")
+        config = out.get("config")
+        if config is not None:
+            from repro.lvp.config import config_by_name
+            out["config"] = config_by_name(str(config)).name
+        else:
+            out["config"] = None
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Worker side: the process-pool entry point for simulation ops.
+# ---------------------------------------------------------------------------
+def _compute_sim_op(op: str, params: dict[str, Any]) -> dict[str, Any]:
+    from repro.harness.session import Session
+
+    bench = params["bench"]
+    scale = params["scale"]
+    session = Session(scale=scale, benchmarks=(bench,), metrics=False)
+    if op == "trace":
+        from repro.trace.stats import compute_stats
+        stats = compute_stats(session.trace(bench, params["target"]))
+        result: dict[str, Any] = {
+            "bench": bench, "target": params["target"], "scale": scale,
+            "instructions": stats.instructions, "loads": stats.loads,
+            "stores": stats.stores, "branches": stats.branches,
+            "static_loads": stats.static_loads,
+            "load_fraction": round(stats.load_fraction, 6),
+        }
+    elif op == "annotate":
+        from repro.lvp.config import config_by_name
+        from repro.lvp.unit import LoadOutcome
+        config = config_by_name(params["config"])
+        stats = session.annotated(bench, params["target"], config).stats
+        result = {
+            "bench": bench, "target": params["target"], "scale": scale,
+            "config": config.name, "loads": stats.loads,
+            "outcomes": {o.name.lower(): stats.outcomes[o]
+                         for o in LoadOutcome},
+            "accuracy": round(stats.prediction_accuracy, 6),
+        }
+    elif op == "model":
+        from repro.lvp.config import config_by_name
+        machine = params["machine"]
+        config = config_by_name(params["config"]) \
+            if params.get("config") else None
+        if machine == "21164":
+            run = session.alpha_result(bench, config)
+            base = run if config is None \
+                else session.alpha_result(bench, None)
+        else:
+            from repro.uarch.ppc620.config import PPC620, PPC620_PLUS
+            spec = PPC620_PLUS if machine == "620+" else PPC620
+            run = session.ppc_result(bench, spec, config)
+            base = run if config is None \
+                else session.ppc_result(bench, spec, None)
+        result = {
+            "bench": bench, "machine": machine, "scale": scale,
+            "config": params.get("config"), "cycles": run.cycles,
+            "instructions": run.instructions,
+            "ipc": round(run.ipc, 6),
+            "speedup": round(base.cycles / run.cycles, 6)
+            if run.cycles else 0.0,
+        }
+    else:
+        raise ProtocolError(f"op {op!r} is not a simulation op")
+    tier_notes = [
+        {"unit": d.unit, "from_tier": d.from_tier, "to_tier": d.to_tier,
+         "reason": d.reason}
+        for d in session.demotions
+    ]
+    return {"result": result, "tier_notes": tier_notes}
+
+
+def execute_sim_op(op: str, params: dict[str, Any],
+                   deadline_s: float = 0.0) -> dict[str, Any]:
+    """Run one trace/annotate/model request (process-pool worker).
+
+    The whole request -- retries included -- runs under one SIGALRM
+    deadline watchdog, so a request's budget is total wall time, not
+    per attempt.  :class:`~repro.errors.RetryableError` is retried with
+    the standard seeded policy; a watchdog trip surfaces as
+    :class:`~repro.errors.DeadlineExceededError` whether it interrupted
+    a stage (and was wrapped in a ``BenchmarkFailure``) or fired
+    between stages.
+    """
+    from repro.harness.parallel import WorkUnit, _unit_watchdog
+    from repro.harness.retry import RetryPolicy, call_with_retries
+
+    unit = WorkUnit(params.get("bench", op), op,
+                    params.get("target") or params.get("machine")
+                    or "ppc")
+    policy = RetryPolicy.from_env(
+        seed=zlib.crc32(request_key(op, params).encode("ascii")))
+
+    def attempt() -> dict[str, Any]:
+        return _compute_sim_op(op, params)
+
+    try:
+        with _unit_watchdog(deadline_s, unit):
+            return call_with_retries(attempt, policy)
+    except UnitTimeoutError as exc:
+        raise DeadlineExceededError(
+            f"request exceeded its {deadline_s:g}s deadline: "
+            f"{exc}") from None
+    except BenchmarkFailure as exc:
+        if isinstance(exc.cause, UnitTimeoutError):
+            raise DeadlineExceededError(
+                f"request exceeded its {deadline_s:g}s deadline: "
+                f"{exc.cause}") from None
+        raise

@@ -17,8 +17,10 @@ import pytest
 
 from repro.errors import TierDivergenceError
 from repro.harness.guard import (
+    DEFAULT_SENTINEL_RATE,
     TIER_LADDER,
     TierDemotion,
+    sentinel_rate,
     sentinel_samples,
     strip_tier_notes,
     tier_fault_matches,
@@ -69,8 +71,15 @@ class TestSentinelSampling:
         assert not sentinel_samples("x")
         monkeypatch.setenv("REPRO_SENTINEL_RATE", "1")
         assert sentinel_samples("x")
+    def test_malformed_rate_warns_and_defaults(self, monkeypatch):
         monkeypatch.setenv("REPRO_SENTINEL_RATE", "not-a-number")
-        assert isinstance(sentinel_samples("x"), bool)
+        with pytest.warns(RuntimeWarning,
+                          match="REPRO_SENTINEL_RATE='not-a-number'"):
+            assert sentinel_rate() == DEFAULT_SENTINEL_RATE
+        with pytest.warns(RuntimeWarning, match="using the default"):
+            assert isinstance(sentinel_samples("x"), bool)
+        monkeypatch.delenv("REPRO_SENTINEL_RATE")
+        assert sentinel_rate() == DEFAULT_SENTINEL_RATE
 
     def test_seed_changes_the_sample(self, monkeypatch):
         monkeypatch.setenv("REPRO_SENTINEL_RATE", "0.5")

@@ -1,0 +1,136 @@
+"""RetryPolicy x TierGuard interaction: retries respect the ladder.
+
+The session wraps each guarded stage in ``call_with_retries``; the
+guard holds the sticky demotion table.  Their composition must satisfy
+two properties:
+
+* a unit that was demoted and then hits a transient fault on the
+  oracle attempt retries **on the demoted tier** -- bouncing back to
+  the fast tier would re-run the code the guard just proved wrong;
+* a transient fault on the fast tier is *not* a demotion: the guard
+  re-raises it untouched, and the retry runs the fast tier again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransientFaultError
+from repro.harness.guard import TierGuard
+from repro.harness.retry import RetryPolicy, call_with_retries
+
+POLICY = RetryPolicy(attempts=3, base=0.0, jitter=0.0)
+
+
+class _FakeSession:
+    def __init__(self):
+        self.demotions = []
+        self.metrics = None
+        self.unit_timeout = 0.0
+
+
+@pytest.fixture(autouse=True)
+def _clean_knobs(monkeypatch):
+    for name in ("REPRO_ENGINE", "REPRO_TIER_FAULT",
+                 "REPRO_SENTINEL_RATE", "REPRO_SENTINEL_SEED"):
+        monkeypatch.delenv(name, raising=False)
+
+
+def _patched_run_program(monkeypatch, fake):
+    # The guard imports run_program at call time, so a module-attribute
+    # patch reaches it.
+    import repro.sim.functional as functional
+    monkeypatch.setattr(functional, "run_program", fake)
+
+
+class TestDemotedTierRetry:
+    def test_transient_on_oracle_retries_on_oracle(self, monkeypatch):
+        """Fast-tier fault demotes; a transient during the oracle
+        retry must re-run on the *oracle*, not the original fast
+        tier."""
+        calls: list[str] = []
+
+        def fake(program, name, target, engine):
+            calls.append(engine)
+            if engine == "compiled":
+                raise ValueError("planted fast-tier fault")
+            if calls.count("interp") == 1:
+                raise TransientFaultError("planted transient")
+            return "oracle-result"
+
+        _patched_run_program(monkeypatch, fake)
+        session = _FakeSession()
+        guard = TierGuard(session)
+        result = call_with_retries(
+            lambda: guard.run_trace("grep", "ppc", program=None),
+            POLICY, sleep=lambda _s: None)
+        assert result == "oracle-result"
+        assert calls == ["compiled", "interp", "interp"]
+        assert [d.to_tier for d in session.demotions] == ["interp"]
+
+    def test_sticky_demotion_survives_later_retries(self, monkeypatch):
+        """Once demoted, every later attempt of the key -- including
+        retry re-entries -- goes straight to the oracle tier."""
+        calls: list[str] = []
+
+        def fake(program, name, target, engine):
+            calls.append(engine)
+            if engine == "compiled":
+                raise ValueError("planted fast-tier fault")
+            return "oracle-result"
+
+        _patched_run_program(monkeypatch, fake)
+        guard = TierGuard(_FakeSession())
+        call_with_retries(
+            lambda: guard.run_trace("grep", "ppc", program=None),
+            POLICY, sleep=lambda _s: None)
+        calls.clear()
+        again = call_with_retries(
+            lambda: guard.run_trace("grep", "ppc", program=None),
+            POLICY, sleep=lambda _s: None)
+        assert again == "oracle-result"
+        assert calls == ["interp"]
+
+    def test_transient_on_fast_tier_is_not_a_demotion(self, monkeypatch):
+        """A RetryableError from the fast tier propagates un-demoted:
+        the retry runs the fast tier again and no demotion is
+        recorded."""
+        monkeypatch.setenv("REPRO_SENTINEL_RATE", "0")
+        calls: list[str] = []
+
+        def fake(program, name, target, engine):
+            calls.append(engine)
+            if len(calls) == 1:
+                raise TransientFaultError("planted transient")
+            return "fast-result"
+
+        _patched_run_program(monkeypatch, fake)
+        session = _FakeSession()
+        guard = TierGuard(session)
+        result = call_with_retries(
+            lambda: guard.run_trace("grep", "ppc", program=None),
+            POLICY, sleep=lambda _s: None)
+        assert result == "fast-result"
+        assert calls == ["compiled", "compiled"]
+        assert session.demotions == []
+
+    def test_persistent_transient_exhausts_on_demoted_tier(
+            self, monkeypatch):
+        """If the oracle keeps failing transiently, the policy's
+        attempts are spent on the oracle tier and the error finally
+        propagates -- never silently reverting to the fast tier."""
+        calls: list[str] = []
+
+        def fake(program, name, target, engine):
+            calls.append(engine)
+            if engine == "compiled":
+                raise ValueError("planted fast-tier fault")
+            raise TransientFaultError("still transient")
+
+        _patched_run_program(monkeypatch, fake)
+        guard = TierGuard(_FakeSession())
+        with pytest.raises(TransientFaultError):
+            call_with_retries(
+                lambda: guard.run_trace("grep", "ppc", program=None),
+                POLICY, sleep=lambda _s: None)
+        assert calls == ["compiled", "interp", "interp", "interp"]

@@ -243,8 +243,14 @@ class TestRssWatchdog:
         assert rss_limit_from_env() == 0.0
         monkeypatch.setenv("REPRO_RSS_LIMIT_MB", "512")
         assert rss_limit_from_env() == 512.0
+
+    def test_malformed_limit_warns_and_defaults(self, monkeypatch):
         monkeypatch.setenv("REPRO_RSS_LIMIT_MB", "junk")
-        assert rss_limit_from_env() == 0.0
+        with pytest.warns(RuntimeWarning,
+                          match="REPRO_RSS_LIMIT_MB='junk'"):
+            assert rss_limit_from_env() == 0.0
+        with pytest.warns(RuntimeWarning, match="using the default"):
+            assert rss_limit_from_env(256.0) == 256.0
 
     def test_check_raises_over_budget(self):
         unit = WorkUnit("grep", "trace", "ppc")

@@ -176,7 +176,10 @@ class TestRunDirectories:
         for name in ("r1", "r2", "r3", "r4"):
             RunJournal.create(tmp_path, name, _manifest()).close()
         removed = prune_runs(tmp_path, keep=2, protect="r1")
-        survivors = sorted(p.name for p in tmp_path.iterdir())
+        # The LATEST pointer file lives beside the run directories and
+        # is never pruned.
+        survivors = sorted(p.name for p in tmp_path.iterdir()
+                           if p.is_dir())
         assert removed == 1
         assert survivors == ["r1", "r3", "r4"]
 

@@ -1,0 +1,157 @@
+"""The kill/restart differential suite for ``repro serve``.
+
+The service's headline robustness claim: an experiment interrupted by
+SIGTERM mid-run is parked through the journal, and a restarted server
+resumes it to a result byte-identical to a cold serial CLI run.  This
+suite proves it with real subprocesses -- a baseline ``repro
+experiment`` run is the identity oracle, and the served result's text
+must equal its stdout exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+EXHIBIT = "fig6"
+BENCHMARKS = ["grep", "compress"]
+
+
+def _env():
+    env = {key: value for key, value in os.environ.items()
+           if not key.startswith("REPRO_")}
+    env["PYTHONPATH"] = SRC
+    return env
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """The cold serial CLI run whose stdout is the identity oracle."""
+    cwd = tmp_path_factory.mktemp("serve-baseline")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "experiment", EXHIBIT,
+         "--scale", "tiny", "--benchmarks", ",".join(BENCHMARKS)],
+        capture_output=True, text=True, env=_env(), cwd=cwd,
+        timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class _Daemon:
+    def __init__(self, state_dir, drain_timeout: float = 1.0):
+        self._sockdir = tempfile.mkdtemp(prefix="repro-kr-")
+        self.socket_path = os.path.join(self._sockdir, "s.sock")
+        self.state_dir = str(state_dir)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", self.socket_path,
+             "--state-dir", self.state_dir,
+             "--scale", "tiny",
+             "--drain-timeout", str(drain_timeout)],
+            env=_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, text=True)
+
+    def stop(self, timeout: float = 60.0) -> int:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+        try:
+            code = self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            code = self.proc.wait(10)
+        shutil.rmtree(self._sockdir, ignore_errors=True)
+        return code
+
+    def ready(self) -> None:
+        with ServeClient(self.socket_path) as probe:
+            assert probe.wait_until_ready(timeout=60.0), \
+                "server never became ready"
+
+
+class TestKillResume:
+    def test_sigterm_mid_run_resumes_byte_identical(self, tmp_path,
+                                                    baseline):
+        state_dir = tmp_path / "state"
+        # A drain window far shorter than the experiment's runtime, so
+        # the SIGTERM reliably interrupts the run instead of letting it
+        # finish gracefully during the drain.
+        first = _Daemon(state_dir, drain_timeout=0.2)
+        try:
+            first.ready()
+            fates: list = []
+
+            def ask():
+                try:
+                    with ServeClient(first.socket_path,
+                                     timeout=120.0) as own:
+                        fates.append(("ok", own.experiment(
+                            EXHIBIT, list(BENCHMARKS), scale="tiny")))
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    fates.append(("error", exc))
+
+            asker = threading.Thread(target=ask, daemon=True)
+            asker.start()
+            # Wait for the write-ahead pending record, then let the
+            # experiment subprocess get genuinely under way before the
+            # kill (the whole run takes well under a second warm).
+            pending_dir = state_dir / "pending"
+            give_up = time.monotonic() + 60.0
+            while time.monotonic() < give_up \
+                    and not list(pending_dir.glob("*.json")):
+                time.sleep(0.01)
+            pending = list(pending_dir.glob("*.json"))
+            assert pending, "no write-ahead pending record appeared"
+            time.sleep(0.1)
+            exit_code = first.stop()
+            assert exit_code == 0, \
+                f"drained server exited {exit_code}, not 0"
+            asker.join(30)
+        finally:
+            first.stop()
+
+        # The interrupted run is parked for resume, not lost.
+        assert list((state_dir / "pending").glob("*.json")), \
+            "the killed run left no pending record to resume"
+
+        second = _Daemon(state_dir)
+        try:
+            second.ready()
+            with ServeClient(second.socket_path, timeout=300.0) as client:
+                result = client.experiment(EXHIBIT, list(BENCHMARKS),
+                                           scale="tiny")
+            assert result["text"] == baseline, \
+                "resumed exhibit is not byte-identical to the cold run"
+            assert second.stop() == 0
+        finally:
+            second.stop()
+
+    def test_unharmed_server_serves_the_same_bytes(self, tmp_path,
+                                                   baseline):
+        """Control: no kill at all -- the served experiment equals the
+        CLI run, so the resumed path above is compared against a
+        meaningful oracle."""
+        daemon = _Daemon(tmp_path / "state")
+        try:
+            daemon.ready()
+            with ServeClient(daemon.socket_path, timeout=300.0) as client:
+                result = client.experiment(EXHIBIT, list(BENCHMARKS),
+                                           scale="tiny")
+                again = client.experiment(EXHIBIT, list(BENCHMARKS),
+                                          scale="tiny")
+                assert client.last_meta["cached"]
+            assert result["text"] == baseline
+            assert again == result
+        finally:
+            daemon.stop()

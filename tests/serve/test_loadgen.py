@@ -1,0 +1,101 @@
+"""Tests for the serve bench document: schema validation, the
+regression gates, rendering, and the atomic write/load round trip.
+(The live load-generation path is exercised by the CI smoke job and
+the chaos drills; these tests pin the offline machinery.)"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.serve.loadgen import (
+    SERVE_SCHEMA_ID,
+    compare_serve_bench,
+    load_serve_bench,
+    render_serve_bench,
+    validate_serve_bench,
+    write_serve_bench,
+)
+
+GOOD = {
+    "schema": SERVE_SCHEMA_ID,
+    "requests": 60,
+    "concurrency": 6,
+    "overload": 32,
+    "latency": {"count": 60, "p50_s": 0.01, "p95_s": 0.05,
+                "p99_s": 0.08, "mean_s": 0.02, "max_s": 0.1},
+    "coalescing": {"received": 95, "coalesced": 30, "cache_hits": 20,
+                   "hit_rate": 0.5263},
+    "overload_burst": {"sent": 32, "ok": 20, "shed": 12, "failed": 0,
+                       "shed_rate": 0.375, "queue_limit": 16},
+    "phases": {"warm": {"ok": 3, "failed": 0},
+               "steady": {"ok": 60, "shed": 0, "failed": 0}},
+    "server": {"workers": 2, "scale": "tiny", "shed_total": 12},
+    "host": {"python": "3.11", "machine": "x86_64"},
+}
+
+
+class TestValidation:
+    def test_good_document_validates(self):
+        assert validate_serve_bench(GOOD) == []
+
+    def test_not_an_object(self):
+        assert validate_serve_bench([1, 2]) == \
+            ["document is not an object"]
+
+    def test_wrong_schema_id(self):
+        bad = dict(GOOD, schema="something/v9")
+        assert any("schema" in e for e in validate_serve_bench(bad))
+
+    def test_negative_latency_rejected(self):
+        bad = copy.deepcopy(GOOD)
+        bad["latency"]["p99_s"] = -1.0
+        assert any("p99_s" in e for e in validate_serve_bench(bad))
+
+    def test_missing_rates_rejected(self):
+        bad = copy.deepcopy(GOOD)
+        del bad["overload_burst"]["shed_rate"]
+        assert any("shed_rate" in e for e in validate_serve_bench(bad))
+
+
+class TestRegressionGates:
+    def test_identical_documents_pass(self):
+        assert compare_serve_bench(GOOD, GOOD) == []
+
+    def test_small_latency_wobble_is_noise(self):
+        current = copy.deepcopy(GOOD)
+        # 10x the baseline ratio-wise, but the absolute delta (90ms)
+        # sits under the 250ms noise floor, so it must not gate.
+        current["latency"]["p50_s"] = GOOD["latency"]["p50_s"] * 10
+        assert compare_serve_bench(current, GOOD) == []
+
+    def test_large_latency_regression_fails(self):
+        current = copy.deepcopy(GOOD)
+        current["latency"]["p99_s"] = 3.0  # 37x and >noise floor
+        messages = compare_serve_bench(current, GOOD)
+        assert len(messages) == 1 and "p99_s" in messages[0]
+
+    def test_lost_coalescing_fails_at_any_latency(self):
+        current = copy.deepcopy(GOOD)
+        current["coalescing"]["hit_rate"] = 0.0
+        messages = compare_serve_bench(current, GOOD)
+        assert any("no longer coalesce" in m for m in messages)
+
+    def test_lost_shedding_fails_at_any_latency(self):
+        current = copy.deepcopy(GOOD)
+        current["overload_burst"]["shed_rate"] = 0.0
+        messages = compare_serve_bench(current, GOOD)
+        assert any("no longer sheds" in m for m in messages)
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        path = write_serve_bench(GOOD, tmp_path / "BENCH_SERVE.json")
+        assert load_serve_bench(path) == GOOD
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_render_mentions_the_headline_numbers(self):
+        text = render_serve_bench(GOOD)
+        assert "p95" in text and "hit rate 52.6%" in text
+        assert "12/32 shed" in text

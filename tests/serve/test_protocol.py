@@ -1,0 +1,126 @@
+"""Tests for the ``repro.serve/v1`` wire protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ProtocolError,
+    ReproError,
+    ServiceOverloadError,
+)
+from repro.serve import protocol
+
+
+class TestFrames:
+    def test_round_trip(self):
+        request = protocol.make_request(
+            "trace", {"bench": "grep", "scale": "tiny"},
+            request_id="t-1", deadline_s=5.0)
+        assert protocol.decode_frame(
+            protocol.encode_frame(request)) == request
+
+    def test_canonical_json_is_stable(self):
+        a = protocol.canonical_json({"b": 1, "a": [2, {"d": 3, "c": 4}]})
+        b = protocol.canonical_json(
+            json.loads('{"a": [2, {"c": 4, "d": 3}], "b": 1}'))
+        assert a == b and " " not in a
+
+    def test_oversized_frame_rejected_both_ways(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame(
+                {"pad": "x" * protocol.MAX_FRAME_BYTES})
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.decode_frame(
+                b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+    @pytest.mark.parametrize("line", [
+        b"not json\n",
+        b"[1, 2, 3]\n",
+        b'"a bare string"\n',
+        b"\xff\xfe garbage\n",
+    ])
+    def test_damaged_frames_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(line)
+
+
+class TestRequestValidation:
+    def test_wrong_protocol_id(self):
+        with pytest.raises(ProtocolError, match="repro.serve/v1"):
+            protocol.validate_request(
+                {"proto": "repro.serve/v0", "op": "ping", "params": {}})
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            protocol.make_request("explode")
+
+    @pytest.mark.parametrize("deadline", [0, -1, "soon", True])
+    def test_bad_deadlines(self, deadline):
+        with pytest.raises(ProtocolError, match="deadline_s"):
+            protocol.validate_request(
+                {"proto": protocol.PROTOCOL_ID, "op": "ping",
+                 "params": {}, "deadline_s": deadline})
+
+    def test_params_must_be_object(self):
+        with pytest.raises(ProtocolError, match="params"):
+            protocol.validate_request(
+                {"proto": protocol.PROTOCOL_ID, "op": "trace",
+                 "params": ["grep"]})
+
+
+class TestRequestKey:
+    def test_key_ignores_id_and_deadline(self):
+        assert protocol.request_key("trace", {"bench": "grep"}) == \
+            protocol.request_key("trace", {"bench": "grep"})
+
+    def test_key_order_insensitive(self):
+        assert protocol.request_key(
+            "model", {"bench": "grep", "machine": "620"}) == \
+            protocol.request_key(
+                "model", {"machine": "620", "bench": "grep"})
+
+    def test_key_distinguishes_ops_and_params(self):
+        base = protocol.request_key("trace", {"bench": "grep"})
+        assert protocol.request_key("annotate", {"bench": "grep"}) != base
+        assert protocol.request_key("trace", {"bench": "compress"}) != base
+
+
+class TestErrorMapping:
+    CASES = (
+        (ServiceOverloadError("full", 0.25), "overloaded", 429,
+         ServiceOverloadError),
+        (DeadlineExceededError("late"), "deadline", 504,
+         DeadlineExceededError),
+        (CircuitOpenError("open"), "circuit_open", 503,
+         CircuitOpenError),
+        (ProtocolError("bad"), "bad_request", 400, ProtocolError),
+        (ValueError("boom"), "failed", 500, ReproError),
+    )
+
+    @pytest.mark.parametrize("exc,kind,status,raised", CASES,
+                             ids=[c[1] for c in CASES])
+    def test_error_round_trip(self, exc, kind, status, raised):
+        response = protocol.error_response("r-1", exc)
+        assert response["error"]["kind"] == kind
+        assert protocol.http_status(response) == status
+        with pytest.raises(raised):
+            protocol.raise_for_error(response)
+
+    def test_retry_after_survives_the_wire(self):
+        response = protocol.error_response(
+            "r-1", ServiceOverloadError("full", retry_after_s=0.75))
+        assert response["error"]["retry_after_s"] == 0.75
+        with pytest.raises(ServiceOverloadError) as caught:
+            protocol.raise_for_error(response)
+        assert caught.value.retry_after_s == 0.75
+
+    def test_ok_response_passes_through(self):
+        response = protocol.ok_response("r-1", {"x": 1},
+                                        {"cached": True})
+        assert protocol.http_status(response) == 200
+        assert protocol.raise_for_error(response) is response

@@ -1,0 +1,360 @@
+"""Tests for the serve scheduler: admission, coalescing, deadlines,
+circuit breaking, and drain -- all in-process against stub runners
+(the scheduler is deliberately runner-agnostic)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServiceOverloadError,
+)
+from repro.serve.protocol import request_key
+from repro.serve.scheduler import (
+    CircuitBreaker,
+    Scheduler,
+    ServeStats,
+    breaker_subject,
+    normalize_params,
+    percentile,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [float(n) for n in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+
+    def test_degenerate_inputs(self):
+        assert percentile([], 99) == 0.0
+        assert percentile([7.0], 50) == 7.0
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_execution(self):
+        calls = {"n": 0}
+
+        async def runner(op, params, deadline_s):
+            calls["n"] += 1
+            await asyncio.sleep(0.02)
+            return {"answer": 42}
+
+        async def drive():
+            sched = Scheduler(runner, workers=4)
+            return await asyncio.gather(*[
+                sched.submit("trace", {"bench": "grep"})
+                for _ in range(8)]), sched
+
+        pairs, sched = run(drive())
+        assert calls["n"] == 1
+        assert all(result == {"answer": 42} for result, _m in pairs)
+        assert sum(1 for _r, meta in pairs if meta["coalesced"]) == 7
+        assert sched.stats.coalesced == 7
+        assert sched.stats.completed == 1
+
+    def test_completed_results_come_from_the_cache(self):
+        calls = {"n": 0}
+
+        async def runner(op, params, deadline_s):
+            calls["n"] += 1
+            return calls["n"]
+
+        async def drive():
+            sched = Scheduler(runner)
+            first, first_meta = await sched.submit("trace", {"bench": "x"})
+            second, second_meta = await sched.submit("trace", {"bench": "x"})
+            return first, second, second_meta, sched
+
+        first, second, second_meta, sched = run(drive())
+        assert calls["n"] == 1 and first == second == 1
+        assert second_meta["cached"] and sched.stats.cache_hits == 1
+
+    def test_failures_are_not_cached(self):
+        calls = {"n": 0}
+
+        async def runner(op, params, deadline_s):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("first attempt fails")
+            return "second attempt"
+
+        async def drive():
+            sched = Scheduler(runner)
+            with pytest.raises(ValueError):
+                await sched.submit("trace", {"bench": "x"})
+            return await sched.submit("trace", {"bench": "x"})
+
+        result, meta = run(drive())
+        assert result == "second attempt" and not meta["cached"]
+        assert calls["n"] == 2
+
+    def test_coalesced_waiter_cancellation_spares_the_execution(self):
+        async def runner(op, params, deadline_s):
+            await asyncio.sleep(0.05)
+            return "survived"
+
+        async def drive():
+            sched = Scheduler(runner)
+            first = asyncio.ensure_future(
+                sched.submit("trace", {"bench": "x"}))
+            await asyncio.sleep(0.01)
+            second = asyncio.ensure_future(
+                sched.submit("trace", {"bench": "x"}))
+            await asyncio.sleep(0.01)
+            second.cancel()
+            result, _meta = await first
+            return result
+
+        assert run(drive()) == "survived"
+
+
+class TestAdmissionControl:
+    def test_queue_high_water_mark_sheds(self):
+        async def drive():
+            gate = asyncio.Event()
+
+            async def runner(op, params, deadline_s):
+                await gate.wait()
+                return "ok"
+
+            sched = Scheduler(runner, workers=1, queue_limit=2)
+            tasks = [asyncio.ensure_future(
+                sched.submit("trace", {"n": n})) for n in range(3)]
+            await asyncio.sleep(0.02)  # 1 executing + 2 queued
+            with pytest.raises(ServiceOverloadError) as caught:
+                await sched.submit("trace", {"n": 3})
+            gate.set()
+            await asyncio.gather(*tasks)
+            return caught.value, sched
+
+        exc, sched = run(drive())
+        assert exc.retry_after_s > 0
+        assert sched.stats.shed == 1
+        assert sched.stats.completed == 3
+
+    def test_retry_after_stays_in_band(self):
+        async def runner(op, params, deadline_s):
+            return None
+
+        async def drive():
+            sched = Scheduler(runner)
+            for n in range(5):
+                await sched.submit("trace", {"n": n})
+            return sched._retry_after()
+
+        assert 0.1 <= run(drive()) <= 5.0
+
+
+class TestDeadlines:
+    def test_backstop_expires_a_wedged_runner(self):
+        async def runner(op, params, deadline_s):
+            await asyncio.sleep(30.0)
+
+        async def drive():
+            sched = Scheduler(runner, deadline_grace=0.0)
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                await sched.submit("trace", {"bench": "x"},
+                                   deadline_s=0.05)
+            return sched
+
+        sched = run(drive())
+        assert sched.stats.deadline_expired == 1
+        assert sched.in_flight == 0 and sched.queue_depth == 0
+
+    def test_deadline_failures_count_toward_the_breaker(self):
+        async def runner(op, params, deadline_s):
+            await asyncio.sleep(30.0)
+
+        async def drive():
+            sched = Scheduler(runner, deadline_grace=0.0,
+                              breaker_threshold=2, breaker_cooldown=60.0)
+            for n in range(2):
+                with pytest.raises(DeadlineExceededError):
+                    await sched.submit("trace", {"bench": "x", "n": n},
+                                       deadline_s=0.05)
+            with pytest.raises(CircuitOpenError):
+                await sched.submit("trace", {"bench": "x", "n": 2})
+            return sched
+
+        assert run(drive()).stats.circuit_rejections == 1
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_recloses_on_probe(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0,
+                                 clock=lambda: clock["now"])
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.remaining() == 10.0
+        clock["now"] = 10.0
+        assert breaker.allow()  # the half-open probe
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_ok()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0,
+                                 clock=lambda: clock["now"])
+        breaker.record_failure()
+        clock["now"] = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_subjects_isolate_benchmarks(self):
+        assert breaker_subject("trace", {"bench": "grep"}) == "trace:grep"
+        assert breaker_subject("experiment", {"exhibit": "fig6"}) == \
+            "experiment:fig6"
+        assert breaker_subject("ping", {}) == "ping:*"
+
+    def test_scheduler_shields_a_failing_subject(self):
+        async def runner(op, params, deadline_s):
+            if params["bench"] == "grep":
+                raise ValueError("grep is broken")
+            return "fine"
+
+        async def drive():
+            sched = Scheduler(runner, breaker_threshold=2,
+                              breaker_cooldown=60.0)
+            for n in range(2):
+                with pytest.raises(ValueError):
+                    await sched.submit("trace", {"bench": "grep", "n": n})
+            with pytest.raises(CircuitOpenError, match="trace:grep"):
+                await sched.submit("trace", {"bench": "grep", "n": 2})
+            # An unrelated benchmark is untouched by grep's circuit.
+            result, _meta = await sched.submit(
+                "trace", {"bench": "compress"})
+            return result
+
+        assert run(drive()) == "fine"
+
+
+class TestDrain:
+    def test_draining_sheds_new_work_but_serves_the_cache(self):
+        async def runner(op, params, deadline_s):
+            return "done"
+
+        async def drive():
+            sched = Scheduler(runner)
+            await sched.submit("trace", {"bench": "grep"})
+            sched.draining = True
+            with pytest.raises(ServiceOverloadError, match="draining"):
+                await sched.submit("trace", {"bench": "compress"})
+            result, meta = await sched.submit("trace", {"bench": "grep"})
+            idle = await sched.wait_idle(1.0)
+            return result, meta, idle
+
+        result, meta, idle = run(drive())
+        assert result == "done" and meta["cached"] and idle
+
+    def test_wait_idle_times_out_and_cancel_clears(self):
+        async def drive():
+            gate = asyncio.Event()
+
+            async def runner(op, params, deadline_s):
+                await gate.wait()
+
+            sched = Scheduler(runner)
+            task = asyncio.ensure_future(
+                sched.submit("trace", {"bench": "x"}))
+            await asyncio.sleep(0.01)
+            timed_out = await sched.wait_idle(0.05)
+            cancelled = sched.cancel_inflight()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return timed_out, cancelled
+
+        timed_out, cancelled = run(drive())
+        assert not timed_out and cancelled == 1
+
+
+class TestSnapshot:
+    def test_rates_and_counters(self):
+        async def runner(op, params, deadline_s):
+            return "ok"
+
+        async def drive():
+            sched = Scheduler(runner)
+            await asyncio.gather(*[
+                sched.submit("trace", {"bench": "grep"})
+                for _ in range(4)])
+            await sched.submit("trace", {"bench": "grep"})
+            return sched.snapshot()
+
+        doc = run(drive())
+        assert doc["received"] == 5 and doc["completed"] == 1
+        assert doc["coalesced"] + doc["cache_hits"] == 4
+        assert doc["coalescing_hit_rate"] == pytest.approx(0.8)
+        assert doc["shed_rate"] == 0.0
+        assert doc["latency"]["count"] == 1
+
+    def test_latency_summary_shape(self):
+        stats = ServeStats()
+        for ms in (1, 2, 3):
+            stats.record_latency(ms / 1000.0)
+        summary = stats.latency_summary()
+        assert summary["count"] == 3
+        assert summary["p50_ms"] == pytest.approx(2.0)
+        assert summary["max_ms"] == pytest.approx(3.0)
+
+
+class TestNormalization:
+    def test_spellings_coalesce_to_one_key(self):
+        sparse = normalize_params("trace", {"bench": "grep"},
+                                  default_scale="small")
+        explicit = normalize_params(
+            "trace", {"bench": "grep", "scale": "small",
+                      "target": "ppc"}, default_scale="small")
+        assert request_key("trace", sparse) == \
+            request_key("trace", explicit)
+
+    def test_annotate_config_canonicalized(self):
+        out = normalize_params("annotate",
+                               {"bench": "grep", "scale": "tiny"})
+        assert out["config"] == "Simple"
+
+    def test_experiment_benchmark_order_is_preserved(self):
+        # Byte-identity with CLI runs depends on the caller's order
+        # surviving normalization (the report iterates benchmarks in
+        # the order given).
+        out = normalize_params(
+            "experiment", {"exhibit": "fig6", "scale": "tiny",
+                           "benchmarks": ["grep", "compress"]})
+        assert out["benchmarks"] == ["grep", "compress"]
+
+    @pytest.mark.parametrize("op,params,complaint", [
+        ("trace", {"bench": "nope"}, "unknown benchmark"),
+        ("trace", {"bench": "grep", "scale": "galactic"},
+         "unknown scale"),
+        ("trace", {"bench": "grep", "target": "mips"},
+         "unknown target"),
+        ("model", {"bench": "grep", "machine": "604"},
+         "unknown machine"),
+        ("experiment", {"exhibit": "fig99"}, "unknown exhibit"),
+        ("experiment", {"exhibit": "fig6", "benchmarks": []},
+         "non-empty list"),
+        ("experiment", {"exhibit": "fig6", "benchmarks": ["nope"]},
+         "unknown benchmark"),
+    ])
+    def test_invalid_requests_fail_before_admission(self, op, params,
+                                                    complaint):
+        with pytest.raises(ProtocolError, match=complaint):
+            normalize_params(op, dict(params, scale=params.get(
+                "scale", "tiny")))
