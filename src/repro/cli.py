@@ -19,6 +19,15 @@ Commands
     per-benchmark checkpoints under ``.repro/runs/<run-id>/`` so a
     crashed or killed run resumes with ``--resume <run-id>`` and
     produces byte-identical output (see ``docs/journal.md``).
+``sweep BENCH``
+    One-pass design-space sweep: decode the benchmark's trace once and
+    evaluate a whole grid of LVP configurations (>= 100 design points
+    by default) against shared in-memory columns, sharded across
+    ``--jobs`` workers and journaled under ``.repro/sweeps/<run-id>/``
+    for crash-resume.  ``--exhibits`` renders the Table 3/4 and
+    Figure 6 sensitivity families; ``--measure``/``--check`` maintain
+    the ``BENCH_SWEEP.json`` shared-decode speedup benchmark (see
+    ``docs/sweep.md``).
 ``check``
     Evaluate every paper-shape claim against a fresh session.
 ``doctor``
@@ -68,7 +77,7 @@ import signal
 import sys
 from typing import Optional
 
-from repro.errors import JournalError
+from repro.errors import ConfigError, JournalError
 from repro.harness.experiments import EXPERIMENTS, run_experiments
 from repro.harness.journal import (
     RunJournal,
@@ -291,13 +300,16 @@ def _report_timing(session: Session) -> None:
         print(report.render(), file=sys.stderr)
 
 
-def _install_interrupt_handlers(journal: RunJournal):
+def _install_interrupt_handlers(journal: RunJournal,
+                                resume_command: Optional[str] = None):
     """SIGINT/SIGTERM: journal a clean ``interrupted`` record, print
     the resume command, and exit with the conventional 128+signum."""
     import threading
     if threading.current_thread() is not threading.main_thread():
         return {}
     owner = os.getpid()
+    resume = resume_command or \
+        f"repro experiment --resume {journal.run_id}"
 
     def handler(signum, frame):
         if os.getpid() != owner:  # a forked worker inherited us
@@ -306,7 +318,7 @@ def _install_interrupt_handlers(journal: RunJournal):
             journal.interrupted(signum)
         name = signal.Signals(signum).name
         message = (f"\ninterrupted ({name}); resume with:\n"
-                   f"  repro experiment --resume {journal.run_id}\n")
+                   f"  {resume}\n")
         with contextlib.suppress(Exception):
             os.write(sys.stderr.fileno(), message.encode())
         os._exit(128 + signum)
@@ -405,6 +417,173 @@ def cmd_experiment(args) -> int:
     code = 1 if _report_failures(session) else 0
     journal.finished(code)
     journal.close()
+    return code
+
+
+def _cmd_sweep_measure(args, progress) -> int:
+    """The ``repro sweep --measure/--check`` benchmark path."""
+    from repro.harness.sweep import (
+        SWEEP_SPEEDUP_FLOOR,
+        compare_sweep_bench,
+        load_sweep_bench,
+        render_sweep_bench,
+        run_sweep_bench,
+        validate_sweep_bench,
+        write_sweep_bench,
+    )
+    try:
+        document = run_sweep_bench(bench=args.bench, scale=args.scale,
+                                   target=args.target,
+                                   progress=progress)
+    except ConfigError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_sweep_bench(document)
+    if errors:
+        print("repro: error: sweep bench document failed validation:",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 2
+    print(render_sweep_bench(document))
+    if args.output:
+        write_sweep_bench(document, args.output)
+        print(f"wrote {args.output}")
+    if args.check:
+        try:
+            baseline = load_sweep_bench(args.baseline)
+        except OSError:
+            print(f"repro: error: no baseline at {args.baseline} "
+                  "(run 'repro sweep BENCH --measure --output' first)",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"repro: error: damaged baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        base_errors = validate_sweep_bench(baseline)
+        if base_errors:
+            print(f"repro: error: baseline {args.baseline} failed "
+                  "validation:", file=sys.stderr)
+            for error in base_errors:
+                print(f"  - {error}", file=sys.stderr)
+            return 2
+        regressions = compare_sweep_bench(document, baseline,
+                                          threshold=args.threshold)
+        if regressions:
+            print(f"sweep regressions vs {args.baseline}:",
+                  file=sys.stderr)
+            for regression in regressions:
+                print(f"  - {regression}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline} "
+              f"(threshold {args.threshold:g}x, floor "
+              f"{SWEEP_SPEEDUP_FLOOR:g}x)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.harness.sweep import (
+        SweepJournal,
+        build_sweep_manifest,
+        render_exhibits,
+        render_sweep,
+        run_journaled_sweep,
+        run_sweep,
+        sweep_runs_dir_from_env,
+        validate_sweep,
+    )
+    from repro.lvp.grid import grid_from_args
+
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(f"  {message}", file=sys.stderr)
+
+    if args.measure or args.check:
+        return _cmd_sweep_measure(args, progress)
+
+    try:
+        configs = grid_from_args(args.grid, args.limit)
+    except ConfigError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+    def finish(document) -> int:
+        errors = validate_sweep(document)
+        if errors:
+            print("repro: error: sweep document failed validation:",
+                  file=sys.stderr)
+            for error in errors:
+                print(f"  - {error}", file=sys.stderr)
+            return 2
+        print(f"swept {document['configs']} configurations in "
+              f"{document.get('wall_s', 0.0):.2f}s "
+              f"({document.get('jobs', 1)} jobs)", file=sys.stderr)
+        print(render_sweep(document, top=args.top))
+        if args.exhibits:
+            print()
+            print(render_exhibits(document))
+        if args.output:
+            import json
+            path = args.output
+            with open(path, "w") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {path}")
+        return 0
+
+    if args.no_journal:
+        document = run_sweep(args.bench, configs, target=args.target,
+                             scale=args.scale, jobs=_resolve_jobs(args),
+                             chunk_size=args.chunk_size,
+                             progress=progress)
+        return finish(document)
+
+    runs_dir = args.runs_dir or sweep_runs_dir_from_env()
+    cache_dir = None
+    try:
+        if args.resume:
+            journal = SweepJournal.open(runs_dir, args.resume)
+            manifest = journal.manifest
+            if args.bench != manifest["bench"]:
+                print(f"note: resuming {manifest['bench']!r} as recorded "
+                      f"(ignoring {args.bench!r})", file=sys.stderr)
+            bench = manifest["bench"]
+            target = manifest["target"]
+            scale = manifest["scale"]
+            cache_dir = manifest.get("cache_dir")
+            jobs = _cap_jobs(args.jobs) if args.jobs is not None \
+                else _cap_jobs(int(manifest.get("jobs", 1)))
+            resume = True
+        else:
+            bench, target, scale = args.bench, args.target, args.scale
+            jobs = _resolve_jobs(args)
+            run_id = args.run_id or new_run_id()
+            prune_runs(runs_dir, protect=run_id)
+            journal = SweepJournal.create(
+                runs_dir, run_id,
+                build_sweep_manifest(bench, target, scale, configs,
+                                     args.chunk_size, jobs))
+            resume = False
+    except JournalError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    resume_command = f"repro sweep {bench} --resume {journal.run_id}"
+    print(f"sweep journal: {journal.directory} "
+          f"(resume: {resume_command})", file=sys.stderr)
+    previous = _install_interrupt_handlers(journal, resume_command)
+    try:
+        document = run_journaled_sweep(
+            bench, configs, journal=journal, target=target, scale=scale,
+            jobs=jobs, cache_dir=cache_dir, resume=resume,
+            progress=progress)
+    except JournalError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        _restore_handlers(previous)
+    code = finish(document)
+    journal.finished(code)
     return code
 
 
@@ -779,6 +958,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every work unit under cProfile and write the hottest "
              "units' captures into <run-dir>/profiles/")
     experiment_parser.set_defaults(func=cmd_experiment)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="one-pass design-space sweep over one trace")
+    _add_common(sweep_parser)
+    _add_jobs(sweep_parser)
+    sweep_parser.add_argument(
+        "--grid", default=None, metavar="SPEC",
+        help="grid spec 'dim=v1,v2;dim=...' using lvpt/depth/selection/"
+             "lct/bits/cvu/predictor/index/ghr/tagged (default: the "
+             "builtin >=100-point sensitivity grid)")
+    sweep_parser.add_argument(
+        "--limit", type=_jobs_arg, default=None, metavar="N",
+        help="truncate the grid after N valid configurations")
+    sweep_parser.add_argument(
+        "--top", type=_jobs_arg, default=10, metavar="N",
+        help="rows in the best-configurations table (default: 10)")
+    sweep_parser.add_argument(
+        "--exhibits", action="store_true",
+        help="also render the Table 3/4 and Figure 6 sensitivity "
+             "families")
+    sweep_parser.add_argument(
+        "--chunk-size", type=_jobs_arg, default=16, metavar="N",
+        help="configs per journaled work unit (default: 16)")
+    sweep_parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume an interrupted journaled sweep ('latest' picks "
+             "the newest); completed chunks load from verified "
+             "checkpoints, only the rest re-evaluate")
+    sweep_parser.add_argument(
+        "--run-id", default=None, metavar="RUN_ID",
+        help="explicit id for this sweep's journal directory "
+             "(default: a timestamp-derived id)")
+    sweep_parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="where sweep journals live (default: $REPRO_SWEEP_RUNS_DIR "
+             "or .repro/sweeps)")
+    sweep_parser.add_argument(
+        "--no-journal", action="store_true",
+        help="skip the write-ahead journal (the sweep cannot be "
+             "resumed)")
+    sweep_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the sweep document (or, with --measure/--check, "
+             "the BENCH_SWEEP document) as JSON")
+    sweep_parser.add_argument(
+        "--measure", action="store_true",
+        help="measure the shared-decode speedup benchmark instead of "
+             "printing sweep results (e.g. --output BENCH_SWEEP.json)")
+    sweep_parser.add_argument(
+        "--check", action="store_true",
+        help="measure and compare against the committed baseline; "
+             "exit 1 on regressions or a speedup below the floor")
+    sweep_parser.add_argument(
+        "--baseline", default="BENCH_SWEEP.json", metavar="FILE",
+        help="baseline document for --check "
+             "(default: BENCH_SWEEP.json)")
+    sweep_parser.add_argument(
+        "--threshold", type=float, default=2.0, metavar="X",
+        help="--check fails only when the speedup regressed more than "
+             "X times against the baseline (default: 2.0)")
+    sweep_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress chunk progress on stderr")
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     stats_parser = commands.add_parser(
         "stats", help="render a journaled run's metrics.json")

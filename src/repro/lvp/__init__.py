@@ -11,17 +11,30 @@
 from repro.lvp.config import (
     CONSTANT,
     EXTENSION_CONFIGS,
+    FCM,
     GSHARE,
+    HYBRID,
+    LASTN,
     LIMIT,
     LVPConfig,
     PAPER_CONFIGS,
     PERFECT,
+    PREDICTORS,
     REALISTIC_CONFIGS,
     SIMPLE,
     STRIDE,
     config_by_name,
 )
 from repro.lvp.context import ContextLVPT
+from repro.lvp.fcm import FCMPredictor
+from repro.lvp.grid import (
+    expand_grid,
+    grid_from_args,
+    parse_grid_spec,
+    sensitivity_grid,
+)
+from repro.lvp.hybrid import HybridPredictor
+from repro.lvp.lastn import LastNPredictor
 from repro.lvp.general import (
     GeneralLocalityResult,
     measure_general_value_locality,
@@ -40,12 +53,16 @@ from repro.lvp.locality import (
     measure_value_locality,
 )
 from repro.lvp.lvpt import LVPT
-from repro.lvp.unit import LoadOutcome, LVPStats, LVPUnit
+from repro.lvp.unit import LoadOutcome, LVPStats, LVPUnit, build_predictor
 
 __all__ = [
-    "CONSTANT", "EXTENSION_CONFIGS", "GSHARE", "LIMIT", "LVPConfig",
-    "PAPER_CONFIGS", "PERFECT", "REALISTIC_CONFIGS", "SIMPLE", "STRIDE",
+    "CONSTANT", "EXTENSION_CONFIGS", "FCM", "GSHARE", "HYBRID", "LASTN",
+    "LIMIT", "LVPConfig", "PAPER_CONFIGS", "PERFECT", "PREDICTORS",
+    "REALISTIC_CONFIGS", "SIMPLE", "STRIDE",
     "config_by_name", "ContextLVPT", "StridePredictor",
+    "FCMPredictor", "HybridPredictor", "LastNPredictor",
+    "expand_grid", "grid_from_args", "parse_grid_spec",
+    "sensitivity_grid", "build_predictor",
     "GeneralLocalityResult", "measure_general_value_locality",
     "LoadProfile", "build_table_filter", "profile_loads",
     "CVU", "LCT", "LoadClass", "LVPT",

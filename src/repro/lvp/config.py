@@ -24,6 +24,9 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 
+#: Recognised value-predictor families (see repro.lvp.unit.build_predictor).
+PREDICTORS = ("history", "stride", "fcm", "lastn", "hybrid")
+
 
 @dataclass(frozen=True)
 class LVPConfig:
@@ -44,8 +47,10 @@ class LVPConfig:
     cvu_entries: int = 32
     perfect: bool = False  # oracle: every load predicted correctly
     lvpt_tagged: bool = False  # ablation: tag LVPT entries with full PC
-    #: Value predictor: "history" (the paper's LVPT) or "stride"
-    #: (the paper's future-work computed prediction).
+    #: Value predictor family: "history" (the paper's LVPT), "stride"
+    #: (the paper's future-work computed prediction), "fcm" (two-level
+    #: context/VHT+VPT), "lastn" (frequency-voted last-N buffer), or
+    #: "hybrid" (stride + last-value with a chooser).
     predictor: str = "history"
     #: LVPT index: "pc" (the paper) or "gshare" (future work: fold
     #: global branch history into the lookup index).
@@ -57,47 +62,62 @@ class LVPConfig:
     profile_filter: object = None  # Optional[frozenset[int]]
 
     def __post_init__(self) -> None:
-        if not self.perfect:
-            if self.lvpt_entries <= 0 or \
-                    self.lvpt_entries & (self.lvpt_entries - 1):
-                raise ConfigError(
-                    f"{self.name}: lvpt_entries must be a power of two"
-                )
-            if self.lct_entries <= 0 or \
-                    self.lct_entries & (self.lct_entries - 1):
-                raise ConfigError(
-                    f"{self.name}: lct_entries must be a power of two"
-                )
-            if self.history_depth < 1:
-                raise ConfigError(f"{self.name}: history_depth must be >= 1")
-            if self.selection not in ("mru", "perfect"):
-                raise ConfigError(
-                    f"{self.name}: unknown selection policy "
-                    f"{self.selection!r}"
-                )
-            if self.lct_bits not in (1, 2, 3, 4):
-                raise ConfigError(f"{self.name}: lct_bits must be 1..4")
-            if self.cvu_entries < 0:
-                raise ConfigError(f"{self.name}: cvu_entries must be >= 0")
-            if self.predictor not in ("history", "stride"):
-                raise ConfigError(
-                    f"{self.name}: unknown predictor {self.predictor!r}"
-                )
-            if self.index_mode not in ("pc", "gshare"):
-                raise ConfigError(
-                    f"{self.name}: unknown index_mode {self.index_mode!r}"
-                )
-            if self.predictor == "stride" and self.history_depth != 1:
-                raise ConfigError(
-                    f"{self.name}: the stride predictor keeps one value"
-                )
-            if not 1 <= self.ghr_bits <= 20:
-                raise ConfigError(f"{self.name}: ghr_bits must be 1..20")
-            if self.profile_filter is not None and \
-                    not isinstance(self.profile_filter, frozenset):
-                raise ConfigError(
-                    f"{self.name}: profile_filter must be a frozenset"
-                )
+        # Every field is validated whether or not the configuration is
+        # the Perfect oracle: a perfect unit builds no tables, but a
+        # silently-accepted lct_bits=99 or negative cvu_entries would
+        # poison grid expansion, serialization, and any later copy made
+        # with dataclasses.replace(..., perfect=False).
+        if self.lvpt_entries <= 0 or \
+                self.lvpt_entries & (self.lvpt_entries - 1):
+            raise ConfigError(
+                f"{self.name}: lvpt_entries must be a power of two"
+            )
+        if self.lct_entries <= 0 or \
+                self.lct_entries & (self.lct_entries - 1):
+            raise ConfigError(
+                f"{self.name}: lct_entries must be a power of two"
+            )
+        if self.history_depth < 1:
+            raise ConfigError(f"{self.name}: history_depth must be >= 1")
+        if self.selection not in ("mru", "perfect"):
+            raise ConfigError(
+                f"{self.name}: unknown selection policy "
+                f"{self.selection!r}"
+            )
+        if self.lct_bits not in (1, 2, 3, 4):
+            raise ConfigError(f"{self.name}: lct_bits must be 1..4")
+        if self.cvu_entries < 0:
+            raise ConfigError(f"{self.name}: cvu_entries must be >= 0")
+        if self.predictor not in PREDICTORS:
+            raise ConfigError(
+                f"{self.name}: unknown predictor {self.predictor!r}"
+            )
+        if self.index_mode not in ("pc", "gshare"):
+            raise ConfigError(
+                f"{self.name}: unknown index_mode {self.index_mode!r}"
+            )
+        if self.predictor == "stride" and self.history_depth != 1:
+            raise ConfigError(
+                f"{self.name}: the stride predictor keeps one value"
+            )
+        if self.predictor == "hybrid" and self.history_depth != 1:
+            raise ConfigError(
+                f"{self.name}: the hybrid predictor keeps one value "
+                "per component"
+            )
+        if self.predictor in ("stride", "fcm", "lastn", "hybrid") \
+                and self.index_mode != "pc":
+            raise ConfigError(
+                f"{self.name}: predictor {self.predictor!r} is "
+                "PC-indexed only"
+            )
+        if not 1 <= self.ghr_bits <= 20:
+            raise ConfigError(f"{self.name}: ghr_bits must be 1..20")
+        if self.profile_filter is not None and \
+                not isinstance(self.profile_filter, frozenset):
+            raise ConfigError(
+                f"{self.name}: profile_filter must be a frozenset"
+            )
 
 
 #: Paper Table 2, row "Simple": buildable within a processor generation.
@@ -138,7 +158,23 @@ GSHARE = LVPConfig(
     name="Gshare", lvpt_entries=1024, index_mode="gshare", ghr_bits=8,
     lct_entries=256, lct_bits=2, cvu_entries=32,
 )
-EXTENSION_CONFIGS = (STRIDE, GSHARE)
+#: gem5VP-style two-level context predictor: a value history table
+#: feeding a hashed value prediction table (order = history_depth).
+FCM = LVPConfig(
+    name="FCM", lvpt_entries=1024, predictor="fcm", history_depth=4,
+    lct_entries=256, lct_bits=2, cvu_entries=32,
+)
+#: Last-N value buffer predicting the most frequent recent value.
+LASTN = LVPConfig(
+    name="LastN", lvpt_entries=1024, predictor="lastn", history_depth=4,
+    lct_entries=256, lct_bits=2, cvu_entries=32,
+)
+#: Stride + last-value components behind a per-entry chooser.
+HYBRID = LVPConfig(
+    name="Hybrid", lvpt_entries=1024, predictor="hybrid",
+    lct_entries=256, lct_bits=2, cvu_entries=32,
+)
+EXTENSION_CONFIGS = (STRIDE, GSHARE, FCM, LASTN, HYBRID)
 
 #: The two configurations the paper calls "realistic".
 REALISTIC_CONFIGS = (SIMPLE, CONSTANT)

@@ -32,36 +32,52 @@ class CVU:
     def __len__(self) -> int:
         return len(self._cam)
 
-    def match(self, data_addr: int, lvpt_index: int) -> bool:
-        """CAM search: is (addr, index) present?  Refreshes LRU on hit.
+    @staticmethod
+    def key_of(data_addr: int, lvpt_index: int) -> tuple[int, int]:
+        """The CAM key for a (load address, LVPT index) pair.
 
         Addresses are tracked at word (8-byte) granularity: the CVU must
         be conservative, and snooping every store at word granularity is
-        the simplest correct choice for sub-word accesses.
+        the simplest correct choice for sub-word accesses.  Every CAM
+        operation -- match, insert, invalidate -- derives its key here,
+        so a caller can never build a key with a different word mask
+        than the one the table stores under (this matters for
+        index modes like gshare, where the LVPT index itself varies
+        with processor state and must be snapshotted once per event).
         """
-        key = (data_addr & ~7, lvpt_index)
+        return (data_addr & ~7, lvpt_index)
+
+    def match(self, data_addr: int, lvpt_index: int) -> bool:
+        """CAM search: is (addr, index) present?  Refreshes LRU on hit."""
+        key = self.key_of(data_addr, lvpt_index)
         if key in self._cam:
             self._cam.move_to_end(key)
             return True
         return False
 
-    def insert(self, data_addr: int, lvpt_index: int) -> None:
-        """Place an entry, evicting the LRU entry if the CVU is full."""
+    def insert(self, data_addr: int, lvpt_index: int) -> bool:
+        """Place an entry, evicting the LRU entry if the CVU is full.
+
+        Returns True when the pair is present afterwards (newly placed
+        or refreshed); False when a zero-entry CVU refused it, so
+        callers can count *actual* insertions rather than attempts.
+        """
         if self.entries == 0:
-            return
-        data_addr &= ~7
-        key = (data_addr, lvpt_index)
+            return False
+        word, _ = key = self.key_of(data_addr, lvpt_index)
         if key in self._cam:
             self._cam.move_to_end(key)
-            return
+            return True
         if len(self._cam) >= self.entries:
             victim, _ = self._cam.popitem(last=False)
             self._forget(victim)
         self._cam[key] = None
-        self._by_addr.setdefault(data_addr, set()).add(lvpt_index)
+        self._by_addr.setdefault(word, set()).add(lvpt_index)
+        return True
 
-    def invalidate(self, key: tuple[int, int]) -> None:
+    def invalidate(self, data_addr: int, lvpt_index: int) -> None:
         """Remove one entry (used when a verified value turns out stale)."""
+        key = self.key_of(data_addr, lvpt_index)
         if key in self._cam:
             del self._cam[key]
             self._forget(key)

@@ -1,0 +1,88 @@
+"""Finite-context-method (two-level) value prediction.
+
+The gem5VP snippets (SNIPPETS.md 1-3) structure their predictor as two
+tables: a *value history table* (VHT) holding, per static load, the
+context of the last few observed values, and a *value prediction table*
+(VPT) mapping a hash of that context to the value that followed it
+last time.  This is the classic FCM organisation (Sazeides & Smith):
+where the paper's LVPT replays the last value, an FCM learns *value
+sequences* -- a load alternating between two values is hopeless for
+last-value prediction but trivial for an order-2 FCM.
+
+Both levels are direct-mapped and untagged, matching the repo's LVPT
+conventions (and their interference behaviour).  ``history_depth``
+doubles as the FCM *order*: the number of past values folded into the
+context hash.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.program import INSTR_SIZE
+
+_U64 = (1 << 64) - 1
+#: Context-hash multiplier (Fibonacci hashing; any odd constant works,
+#: this one spreads arithmetic value sequences well).
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+class FCMPredictor:
+    """Two-level VHT/VPT context-based value predictor.
+
+    Interface-compatible with :class:`repro.lvp.lvpt.LVPT` where the
+    LVP unit needs it (``index_of`` / ``predict`` / ``would_be_correct``
+    / ``update`` / ``flush``).  The VHT and VPT share ``entries`` slots
+    each; ``order`` values of context feed the VPT hash.
+    """
+
+    def __init__(self, entries: int, order: int = 4) -> None:
+        self.entries = entries
+        self.order = max(1, order)
+        self._mask = entries - 1
+        # VHT: per static-load slot, the last `order` values (oldest
+        # first).  A slot predicts only once its context is warm.
+        self._vht: list[list[int]] = [[] for _ in range(entries)]
+        # VPT: context hash -> the value that followed that context.
+        self._vpt: list[Optional[int]] = [None] * entries
+
+    def index_of(self, pc: int) -> int:
+        """Table index for a load at instruction address *pc*."""
+        return (pc // INSTR_SIZE) & self._mask
+
+    def _vpt_index(self, context: list[int]) -> int:
+        """Fold a full value context into a VPT slot."""
+        folded = 0
+        for value in context:
+            folded = ((folded * _HASH_MULT) + value) & _U64
+        return (folded ^ (folded >> 32)) & self._mask
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted value for *pc* (None while the context is cold)."""
+        context = self._vht[self.index_of(pc)]
+        if len(context) < self.order:
+            return None
+        return self._vpt[self._vpt_index(context)]
+
+    def would_be_correct(self, pc: int, actual: int) -> bool:
+        """Would the prediction for *pc* match *actual*?"""
+        return self.predict(pc) == actual
+
+    def update(self, pc: int, actual: int) -> None:
+        """Train both levels on the observed value.
+
+        The VPT learns that the *current* context led to ``actual``;
+        the VHT then shifts ``actual`` into the context.  Update order
+        matters and mirrors prediction: predict-before-shift.
+        """
+        context = self._vht[self.index_of(pc)]
+        if len(context) >= self.order:
+            self._vpt[self._vpt_index(context)] = actual
+        context.append(actual)
+        if len(context) > self.order:
+            context.pop(0)
+
+    def flush(self) -> None:
+        """Clear all entries."""
+        self._vht = [[] for _ in range(self.entries)]
+        self._vpt = [None] * self.entries

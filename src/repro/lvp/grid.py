@@ -1,0 +1,227 @@
+"""Design-space grids of LVP configurations.
+
+The paper evaluates exactly four configurations (Table 2) and varies
+one dimension at a time by hand.  The sweep engine
+(:mod:`repro.harness.sweep`) evaluates whole grids in one trace pass;
+this module builds those grids:
+
+* :func:`expand_grid` -- cartesian product of per-field value lists
+  into validated :class:`~repro.lvp.config.LVPConfig` instances,
+* :func:`parse_grid_spec` -- the CLI's compact ``dim=v1,v2;dim=...``
+  grid syntax,
+* :func:`sensitivity_grid` -- the default paperlike sensitivity grid
+  (every predictor family crossed with table sizes, counter widths,
+  history depths, and CVU capacities; >= 100 design points).
+
+Invalid combinations (a stride predictor with a deep history, say) are
+skipped during expansion rather than raised: a grid is a *request* for
+the meaningful subset of a cross product.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.lvp.config import LVPConfig, PREDICTORS
+
+#: Grid dimensions accepted by expand_grid / parse_grid_spec, with the
+#: CLI short forms, in canonical (name-building) order.
+GRID_FIELDS = (
+    ("predictor", "predictor"),
+    ("lvpt_entries", "lvpt"),
+    ("history_depth", "depth"),
+    ("selection", "selection"),
+    ("lct_entries", "lct"),
+    ("lct_bits", "bits"),
+    ("cvu_entries", "cvu"),
+    ("index_mode", "index"),
+    ("ghr_bits", "ghr"),
+    ("lvpt_tagged", "tagged"),
+)
+_FIELD_BY_ALIAS = {alias: field for field, alias in GRID_FIELDS}
+_FIELD_BY_ALIAS.update({field: field for field, _ in GRID_FIELDS})
+
+#: Fields whose values are integers in a grid spec.
+_INT_FIELDS = {"lvpt_entries", "history_depth", "lct_entries",
+               "lct_bits", "cvu_entries", "ghr_bits"}
+_BOOL_FIELDS = {"lvpt_tagged"}
+
+#: Default values used for naming: a dimension pinned at its default is
+#: omitted from the generated config name to keep names short.
+_DEFAULTS = LVPConfig(name="_defaults")
+
+
+def config_name(values: Mapping[str, object]) -> str:
+    """A stable, readable name for one grid cell.
+
+    Built from the non-default dimensions in canonical order, e.g.
+    ``sweep/stride/lvpt256/cvu0``.  Stable names are what the sweep
+    journal keys its per-cell records on, so resumed sweeps line up.
+    """
+    parts = []
+    for field, alias in GRID_FIELDS:
+        value = values.get(field)
+        if value is None or value == getattr(_DEFAULTS, field):
+            continue
+        if field in ("predictor", "selection", "index_mode"):
+            parts.append(str(value))
+        elif field in _BOOL_FIELDS:
+            parts.append(alias)
+        else:
+            parts.append(f"{alias}{value}")
+    return "sweep/" + ("/".join(parts) if parts else "default")
+
+
+def expand_grid(dimensions: Mapping[str, Sequence],
+                base: Optional[Mapping[str, object]] = None,
+                limit: Optional[int] = None) -> list[LVPConfig]:
+    """Cross *dimensions* into a list of validated configurations.
+
+    ``dimensions`` maps field names (or their CLI aliases) to value
+    lists; unspecified fields take :class:`LVPConfig` defaults (or
+    *base* overrides).  Combinations :class:`LVPConfig` rejects --
+    e.g. ``predictor="stride"`` with ``history_depth=4`` -- are
+    skipped.  ``limit`` truncates the expansion after that many valid
+    configs (the CLI's quick-look knob).
+    """
+    import itertools
+
+    fields: list[str] = []
+    for raw in dimensions:
+        field = _FIELD_BY_ALIAS.get(raw)
+        if field is None:
+            known = ", ".join(sorted({a for _, a in GRID_FIELDS}))
+            raise ConfigError(
+                f"unknown grid dimension {raw!r} (choose from {known})")
+        fields.append(field)
+    value_lists = [list(values) for values in dimensions.values()]
+    for field, values in zip(fields, value_lists):
+        if not values:
+            raise ConfigError(f"grid dimension {field!r} has no values")
+
+    configs: list[LVPConfig] = []
+    seen: set[str] = set()
+    for combo in itertools.product(*value_lists):
+        cell = dict(base or {})
+        cell.update(zip(fields, combo))
+        name = config_name(cell)
+        if name in seen:
+            continue
+        try:
+            config = LVPConfig(name=name, **cell)
+        except ConfigError:
+            continue  # meaningless corner of the cross product
+        seen.add(name)
+        configs.append(config)
+        if limit is not None and len(configs) >= limit:
+            break
+    return configs
+
+
+def parse_grid_spec(spec: str) -> dict[str, list]:
+    """Parse the CLI grid syntax into expand_grid dimensions.
+
+    The syntax is ``dim=v1,v2,...;dim=...`` using field names or their
+    short aliases, e.g.::
+
+        lvpt=256,1024,4096;bits=1,2;cvu=0,32,128
+        predictor=history,stride,fcm;depth=1,4
+
+    Integer fields parse as ints, ``tagged`` as 0/1 booleans, the rest
+    as strings.  Raises :class:`~repro.errors.ConfigError` with the
+    offending token on malformed input.
+    """
+    dimensions: dict[str, list] = {}
+    for clause in filter(None, (c.strip() for c in spec.split(";"))):
+        if "=" not in clause:
+            raise ConfigError(
+                f"malformed grid clause {clause!r} (expected dim=v1,v2)")
+        raw_field, _, raw_values = clause.partition("=")
+        field = _FIELD_BY_ALIAS.get(raw_field.strip())
+        if field is None:
+            known = ", ".join(sorted({a for _, a in GRID_FIELDS}))
+            raise ConfigError(
+                f"unknown grid dimension {raw_field.strip()!r} "
+                f"(choose from {known})")
+        values: list = []
+        for token in filter(None, (t.strip() for t in raw_values.split(","))):
+            if field in _INT_FIELDS or field in _BOOL_FIELDS:
+                try:
+                    number = int(token)
+                except ValueError:
+                    raise ConfigError(
+                        f"grid dimension {field!r}: {token!r} is not an "
+                        f"integer") from None
+                values.append(bool(number) if field in _BOOL_FIELDS
+                              else number)
+            else:
+                if field == "predictor" and token not in PREDICTORS:
+                    raise ConfigError(
+                        f"unknown predictor {token!r} (choose from "
+                        f"{', '.join(PREDICTORS)})")
+                values.append(token)
+        if not values:
+            raise ConfigError(f"grid dimension {field!r} has no values")
+        dimensions[field] = values
+    if not dimensions:
+        raise ConfigError(f"empty grid spec {spec!r}")
+    return dimensions
+
+
+def sensitivity_grid() -> list[LVPConfig]:
+    """The default paperlike sensitivity grid (>= 100 design points).
+
+    Four sub-grids, concatenated:
+
+    * the history family across LVPT size x depth x LCT size x counter
+      bits x CVU capacity (the Table 3/4 and Figure 6 dimensions),
+    * computed/context families (stride, fcm, lastn, hybrid) across
+      LVPT size x CVU capacity,
+    * gshare indexing across GHR width x CVU capacity,
+    * the perfect-selection limit study across LVPT size and depth.
+    """
+    grid: list[LVPConfig] = []
+    grid += expand_grid({
+        "predictor": ["history"],
+        "lvpt_entries": [256, 1024, 4096],
+        "history_depth": [1, 4],
+        "lct_entries": [256, 1024],
+        "lct_bits": [1, 2],
+        "cvu_entries": [0, 32, 128],
+    })
+    grid += expand_grid({
+        "predictor": ["stride", "fcm", "lastn", "hybrid"],
+        "lvpt_entries": [256, 1024],
+        "history_depth": [1, 4],
+        "cvu_entries": [32, 128],
+    })
+    grid += expand_grid({
+        "index_mode": ["gshare"],
+        "ghr_bits": [4, 8],
+        "lvpt_entries": [1024],
+        "cvu_entries": [32, 128],
+    })
+    grid += expand_grid({
+        "selection": ["perfect"],
+        "history_depth": [16],
+        "lvpt_entries": [1024, 4096],
+        "lct_entries": [1024],
+        "cvu_entries": [128],
+    })
+    return grid
+
+
+def grid_from_args(spec: Optional[str],
+                   limit: Optional[int] = None) -> list[LVPConfig]:
+    """The grid a CLI invocation asked for (default: sensitivity)."""
+    if spec:
+        configs = expand_grid(parse_grid_spec(spec), limit=limit)
+    else:
+        configs = sensitivity_grid()
+        if limit is not None:
+            configs = configs[:limit]
+    if not configs:
+        raise ConfigError("the requested grid expanded to no valid "
+                          "configurations")
+    return configs

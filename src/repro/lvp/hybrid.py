@@ -1,0 +1,103 @@
+"""Hybrid stride + last-value prediction with a per-entry chooser.
+
+The paper's future-work section proposes combining history-based and
+computed prediction; the stride predictor already backs off to last
+value internally, but it *commits* to the stride as soon as confidence
+builds, even for loads where plain value locality was doing better.
+This hybrid keeps both components and lets a 2-bit chooser arbitrate
+per entry, tournament-predictor style: the chooser steps toward
+whichever component was correct when exactly one of them was.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.program import INSTR_SIZE
+
+_U64 = (1 << 64) - 1
+
+
+class HybridPredictor:
+    """Stride and last-value components behind a 2-bit chooser.
+
+    Interface-compatible with :class:`repro.lvp.lvpt.LVPT` where the
+    LVP unit needs it (``index_of`` / ``predict`` / ``would_be_correct``
+    / ``update`` / ``flush``).
+    """
+
+    #: Chooser values at and above which the stride component is used.
+    _CHOOSE_STRIDE = 2
+    _CHOOSER_MAX = 3
+    #: Stride-confidence value at and above which a stride is applied.
+    _CONFIDENT = 2
+    _MAX_CONFIDENCE = 3
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._mask = entries - 1
+        self._last: list = [None] * entries
+        self._stride: list[int] = [0] * entries
+        self._confidence: list[int] = [0] * entries
+        # 0..1 favour last-value, 2..3 favour stride; start neutral on
+        # the last-value side (the paper's baseline behaviour).
+        self._chooser: list[int] = [1] * entries
+
+    def index_of(self, pc: int) -> int:
+        """Table index for a load at instruction address *pc*."""
+        return (pc // INSTR_SIZE) & self._mask
+
+    def _components(self, index: int) -> tuple[Optional[int], Optional[int]]:
+        """(last-value prediction, stride prediction) for one entry."""
+        last = self._last[index]
+        if last is None:
+            return None, None
+        if self._confidence[index] >= self._CONFIDENT:
+            return last, (last + self._stride[index]) & _U64
+        return last, last
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted value for *pc* (None if the entry is cold)."""
+        index = self.index_of(pc)
+        value_pred, stride_pred = self._components(index)
+        if value_pred is None:
+            return None
+        return stride_pred if self._chooser[index] >= self._CHOOSE_STRIDE \
+            else value_pred
+
+    def would_be_correct(self, pc: int, actual: int) -> bool:
+        """Would the prediction for *pc* match *actual*?"""
+        return self.predict(pc) == actual
+
+    def update(self, pc: int, actual: int) -> None:
+        """Train both components and the chooser on the observed value."""
+        index = self.index_of(pc)
+        value_pred, stride_pred = self._components(index)
+        if value_pred is not None:
+            value_ok = value_pred == actual
+            stride_ok = stride_pred == actual
+            chooser = self._chooser[index]
+            if stride_ok and not value_ok:
+                if chooser < self._CHOOSER_MAX:
+                    self._chooser[index] = chooser + 1
+            elif value_ok and not stride_ok:
+                if chooser > 0:
+                    self._chooser[index] = chooser - 1
+        # Stride component training (same rules as StridePredictor).
+        last = self._last[index]
+        if last is not None:
+            stride = (actual - last) & _U64
+            if stride == self._stride[index]:
+                if self._confidence[index] < self._MAX_CONFIDENCE:
+                    self._confidence[index] += 1
+            else:
+                self._stride[index] = stride
+                self._confidence[index] = 1 if stride else 0
+        self._last[index] = actual
+
+    def flush(self) -> None:
+        """Clear all entries."""
+        self._last = [None] * self.entries
+        self._stride = [0] * self.entries
+        self._confidence = [0] * self.entries
+        self._chooser = [1] * self.entries

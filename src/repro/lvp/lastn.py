@@ -1,0 +1,72 @@
+"""Last-N-value prediction with frequency voting.
+
+The gem5VP snippets keep a small circular buffer of the last N values a
+load produced and predict from it.  Unlike the paper's LVPT -- whose
+history is *deduplicated* and MRU-ordered -- this buffer keeps
+duplicates, so it can vote: the predicted value is the one appearing
+most often among the last N observations, ties broken toward the most
+recent.  A load that usually returns one value but occasionally
+glitches to another keeps predicting the common value, where an MRU
+table would chase every glitch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.program import INSTR_SIZE
+
+
+class LastNPredictor:
+    """Direct-mapped table of last-N-value circular buffers.
+
+    Interface-compatible with :class:`repro.lvp.lvpt.LVPT` where the
+    LVP unit needs it (``index_of`` / ``predict`` / ``would_be_correct``
+    / ``update`` / ``flush``).  ``depth`` is the buffer length N.
+    """
+
+    def __init__(self, entries: int, depth: int = 4) -> None:
+        self.entries = entries
+        self.depth = max(1, depth)
+        self._mask = entries - 1
+        # Per entry: the last `depth` observed values, oldest first,
+        # duplicates retained.
+        self._buffers: list[list[int]] = [[] for _ in range(entries)]
+
+    def index_of(self, pc: int) -> int:
+        """Table index for a load at instruction address *pc*."""
+        return (pc // INSTR_SIZE) & self._mask
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Most frequent buffered value (most recent wins ties)."""
+        buffer = self._buffers[self.index_of(pc)]
+        if not buffer:
+            return None
+        counts: dict[int, int] = {}
+        for value in buffer:
+            counts[value] = counts.get(value, 0) + 1
+        best = None
+        best_count = 0
+        # Scan newest-to-oldest so the first value seen at the winning
+        # count is the most recent one.
+        for value in reversed(buffer):
+            count = counts[value]
+            if count > best_count:
+                best = value
+                best_count = count
+        return best
+
+    def would_be_correct(self, pc: int, actual: int) -> bool:
+        """Would the prediction for *pc* match *actual*?"""
+        return self.predict(pc) == actual
+
+    def update(self, pc: int, actual: int) -> None:
+        """Shift the observed value into the buffer (FIFO)."""
+        buffer = self._buffers[self.index_of(pc)]
+        buffer.append(actual)
+        if len(buffer) > self.depth:
+            buffer.pop(0)
+
+    def flush(self) -> None:
+        """Clear all entries."""
+        self._buffers = [[] for _ in range(self.entries)]

@@ -19,9 +19,41 @@ from dataclasses import dataclass, field
 from repro.lvp.config import LVPConfig
 from repro.lvp.context import ContextLVPT
 from repro.lvp.cvu import CVU
+from repro.lvp.fcm import FCMPredictor
+from repro.lvp.hybrid import HybridPredictor
+from repro.lvp.lastn import LastNPredictor
 from repro.lvp.lct import LCT, LoadClass
 from repro.lvp.lvpt import LVPT
 from repro.lvp.stride import StridePredictor
+
+
+def build_predictor(config: LVPConfig):
+    """The value-prediction table a configuration calls for.
+
+    Single point of truth for the predictor-family dispatch: the
+    :class:`LVPUnit` constructor and the batched sweep evaluator
+    (:mod:`repro.harness.sweep`) both build their tables here, so a
+    sweep cell can never evaluate a different structure than the unit
+    it must stay bit-identical to.  Perfect (oracle) configurations
+    have no table and return None.
+    """
+    if config.perfect:
+        return None
+    if config.predictor == "stride":
+        return StridePredictor(config.lvpt_entries)
+    if config.predictor == "fcm":
+        return FCMPredictor(config.lvpt_entries, config.history_depth)
+    if config.predictor == "lastn":
+        return LastNPredictor(config.lvpt_entries, config.history_depth)
+    if config.predictor == "hybrid":
+        return HybridPredictor(config.lvpt_entries)
+    if config.index_mode == "gshare":
+        return ContextLVPT(
+            config.lvpt_entries, config.history_depth,
+            config.selection, tagged=config.lvpt_tagged,
+            ghr_bits=config.ghr_bits)
+    return LVPT(config.lvpt_entries, config.history_depth,
+                config.selection, tagged=config.lvpt_tagged)
 
 
 class LoadOutcome(enum.IntEnum):
@@ -133,24 +165,11 @@ class LVPUnit:
         self.config = config
         self.stats = LVPStats()
         self.audit_log: list = [] if audit else None
+        self.lvpt = build_predictor(config)
         if config.perfect:
-            self.lvpt = None
             self.lct = None
             self.cvu = None
-        elif config.predictor == "stride":
-            self.lvpt = StridePredictor(config.lvpt_entries)
-            self.lct = LCT(config.lct_entries, config.lct_bits)
-            self.cvu = CVU(config.cvu_entries)
-        elif config.index_mode == "gshare":
-            self.lvpt = ContextLVPT(
-                config.lvpt_entries, config.history_depth,
-                config.selection, tagged=config.lvpt_tagged,
-                ghr_bits=config.ghr_bits)
-            self.lct = LCT(config.lct_entries, config.lct_bits)
-            self.cvu = CVU(config.cvu_entries)
         else:
-            self.lvpt = LVPT(config.lvpt_entries, config.history_depth,
-                             config.selection, tagged=config.lvpt_tagged)
             self.lct = LCT(config.lct_entries, config.lct_bits)
             self.cvu = CVU(config.cvu_entries)
         # Cached once: the table type never changes after construction,
@@ -223,6 +242,9 @@ class LVPUnit:
                           would_hit: bool) -> LoadOutcome:
         """Handle a load the LCT classified as constant."""
         cvu = self.cvu
+        # Snapshot the LVPT index once per event: under gshare indexing
+        # index_of varies with the global history register, so match,
+        # stale-invalidate, and insert must all use this one value.
         lvpt_index = self.lvpt.index_of(pc)
         if cvu.match(addr, lvpt_index):
             if would_hit:
@@ -232,13 +254,15 @@ class LVPUnit:
             # value comparison catches it (modelled as a misprediction)
             # and the stale entry is dropped.
             self.stats.cvu_stale_hits += 1
-            cvu.invalidate((addr & ~7, lvpt_index))
+            cvu.invalidate(addr, lvpt_index)
             return LoadOutcome.INCORRECT
         # CVU miss: demote to ordinary predictable status (verify via the
-        # memory hierarchy) and install the pair for next time.
+        # memory hierarchy) and install the pair for next time.  A
+        # zero-entry CVU refuses the insert, and that refusal must not
+        # count as an insertion.
         self.stats.cvu_demotions += 1
-        cvu.insert(addr, lvpt_index)
-        self.stats.cvu_insertions += 1
+        if cvu.insert(addr, lvpt_index):
+            self.stats.cvu_insertions += 1
         return LoadOutcome.CORRECT if would_hit else LoadOutcome.INCORRECT
 
     @property

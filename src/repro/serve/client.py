@@ -129,6 +129,9 @@ class ServeClient:
     def model(self, bench: str, **params: Any) -> dict[str, Any]:
         return self.request("model", {"bench": bench, **params})
 
+    def sweep(self, bench: str, **params: Any) -> dict[str, Any]:
+        return self.request("sweep", {"bench": bench, **params})
+
     def experiment(self, exhibit: str,
                    benchmarks: list[str] | None = None,
                    **params: Any) -> dict[str, Any]:

@@ -50,7 +50,7 @@ PROTOCOL_ID = "repro.serve/v1"
 #: control-plane: they bypass the scheduler so they keep answering even
 #: when the data plane is saturated or draining.
 OPS = ("ping", "status", "drain", "trace", "annotate", "model",
-       "experiment")
+       "sweep", "experiment")
 CONTROL_OPS = ("ping", "status", "drain")
 
 #: Error kinds and their HTTP status codes.

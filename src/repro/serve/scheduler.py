@@ -445,11 +445,30 @@ def normalize_params(op: str, params: dict[str, Any],
         raise ProtocolError(
             f"unknown benchmark {bench!r}; expected one of "
             f"{', '.join(sorted(known_benchmarks))}")
-    if op in ("trace", "annotate"):
+    if op in ("trace", "annotate", "sweep"):
         target = out.setdefault("target", "ppc")
         if target not in ("ppc", "alpha"):
             raise ProtocolError(
                 f"unknown target {target!r}; expected ppc or alpha")
+    if op == "sweep":
+        from repro.errors import ConfigError
+        from repro.lvp.grid import parse_grid_spec
+        grid = out.setdefault("grid", None)
+        if grid is not None:
+            if not isinstance(grid, str):
+                raise ProtocolError("grid must be a spec string "
+                                    "('dim=v1,v2;dim=...')")
+            try:
+                parse_grid_spec(grid)
+            except ConfigError as exc:
+                raise ProtocolError(f"bad grid spec: {exc}") from None
+        limit = out.setdefault("limit", None)
+        if limit is not None:
+            if not isinstance(limit, int) or isinstance(limit, bool) \
+                    or not 1 <= limit <= 512:
+                raise ProtocolError(
+                    f"limit must be an integer in [1, 512], got "
+                    f"{limit!r}")
     if op == "annotate":
         from repro.lvp.config import config_by_name
         out["config"] = config_by_name(
@@ -522,6 +541,22 @@ def _compute_sim_op(op: str, params: dict[str, Any]) -> dict[str, Any]:
             "ipc": round(run.ipc, 6),
             "speedup": round(base.cycles / run.cycles, 6)
             if run.cycles else 0.0,
+        }
+    elif op == "sweep":
+        from repro.errors import ConfigError
+        from repro.harness.sweep import evaluate_configs
+        from repro.lvp.grid import grid_from_args
+        try:
+            configs = grid_from_args(params.get("grid"),
+                                     params.get("limit"))
+        except ConfigError as exc:
+            raise ProtocolError(f"bad grid: {exc}") from None
+        trace = session.trace(bench, params["target"])
+        cells = evaluate_configs(trace, configs)
+        result = {
+            "bench": bench, "target": params["target"], "scale": scale,
+            "configs": len(configs),
+            "cells": [cell.as_dict() for cell in cells],
         }
     else:
         raise ProtocolError(f"op {op!r} is not a simulation op")

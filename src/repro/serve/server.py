@@ -63,7 +63,7 @@ from repro.serve.scheduler import (
 
 #: Ops executed on the process pool (everything else is an experiment
 #: subprocess or control-plane).
-SIM_OPS = ("trace", "annotate", "model")
+SIM_OPS = ("trace", "annotate", "model", "sweep")
 
 #: Journals the serve runs dir keeps before pruning.  Far above the
 #: default 8: a pruned journal would orphan a parked resume.

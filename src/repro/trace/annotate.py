@@ -268,6 +268,9 @@ def _annotate_mono(trace: Trace, config: LVPConfig,
                         n_incorrect += 1
                 else:
                     cvu_dem += 1
+                    # A zero-entry CVU refuses the insert; only an
+                    # actual placement counts as an insertion (mirrors
+                    # CVU.insert returning False).
                     if cvu_entries:
                         if len(cam) >= cvu_entries:
                             vword, vidx = cam_pop_lru(last=False)[0]
@@ -282,7 +285,7 @@ def _annotate_mono(trace: Trace, config: LVPConfig,
                             by_addr[word] = {idx}
                         else:
                             holders.add(idx)
-                    cvu_ins += 1
+                        cvu_ins += 1
                     if would_hit:
                         emit(2)
                         n_correct += 1

@@ -72,8 +72,31 @@ class TestValidation:
         with pytest.raises(ConfigError):
             LVPConfig(name="bad", cvu_entries=-1)
 
-    def test_perfect_skips_table_validation(self):
-        LVPConfig(name="oracle", perfect=True, lvpt_entries=0)
+    def test_perfect_still_validates_fields(self):
+        # Regression: perfect=True used to skip *all* field validation,
+        # so nonsense like lct_bits=99 or a negative CVU slipped
+        # through and poisoned anything derived from the config later.
+        with pytest.raises(ConfigError):
+            LVPConfig(name="oracle", perfect=True, lvpt_entries=0)
+        with pytest.raises(ConfigError):
+            LVPConfig(name="oracle", perfect=True, lct_bits=99)
+        with pytest.raises(ConfigError):
+            LVPConfig(name="oracle", perfect=True, cvu_entries=-1)
+        with pytest.raises(ConfigError):
+            LVPConfig(name="oracle", perfect=True, predictor="nope")
+
+    def test_perfect_accepts_valid_fields(self):
+        config = LVPConfig(name="oracle", perfect=True, cvu_entries=0)
+        assert config.perfect
+
+    def test_new_predictor_families_validate(self):
+        LVPConfig(name="f", predictor="fcm", history_depth=4)
+        LVPConfig(name="n", predictor="lastn", history_depth=8)
+        LVPConfig(name="h", predictor="hybrid")
+        with pytest.raises(ConfigError):
+            LVPConfig(name="h2", predictor="hybrid", history_depth=2)
+        with pytest.raises(ConfigError):
+            LVPConfig(name="fg", predictor="fcm", index_mode="gshare")
 
 
 class TestLookup:

@@ -96,10 +96,26 @@ class TestCapacityLru:
     def test_explicit_invalidate(self):
         cvu = CVU(8)
         cvu.insert(0x2000, 5)
-        cvu.invalidate((0x2000, 5))
+        cvu.invalidate(0x2000, 5)
         assert not cvu.match(0x2000, 5)
         # idempotent
-        cvu.invalidate((0x2000, 5))
+        cvu.invalidate(0x2000, 5)
+
+    def test_invalidate_subword_address(self):
+        # invalidate derives its key through the same key_of helper as
+        # insert/match, so a sub-word address removes the entry placed
+        # under the containing word.
+        cvu = CVU(8)
+        cvu.insert(0x2000, 5)
+        cvu.invalidate(0x2003, 5)
+        assert not cvu.match(0x2000, 5)
+
+    def test_insert_reports_placement(self):
+        cvu = CVU(8)
+        assert cvu.insert(0x2000, 5)
+        assert cvu.insert(0x2000, 5)  # refresh still counts as present
+        assert not CVU(0).insert(0x2000, 5)
+        assert len(CVU(0)) == 0
 
     def test_flush(self):
         cvu = CVU(8)
