@@ -58,10 +58,14 @@ Commands
     Render a journaled run's ``metrics.json`` (per-benchmark phase
     timings, headline counters; ``latest`` by default).
 ``bench``
-    Time every pipeline phase (trace, annotate, model) under the slow
-    reference engines and the tiered fast engines, plus a cold
-    ``experiment all`` pass per tier; write/check ``BENCH_PERF.json``
-    (see ``docs/performance.md``).
+    Time every pipeline phase (trace, cache load, annotate, model)
+    under the slow reference engines and the tiered fast engines, plus
+    a cold ``experiment all`` pass per tier; write/check
+    ``BENCH_PERF.json`` (see ``docs/performance.md``).
+``cache migrate``
+    Upgrade a trace-cache directory's legacy v1 ``.npz`` bundles to
+    the mmap-friendly v2 ``.rtc`` format in place (see
+    ``docs/cache.md``).
 ``disasm BENCH``
     Disassemble a benchmark's program text.
 ``trace BENCH``
@@ -873,6 +877,20 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from repro.harness.cache import TraceCache
+    directory = args.dir or os.environ.get("REPRO_TRACE_CACHE")
+    if not directory:
+        print("repro: error: no cache directory (pass --dir or set "
+              "REPRO_TRACE_CACHE)", file=sys.stderr)
+        return 2
+    outcome = TraceCache(directory).migrate()
+    print(f"{directory}: {outcome['migrated']} bundle(s) migrated to v2, "
+          f"{outcome['skipped']} skipped, "
+          f"{outcome['failed']} quarantined")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1075,6 +1093,17 @@ def build_parser() -> argparse.ArgumentParser:
                                    "is more than X times slower than "
                                    "the baseline (default: 2.0)")
     bench_parser.set_defaults(func=cmd_bench)
+
+    cache_parser = commands.add_parser(
+        "cache", help="manage the on-disk trace cache")
+    cache_parser.add_argument(
+        "action", choices=("migrate",),
+        help="migrate: upgrade legacy v1 .npz bundles to the "
+             "mmap-friendly v2 format")
+    cache_parser.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_TRACE_CACHE)")
+    cache_parser.set_defaults(func=cmd_cache)
 
     check_parser = commands.add_parser(
         "check", help="evaluate the paper-shape claims")

@@ -26,9 +26,10 @@ retry backoff schedule's determinism and bounds.
 
 A fifth layer of **engines** self-tests (also outside the seeded
 plan) covers the tiered execution engines: each fast tier -- the
-compiled simulator, the monomorphic annotate kernel, the fast timing
-loop -- re-runs one workload against its oracle tier and must agree
-field for field, and a forced-demotion drill (``REPRO_TIER_FAULT``)
+compiled simulator, the monomorphic and vectorized annotate kernels,
+the fast timing loop -- re-runs one workload against its oracle tier
+and must agree field for field, and a forced-demotion drill
+(``REPRO_TIER_FAULT``)
 proves the divergence sentinel detects a corrupted fast tier, demotes
 it, and serves the oracle's answer.
 
@@ -64,8 +65,8 @@ JOURNAL_CHECKS = ("replay", "truncation", "tamper", "checkpoint",
                   "watchdog", "backoff")
 
 #: The engines-layer self-tests (tier agreement + forced demotion).
-ENGINE_CHECKS = ("trace_tier", "annotate_tier", "model_tier",
-                 "forced_demotion")
+ENGINE_CHECKS = ("trace_tier", "annotate_tier", "annotate_vector",
+                 "model_tier", "forced_demotion")
 
 #: The serve-layer self-tests (service control plane, in-process).
 SERVE_CHECKS = ("protocol", "admission", "coalesce", "deadline",
@@ -364,6 +365,10 @@ def _engine_self_tests(trace: Trace, benchmark: str,
         check("annotate_tier", "mono vs general (Simple)",
               guard.diff_annotations(
                   annotate_trace(trace, SIMPLE, kernel="mono"),
+                  annotate_trace(trace, SIMPLE, kernel="general")))
+        check("annotate_vector", "vector vs general (Simple)",
+              guard.diff_annotations(
+                  annotate_trace(trace, SIMPLE, kernel="vector"),
                   annotate_trace(trace, SIMPLE, kernel="general")))
         annotated = annotate_trace(trace, SIMPLE)
         check("model_tier", "fast vs reference (PPC 620)",

@@ -5,8 +5,11 @@ Each injector plants exactly one fault at a realistic boundary:
 * :func:`inject_trace_fault` corrupts a *copy* of an in-memory trace
   (bit flips, out-of-range fields, truncation) the way a bad producer
   or decayed storage would;
-* :func:`inject_cache_fault` damages a stored ``.npz`` bundle on disk
-  (truncation, bit flips, garbage, stale versions, checksum lies);
+* :func:`inject_cache_fault` damages a stored ``.rtc`` bundle on disk
+  (truncation, bit flips, garbage, stale versions, checksum lies) --
+  bit flips land inside the integrity-covered regions (header, column
+  data, footer), never the alignment padding, so every planted fault
+  is one the cache's checksum layers are contracted to catch;
 * :func:`make_lvp_hook` builds an ``annotate_trace`` fault hook that
   corrupts a live LVP unit's tables mid-annotation (soft errors in the
   LVPT/LCT/CVU).
@@ -133,7 +136,12 @@ def inject_tier_fault(stage: str, result):
         trace = result.trace
         loads = np.nonzero(trace.is_load)[0]
         if len(loads):
+            # Cached traces map read-only pages shared across
+            # processes: corrupt a private materialized copy, never
+            # the shared mapping.
+            trace = trace.materialize()
             trace.value[loads[0]] ^= np.uint64(1)
+            result.trace = trace
         else:
             result.instruction_count += 1
         return result
@@ -154,9 +162,17 @@ def inject_tier_fault(stage: str, result):
 # ---------------------------------------------------------------------------
 # Cache-layer faults.
 # ---------------------------------------------------------------------------
+def _v2_column_table(data: bytes) -> list[dict]:
+    """The column table of an in-memory v2 bundle image."""
+    import json
+    header_len = int.from_bytes(data[8:12], "little")
+    header = json.loads(bytes(data[12:12 + header_len]).decode("utf-8"))
+    return header["columns"]
+
+
 def inject_cache_fault(cache: TraceCache, trace: Trace, scale: str,
                        kind: str, rng: random.Random) -> str:
-    """Store *trace*, then damage the bundle on disk; returns what."""
+    """Store *trace*, then damage the v2 bundle on disk; returns what."""
     cache.store(trace, scale)
     path = cache.path_for(trace.name, trace.target, scale)
 
@@ -166,8 +182,19 @@ def inject_cache_fault(cache: TraceCache, trace: Trace, scale: str,
         path.write_bytes(data[:keep])
         return f"bundle truncated to {keep}/{len(data)} bytes"
     if kind == "bitflip":
+        # Flip a byte somewhere the integrity layers cover -- the
+        # header (footer CRC catches it), the footer itself, or a
+        # column's data (its recorded CRC catches it) -- never the
+        # semantically meaningless alignment padding.
         data = bytearray(path.read_bytes())
-        offset = rng.randrange(len(data))
+        header_len = int.from_bytes(data[8:12], "little")
+        regions = [(0, 12 + header_len), (len(data) - 12, len(data))]
+        regions += [
+            (spec["offset"], spec["offset"] + spec["nbytes"])
+            for spec in _v2_column_table(data) if spec["nbytes"]
+        ]
+        start, end = regions[rng.randrange(len(regions))]
+        offset = start + rng.randrange(end - start)
         data[offset] ^= 1 << rng.randrange(8)
         path.write_bytes(bytes(data))
         return f"bundle bit-flipped at byte {offset}"
@@ -186,18 +213,19 @@ def inject_cache_fault(cache: TraceCache, trace: Trace, scale: str,
             cache.version = original
         return "bundle re-stamped with a stale version"
     if kind == "checksum_mismatch":
-        # Rewrite the bundle with one column element altered but the
-        # *original* checksums kept, so only the per-column CRC layer
-        # (not the zip container's own CRC) can catch the lie.
-        with np.load(path, allow_pickle=False) as bundle:
-            arrays = {key: bundle[key].copy() for key in bundle.files}
-        columns = [key for key, _ in TRACE_COLUMNS
-                   if len(arrays[key])]
-        victim = rng.choice(columns)
-        i = rng.randrange(len(arrays[victim]))
-        arrays[victim][i] = arrays[victim][i] ^ 1
-        np.savez_compressed(path, **arrays)
-        return f"column {victim!r} altered under its recorded checksum"
+        # Alter one element of a column's on-disk bytes while leaving
+        # the header (and so every recorded checksum, and the footer's
+        # header CRC) untouched: only the per-column CRC layer can
+        # catch the lie.
+        data = bytearray(path.read_bytes())
+        victims = [spec for spec in _v2_column_table(data)
+                   if spec["nbytes"]]
+        spec = victims[rng.randrange(len(victims))]
+        offset = spec["offset"] + rng.randrange(spec["nbytes"])
+        data[offset] ^= 1
+        path.write_bytes(bytes(data))
+        return (f"column {spec['name']!r} altered under its recorded "
+                f"checksum")
     raise FaultError(f"unknown cache fault kind {kind!r}")
 
 

@@ -1,9 +1,12 @@
 """The tracked performance harness: ``repro bench`` (docs/performance.md).
 
-Times every pipeline phase -- trace generation, LVP annotation, timing
-model -- once per engine (the slow reference path and the tiered fast
-path), per benchmark, serially, and optionally a cold end-to-end
-``experiment all`` pass per engine tier.  The measurements are written
+Times every pipeline phase -- trace generation, trace-cache load, LVP
+annotation, timing model -- once per engine (the slow reference path
+and the tiered fast path), per benchmark, serially, and optionally a
+cold end-to-end ``experiment all`` pass per engine tier.  The ``load``
+phase measures warm cache reads: the slow side decompresses a legacy
+v1 ``.npz`` bundle, the fast side memory-maps a v2 ``.rtc`` bundle
+zero-copy (docs/cache.md).  The measurements are written
 as a schema-validated ``BENCH_PERF.json`` so that perf claims are a
 committed, diffable artifact instead of folklore, and later runs can be
 compared against the committed baseline with a generous threshold
@@ -34,7 +37,8 @@ from repro.uarch.ppc620.model import PPC620Model
 from repro.workloads.suite import BENCHMARKS, get_benchmark
 
 #: Document format identifier (bump on incompatible layout changes).
-BENCH_SCHEMA_ID = "repro.bench/v1"
+#: v2 added the ``load`` phase (warm cache reads, v1 npz vs v2 mmap).
+BENCH_SCHEMA_ID = "repro.bench/v2"
 
 #: The committed baseline at the repository root.
 BENCH_FILENAME = "BENCH_PERF.json"
@@ -43,8 +47,9 @@ BENCH_FILENAME = "BENCH_PERF.json"
 #: more than this many times slower than the committed baseline.
 DEFAULT_THRESHOLD = 2.0
 
-#: The three benched phases, in pipeline order.
-PHASES = ("trace", "annotate", "model")
+#: The benched phases, in pipeline order (``load`` is the warm
+#: trace-cache read that replaces re-simulation on a cache hit).
+PHASES = ("trace", "load", "annotate", "model")
 
 #: CI's perf-smoke subset: two integer workloads and one FP workload.
 QUICK_BENCHMARKS = ("compress", "eqntott", "tomcatv")
@@ -58,10 +63,10 @@ LEGACY_ENV = {"REPRO_ENGINE": "interp",
               "REPRO_MODEL_ENGINE": "reference"}
 
 #: Environment overrides pinning every tier to its fast path.  The
-#: annotate knob is ``auto``, not ``mono``: exhibits also annotate
-#: configs the monomorphic kernel cannot take (perfect, stride,
-#: gshare), and ``auto`` falls back to the general kernel there while
-#: forcing ``mono`` would refuse.
+#: annotate knob is ``auto``, not ``vector``: exhibits also annotate
+#: configs the fast kernels cannot take (deep history, perfect,
+#: stride, gshare), and ``auto`` steps down the vector -> mono ->
+#: general ladder there while forcing ``vector`` would refuse.
 TIERED_ENV = {"REPRO_ENGINE": "compiled",
               "REPRO_ANNOTATE_KERNEL": "auto",
               "REPRO_MODEL_ENGINE": "fast"}
@@ -84,6 +89,41 @@ def _engines(overrides: Mapping[str, str]):
 
 def _speedup(slow: float, fast: float) -> float:
     return slow / fast if fast > 0 else 0.0
+
+
+def _bench_load(trace, scale: str) -> tuple[float, float]:
+    """Warm cache-load seconds for one trace: (v1 npz, v2 mmap).
+
+    Each format gets its own temp directory (``load`` always resolves
+    ``.rtc`` first, and a v2 store unlinks its npz sibling) and an
+    untimed warm-up read so both timed loads see a hot page cache and
+    pre-imported codepaths -- the steady state a cache hit actually
+    runs in.
+    """
+    import tempfile
+    from repro.harness.cache import TraceCache, write_v1_bundle
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-load-") as tdir:
+        v2_dir = pathlib.Path(tdir) / "v2"
+        v1_dir = pathlib.Path(tdir) / "v1"
+        v2_dir.mkdir()
+        v1_dir.mkdir()
+        v2_cache = TraceCache(v2_dir)
+        v2_cache.store(trace, scale)
+        v1_cache = TraceCache(v1_dir)
+        write_v1_bundle(
+            v1_cache.legacy_path(trace.name, trace.target, scale),
+            trace, v1_cache.version)
+        key = (trace.name, trace.target, scale)
+        assert v1_cache.load(*key) is not None  # warm-up, untimed
+        assert v2_cache.load(*key) is not None
+        t0 = time.perf_counter()
+        v1_cache.load(*key)
+        slow = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        v2_cache.load(*key)
+        fast = time.perf_counter() - t0
+    return slow, fast
 
 
 def bench_phases(benchmarks: Optional[Iterable[str]] = None,
@@ -116,11 +156,15 @@ def bench_phases(benchmarks: Optional[Iterable[str]] = None,
             times["trace"]["fast"].append(time.perf_counter() - t0)
             trace = result.trace
 
+            slow_load, fast_load = _bench_load(trace, scale)
+            times["load"]["slow"].append(slow_load)
+            times["load"]["fast"].append(fast_load)
+
             t0 = time.perf_counter()
             annotate_trace(trace, SIMPLE, kernel="general")
             times["annotate"]["slow"].append(time.perf_counter() - t0)
             t0 = time.perf_counter()
-            annotated = annotate_trace(trace, SIMPLE, kernel="mono")
+            annotated = annotate_trace(trace, SIMPLE, kernel="vector")
             times["annotate"]["fast"].append(time.perf_counter() - t0)
 
             model = PPC620Model(PPC620)

@@ -1,21 +1,44 @@
 """On-disk trace cache.
 
 Trace generation (functional simulation) dominates harness start-up
-time.  A :class:`TraceCache` persists traces as ``.npz`` column bundles
-keyed by (benchmark, target, scale) and stamped with the library
-version: bump ``repro.__version__`` (or delete the directory) whenever
-workload definitions change and stale traces invalidate themselves.
+time.  A :class:`TraceCache` persists traces keyed by (benchmark,
+target, scale) and stamped with the library version: bump
+``repro.__version__`` (or delete the directory) whenever workload
+definitions change and stale traces invalidate themselves.
 
 Enable it by passing ``cache_dir`` to :class:`repro.harness.Session`
 or by setting the ``REPRO_TRACE_CACHE`` environment variable.
 
+**Format v2** (``.rtc``) is the native layout: an uncompressed,
+page-aligned per-column file that :meth:`TraceCache.load` opens with
+``np.memmap`` read-only -- zero-copy, lazily paged by the OS, and
+physically shared across every process mapping the same bundle.  The
+layout is::
+
+    offset 0   magic ``RTRACE02``
+    offset 8   u4 little-endian header length
+    offset 12  JSON header: format/version/name/target, a column table
+               ({name, dtype, count, offset, nbytes, crc32} per column,
+               in TRACE_COLUMNS order), and ``data_end``
+    ...        each column's raw little-endian bytes at a 4096-aligned
+               offset (the gap after the header is zero padding)
+    data_end   footer ``RTCFOOT1`` + u4 CRC-32 of the header JSON
+
+The footer doubles as the truncation detector: a bundle whose file is
+shorter than ``data_end + 12`` or whose footer CRC disagrees with the
+header never existed atomically.  Legacy **v1** ``.npz`` bundles are
+still read transparently (and :meth:`TraceCache.migrate` rewrites them
+in place -- ``repro cache migrate``); a v2 store drops any superseded
+v1 sibling.
+
 The cache is hardened against on-disk corruption:
 
-* every column is stored with a CRC-32 checksum, verified on load;
+* every column is stored with a CRC-32 checksum, verified on load
+  (streamed in chunks, so verification never copies a column);
 * a bundle that fails to open, parse, or checksum is treated as a
   cache miss and *quarantined* (moved into a ``quarantine/``
   subdirectory) so it can be inspected but never re-read;
-* interrupted writes leave no debris -- stores write a ``.tmp.npz``
+* interrupted writes leave no debris -- stores write a ``.tmp.rtc``
   then rename, unlink the temporary on any failure, and stale
   temporaries from crashed processes are swept on construction;
 * stores and loads take an advisory file lock (where the platform
@@ -23,7 +46,9 @@ The cache is hardened against on-disk corruption:
   ``REPRO_TRACE_CACHE`` directory do not race; lock acquisition is
   bounded (``REPRO_LOCK_TIMEOUT``, default 60s) and raises a retryable
   :class:`~repro.errors.CacheLockTimeout` instead of blocking forever
-  behind a wedged holder;
+  behind a wedged holder.  (Replacement and eviction are rename/unlink
+  based, so a bundle another process has already mapped stays readable
+  through its original inode.);
 * ``quarantine/`` growth is capped (``REPRO_QUARANTINE_KEEP``, default
   16 newest bundles) so repeated corruption drills cannot fill the
   disk;
@@ -38,11 +63,16 @@ The cache is hardened against on-disk corruption:
   degrades to "this trace just isn't cached"); a load that cannot even
   open its file for resource reasons raises the same instead of
   quarantining a perfectly healthy bundle.
+
+Traces loaded from a v2 bundle carry **read-only** columns (they alias
+the shared page cache); call :meth:`~repro.trace.records.Trace.materialize`
+for a private writable copy before mutating.
 """
 
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import pathlib
 import time
@@ -74,11 +104,39 @@ class _CorruptBundle(Exception):
 _CORRUPTION_ERRORS = (OSError, KeyError, ValueError, EOFError,
                       zlib.error, zipfile.BadZipFile, _CorruptBundle)
 
+#: v2 bundle framing.
+MAGIC_V2 = b"RTRACE02"
+FOOTER_MAGIC = b"RTCFOOT1"
+#: Column data is aligned to this many bytes (one page) so mapped
+#: columns start on page boundaries and padding stays sparse-friendly.
+ALIGNMENT = 4096
+#: Largest header we will attempt to parse (structural sanity bound).
+_MAX_HEADER = 1 << 20
+
+#: CRC streaming chunk (bytes): bounds the working set of a checksum
+#: pass over an arbitrarily large (possibly memory-mapped) column.
+_CRC_CHUNK = 1 << 20
+
+_EXPECTED_DTYPES = {name: np.dtype("<" + code).str
+                    for name, code in TRACE_COLUMNS}
+
 
 def _column_crc(array: np.ndarray) -> int:
     """CRC-32 of a column's raw bytes (dtype-stable: columns are
-    always stored little-endian, see TRACE_COLUMNS)."""
-    return zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
+    always stored little-endian, see TRACE_COLUMNS).
+
+    Streams over memoryview chunks so checksumming a large (or
+    memory-mapped) column never materialises a contiguous copy of it.
+    """
+    data = memoryview(np.ascontiguousarray(array)).cast("B")
+    crc = 0
+    for start in range(0, len(data), _CRC_CHUNK):
+        crc = zlib.crc32(data[start:start + _CRC_CHUNK], crc)
+    return crc & 0xFFFFFFFF
+
+
+def _align_up(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
 
 
 def _float_env(name: str, default: float) -> float:
@@ -95,6 +153,22 @@ def _int_env(name: str, default: int) -> int:
         return int(os.environ[name])
     except (KeyError, ValueError):
         return default
+
+
+def write_v1_bundle(path: pathlib.Path, trace: Trace,
+                    version: str) -> None:
+    """Write a legacy v1 ``.npz`` bundle directly (no locking).
+
+    Kept for the migration tests and the bench harness's v1-vs-v2
+    load-phase comparison; production stores always write v2.
+    """
+    arrays = {key: np.asarray(getattr(trace, key))
+              for key, _ in TRACE_COLUMNS}
+    checksums = {
+        f"crc_{key}": np.uint32(_column_crc(column))
+        for key, column in arrays.items()
+    }
+    np.savez_compressed(path, version=version, **arrays, **checksums)
 
 
 @dataclass
@@ -157,11 +231,16 @@ class TraceCache:
 
     def _path(self, name: str, target: str, scale: str) -> pathlib.Path:
         safe = name.replace("/", "_")
-        return self.directory / f"{safe}-{target}-{scale}.npz"
+        return self.directory / f"{safe}-{target}-{scale}.rtc"
 
     def path_for(self, name: str, target: str, scale: str) -> pathlib.Path:
         """The on-disk bundle path for one key (for tools and tests)."""
         return self._path(name, target, scale)
+
+    def legacy_path(self, name: str, target: str,
+                    scale: str) -> pathlib.Path:
+        """The legacy v1 ``.npz`` path for one key."""
+        return self._path(name, target, scale).with_suffix(".npz")
 
     # -- concurrency ---------------------------------------------------------
     @contextlib.contextmanager
@@ -208,7 +287,8 @@ class TraceCache:
 
     # -- hygiene -------------------------------------------------------------
     def _sweep_temporaries(self) -> int:
-        """Remove ``.tmp.npz`` files left by interrupted stores.
+        """Remove ``.tmp.rtc``/``.tmp.npz`` files left by interrupted
+        stores.
 
         Takes the exclusive lock: stores write-then-rename their
         temporary entirely under that lock, so any temporary visible
@@ -218,10 +298,11 @@ class TraceCache:
         """
         removed = 0
         with self._locked():
-            for stale in self.directory.glob("*.tmp.npz"):
-                with contextlib.suppress(OSError):
-                    stale.unlink()
-                    removed += 1
+            for pattern in ("*.tmp.rtc", "*.tmp.npz"):
+                for stale in self.directory.glob(pattern):
+                    with contextlib.suppress(OSError):
+                        stale.unlink()
+                        removed += 1
         return removed
 
     def quarantine(self, path: pathlib.Path) -> Optional[pathlib.Path]:
@@ -262,45 +343,50 @@ class TraceCache:
         return pruned
 
     def discard(self, name: str, target: str, scale: str) -> None:
-        """Quarantine the bundle for one key (used when a loaded trace
-        fails semantic validation downstream of the checksum layer)."""
-        path = self._path(name, target, scale)
-        if path.exists():
+        """Quarantine the bundle(s) for one key (used when a loaded
+        trace fails semantic validation downstream of the checksum
+        layer)."""
+        candidates = (self._path(name, target, scale),
+                      self.legacy_path(name, target, scale))
+        if any(path.exists() for path in candidates):
             with self._locked():
-                self.quarantine(path)
+                for path in candidates:
+                    if path.exists():
+                        self.quarantine(path)
 
     # -- load/store ----------------------------------------------------------
     def load(self, name: str, target: str,
              scale: str) -> Optional[Trace]:
         """Return the cached trace, or None on miss/version mismatch.
 
-        A bundle that is corrupt (unreadable, missing columns, or
-        failing a column checksum) is quarantined and reported as a
-        miss, so callers regenerate transparently.
+        A v2 bundle maps zero-copy: the returned trace's columns are
+        read-only views over the file's pages (checksums are still
+        verified up front, streaming).  A bundle that is corrupt
+        (unreadable, truncated, structurally wrong, or failing a column
+        checksum) is quarantined and reported as a miss, so callers
+        regenerate transparently.  Legacy v1 ``.npz`` bundles load the
+        slow (decompressing) way.
         """
         path = self._path(name, target, scale)
-        if not path.exists():
-            self.counters.misses += 1
-            return None
+        if path.exists():
+            reader = self._read_v2
+        else:
+            path = self.legacy_path(name, target, scale)
+            reader = self._read_v1
+            if not path.exists():
+                self.counters.misses += 1
+                return None
         try:
-            with self._locked(shared=True), \
-                    np.load(path, allow_pickle=False) as bundle:
-                if str(bundle["version"]) != self.version:
-                    self.counters.misses += 1
-                    return None  # stale, not damaged: store() overwrites
-                columns = {}
-                for key, _ in TRACE_COLUMNS:
-                    column = bundle[key]
-                    expected = int(bundle[f"crc_{key}"])
-                    if _column_crc(column) != expected:
-                        raise _CorruptBundle(
-                            f"checksum mismatch in column {key!r}")
-                    columns[key] = column
+            with self._locked(shared=True):
+                trace = reader(path, name, target)
+            if trace is None:
+                self.counters.misses += 1
+                return None  # stale, not damaged: store() overwrites
             self.counters.hits += 1
             # LRU recency: a read bundle is the *last* eviction victim.
             with contextlib.suppress(OSError):
                 os.utime(path, None)
-            return Trace(columns, name=name, target=target)
+            return trace
         except _CORRUPTION_ERRORS as exc:
             if is_resource_exhaustion(exc):
                 # Out of descriptors/space is not corruption: don't
@@ -313,23 +399,103 @@ class TraceCache:
                 self.quarantine(path)
             return None
 
+    def _read_v1(self, path: pathlib.Path, name: str,
+                 target: str) -> Optional[Trace]:
+        """Read a legacy v1 ``.npz`` bundle (None = version-stale)."""
+        with np.load(path, allow_pickle=False) as bundle:
+            if str(bundle["version"]) != self.version:
+                return None
+            columns = {}
+            for key, _ in TRACE_COLUMNS:
+                column = bundle[key]
+                expected = int(bundle[f"crc_{key}"])
+                if _column_crc(column) != expected:
+                    raise _CorruptBundle(
+                        f"checksum mismatch in column {key!r}")
+                columns[key] = column
+        return Trace(columns, name=name, target=target)
+
+    def _read_v2(self, path: pathlib.Path, name: str,
+                 target: str) -> Optional[Trace]:
+        """Map a v2 ``.rtc`` bundle read-only (None = version-stale).
+
+        Structural damage, truncation (missing/mismatched footer), or
+        a column checksum failure raises :class:`_CorruptBundle`.  The
+        returned columns are ``np.frombuffer`` views over one shared
+        read-only ``np.memmap``; the mapping lives as long as any
+        column does (each view holds it via ``.base``).
+        """
+        with open(path, "rb") as handle:
+            prefix = handle.read(12)
+            if len(prefix) < 12 or prefix[:8] != MAGIC_V2:
+                raise _CorruptBundle("bad v2 magic")
+            header_len = int.from_bytes(prefix[8:12], "little")
+            if not 0 < header_len <= _MAX_HEADER:
+                raise _CorruptBundle(
+                    f"implausible header length {header_len}")
+            header_bytes = handle.read(header_len)
+            if len(header_bytes) != header_len:
+                raise _CorruptBundle("truncated header")
+            header = json.loads(header_bytes.decode("utf-8"))
+            data_end = int(header["data_end"])
+            file_size = os.fstat(handle.fileno()).st_size
+            if file_size < data_end + len(FOOTER_MAGIC) + 4:
+                raise _CorruptBundle(
+                    f"truncated bundle ({file_size} bytes, footer "
+                    f"expected at {data_end})")
+            handle.seek(data_end)
+            footer = handle.read(len(FOOTER_MAGIC) + 4)
+        if footer[:len(FOOTER_MAGIC)] != FOOTER_MAGIC:
+            raise _CorruptBundle("bad footer magic")
+        header_crc = zlib.crc32(header_bytes) & 0xFFFFFFFF
+        if int.from_bytes(footer[len(FOOTER_MAGIC):], "little") != header_crc:
+            raise _CorruptBundle("footer CRC disagrees with header")
+        if str(header.get("version")) != self.version:
+            return None
+
+        specs = header["columns"]
+        if [spec["name"] for spec in specs] != \
+                [key for key, _ in TRACE_COLUMNS]:
+            raise _CorruptBundle("column table does not match "
+                                 "TRACE_COLUMNS")
+        mapped = np.memmap(path, dtype=np.uint8, mode="r")
+        columns = {}
+        for spec in specs:
+            key = spec["name"]
+            dtype = np.dtype(str(spec["dtype"]))
+            if dtype.str != _EXPECTED_DTYPES[key]:
+                raise _CorruptBundle(
+                    f"column {key!r} has dtype {dtype.str}, "
+                    f"expected {_EXPECTED_DTYPES[key]}")
+            count = int(spec["count"])
+            offset = int(spec["offset"])
+            nbytes = int(spec["nbytes"])
+            if count < 0 or nbytes != count * dtype.itemsize:
+                raise _CorruptBundle(f"column {key!r} extent inconsistent")
+            if offset < 0 or offset + nbytes > data_end:
+                raise _CorruptBundle(f"column {key!r} outside data region")
+            column = np.frombuffer(mapped, dtype=dtype, count=count,
+                                   offset=offset)
+            if _column_crc(column) != int(spec["crc32"]):
+                raise _CorruptBundle(f"checksum mismatch in column {key!r}")
+            columns[key] = column
+        return Trace(columns, name=name, target=target)
+
     def store(self, trace: Trace, scale: str) -> None:
-        """Persist *trace* (atomically: write then rename).
+        """Persist *trace* as a v2 bundle (atomically: write then
+        rename).
 
         The temporary file is unlinked on any write failure so crashed
-        or interrupted stores never leave partial bundles behind.
+        or interrupted stores never leave partial bundles behind.  A
+        superseded legacy v1 bundle for the same key is dropped so the
+        key can never resolve to stale v1 bytes.
         """
         path = self._path(trace.name, trace.target, scale)
-        temporary = path.with_suffix(".tmp.npz")
-        arrays = {key: getattr(trace, key) for key, _ in TRACE_COLUMNS}
-        checksums = {
-            f"crc_{key}": np.uint32(_column_crc(column))
-            for key, column in arrays.items()
-        }
+        temporary = path.with_suffix(".tmp.rtc")
         with self._locked():
             try:
                 try:
-                    self._write_bundle(temporary, path, arrays, checksums)
+                    self._write_bundle(temporary, path, trace)
                 except OSError as exc:
                     if not is_resource_exhaustion(exc):
                         raise
@@ -340,8 +506,7 @@ class TraceCache:
                         temporary.unlink()
                     self._evict_for_space(exclude=path)
                     try:
-                        self._write_bundle(temporary, path, arrays,
-                                           checksums)
+                        self._write_bundle(temporary, path, trace)
                     except OSError as retry_exc:
                         if is_resource_exhaustion(retry_exc):
                             raise ResourceExhaustedError(
@@ -352,27 +517,147 @@ class TraceCache:
             finally:
                 with contextlib.suppress(OSError):
                     temporary.unlink()
+            legacy = self.legacy_path(trace.name, trace.target, scale)
+            with contextlib.suppress(OSError):
+                legacy.unlink()
             if self.budget:
                 self._enforce_budget(exclude=path)
 
+    def _pack_v2(self, trace: Trace):
+        """Lay out one trace's v2 bundle: header bytes + column plan.
+
+        The header embeds each column's absolute file offset, and the
+        first offset must clear the header itself -- so the layout is
+        computed as a (terminating: the candidate start only ever
+        grows, by whole pages, and offset digit counts are bounded)
+        fixpoint over the aligned header size.
+        """
+        arrays = []
+        crcs = {}
+        for key, code in TRACE_COLUMNS:
+            column = np.ascontiguousarray(
+                getattr(trace, key), dtype=np.dtype("<" + code))
+            arrays.append((key, column))
+            crcs[key] = _column_crc(column)
+        data_start = ALIGNMENT
+        while True:
+            specs = []
+            offset = data_start
+            for key, column in arrays:
+                specs.append({
+                    "name": key,
+                    "dtype": column.dtype.str,
+                    "count": int(column.size),
+                    "offset": offset,
+                    "nbytes": int(column.nbytes),
+                    "crc32": crcs[key],
+                })
+                offset = _align_up(offset + column.nbytes)
+            data_end = specs[-1]["offset"] + specs[-1]["nbytes"]
+            header = {
+                "format": "repro.trace-cache/v2",
+                "version": self.version,
+                "name": trace.name,
+                "target": trace.target,
+                "columns": specs,
+                "data_end": data_end,
+            }
+            header_bytes = json.dumps(
+                header, sort_keys=True, separators=(",", ":")).encode()
+            needed = _align_up(len(MAGIC_V2) + 4 + len(header_bytes))
+            if needed <= data_start:
+                return header_bytes, arrays, specs, data_end
+            data_start = needed
+
     def _write_bundle(self, temporary: pathlib.Path, path: pathlib.Path,
-                      arrays: dict, checksums: dict) -> None:
+                      trace: Trace) -> None:
         """One atomic write-then-rename attempt (caller holds the lock)."""
-        np.savez_compressed(temporary, version=self.version,
-                            **arrays, **checksums)
+        header_bytes, arrays, specs, data_end = self._pack_v2(trace)
+        with open(temporary, "wb") as handle:
+            handle.write(MAGIC_V2)
+            handle.write(len(header_bytes).to_bytes(4, "little"))
+            handle.write(header_bytes)
+            for (key, column), spec in zip(arrays, specs):
+                if column.nbytes:
+                    handle.seek(spec["offset"])
+                    handle.write(memoryview(column).cast("B"))
+            handle.seek(data_end)
+            handle.write(FOOTER_MAGIC)
+            handle.write(
+                (zlib.crc32(header_bytes) & 0xFFFFFFFF).to_bytes(
+                    4, "little"))
         temporary.replace(path)
         self.counters.stores += 1
+
+    # -- migration -----------------------------------------------------------
+    def migrate(self) -> dict[str, int]:
+        """Rewrite every legacy v1 ``.npz`` bundle as a v2 ``.rtc``.
+
+        Returns ``{"migrated": n, "skipped": n, "failed": n}``:
+        version-stale bundles and files whose names do not parse as a
+        cache key are skipped (regeneration overwrites them anyway),
+        corrupt bundles are quarantined and counted as failed.
+        """
+        migrated = skipped = failed = 0
+        with self._locked():
+            for legacy in sorted(self.directory.glob("*.npz")):
+                if legacy.name.endswith(".tmp.npz"):
+                    continue
+                parts = legacy.stem.rsplit("-", 2)
+                if len(parts) != 3:
+                    skipped += 1
+                    continue
+                name, target, scale = parts
+                try:
+                    trace = self._read_v1(legacy, name, target)
+                except _CORRUPTION_ERRORS as exc:
+                    if is_resource_exhaustion(exc):
+                        raise ResourceExhaustedError(
+                            f"cannot migrate trace cache bundle "
+                            f"{legacy.name}: {exc}") from exc
+                    self.quarantine(legacy)
+                    failed += 1
+                    continue
+                if trace is None:
+                    skipped += 1
+                    continue
+                path = self._path(name, target, scale)
+                temporary = path.with_suffix(".tmp.rtc")
+                try:
+                    try:
+                        self._write_bundle(temporary, path, trace)
+                    finally:
+                        with contextlib.suppress(OSError):
+                            temporary.unlink()
+                except OSError as exc:
+                    if is_resource_exhaustion(exc):
+                        raise ResourceExhaustedError(
+                            f"cannot migrate trace cache bundle "
+                            f"{legacy.name}: {exc}") from exc
+                    raise
+                with contextlib.suppress(OSError):
+                    legacy.unlink()
+                migrated += 1
+        return {"migrated": migrated, "skipped": skipped, "failed": failed}
+
+    # -- budget/eviction -----------------------------------------------------
+    def _bundle_files(self, exclude: Optional[pathlib.Path] = None):
+        """Every cached bundle (both formats), temporaries excluded."""
+        entries = []
+        for pattern in ("*.rtc", "*.npz"):
+            for entry in self.directory.glob(pattern):
+                if entry == exclude or entry.name.endswith(
+                        (".tmp.rtc", ".tmp.npz")):
+                    continue
+                entries.append(entry)
+        return entries
 
     def _bundles_by_age(self, exclude: Optional[pathlib.Path] = None):
         """Cached bundles, least recently used first (mtime, then name
         for determinism when mtimes tie)."""
         try:
-            entries = [
-                entry for entry in self.directory.glob("*.npz")
-                if entry != exclude and not entry.name.endswith(".tmp.npz")
-            ]
             return sorted(
-                entries,
+                self._bundle_files(exclude=exclude),
                 key=lambda entry: (entry.stat().st_mtime, entry.name))
         except OSError:
             return []
@@ -423,7 +708,7 @@ class TraceCache:
         """Delete every cached trace; returns the number removed."""
         removed = 0
         with self._locked():
-            for path in self.directory.glob("*.npz"):
+            for path in self._bundle_files():
                 path.unlink()
                 removed += 1
         return removed

@@ -348,7 +348,7 @@ def _run_drill(driver: _Driver, drill: ChaosDrill,
         cache_dir = drill_dir / "cache"
         overrides = {"REPRO_TRACE_CACHE": str(cache_dir)}
         warm = driver.experiment(drill_dir, overrides)
-        bundles = sorted(cache_dir.glob("*.npz"))
+        bundles = sorted(cache_dir.glob("*.rtc"))
         checks = [
             (warm.returncode == 0, f"warm exit {warm.returncode}"),
             (bool(bundles), "warm run cached nothing"),
@@ -356,7 +356,9 @@ def _run_drill(driver: _Driver, drill: ChaosDrill,
         if bundles:
             victim_bundle = bundles[drill.seed % len(bundles)]
             data = bytearray(victim_bundle.read_bytes())
-            data[drill.seed % len(data)] ^= 1 << (drill.seed % 8)
+            # Flip a byte of the v2 CRC footer: always integrity-covered
+            # (a flip in alignment padding would be semantically inert).
+            data[len(data) - 12 + drill.seed % 12] ^= 1 << (drill.seed % 8)
             victim_bundle.write_bytes(bytes(data))
             proc = driver.experiment(drill_dir, overrides)
             checks += [
@@ -372,7 +374,7 @@ def _run_drill(driver: _Driver, drill: ChaosDrill,
             "REPRO_TRACE_CACHE": str(cache_dir),
             "REPRO_CACHE_BUDGET": "1",
         })
-        bundles = list(cache_dir.glob("*.npz"))
+        bundles = list(cache_dir.glob("*.rtc"))
         status, detail = _expect([
             (proc.returncode == 0, f"exit {proc.returncode}, wanted 0"),
             (proc.stdout == baseline, "output differs from baseline"),

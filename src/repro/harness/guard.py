@@ -14,13 +14,15 @@ wrong fast tier is not a failed benchmark but a *demotion*.
 
 **Degradation ladder.**  On divergence, any fault, or a watchdog
 timeout inside a fast tier, the guard demotes the unit's (benchmark,
-stage, target) to the oracle tier -- compiled→interp, mono→general,
-fast-model→reference -- retries in place, and records a
-:class:`TierDemotion`: counted in the ``repro.obs`` benchmark scope
-(``tier/<stage>/...``), journalled by the run journal, and rendered as
-a "Tier notes" block under the exhibit.  The demotion is sticky for
-the session, so a bad compiled block cannot keep corrupting its
-benchmark's later units.
+stage, target) one rung down its ladder -- compiled→interp,
+vector→mono→general, fast-model→reference -- retries in place, and
+records a :class:`TierDemotion`: counted in the ``repro.obs``
+benchmark scope (``tier/<stage>/...``), journalled by the run journal,
+and rendered as a "Tier notes" block under the exhibit.  The demotion
+is sticky for the session, so a bad compiled block cannot keep
+corrupting its benchmark's later units; a key demoted mid-ladder
+(vector→mono) keeps the remaining rungs guarded, so a later divergence
+can walk it the rest of the way to the oracle.
 
 Sampling is keyed by ``crc32(seed:label)`` on the unit's stable label,
 never by call order, so serial and parallel runs sample (and demote)
@@ -69,10 +71,11 @@ SENTINEL_SEED_ENV = "REPRO_SENTINEL_SEED"
 #: (default ``trace``) and force the sentinel to check that unit.
 TIER_FAULT_ENV = "REPRO_TIER_FAULT"
 
-#: stage -> (fast tier, oracle tier): the degradation ladder.
+#: stage -> (fastest tier, ..., oracle tier): the degradation ladder.
+#: Demotions step one rung at a time; the last entry is the oracle.
 TIER_LADDER = {
     "trace": ("compiled", "interp"),
-    "annotate": ("mono", "general"),
+    "annotate": ("vector", "mono", "general"),
     "model": ("fast", "reference"),
 }
 
@@ -286,21 +289,33 @@ class TierGuard:
                              f"{name}/trace/{target}", run)
 
     def run_annotate(self, name: str, target: str, trace, config):
-        """Annotation with the mono→general ladder.
+        """Annotation with the vector→mono→general ladder.
 
-        Configurations the monomorphic kernel cannot handle (Perfect,
-        stride, ...) resolve to the general path anyway, so the guard
-        runs them directly -- there is no faster tier to verify.
+        The ladder is filtered to the config's eligible kernels: deep
+        histories drop the ``vector`` rung, and configurations the
+        monomorphic kernel cannot handle either (Perfect, stride, ...)
+        resolve to the general path anyway, so the guard runs them
+        directly -- there is no faster tier to verify.
         """
-        from repro.trace.annotate import annotate_trace, mono_eligible
+        from repro.trace.annotate import (
+            annotate_trace,
+            mono_eligible,
+            vector_eligible,
+        )
 
         def run(kernel: str):
             return annotate_trace(trace, config, kernel=kernel)
 
-        if not mono_eligible(config):
+        tiers = ["general"]
+        if mono_eligible(config):
+            tiers.insert(0, "mono")
+            if vector_eligible(config):
+                tiers.insert(0, "vector")
+        if len(tiers) == 1:
             return self._pinned(name, "annotate", run, None)
         return self._guarded(name, "annotate", target,
-                             f"{name}/annotate/{target}/{config.name}", run)
+                             f"{name}/annotate/{target}/{config.name}", run,
+                             tiers=tuple(tiers))
 
     def run_model(self, name: str, target: str, label: str,
                   runner: Callable):
@@ -322,15 +337,33 @@ class TierGuard:
         return run(pinned)
 
     def _guarded(self, name: str, stage: str, target: str, label: str,
-                 run: Callable):
-        fast_tier, oracle_tier = TIER_LADDER[stage]
+                 run: Callable, tiers: Optional[tuple] = None):
+        if tiers is None:
+            tiers = TIER_LADDER[stage]
         if os.environ.get(_PIN_ENVS[stage]):
             # An explicitly pinned tier is what the user asked to
             # measure: no sentinel, no ladder.  (This is also how the
             # oracle-only comparison run is produced.)
             return self._pinned(name, stage, run, None)
         key = (name, stage, target)
-        if key in self._demoted:
+        demotion = self._demoted.get(key)
+        if demotion is not None:
+            # Sticky: resume the ladder at the rung the key was demoted
+            # to (the remaining rungs stay guarded against the oracle).
+            if demotion.to_tier in tiers:
+                tiers = tiers[tiers.index(demotion.to_tier):]
+            else:
+                tiers = tiers[-1:]
+        return self._run_ladder(key, label, run, tuple(tiers))
+
+    def _run_ladder(self, key, label: str, run: Callable, tiers: tuple):
+        """Run one unit on the fastest rung of *tiers*, sentinel-checked
+        against the oracle (the last rung); demote one rung and retry in
+        place on fault or divergence."""
+        name, stage, target = key
+        fast_tier = tiers[0]
+        oracle_tier = tiers[-1]
+        if len(tiers) == 1:
             return run(oracle_tier)
         forced = tier_fault_matches(name, stage)
         try:
@@ -340,13 +373,19 @@ class TierGuard:
             raise
         except Exception as exc:
             # Fault or watchdog timeout inside the fast tier: demote
-            # and retry in place on the oracle.  An oracle failure
-            # propagates normally (footnoted like any failure).
-            self._demote(key, label, fast_tier, oracle_tier,
+            # one rung and retry in place down the remaining ladder.
+            # An oracle failure propagates normally (footnoted like
+            # any failure).
+            self._demote(key, label, fast_tier, tiers[1],
                          f"{type(exc).__name__}: {exc}")
-            return self._oracle_retry(
-                run, oracle_tier, name, stage, target,
-                rearm=isinstance(exc, UnitTimeoutError))
+            if isinstance(exc, UnitTimeoutError):
+                # The watchdog alarm fired and was consumed -- re-arm
+                # it around the retry so a unit that genuinely hangs
+                # still stays bounded.
+                return self._rearmed(
+                    lambda: self._run_ladder(key, label, run, tiers[1:]),
+                    name, stage, target)
+            return self._run_ladder(key, label, run, tiers[1:])
         if forced:
             from repro.faults.inject import inject_tier_fault
             result = inject_tier_fault(stage, result)
@@ -359,26 +398,19 @@ class TierGuard:
                     raise TierDivergenceError(stage, label, differences)
             except TierDivergenceError as exc:
                 self._count(name, stage, "divergences")
-                self._demote(key, label, fast_tier, oracle_tier, str(exc))
+                self._demote(key, label, fast_tier, tiers[1], str(exc))
                 return oracle  # already computed; the demotion is sticky
         return result
 
-    def _oracle_retry(self, run: Callable, oracle_tier: str, name: str,
-                      stage: str, target: str, rearm: bool):
-        """Re-run on the oracle tier after a fast-tier fault.
-
-        When the fault was a watchdog timeout, the alarm has already
-        fired and been consumed -- re-arm it around the oracle attempt
-        so a unit that genuinely hangs (rather than one whose fast tier
-        wedged) still stays bounded.
-        """
-        if not rearm:
-            return run(oracle_tier)
+    def _rearmed(self, thunk: Callable, name: str, stage: str,
+                 target: str):
+        """Run *thunk* under a fresh unit watchdog (the previous alarm
+        has already fired and been consumed)."""
         from repro.harness.parallel import WorkUnit, _unit_watchdog
         seconds = float(getattr(self.session, "unit_timeout", 0.0) or 0.0)
         unit = WorkUnit(name, stage, target)
         with _unit_watchdog(seconds, unit):
-            return run(oracle_tier)
+            return thunk()
 
     def _demote(self, key, label: str, from_tier: str, to_tier: str,
                 reason: str) -> None:

@@ -52,7 +52,12 @@ from repro.errors import (
     ResourceExhaustedError,
     is_resource_exhaustion,
 )
-from repro.harness.parallel import EngineObserver, _ShardResult, _ShardSpec
+from repro.harness.parallel import (
+    EngineObserver,
+    _CachedTraceRef,
+    _ShardResult,
+    _ShardSpec,
+)
 from repro.obs.metrics import write_metrics
 
 #: Where run directories live (created on demand).
@@ -218,28 +223,50 @@ def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def trace_digest(trace) -> str:
+def trace_digest(trace, cache=None) -> str:
     """sha256 over a trace's column bytes (the identity the TraceCache
-    checksums protect, re-expressed as one stable digest)."""
+    checksums protect, re-expressed as one stable digest).
+
+    A zero-copy merge payload carries a
+    :class:`~repro.harness.parallel._CachedTraceRef` instead of arrays;
+    the digest then covers the cached bundle's actual column bytes
+    (memory-mapped through *cache*, so nothing is copied).  A ref that
+    cannot be resolved digests as its identity string: stable, so a
+    checkpoint written while the bundle was missing still verifies --
+    and distinct from any content digest, so if the bundle *reappears*
+    the mismatch forces a clean re-run instead of trusting it.
+    """
     import numpy as np
     from repro.trace.records import TRACE_COLUMNS
+    if isinstance(trace, _CachedTraceRef):
+        resolved = None
+        if cache is not None:
+            with contextlib.suppress(Exception):
+                resolved = cache.load(trace.name, trace.target, trace.scale)
+        if resolved is None:
+            return _sha256(
+                f"unresolved-ref:{trace.name}/{trace.target}/"
+                f"{trace.scale}".encode())
+        trace = resolved
     digest = hashlib.sha256()
     for key, _ in TRACE_COLUMNS:
         digest.update(np.ascontiguousarray(getattr(trace, key)).tobytes())
     return digest.hexdigest()
 
 
-def shard_digests(shard: _ShardResult) -> dict[str, str]:
+def shard_digests(shard: _ShardResult, cache=None) -> dict[str, str]:
     """Per-unit result digests for one benchmark's merge payload.
 
     Keys are stable unit labels; values identify the *result* (not the
     computation), so a resumed run can prove a checkpoint still holds
-    exactly what the journal said it held.
+    exactly what the journal said it held.  *cache* resolves
+    :class:`~repro.harness.parallel._CachedTraceRef` stubs in zero-copy
+    payloads (see :func:`trace_digest`).
     """
     import numpy as np
     digests: dict[str, str] = {}
     for (name, target), trace in shard.traces.items():
-        digests[f"trace/{name}/{target}"] = trace_digest(trace)
+        digests[f"trace/{name}/{target}"] = trace_digest(trace, cache)
     for (name, target, config), annotated in shard.annotated.items():
         digests[f"annotate/{name}/{target}/{config}"] = _sha256(
             np.ascontiguousarray(annotated.outcomes).tobytes())
@@ -322,6 +349,7 @@ class RunJournal(EngineObserver):
         self.directory = pathlib.Path(directory)
         self.manifest = manifest
         self._fd: Optional[int] = None
+        self._cache_handle: Optional[tuple] = None
         self._checkpoints_done = 0
         self._crash_after = self._crash_after_from_env()
         #: Set when the disk filled up under a journal write: further
@@ -454,6 +482,19 @@ class RunJournal(EngineObserver):
             f"  repro experiment --resume {self.run_id}",
             file=sys.stderr)
 
+    def _trace_cache(self):
+        """The TraceCache the manifest names (None when uncached) --
+        needed to digest zero-copy payloads whose traces are refs."""
+        if self._cache_handle is None:
+            cache = None
+            cache_dir = self.manifest.get("cache_dir")
+            if cache_dir:
+                from repro.harness.cache import TraceCache
+                with contextlib.suppress(Exception):
+                    cache = TraceCache(cache_dir)
+            self._cache_handle = (cache,)
+        return self._cache_handle[0]
+
     # -- engine observer hooks ----------------------------------------------
     def shard_started(self, spec: _ShardSpec) -> None:
         self.append({"type": "started", "benchmark": spec.benchmark,
@@ -477,7 +518,7 @@ class RunJournal(EngineObserver):
             "benchmark": spec.benchmark,
             "checkpoint": digest,
             "failed": len(result.failed),
-            "digests": shard_digests(result),
+            "digests": shard_digests(result, cache=self._trace_cache()),
         })
         self._checkpoints_done += 1
         if (self._crash_after is not None
@@ -586,7 +627,7 @@ class RunJournal(EngineObserver):
                 result = pickle.loads(payload)
             except Exception:
                 continue
-            if shard_digests(result) != record.get("digests"):
+            if shard_digests(result, cache=cache) != record.get("digests"):
                 continue
             loaded[benchmark] = result
         if cache is not None:
@@ -602,6 +643,10 @@ class RunJournal(EngineObserver):
         scale = self.manifest.get("scale", "small")
         for result in loaded.values():
             for (name, target), trace in result.traces.items():
+                if isinstance(trace, _CachedTraceRef):
+                    # A ref's bytes *are* the cache bundle (CRC-verified
+                    # on every load): nothing independent to cross-check.
+                    continue
                 with contextlib.suppress(Exception):
                     cached = cache.load(name, target, scale)
                     if cached is not None and \

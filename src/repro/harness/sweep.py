@@ -39,6 +39,11 @@ gshare) fall back to the real predictor objects via
 :func:`~repro.lvp.unit.build_predictor`, which also guarantees any
 future family works unoptimized before it works fast.
 
+The stage machinery itself lives in :mod:`repro.trace.kernels` (shared
+with the standard ``annotate_trace`` path's ``vector`` kernel); this
+module keeps the grid planning, sharding, journalling, and exhibit
+rendering on top of it.
+
 Chunks of the grid shard across worker processes exactly like the
 parallel experiment engine (grouped so stage-A/B work is amortized
 within a chunk, merged back in deterministic grid order), and every
@@ -59,7 +64,6 @@ import json
 import os
 import pathlib
 import time
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -75,11 +79,26 @@ from repro.harness.journal import (
     trace_digest,
 )
 from repro.lvp.config import LVPConfig
-from repro.lvp.fcm import _HASH_MULT
-from repro.lvp.lct import LoadClass
-from repro.lvp.unit import LoadOutcome, LVPStats, build_predictor
-from repro.trace.annotate import NOT_A_LOAD
+from repro.lvp.unit import LVPStats
+from repro.trace.kernels import (
+    LctContext,
+    SweepEvents,
+    decode_events,
+    pc_indices,
+    run_stage_a,
+    run_stage_b,
+    run_stage_c,
+)
 from repro.trace.records import Trace
+
+#: Backwards-compatible private aliases: the stage kernels were hoisted
+#: into :mod:`repro.trace.kernels` so the ``vector`` annotation tier
+#: shares them; the sweep's call sites (and older callers) keep the
+#: original names.
+_pc_indices = pc_indices
+_run_stage_a = run_stage_a
+_run_stage_b = run_stage_b
+_LctContext = LctContext
 
 #: Sweep document schema identifier.
 SWEEP_SCHEMA_ID = "repro.sweep/v1"
@@ -106,91 +125,6 @@ def sweep_runs_dir_from_env(default: Optional[str] = None) -> pathlib.Path:
     return pathlib.Path(
         os.environ.get(SWEEP_RUNS_DIR_ENV) or default
         or DEFAULT_SWEEP_RUNS_DIR)
-
-
-# ---------------------------------------------------------------------------
-# Shared trace decode.
-# ---------------------------------------------------------------------------
-@dataclass
-class SweepEvents:
-    """One trace, decoded once, in the shapes the three stages consume."""
-
-    n_records: int
-    #: Per dynamic load, in program order (Python lists for the stage
-    #: loops, numpy for the vectorized paths).
-    load_pcs: list
-    load_addrs: list
-    load_values: list
-    load_pcs_np: np.ndarray
-    load_values_np: np.ndarray
-    #: Trace positions of the loads (for outcome-array reconstruction).
-    load_positions: np.ndarray
-    #: Memory events (loads + stores) in program order.
-    mem_is_store: np.ndarray  # bool
-    mem_load_ord: np.ndarray  # int64; -1 for stores
-    mem_addrs: np.ndarray  # effective addresses (stores need them to snoop)
-    mem_sizes: np.ndarray  # access sizes (stores need them to snoop)
-    #: Loads + branches in program order (gshare's GHR view): kind 0 =
-    #: load, 1 = branch.  None unless decoded with ``branches=True``.
-    lb_kinds: Optional[list] = None
-    lb_pcs: Optional[list] = None
-    lb_values: Optional[list] = None
-    lb_takens: Optional[list] = None
-
-    @property
-    def n_loads(self) -> int:
-        return len(self.load_pcs)
-
-    @property
-    def n_stores(self) -> int:
-        return int(np.count_nonzero(self.mem_is_store))
-
-
-def decode_events(trace: Trace, branches: bool = True) -> SweepEvents:
-    """Decode *trace* into the event streams every stage shares.
-
-    This is the cost the sweep amortizes: numpy mask + fancy-index +
-    ``tolist`` once, instead of once per configuration.  *branches*
-    may be False when no gshare configuration is in the grid.
-    """
-    from repro.isa.opcodes import OpClass
-
-    is_load = trace.is_load
-    is_store = trace.is_store
-    mem_mask = is_load | is_store
-    mem_positions = np.nonzero(mem_mask)[0]
-    mem_is_store = is_store[mem_positions]
-    mem_is_load = ~mem_is_store
-    mem_load_ord = np.cumsum(mem_is_load) - 1
-    mem_load_ord[mem_is_store] = -1
-
-    load_positions = mem_positions[mem_is_load]
-    load_pcs_np = trace.pc[load_positions]
-    load_values_np = trace.value[load_positions]
-
-    events = SweepEvents(
-        n_records=len(trace),
-        load_pcs=load_pcs_np.tolist(),
-        load_addrs=trace.addr[load_positions].tolist(),
-        load_values=load_values_np.tolist(),
-        load_pcs_np=load_pcs_np,
-        load_values_np=load_values_np,
-        load_positions=load_positions,
-        mem_is_store=mem_is_store,
-        mem_load_ord=mem_load_ord,
-        mem_addrs=trace.addr[mem_positions],
-        mem_sizes=trace.size[mem_positions],
-    )
-    if branches:
-        is_branch = trace.opclass == int(OpClass.BRANCH)
-        lb_mask = is_load | is_branch
-        lb_positions = np.nonzero(lb_mask)[0]
-        events.lb_kinds = np.where(
-            is_branch[lb_positions], 1, 0).tolist()
-        events.lb_pcs = trace.pc[lb_positions].tolist()
-        events.lb_values = trace.value[lb_positions].tolist()
-        events.lb_takens = trace.taken[lb_positions].tolist()
-    return events
 
 
 # ---------------------------------------------------------------------------
@@ -223,376 +157,6 @@ def predictor_key(config: LVPConfig) -> tuple:
 def lct_key(config: LVPConfig) -> tuple:
     """The stage-B sharing key: predictor key + LCT shape."""
     return predictor_key(config) + (config.lct_entries, config.lct_bits)
-
-
-# ---------------------------------------------------------------------------
-# Stage A: the value-predictor pass.
-#
-# Every fast path below must stay bit-identical to the corresponding
-# predictor class; tests/harness/test_sweep.py enforces it differentially
-# against annotate_trace (which uses the real objects).
-# ---------------------------------------------------------------------------
-def _pc_indices(pcs_np: np.ndarray, entries: int) -> np.ndarray:
-    """Direct-mapped table indices for an array of instruction PCs."""
-    return (pcs_np.astype(np.int64) >> 2) & (entries - 1)
-
-
-def _stage_a_last_value(events: SweepEvents,
-                        entries: int) -> tuple[np.ndarray, list]:
-    """Vectorized depth-1 last-value prediction (history depth 1 and
-    last-N depth 1 collapse to it): a load hits iff the previous load
-    mapping to the same table index carried the same value."""
-    idx = _pc_indices(events.load_pcs_np, entries)
-    n = len(idx)
-    hits = np.zeros(n, dtype=bool)
-    if n:
-        order = np.argsort(idx, kind="stable")
-        sidx = idx[order]
-        svals = events.load_values_np[order]
-        same = np.zeros(n, dtype=bool)
-        same[1:] = (sidx[1:] == sidx[:-1]) & (svals[1:] == svals[:-1])
-        hits[order] = same
-    return hits, idx.tolist()
-
-
-def _stage_a_history_pc(events: SweepEvents,
-                        config: LVPConfig) -> tuple[np.ndarray, list]:
-    """Inline pass for the paper's PC-indexed untagged deep-history
-    LVPT (mirrors the monomorphic kernel's LVPT half exactly)."""
-    mask = config.lvpt_entries - 1
-    table: list[list[int]] = [[] for _ in range(config.lvpt_entries)]
-    depth = config.history_depth
-    sel_perfect = config.selection == "perfect"
-    hits = np.empty(events.n_loads, dtype=bool)
-    idxs: list[int] = []
-    append_idx = idxs.append
-    for i, (pc, value) in enumerate(zip(events.load_pcs,
-                                        events.load_values)):
-        idx = (pc >> 2) & mask
-        append_idx(idx)
-        hist = table[idx]
-        if hist:
-            hits[i] = (value in hist) if sel_perfect \
-                else hist[0] == value
-            if hist[0] != value:
-                try:
-                    hist.remove(value)
-                except ValueError:
-                    pass
-                hist.insert(0, value)
-                if len(hist) > depth:
-                    hist.pop()
-        else:
-            hits[i] = False
-            hist.append(value)
-    return hits, idxs
-
-
-def _stage_a_stride(events: SweepEvents,
-                    entries: int) -> tuple[np.ndarray, list]:
-    """Inline :class:`~repro.lvp.stride.StridePredictor` pass."""
-    mask = entries - 1
-    last: list = [None] * entries
-    stride = [0] * entries
-    conf = [0] * entries
-    hits = np.empty(events.n_loads, dtype=bool)
-    idxs: list[int] = []
-    append_idx = idxs.append
-    for i, (pc, value) in enumerate(zip(events.load_pcs,
-                                        events.load_values)):
-        idx = (pc >> 2) & mask
-        append_idx(idx)
-        prev = last[idx]
-        if prev is None:
-            hits[i] = False
-            last[idx] = value
-            continue
-        if conf[idx] >= 2:
-            hits[i] = ((prev + stride[idx]) & _U64) == value
-        else:
-            hits[i] = prev == value
-        delta = (value - prev) & _U64
-        if delta == stride[idx]:
-            if conf[idx] < 3:
-                conf[idx] += 1
-        else:
-            stride[idx] = delta
-            conf[idx] = 1 if delta else 0
-        last[idx] = value
-    return hits, idxs
-
-
-def _stage_a_fcm(events: SweepEvents, entries: int,
-                 order: int) -> tuple[np.ndarray, list]:
-    """Inline :class:`~repro.lvp.fcm.FCMPredictor` pass.
-
-    The unit hashes the context twice per load (once predicting, once
-    training); here prediction and the VPT write share one hash, which
-    is legal because nothing shifts the context in between.
-    """
-    mask = entries - 1
-    vht: list[list[int]] = [[] for _ in range(entries)]
-    vpt: list = [None] * entries
-    hits = np.empty(events.n_loads, dtype=bool)
-    idxs: list[int] = []
-    append_idx = idxs.append
-    for i, (pc, value) in enumerate(zip(events.load_pcs,
-                                        events.load_values)):
-        idx = (pc >> 2) & mask
-        append_idx(idx)
-        ctx = vht[idx]
-        if len(ctx) >= order:
-            folded = 0
-            for v in ctx:
-                folded = ((folded * _HASH_MULT) + v) & _U64
-            slot = (folded ^ (folded >> 32)) & mask
-            hits[i] = vpt[slot] == value
-            vpt[slot] = value
-            ctx.append(value)
-            ctx.pop(0)
-        else:
-            hits[i] = False
-            ctx.append(value)
-    return hits, idxs
-
-
-def _stage_a_lastn(events: SweepEvents, entries: int,
-                   depth: int) -> tuple[np.ndarray, list]:
-    """Inline :class:`~repro.lvp.lastn.LastNPredictor` pass."""
-    mask = entries - 1
-    buffers: list[list[int]] = [[] for _ in range(entries)]
-    hits = np.empty(events.n_loads, dtype=bool)
-    idxs: list[int] = []
-    append_idx = idxs.append
-    for i, (pc, value) in enumerate(zip(events.load_pcs,
-                                        events.load_values)):
-        idx = (pc >> 2) & mask
-        append_idx(idx)
-        buffer = buffers[idx]
-        if buffer:
-            counts: dict[int, int] = {}
-            for v in buffer:
-                counts[v] = counts.get(v, 0) + 1
-            best = None
-            best_count = 0
-            for v in reversed(buffer):
-                count = counts[v]
-                if count > best_count:
-                    best = v
-                    best_count = count
-            hits[i] = best == value
-        else:
-            hits[i] = False
-        buffer.append(value)
-        if len(buffer) > depth:
-            buffer.pop(0)
-    return hits, idxs
-
-
-def _stage_a_hybrid(events: SweepEvents,
-                    entries: int) -> tuple[np.ndarray, list]:
-    """Inline :class:`~repro.lvp.hybrid.HybridPredictor` pass."""
-    mask = entries - 1
-    last: list = [None] * entries
-    stride = [0] * entries
-    conf = [0] * entries
-    chooser = [1] * entries
-    hits = np.empty(events.n_loads, dtype=bool)
-    idxs: list[int] = []
-    append_idx = idxs.append
-    for i, (pc, value) in enumerate(zip(events.load_pcs,
-                                        events.load_values)):
-        idx = (pc >> 2) & mask
-        append_idx(idx)
-        prev = last[idx]
-        if prev is None:
-            hits[i] = False
-            last[idx] = value
-            continue
-        if conf[idx] >= 2:
-            value_pred = prev
-            stride_pred = (prev + stride[idx]) & _U64
-        else:
-            value_pred = stride_pred = prev
-        hits[i] = (stride_pred if chooser[idx] >= 2
-                   else value_pred) == value
-        value_ok = value_pred == value
-        stride_ok = stride_pred == value
-        if stride_ok and not value_ok:
-            if chooser[idx] < 3:
-                chooser[idx] += 1
-        elif value_ok and not stride_ok:
-            if chooser[idx] > 0:
-                chooser[idx] -= 1
-        delta = (value - prev) & _U64
-        if delta == stride[idx]:
-            if conf[idx] < 3:
-                conf[idx] += 1
-        else:
-            stride[idx] = delta
-            conf[idx] = 1 if delta else 0
-        last[idx] = value
-    return hits, idxs
-
-
-def _stage_a_generic(events: SweepEvents,
-                     config: LVPConfig) -> tuple[np.ndarray, list]:
-    """Object-based pass through the real predictor classes.
-
-    Using :func:`~repro.lvp.unit.build_predictor` -- the same factory
-    the LVP unit uses -- guarantees identical table semantics for every
-    family without duplicating their update rules here.
-    """
-    table = build_predictor(config)
-    hits = np.empty(events.n_loads, dtype=bool)
-    idxs: list[int] = []
-    append_idx = idxs.append
-    would = table.would_be_correct
-    index_of = table.index_of
-    update = table.update
-    if config.index_mode == "gshare":
-        if events.lb_kinds is None:
-            raise ConfigError(
-                "gshare configurations need a branch-aware decode "
-                "(decode_events(..., branches=True))")
-        record_branch = table.record_branch
-        i = 0
-        for kind, pc, value, taken in zip(events.lb_kinds, events.lb_pcs,
-                                          events.lb_values,
-                                          events.lb_takens):
-            if kind:
-                record_branch(bool(taken))
-                continue
-            hits[i] = would(pc, value)
-            append_idx(index_of(pc))
-            update(pc, value)
-            i += 1
-        return hits, idxs
-    for i, (pc, value) in enumerate(zip(events.load_pcs,
-                                        events.load_values)):
-        hits[i] = would(pc, value)
-        append_idx(index_of(pc))
-        update(pc, value)
-    return hits, idxs
-
-
-def _run_stage_a(events: SweepEvents,
-                 config: LVPConfig) -> tuple[np.ndarray, list]:
-    if config.index_mode == "gshare" or config.lvpt_tagged:
-        return _stage_a_generic(events, config)
-    if config.predictor == "history":
-        if config.history_depth == 1:
-            return _stage_a_last_value(events, config.lvpt_entries)
-        return _stage_a_history_pc(events, config)
-    if config.predictor == "stride":
-        return _stage_a_stride(events, config.lvpt_entries)
-    if config.predictor == "fcm":
-        return _stage_a_fcm(events, config.lvpt_entries,
-                            config.history_depth)
-    if config.predictor == "lastn":
-        if config.history_depth == 1:
-            return _stage_a_last_value(events, config.lvpt_entries)
-        return _stage_a_lastn(events, config.lvpt_entries,
-                              config.history_depth)
-    if config.predictor == "hybrid":
-        return _stage_a_hybrid(events, config.lvpt_entries)
-    # A predictor family this engine has no fast path for yet: the
-    # object path is always correct.
-    return _stage_a_generic(events, config)
-
-
-# ---------------------------------------------------------------------------
-# Stage B: the classifier pass.
-# ---------------------------------------------------------------------------
-_DONT = int(LoadClass.DONT_PREDICT)
-_PREDICT = int(LoadClass.PREDICT)
-_CONST = int(LoadClass.CONSTANT)
-
-
-def _run_stage_b(events: SweepEvents, hit_list: list,
-                 lct_entries: int, lct_bits: int,
-                 lidx: Optional[list] = None) -> np.ndarray:
-    """Evolve the LCT counters over the ``would_hit`` stream; returns
-    each load's classification code (uint8 LoadClass values)."""
-    if lidx is None:
-        lidx = _pc_indices(events.load_pcs_np, lct_entries).tolist()
-    lct_max = (1 << lct_bits) - 1
-    lct_predict = lct_max - 1
-    one_bit = lct_bits == 1
-    counters = [0] * lct_entries
-    classes = np.empty(events.n_loads, dtype=np.uint8)
-    for i, (index, hit) in enumerate(zip(lidx, hit_list)):
-        cnt = counters[index]
-        if one_bit:
-            classes[i] = _CONST if cnt else _DONT
-        elif cnt == lct_max:
-            classes[i] = _CONST
-        elif cnt == lct_predict:
-            classes[i] = _PREDICT
-        else:
-            classes[i] = _DONT
-        if hit:
-            if cnt < lct_max:
-                counters[index] = cnt + 1
-        elif cnt > 0:
-            counters[index] = cnt - 1
-    return classes
-
-
-class _LctContext:
-    """Per-(predictor, LCT) shared state stage C reuses across every
-    CVU capacity: the classification masks, the Table 3 tallies, the
-    non-constant outcome template, and the compact CVU event stream."""
-
-    __slots__ = ("const_mask", "n_const", "base_out",
-                 "pp", "pnp", "up", "unp", "_streams")
-
-    def __init__(self, hits: np.ndarray, classes: np.ndarray) -> None:
-        self.const_mask = classes == _CONST
-        self.n_const = int(np.count_nonzero(self.const_mask))
-        self.base_out = np.where(
-            classes == _PREDICT,
-            np.where(hits, int(LoadOutcome.CORRECT),
-                     int(LoadOutcome.INCORRECT)),
-            int(LoadOutcome.NO_PREDICTION)).astype(np.uint8)
-        dont = classes == _DONT
-        self.pnp = int(np.count_nonzero(dont & hits))
-        self.unp = int(np.count_nonzero(dont & ~hits))
-        self.pp = int(np.count_nonzero(~dont & hits))
-        self.up = int(np.count_nonzero(~dont & ~hits))
-        self._streams: Optional[tuple] = None
-
-    def relevant_streams(self, events: SweepEvents) -> tuple:
-        """The CVU-visible event stream: constant-classified loads and
-        all stores, in program order, as compact parallel lists.
-
-        Loads carry ``(ordinal, word)``, stores carry their snooped
-        ``(first_word, last_word)`` span -- precomputed here once per
-        classifier shape instead of once per CVU capacity.
-        """
-        if self._streams is None:
-            mem_ord = events.mem_load_ord
-            mem_store = events.mem_is_store
-            relevant = mem_store | np.where(
-                mem_ord >= 0, self.const_mask[mem_ord], False)
-            positions = np.nonzero(relevant)[0]
-            store_flags = mem_store[positions].tolist()
-            ordinals = mem_ord[positions].tolist()
-            addrs = events.mem_addrs[positions].tolist()
-            sizes = events.mem_sizes[positions].tolist()
-            firsts: list[int] = []
-            seconds: list[int] = []
-            for is_store, ordinal, addr, size in zip(store_flags, ordinals,
-                                                     addrs, sizes):
-                if is_store:
-                    firsts.append(addr & ~7)
-                    seconds.append(
-                        (addr + (size if size > 0 else 1) - 1) & ~7)
-                else:
-                    firsts.append(ordinal)
-                    seconds.append(addr & ~7)
-            self._streams = (store_flags, firsts, seconds)
-        return self._streams
 
 
 # ---------------------------------------------------------------------------
@@ -635,108 +199,12 @@ class SweepCell:
         }
 
 
-def _stage_c(events: SweepEvents, hits: np.ndarray, hit_list: list,
-             idxs: list, context: _LctContext, config: LVPConfig,
+def _stage_c(events: SweepEvents, hits, hit_list: list,
+             idxs: list, context: LctContext, config: LVPConfig,
              keep_outcomes: bool) -> SweepCell:
     """Simulate the CVU and assemble one configuration's cell."""
-    n_const = context.n_const
-    cvu_entries = config.cvu_entries
-    out = context.base_out.copy()
-
-    cvu_ins = cvu_sinv = cvu_dem = cvu_stale = 0
-    if n_const and cvu_entries == 0:
-        # A zero-entry CVU can never match: every constant-classified
-        # load demotes to ordinary verification, and the refused
-        # insertions are not counted (the counter bugfix this engine's
-        # differential suite locks in).
-        cvu_dem = n_const
-        out[context.const_mask] = np.where(
-            hits[context.const_mask], int(LoadOutcome.CORRECT),
-            int(LoadOutcome.INCORRECT))
-    elif n_const:
-        rel_store, rel_first, rel_second = \
-            context.relevant_streams(events)
-        # CAM keys pack (word, lvpt_index) into one int -- Python int
-        # keys hash faster than tuples and allocate nothing.  The word
-        # survives in the high bits for eviction bookkeeping.
-        shift = (config.lvpt_entries - 1).bit_length()
-        cam: OrderedDict = OrderedDict()
-        by_addr: dict[int, set] = {}
-        cam_move = cam.move_to_end
-        cam_pop_lru = cam.popitem
-        const_out: list[int] = []
-        emit = const_out.append
-        for is_store, first, second in zip(rel_store, rel_first,
-                                           rel_second):
-            if not is_store:
-                # A constant-classified load: first=ordinal, second=word.
-                key = (second << shift) | idxs[first]
-                if key in cam:
-                    if hit_list[first]:
-                        cam_move(key)
-                        emit(3)
-                    else:
-                        cvu_stale += 1
-                        del cam[key]
-                        holders = by_addr.get(second)
-                        if holders is not None:
-                            holders.discard(key)
-                            if not holders:
-                                del by_addr[second]
-                        emit(1)
-                else:
-                    cvu_dem += 1
-                    if len(cam) >= cvu_entries:
-                        victim = cam_pop_lru(last=False)[0]
-                        victims = by_addr.get(victim >> shift)
-                        if victims is not None:
-                            victims.discard(victim)
-                            if not victims:
-                                del by_addr[victim >> shift]
-                    cam[key] = None
-                    holders = by_addr.get(second)
-                    if holders is None:
-                        by_addr[second] = {key}
-                    else:
-                        holders.add(key)
-                    cvu_ins += 1
-                    emit(2 if hit_list[first] else 1)
-            elif first == second:
-                # A store within one word (the common case).
-                holders = by_addr.pop(first, None)
-                if holders:
-                    for key in holders:
-                        del cam[key]
-                    cvu_sinv += len(holders)
-            else:
-                for word in range(first, second + 8, 8):
-                    holders = by_addr.pop(word, None)
-                    if holders:
-                        for key in holders:
-                            del cam[key]
-                        cvu_sinv += len(holders)
-        out[context.const_mask] = np.array(const_out, dtype=np.uint8)
-
-    counts = np.bincount(out, minlength=4)
-    stats = LVPStats(
-        loads=events.n_loads, stores=events.n_stores,
-        outcomes={
-            LoadOutcome.NO_PREDICTION: int(counts[0]),
-            LoadOutcome.INCORRECT: int(counts[1]),
-            LoadOutcome.CORRECT: int(counts[2]),
-            LoadOutcome.CONSTANT: int(counts[3]),
-        },
-        predictable_predicted=context.pp,
-        predictable_not_predicted=context.pnp,
-        unpredictable_predicted=context.up,
-        unpredictable_not_predicted=context.unp,
-        cvu_insertions=cvu_ins,
-        cvu_store_invalidations=cvu_sinv,
-        cvu_demotions=cvu_dem,
-        cvu_stale_hits=cvu_stale,
-    )
-    full = np.full(events.n_records, NOT_A_LOAD, dtype=np.uint8)
-    full[events.load_positions] = out
+    full, stats = run_stage_c(events, hits, hit_list, idxs, context,
+                              config)
     digest = _sha256(np.ascontiguousarray(full).tobytes())
     return SweepCell(config=config, stats=stats, outcome_digest=digest,
                      outcomes=full if keep_outcomes else None)
@@ -766,7 +234,7 @@ def evaluate_configs(trace: Trace, configs: Sequence[LVPConfig],
         events = decode_events(trace, branches=needs_branches)
     stage_a: dict[tuple, tuple[np.ndarray, list, list]] = {}
     stage_b: dict[tuple, _LctContext] = {}
-    lct_indices: dict[int, list] = {}
+    lct_indices: dict[int, np.ndarray] = {}
     cells: list[SweepCell] = []
     for config in configs:
         akey = predictor_key(config)
@@ -781,9 +249,9 @@ def evaluate_configs(trace: Trace, configs: Sequence[LVPConfig],
             lidx = lct_indices.get(config.lct_entries)
             if lidx is None:
                 lidx = lct_indices[config.lct_entries] = _pc_indices(
-                    events.load_pcs_np, config.lct_entries).tolist()
+                    events.load_pcs_np, config.lct_entries)
             classes = _run_stage_b(events, hit_list, config.lct_entries,
-                                   config.lct_bits, lidx)
+                                   config.lct_bits, lidx, hits_np=hits)
             context = stage_b[bkey] = _LctContext(hits, classes)
         cells.append(_stage_c(events, hits, hit_list, idxs, context,
                               config, keep_outcomes))

@@ -18,16 +18,21 @@ from repro.errors import ConfigError
 from repro.isa.opcodes import OpClass
 from repro.lvp.config import LVPConfig
 from repro.lvp.unit import LoadOutcome, LVPStats, LVPUnit
+from repro.trace.kernels import (
+    NOT_A_LOAD,
+    LctContext,
+    decode_events,
+    run_stage_b,
+    run_stage_c,
+    stage_a_last_value,
+)
 from repro.trace.records import Trace
-
-#: Sentinel in the per-instruction outcome column for "not a load".
-NOT_A_LOAD = 255
 
 # Event kinds for the program-order replay.
 _LOAD, _STORE, _BRANCH = 0, 1, 2
 
 #: Recognised values of the ``kernel`` knob / ``REPRO_ANNOTATE_KERNEL``.
-KERNELS = ("auto", "general", "mono")
+KERNELS = ("auto", "general", "mono", "vector")
 
 
 def mono_eligible(config: LVPConfig, audit: bool = False,
@@ -48,14 +53,30 @@ def mono_eligible(config: LVPConfig, audit: bool = False,
             and config.profile_filter is None)
 
 
+def vector_eligible(config: LVPConfig, audit: bool = False,
+                    fault_hook=None) -> bool:
+    """Can the vectorized kernel annotate under *config*?
+
+    The vector tier covers the monomorphic kernel's domain further
+    restricted to history depth 1 -- the shape whose stage-A pass
+    (last-value prediction) is fully vectorizable via the
+    stable-argsort groupby in :mod:`repro.trace.kernels`.  Deeper
+    histories keep an inherently sequential MRU list per LVPT entry
+    and stay on the ``mono`` tier.
+    """
+    return (mono_eligible(config, audit, fault_hook)
+            and config.history_depth == 1)
+
+
 def resolve_kernel(kernel, config: LVPConfig, audit: bool,
                    fault_hook) -> str:
-    """Resolve the kernel knob to ``"general"`` or ``"mono"``.
+    """Resolve the kernel knob to a concrete kernel name.
 
     ``REPRO_ANNOTATE_KERNEL`` overrides the argument; ``"auto"`` (the
-    default) picks the monomorphic kernel whenever it is eligible.
-    Forcing ``"mono"`` for an ineligible combination is a
-    :class:`ConfigError` rather than a silent fallback.
+    default) picks the fastest eligible kernel
+    (``vector`` > ``mono`` > ``general``).  Forcing ``"vector"`` or
+    ``"mono"`` for an ineligible combination is a :class:`ConfigError`
+    rather than a silent fallback.
     """
     env = os.environ.get("REPRO_ANNOTATE_KERNEL")
     if env:
@@ -74,7 +95,15 @@ def resolve_kernel(kernel, config: LVPConfig, audit: bool,
             "audit/fault-hook/perfect/stride/gshare/tagged/filter features "
             "requested; use 'auto' or 'general'"
         )
+    if kernel == "vector" and not vector_eligible(config, audit, fault_hook):
+        raise ConfigError(
+            f"kernel 'vector' cannot annotate config {config.name!r}: it "
+            "requires the monomorphic kernel's domain at history depth 1; "
+            "use 'auto', 'mono', or 'general'"
+        )
     if kernel == "auto":
+        if vector_eligible(config, audit, fault_hook):
+            return "vector"
         return "mono" if eligible else "general"
     return kernel
 
@@ -131,10 +160,20 @@ def annotate_trace(trace: Trace, config: LVPConfig, *,
     replays through :class:`LVPUnit` method calls and supports every
     feature; ``"mono"`` is a monomorphic single-loop kernel with the
     LVPT/LCT/CVU fast paths inlined, bit-identical for the common case
-    (see :func:`mono_eligible`); ``"auto"`` (default) picks ``"mono"``
-    whenever it is eligible.  ``REPRO_ANNOTATE_KERNEL`` overrides.
+    (see :func:`mono_eligible`); ``"vector"`` runs the shared staged
+    kernels from :mod:`repro.trace.kernels` -- a fully vectorized
+    last-value predictor pass, a flat LCT counter loop, and a CVU
+    replay over only the constant-classified loads -- for depth-1
+    configurations (see :func:`vector_eligible`); ``"auto"`` (default)
+    picks the fastest eligible kernel.  ``REPRO_ANNOTATE_KERNEL``
+    overrides.
     """
-    if resolve_kernel(kernel, config, audit, fault_hook) == "mono":
+    resolved = resolve_kernel(kernel, config, audit, fault_hook)
+    if resolved == "vector":
+        outcomes, stats = _annotate_vector(trace, config)
+        return AnnotatedTrace(trace, config, outcomes, stats,
+                              audit_log=None)
+    if resolved == "mono":
         outcomes = np.full(len(trace), NOT_A_LOAD, dtype=np.uint8)
         stats = _annotate_mono(trace, config, outcomes)
         return AnnotatedTrace(trace, config, outcomes, stats,
@@ -176,6 +215,27 @@ def annotate_trace(trace: Trace, config: LVPConfig, *,
 
     return AnnotatedTrace(trace, config, outcomes, unit.stats,
                           audit_log=unit.audit_log)
+
+
+def _annotate_vector(trace: Trace,
+                     config: LVPConfig) -> tuple[np.ndarray, LVPStats]:
+    """Vectorized annotation via the shared staged kernels.
+
+    Stage A is the fully vectorized depth-1 last-value pass (stable
+    argsort groupby -- no per-load Python loop), stage B evolves the
+    LCT saturating counters over the hit stream, and stage C replays
+    the CVU over only the constant-classified loads.  The composition
+    is bit-identical to the mono and general kernels on the
+    :func:`vector_eligible` domain; ``tests/trace/test_vector.py``
+    enforces it differentially.
+    """
+    events = decode_events(trace, branches=False)
+    hits, idxs = stage_a_last_value(events, config.lvpt_entries)
+    hit_list = hits.tolist()
+    classes = run_stage_b(events, hit_list, config.lct_entries,
+                          config.lct_bits, hits_np=hits)
+    context = LctContext(hits, classes)
+    return run_stage_c(events, hits, hit_list, idxs, context, config)
 
 
 def _annotate_mono(trace: Trace, config: LVPConfig,

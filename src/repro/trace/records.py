@@ -135,6 +135,22 @@ class Trace:
         """View of just the store records (positions preserved)."""
         return MemoryView(self, self.is_store)
 
+    def materialize(self) -> "Trace":
+        """A deep copy with fresh, private, writable columns.
+
+        Traces loaded from the v2 trace cache carry read-only columns
+        that alias memory-mapped file pages shared across processes;
+        anything that needs to mutate records in place (fault
+        injectors, ad-hoc experiments) must materialize first rather
+        than corrupt the shared mapping.
+        """
+        return Trace(
+            {key: np.array(getattr(self, key), dtype=_DTYPES[key],
+                           copy=True)
+             for key, _ in TRACE_COLUMNS},
+            name=self.name, target=self.target,
+        )
+
     def opclass_counts(self) -> dict[OpClass, int]:
         """Dynamic instruction counts per op class."""
         values, counts = np.unique(self.opclass, return_counts=True)

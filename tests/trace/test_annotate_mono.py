@@ -63,11 +63,15 @@ class TestEligibility:
 
 class TestKernelResolution:
     def test_kernels_tuple(self):
-        assert KERNELS == ("auto", "general", "mono")
+        assert KERNELS == ("auto", "general", "mono", "vector")
 
     def test_auto_picks_mono_when_eligible(self):
-        assert resolve_kernel("auto", SIMPLE, False, None) == "mono"
-        assert resolve_kernel(None, SIMPLE, False, None) == "mono"
+        # SIMPLE is depth-1 so auto now prefers vector; LIMIT (deep
+        # history) is the mono-but-not-vector shape.
+        assert resolve_kernel("auto", LIMIT, False, None) == "mono"
+        assert resolve_kernel(None, LIMIT, False, None) == "mono"
+        assert resolve_kernel("auto", SIMPLE, False, None) == "vector"
+        assert resolve_kernel(None, SIMPLE, False, None) == "vector"
 
     @pytest.mark.parametrize("config", INELIGIBLE, ids=lambda c: c.name)
     def test_auto_falls_back_to_general(self, config):

@@ -1,0 +1,145 @@
+"""Differential suite: the vector annotation kernel vs mono vs general.
+
+The vector tier runs the shared staged kernels (stage-A vectorized
+last-value, stage-B LCT counters, stage-C CVU replay) for depth-1
+configurations; it exists only for speed and must be bit-identical to
+both the monomorphic and the general kernel on every config it
+accepts, and must refuse (or be auto-routed away from) every config it
+cannot faithfully annotate.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lvp.config import (
+    CONSTANT,
+    EXTENSION_CONFIGS,
+    GSHARE,
+    LIMIT,
+    PAPER_CONFIGS,
+    PERFECT,
+    SIMPLE,
+    STRIDE,
+)
+from repro.sim import run_program
+from repro.trace.annotate import (
+    annotate_trace,
+    resolve_kernel,
+    vector_eligible,
+)
+from repro.workloads.suite import NAMES, get_benchmark
+
+#: Every stock config the vector kernel accepts (depth-1 history, pc
+#: index, untagged, unfiltered, not perfect) -- derived, not listed,
+#: so a new eligible config automatically joins the suite.
+ELIGIBLE = tuple(
+    config for config in PAPER_CONFIGS + EXTENSION_CONFIGS
+    if vector_eligible(config)
+)
+#: Mono-eligible but too deep for the vector tier.
+DEEP = (LIMIT,)
+INELIGIBLE = (PERFECT, STRIDE, GSHARE) + DEEP
+
+STATS_FIELDS = (
+    "loads", "stores", "predictable_predicted",
+    "predictable_not_predicted", "unpredictable_predicted",
+    "unpredictable_not_predicted", "cvu_insertions",
+    "cvu_store_invalidations", "cvu_demotions", "cvu_stale_hits",
+)
+
+
+def assert_annotations_equal(a, b):
+    assert (a.outcomes == b.outcomes).all()
+    assert a.stats.outcomes == b.stats.outcomes
+    for field in STATS_FIELDS:
+        assert getattr(a.stats, field) == getattr(b.stats, field), field
+
+
+@pytest.fixture(scope="module")
+def tiny_traces():
+    """Lazily built, memoized tiny ppc traces for the whole suite."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            program = get_benchmark(name).build_program("ppc", "tiny")
+            cache[name] = run_program(program, name=name).trace
+        return cache[name]
+
+    return get
+
+
+class TestEligibility:
+    def test_stock_eligible_set_is_nonempty(self):
+        names = {config.name for config in ELIGIBLE}
+        assert SIMPLE.name in names
+        assert CONSTANT.name in names
+
+    @pytest.mark.parametrize("config", INELIGIBLE, ids=lambda c: c.name)
+    def test_ineligible(self, config):
+        assert not vector_eligible(config)
+
+    def test_audit_and_fault_hook_disqualify(self):
+        assert not vector_eligible(SIMPLE, audit=True)
+        assert not vector_eligible(SIMPLE, fault_hook=lambda *a: None)
+
+    @pytest.mark.parametrize("config", INELIGIBLE, ids=lambda c: c.name)
+    def test_forced_vector_on_ineligible_config_refused(self, config):
+        with pytest.raises(ConfigError, match="vector"):
+            resolve_kernel("vector", config, False, None)
+
+    def test_auto_prefers_vector(self):
+        assert resolve_kernel("auto", SIMPLE, False, None) == "vector"
+        # Deep history falls back one tier, not all the way.
+        assert resolve_kernel("auto", LIMIT, False, None) == "mono"
+
+    def test_env_pin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANNOTATE_KERNEL", "vector")
+        assert resolve_kernel("mono", SIMPLE, False, None) == "vector"
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_vector_bit_identical_simple(tiny_traces, name):
+    """Every benchmark, the paper's Simple config: vector == general."""
+    trace = tiny_traces(name)
+    general = annotate_trace(trace, SIMPLE, kernel="general")
+    vector = annotate_trace(trace, SIMPLE, kernel="vector")
+    assert_annotations_equal(general, vector)
+
+
+@pytest.mark.parametrize("config", ELIGIBLE, ids=lambda c: c.name)
+@pytest.mark.parametrize("name", ("compress", "eqntott"))
+def test_vector_bit_identical_all_eligible_configs(tiny_traces, name,
+                                                   config):
+    """Two traces x every eligible config, against both slower tiers."""
+    trace = tiny_traces(name)
+    general = annotate_trace(trace, config, kernel="general")
+    mono = annotate_trace(trace, config, kernel="mono")
+    vector = annotate_trace(trace, config, kernel="vector")
+    assert_annotations_equal(general, vector)
+    assert_annotations_equal(mono, vector)
+
+
+@pytest.mark.parametrize("config", ELIGIBLE, ids=lambda c: c.name)
+def test_auto_routes_to_vector_and_matches(tiny_traces, config):
+    """The production default (auto) runs the vector tier on eligible
+    configs and stays bit-identical to the oracle."""
+    trace = tiny_traces("xlisp")
+    general = annotate_trace(trace, config, kernel="general")
+    auto = annotate_trace(trace, config)
+    assert_annotations_equal(general, auto)
+
+
+def test_vector_on_cached_readonly_trace(tmp_path, tiny_traces):
+    """The vector kernel annotates a zero-copy mmap-backed trace
+    (read-only columns) without materializing it."""
+    from repro.harness.cache import TraceCache
+
+    trace = tiny_traces("grep")
+    cache = TraceCache(tmp_path)
+    cache.store(trace, "tiny")
+    mapped = cache.load("grep", trace.target, "tiny")
+    assert not mapped.value.flags.writeable
+    general = annotate_trace(trace, SIMPLE, kernel="general")
+    vector = annotate_trace(mapped, SIMPLE, kernel="vector")
+    assert_annotations_equal(general, vector)
